@@ -1,0 +1,107 @@
+// bench_ablation_channel -- microbenchmarks of the channel layer, ablating
+// the design choices DESIGN.md calls out: cooperative vs mutex/cv channels
+// (the cgsim-vs-x86sim primitive gap of paper Table 2), ring capacity, and
+// broadcast fan-out.
+#include <benchmark/benchmark.h>
+
+#include <coroutine>
+#include <thread>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+class NullExec final : public Executor {
+ public:
+  void make_ready(std::coroutine_handle<>, std::uint64_t) override {}
+};
+
+/// Cooperative channel: single-threaded push/pop pair throughput.
+void BM_CoopChannelPushPop(benchmark::State& state) {
+  NullExec ex;
+  CoopChannel<int> ch{1, static_cast<int>(state.range(0)), &ex};
+  ch.set_producers(1);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.try_push(42));
+    benchmark::DoNotOptimize(ch.try_pop(0, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoopChannelPushPop)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
+
+/// Threaded channel under the same single-threaded access pattern: the
+/// pure lock/notify cost difference.
+void BM_ThreadedChannelPushPop(benchmark::State& state) {
+  ThreadedChannel<int> ch{1, static_cast<int>(state.range(0))};
+  ch.set_producers(1);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.blocking_push(42));
+    benchmark::DoNotOptimize(ch.blocking_pop(0, v));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ThreadedChannelPushPop)->Arg(64);
+
+/// Threaded channel with a real producer thread: cross-thread handoff.
+void BM_ThreadedChannelCrossThread(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ThreadedChannel<int> ch{1, 64};
+    ch.set_producers(1);
+    std::thread producer([&] {
+      for (int i = 0; i < n; ++i) ch.blocking_push(i);
+      ch.producer_done();
+    });
+    int v = 0;
+    long got = 0;
+    while (ch.blocking_pop(0, v)) ++got;
+    producer.join();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ThreadedChannelCrossThread)->Arg(10000)->UseRealTime();
+
+/// Broadcast fan-out: cost of one push + N pops as consumers increase.
+void BM_CoopChannelBroadcast(benchmark::State& state) {
+  NullExec ex;
+  const int consumers = static_cast<int>(state.range(0));
+  CoopChannel<int> ch{consumers, 64, &ex};
+  ch.set_producers(1);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.try_push(7));
+    for (int c = 0; c < consumers; ++c) {
+      benchmark::DoNotOptimize(ch.try_pop(c, v));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * consumers);
+}
+BENCHMARK(BM_CoopChannelBroadcast)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Large elements: copy cost through the ring (window-sized blocks).
+void BM_CoopChannelLargeElems(benchmark::State& state) {
+  struct Big {
+    std::array<float, 2048> data;
+  };
+  NullExec ex;
+  CoopChannel<Big> ch{1, 4, &ex};
+  ch.set_producers(1);
+  Big b{};
+  Big v{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ch.try_push(b));
+    benchmark::DoNotOptimize(ch.try_pop(0, v));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * sizeof(Big)));
+}
+BENCHMARK(BM_CoopChannelLargeElems);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+// bench_ablation_instantiate -- cost of runtime graph instantiation
+// (paper Section 3.6 deserialization) as a function of graph size, and the
+// end-to-end overhead of one full run on tiny inputs. This quantifies the
+// price of cgsim's compile-time-construction + runtime-deserialization
+// split compared to a hypothetical direct construction.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, bi_stage,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+constexpr auto chain1 = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> x1;
+  bi_stage(a, x1);
+  return std::make_tuple(x1);
+}>;
+
+constexpr auto chain4 = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> x1, x2, x3, x4;
+  bi_stage(a, x1);
+  bi_stage(x1, x2);
+  bi_stage(x2, x3);
+  bi_stage(x3, x4);
+  return std::make_tuple(x4);
+}>;
+
+constexpr auto chain16 = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> x[16];
+  bi_stage(a, x[0]);
+  for (int i = 1; i < 16; ++i) bi_stage(x[i - 1], x[i]);
+  return std::make_tuple(x[15]);
+}>;
+
+void BM_Instantiate(benchmark::State& state, const GraphView& g) {
+  for (auto _ : state) {
+    RuntimeContext ctx{g};
+    benchmark::DoNotOptimize(ctx.tasks().size());
+  }
+  state.counters["kernels"] = static_cast<double>(g.kernels.size());
+}
+BENCHMARK_CAPTURE(BM_Instantiate, chain1, chain1.view());
+BENCHMARK_CAPTURE(BM_Instantiate, chain4, chain4.view());
+BENCHMARK_CAPTURE(BM_Instantiate, chain16, chain16.view());
+
+void BM_FullTinyRun(benchmark::State& state, const GraphView& g) {
+  std::vector<int> in{1, 2, 3, 4};
+  for (auto _ : state) {
+    std::vector<int> out;
+    run_graph(g, RunOptions{}, in, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK_CAPTURE(BM_FullTinyRun, chain1, chain1.view());
+BENCHMARK_CAPTURE(BM_FullTinyRun, chain16, chain16.view());
+
+#include "core/dynamic_graph.hpp"
+
+/// Ablation: building the same 16-stage chain dynamically at run time (the
+/// Graphtoy model, paper Section 3.1) vs deserializing the compile-time
+/// graph (BM_Instantiate/chain16).
+void BM_DynamicBuild16(benchmark::State& state) {
+  for (auto _ : state) {
+    cgsim::rt::DynamicGraphBuilder b;
+    int prev = b.add_edge<int>();
+    b.add_input(prev);
+    for (int i = 0; i < 16; ++i) {
+      const int next = b.add_edge<int>();
+      b.add_kernel(bi_stage, {prev, next});
+      prev = next;
+    }
+    b.add_output(prev);
+    RuntimeContext ctx{b.view()};
+    benchmark::DoNotOptimize(ctx.tasks().size());
+  }
+}
+BENCHMARK(BM_DynamicBuild16);
+
+void BM_SteadyStateThroughput(benchmark::State& state) {
+  std::vector<int> in(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<int> out;
+    run_graph(chain4.view(), RunOptions{}, in, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SteadyStateThroughput)->Arg(1000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

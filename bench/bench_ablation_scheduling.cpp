@@ -1,0 +1,120 @@
+// bench_ablation_scheduling -- end-to-end ablation of the execution
+// strategy (cooperative single-thread vs one OS thread per kernel) and of
+// the channel capacity, on a two-kernel pipeline with configurable work
+// per element. This isolates the paper's Table 2 effect: cooperative
+// scheduling wins when synchronization is frequent relative to compute.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/cgsim.hpp"
+#include "x86sim/x86sim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+// Work knob: iterations of a cheap hash per element.
+inline int spin(int v, int rounds) {
+  unsigned x = static_cast<unsigned>(v);
+  for (int i = 0; i < rounds; ++i) x = x * 2654435761u + 1;
+  return static_cast<int>(x);
+}
+
+COMPUTE_KERNEL(aie, sched_light,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(spin(co_await in.get(), 4));
+}
+
+COMPUTE_KERNEL(aie, sched_heavy,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(spin(co_await in.get(), 4096));
+}
+
+constexpr auto light_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> m, z;
+  sched_light(a, m);
+  sched_light(m, z);
+  return std::make_tuple(z);
+}>;
+
+constexpr auto heavy_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> m, z;
+  sched_heavy(a, m);
+  sched_heavy(m, z);
+  return std::make_tuple(z);
+}>;
+
+constexpr auto tiny_cap_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  a.capacity(2);
+  IoConnector<int> m, z;
+  m.capacity(2);
+  z.capacity(2);
+  sched_light(a, m);
+  sched_light(m, z);
+  return std::make_tuple(z);
+}>;
+
+void run_backend(const GraphView& g, ExecMode mode, int items) {
+  std::vector<int> in(static_cast<std::size_t>(items), 3);
+  std::vector<int> out;
+  if (mode == ExecMode::threaded) {
+    x86sim::simulate(g, 1, in, out);
+  } else {
+    run_graph(g, RunOptions{}, in, out);
+  }
+  benchmark::DoNotOptimize(out.size());
+}
+
+/// Fine-grained sync, almost no compute: the bitonic-like regime where the
+/// paper reports cgsim ahead of x86sim.
+void BM_LightPipeline_Coop(benchmark::State& state) {
+  for (auto _ : state) run_backend(light_graph.view(), ExecMode::coop, 20000);
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_LightPipeline_Coop);
+
+void BM_LightPipeline_Threaded(benchmark::State& state) {
+  for (auto _ : state) {
+    run_backend(light_graph.view(), ExecMode::threaded, 20000);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_LightPipeline_Threaded)->UseRealTime();
+
+/// Compute-heavy elements: sync overhead amortized (bilinear/IIR regime).
+void BM_HeavyPipeline_Coop(benchmark::State& state) {
+  for (auto _ : state) run_backend(heavy_graph.view(), ExecMode::coop, 500);
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_HeavyPipeline_Coop);
+
+void BM_HeavyPipeline_Threaded(benchmark::State& state) {
+  for (auto _ : state) {
+    run_backend(heavy_graph.view(), ExecMode::threaded, 500);
+  }
+  state.SetItemsProcessed(state.iterations() * 500);
+}
+BENCHMARK(BM_HeavyPipeline_Threaded)->UseRealTime();
+
+/// Channel capacity ablation: capacity 2 forces a suspension nearly every
+/// element; the default (64) lets the scheduler batch.
+void BM_CapacityTiny_Coop(benchmark::State& state) {
+  for (auto _ : state) {
+    run_backend(tiny_cap_graph.view(), ExecMode::coop, 20000);
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_CapacityTiny_Coop);
+
+void BM_CapacityDefault_Coop(benchmark::State& state) {
+  for (auto _ : state) run_backend(light_graph.view(), ExecMode::coop, 20000);
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_CapacityDefault_Coop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// embedded_prototype -- the paper's core workflow promise (Figure 2):
+// the compute-graph prototype lives *inside* a running host application
+// and stays fully functional while being developed. This example embeds a
+// small signal-conditioning graph into an interactive host loop: samples
+// arrive one at a time (here: a synthesized sensor), are pushed into the
+// graph as they appear, and conditioned outputs are consumed as soon as
+// the graph produces them -- no batch boundaries, no separate device
+// process, no vendor tools.
+//
+//   $ ./embedded_prototype [samples]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cgsim.hpp"
+
+using namespace cgsim;
+
+// Running-average conditioner with a decimating reporter: one output per
+// four inputs.
+COMPUTE_KERNEL(aie, smooth4,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) {
+    float acc = 0.0f;
+    for (int i = 0; i < 4; ++i) acc += co_await in.get();
+    co_await out.put(acc / 4.0f);
+  }
+}
+
+COMPUTE_KERNEL(aie, threshold_alarm,
+               KernelReadPort<float> in,
+               KernelWritePort<int> alarms) {
+  int index = 0;
+  while (true) {
+    const float v = co_await in.get();
+    if (v > 0.8f) co_await alarms.put(index);
+    ++index;
+  }
+}
+
+constexpr auto monitor_graph = make_compute_graph_v<[](
+    IoConnector<float> samples) {
+  IoConnector<float> smoothed;
+  IoConnector<int> alarms;
+  smooth4(samples, smoothed);
+  threshold_alarm(smoothed, alarms);
+  return std::make_tuple(alarms);
+}>;
+
+namespace {
+float read_sensor(int t) {  // synthesized slowly-drifting noisy signal
+  return 0.6f * std::sin(0.002f * static_cast<float>(t)) +
+         0.4f * std::sin(0.11f * static_cast<float>(t));
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int samples = argc > 1 ? std::atoi(argv[1]) : 20000;
+  InteractiveSession session{monitor_graph.view()};
+
+  int alarms_seen = 0;
+  int last_alarm = -1;
+  for (int t = 0; t < samples; ++t) {
+    // The host does its own work per iteration and feeds the prototype
+    // exactly when data exists -- the embedded development loop.
+    while (!session.push<float>(0, read_sensor(t))) {
+      // Back-pressure: drain pending alarms, then retry.
+      while (auto a = session.poll<int>(0)) {
+        ++alarms_seen;
+        last_alarm = *a;
+      }
+    }
+    while (auto a = session.poll<int>(0)) {
+      ++alarms_seen;
+      last_alarm = *a;
+    }
+  }
+  session.finish();
+  while (auto a = session.poll<int>(0)) {
+    ++alarms_seen;
+    last_alarm = *a;
+  }
+
+  std::printf("embedded_prototype: %d samples -> %d alarm events "
+              "(last at smoothed index %d), %llu coroutine resumes\n",
+              samples, alarms_seen, last_alarm,
+              static_cast<unsigned long long>(session.resumes()));
+  std::printf("graph drained cleanly: %s\n",
+              session.drained() ? "yes" : "NO");
+  return session.drained() && alarms_seen > 0 ? 0 : 1;
+}

@@ -1,0 +1,93 @@
+// extract_demo -- the full paper Figure 5 extraction flow as a runnable
+// tool: a prototype application embedding a cgsim graph registers it with
+// CGSIM_EXTRACTABLE; running this program converts the prototype into a
+// Vitis-compatible AIE project on disk.
+//
+//   $ ./extract_demo [output-dir]
+//   $ ls <output-dir>/demo_graph/
+//   aie_kernel_ports.hpp  graph.hpp  kernel_decls.hpp  preproc.cc  ...
+#include <cstdio>
+#include <vector>
+
+#include "core/cgsim.hpp"
+#include "extractor/extractor.hpp"
+
+using namespace cgsim;
+
+// --- the embedded prototype (kernels + helpers + graph) -------------------
+
+/// Gain applied before quantization; co-extracted into the AIE project.
+constexpr float kPreGain = 0.5f;
+
+float apply_gain(float v) { return v * kPreGain; }
+
+COMPUTE_KERNEL(aie, preproc,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(apply_gain(co_await in.get()));
+  }
+}
+
+COMPUTE_KERNEL(aie, quantize,
+               KernelReadPort<float> in,
+               KernelWritePort<int> out) {
+  while (true) {
+    co_await out.put(static_cast<int>(co_await in.get() * 256.0f));
+  }
+}
+
+COMPUTE_KERNEL(noextract, host_logger,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) {
+    co_await out.put(co_await in.get());  // stays on the host
+  }
+}
+
+constexpr auto demo_graph = make_compute_graph_v<[](IoConnector<float> a) {
+  a.attr("plio_name", "SamplesIn");
+  IoConnector<float> conditioned;
+  IoConnector<int> quantized, logged;
+  preproc(a, conditioned);
+  quantize(conditioned, quantized);
+  host_logger(quantized, logged);
+  logged.attr("plio_name", "SamplesOut");
+  return std::make_tuple(logged);
+}>;
+
+CGSIM_EXTRACTABLE(demo_graph);
+
+// ---------------------------------------------------------------------------
+
+int main(int argc, char** argv) {
+  // First prove the prototype works, as the paper's workflow prescribes:
+  // simulate before extracting (Figure 2).
+  std::vector<float> in{1.0f, 2.0f, 4.0f};
+  std::vector<int> out;
+  demo_graph(in, out);
+  std::printf("prototype run: ");
+  for (int v : out) std::printf("%d ", v);
+  std::printf("\n");
+
+  // Then extract every registered graph into an AIE project.
+  cgx::ExtractOptions opts;
+  opts.out_dir = argc > 1 ? argv[1] : "cgx_out";
+  const auto reports = cgx::extract_all(opts);
+  for (const auto& rep : reports) {
+    std::printf("extracted graph '%s' -> %s\n", rep.graph_name.c_str(),
+                rep.out_dir.c_str());
+    std::printf("  kernels: %d aie, %d noextract (excluded)\n",
+                rep.aie_kernels, rep.noextract_kernels);
+    std::printf("  connections: %d intra-realm, %d inter-realm, %d global\n",
+                rep.intra_realm_edges, rep.inter_realm_edges,
+                rep.global_edges);
+    for (const auto& [name, text] : rep.project.files) {
+      std::printf("  wrote %s (%zu bytes)\n", name.c_str(), text.size());
+    }
+    for (const auto& w : rep.project.warnings) {
+      std::printf("  WARNING: %s\n", w.c_str());
+    }
+  }
+  return reports.empty() ? 1 : 0;
+}

@@ -1,0 +1,99 @@
+// gemm_offload -- tiled matrix multiplication on the AIE array (the
+// workload class the paper's related work, PyAIE and Vyasa, targets).
+// Demonstrates the split-K GEMM app plus two aiesim extensions: kernel
+// placement on the 2D tile grid (with stream-switch hop latency) and
+// per-tile utilization statistics.
+//
+//   $ ./gemm_offload [tile-grid-k]
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+#include "aiesim/engine.hpp"
+#include "apps/gemm.hpp"
+
+using apps::gemm::Tile;
+using apps::gemm::TilePair;
+
+namespace {
+
+Tile random_tile(std::mt19937& rng) {
+  std::uniform_real_distribution<float> d{-1, 1};
+  Tile t;
+  for (auto& v : t.m) v = d(rng);
+  return t;
+}
+
+double max_abs_err(const Tile& got, const Tile& want) {
+  double e = 0;
+  for (unsigned i = 0; i < apps::gemm::kTile * apps::gemm::kTile; ++i) {
+    e = std::max(e, static_cast<double>(std::abs(got.m[i] - want.m[i])));
+  }
+  return e;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int kdim = argc > 1 ? std::atoi(argv[1]) : 8;  // K tiles (even)
+  std::mt19937 rng{97};
+
+  // One output tile accumulated over kdim K-tiles, split across two
+  // compute kernels.
+  std::vector<TilePair> half0, half1;
+  Tile want{};
+  for (int k = 0; k < kdim; k += 2) {
+    const Tile a0 = random_tile(rng), b0 = random_tile(rng);
+    const Tile a1 = random_tile(rng), b1 = random_tile(rng);
+    half0.push_back(TilePair{a0, b0});
+    half1.push_back(TilePair{a1, b1});
+    const Tile p0 = apps::gemm::reference_multiply(a0, b0);
+    const Tile p1 = apps::gemm::reference_multiply(a1, b1);
+    for (unsigned i = 0; i < apps::gemm::kTile * apps::gemm::kTile; ++i) {
+      want.m[i] += p0.m[i] + p1.m[i];
+    }
+  }
+
+  // Functional run + host-side fold of the streamed partial sums.
+  std::vector<Tile> partials;
+  apps::gemm::graph(half0, half1, partials);
+  Tile got{};
+  for (const Tile& p : partials) {
+    for (unsigned i = 0; i < apps::gemm::kTile * apps::gemm::kTile; ++i) {
+      got.m[i] += p.m[i];
+    }
+  }
+  std::printf("gemm_offload: K=%d tiles, max |error| = %.2e\n", kdim,
+              max_abs_err(got, want));
+
+  // Placement sweep on the cycle-approximate simulator: co-locating the
+  // two gemm_half producers next to the accumulator vs scattering them
+  // across the array.
+  struct Case {
+    const char* name;
+    std::map<std::string, aiesim::TileCoord> placement;
+  };
+  const Case cases[] = {
+      {"clustered ", {{"gemm_half", {0, 0}}, {"gemm_acc", {1, 0}}}},
+      {"scattered ", {{"gemm_half", {0, 0}}, {"gemm_acc", {7, 7}}}},
+  };
+  for (const Case& c : cases) {
+    std::vector<Tile> out;
+    aiesim::SimConfig cfg;
+    cfg.placement = c.placement;
+    const auto res =
+        aiesim::simulate(apps::gemm::graph.view(), cfg, half0, half1, out);
+    std::printf("  placement %s: %8llu cycles (%.2f us @ 1.25 GHz)\n",
+                c.name,
+                static_cast<unsigned long long>(res.virtual_cycles),
+                res.ns_total / 1000.0);
+    for (const auto& t : res.tiles) {
+      std::printf("    %-12s utilization %5.1f%% (%llu MACs)\n",
+                  t.kernel.c_str(),
+                  100.0 * t.utilization(res.virtual_cycles),
+                  static_cast<unsigned long long>(
+                      t.ops[aie::OpClass::vector_mac]));
+    }
+  }
+  return max_abs_err(got, want) < 1e-3 ? 0 : 1;
+}

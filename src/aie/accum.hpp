@@ -1,0 +1,132 @@
+// aie -- functional emulation of the AIE accumulator register types.
+//
+// AIE fixed-point MACs accumulate into wide (48/80-bit) registers that are
+// moved back to vectors with an explicit shift-round-saturate (srs) and
+// widened from vectors with an upshift (ups). Emulated here on int64 /
+// float lanes with the same rounding and saturation semantics the AIE uses
+// by default (round-to-nearest-even is configurable on hardware; we
+// implement round-half-up, aiecompiler's default for srs).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "cycle_model.hpp"
+#include "vector.hpp"
+
+namespace aie {
+
+struct acc48_tag {};   ///< 48-bit fixed-point accumulator lanes
+struct acc80_tag {};   ///< 80-bit fixed-point accumulator lanes
+struct accfloat_tag {};///< single-precision float accumulator lanes
+
+namespace detail {
+template <class Tag>
+struct acc_storage {
+  using type = std::int64_t;
+};
+template <>
+struct acc_storage<accfloat_tag> {
+  using type = float;
+};
+}  // namespace detail
+
+/// An accumulator register of N lanes; Tag selects the lane format.
+/// Mirrors aie::accum<acc48, Elems> from the AIE API.
+template <class Tag, unsigned N>
+class accum {
+ public:
+  using storage = typename detail::acc_storage<Tag>::type;
+  static constexpr unsigned size_v = N;
+
+  constexpr accum() = default;
+
+  [[nodiscard]] static constexpr unsigned size() { return N; }
+  [[nodiscard]] constexpr storage get(unsigned i) const { return lanes_[i]; }
+  constexpr void set(unsigned i, storage v) { lanes_[i] = v; }
+
+  [[nodiscard]] constexpr bool operator==(const accum&) const = default;
+
+ private:
+  std::array<storage, N> lanes_{};
+};
+
+template <unsigned N>
+using acc48 = accum<acc48_tag, N>;
+template <unsigned N>
+using acc80 = accum<acc80_tag, N>;
+template <unsigned N>
+using accfloat = accum<accfloat_tag, N>;
+
+namespace detail {
+
+template <class T>
+[[nodiscard]] constexpr T saturate_i64(std::int64_t v) {
+  constexpr auto lo = static_cast<std::int64_t>(std::numeric_limits<T>::min());
+  constexpr auto hi = static_cast<std::int64_t>(std::numeric_limits<T>::max());
+  return static_cast<T>(std::clamp(v, lo, hi));
+}
+
+/// Arithmetic shift right with round-half-up, as AIE srs does by default.
+[[nodiscard]] constexpr std::int64_t shift_round(std::int64_t v, int shift) {
+  if (shift <= 0) return v << -shift;
+  const std::int64_t bias = std::int64_t{1} << (shift - 1);
+  return (v + bias) >> shift;
+}
+
+}  // namespace detail
+
+/// Shift-round-saturate an accumulator back to a vector (AIE `srs`).
+template <class T, class Tag, unsigned N>
+[[nodiscard]] inline vector<T, N> srs(const accum<Tag, N>& a, int shift) {
+  record(OpClass::vector_shift);
+  vector<T, N> r;
+  if constexpr (std::is_same_v<Tag, accfloat_tag>) {
+    for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(a.get(i)));
+    (void)shift;
+  } else {
+    for (unsigned i = 0; i < N; ++i) {
+      r.set(i, detail::saturate_i64<T>(detail::shift_round(a.get(i), shift)));
+    }
+  }
+  return r;
+}
+
+/// Upshift a vector into an accumulator (AIE `ups`).
+template <class Tag = acc48_tag, class T, unsigned N>
+[[nodiscard]] inline accum<Tag, N> ups(const vector<T, N>& v, int shift) {
+  record(OpClass::vector_shift);
+  accum<Tag, N> a;
+  if constexpr (std::is_same_v<Tag, accfloat_tag>) {
+    for (unsigned i = 0; i < N; ++i) {
+      a.set(i, static_cast<float>(v.get(i)));
+    }
+    (void)shift;
+  } else {
+    for (unsigned i = 0; i < N; ++i) {
+      a.set(i, static_cast<std::int64_t>(v.get(i)) << shift);
+    }
+  }
+  return a;
+}
+
+/// Converts a float vector to a float accumulator (identity lanes).
+template <unsigned N>
+[[nodiscard]] inline accfloat<N> to_accum(const vector<float, N>& v) {
+  record(OpClass::vector_alu);
+  accfloat<N> a;
+  for (unsigned i = 0; i < N; ++i) a.set(i, v.get(i));
+  return a;
+}
+
+/// Extracts the lanes of a float accumulator as a vector.
+template <unsigned N>
+[[nodiscard]] inline vector<float, N> to_vector(const accfloat<N>& a) {
+  record(OpClass::vector_alu);
+  vector<float, N> v;
+  for (unsigned i = 0; i < N; ++i) v.set(i, a.get(i));
+  return v;
+}
+
+}  // namespace aie

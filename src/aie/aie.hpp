@@ -1,0 +1,14 @@
+// aie -- umbrella header for the AIE intrinsics/API emulation layer.
+//
+// Stands in for AMD's proprietary x86 emulation of the AIE vector API
+// (paper Section 3.9): cgsim kernels include this header instead of the
+// aietools copy the paper requires users to supply.
+#pragma once
+
+#include <utility>  // IWYU pragma: keep
+
+#include "accum.hpp"       // IWYU pragma: export
+#include "api.hpp"         // IWYU pragma: export
+#include "cycle_model.hpp" // IWYU pragma: export
+#include "intrinsics.hpp"  // IWYU pragma: export
+#include "vector.hpp"      // IWYU pragma: export

@@ -1,0 +1,406 @@
+// aie -- functional emulation of the AIE vector API (UG1079 "AIE API").
+//
+// The operation set covers what the paper's four ported AMD examples need:
+// element-wise arithmetic and MACs (bilinear, IIR), sliding multiplies
+// (farrow's fixed-point convolution), and compare/select/shuffle primitives
+// (bitonic sorting networks). Every operation records its VLIW issue-slot
+// class for the cycle-approximate simulator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "accum.hpp"
+#include "cycle_model.hpp"
+#include "vector.hpp"
+
+namespace aie {
+
+namespace detail {
+template <class T>
+using acc_tag_for = std::conditional_t<std::is_floating_point_v<T>,
+                                       accfloat_tag, acc48_tag>;
+template <class T>
+using acc_elem_for =
+    typename acc_storage<acc_tag_for<T>>::type;
+}  // namespace detail
+
+// ---------- element-wise vector arithmetic ----------
+
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> add(const vector<T, N>& a,
+                                      const vector<T, N>& b) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(a.get(i) + b.get(i)));
+  return r;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> sub(const vector<T, N>& a,
+                                      const vector<T, N>& b) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(a.get(i) - b.get(i)));
+  return r;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> neg(const vector<T, N>& a) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(-a.get(i)));
+  return r;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> abs(const vector<T, N>& a) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) {
+    r.set(i, a.get(i) < T{} ? static_cast<T>(-a.get(i)) : a.get(i));
+  }
+  return r;
+}
+
+/// Per-lane clamp into [lo, hi] (AIE `aie::max(aie::min(...))` idiom).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> clamp(const vector<T, N>& a, T lo, T hi) {
+  record(OpClass::vector_alu, 2);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) {
+    r.set(i, std::clamp(a.get(i), lo, hi));
+  }
+  return r;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> min(const vector<T, N>& a,
+                                      const vector<T, N>& b) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, std::min(a.get(i), b.get(i)));
+  return r;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> max(const vector<T, N>& a,
+                                      const vector<T, N>& b) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, std::max(a.get(i), b.get(i)));
+  return r;
+}
+
+// ---------- multiply / multiply-accumulate ----------
+
+/// Lane-wise multiply into an accumulator (AIE `aie::mul`).
+template <class T, unsigned N>
+[[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mul(
+    const vector<T, N>& a, const vector<T, N>& b) {
+  record(OpClass::vector_mac);
+  accum<detail::acc_tag_for<T>, N> acc;
+  for (unsigned i = 0; i < N; ++i) {
+    acc.set(i, static_cast<detail::acc_elem_for<T>>(a.get(i)) *
+                   static_cast<detail::acc_elem_for<T>>(b.get(i)));
+  }
+  return acc;
+}
+
+/// Lane-wise multiply-accumulate (AIE `aie::mac`).
+template <class T, unsigned N>
+[[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mac(
+    const accum<detail::acc_tag_for<T>, N>& acc, const vector<T, N>& a,
+    const vector<T, N>& b) {
+  record(OpClass::vector_mac);
+  accum<detail::acc_tag_for<T>, N> r = acc;
+  for (unsigned i = 0; i < N; ++i) {
+    r.set(i, r.get(i) + static_cast<detail::acc_elem_for<T>>(a.get(i)) *
+                            static_cast<detail::acc_elem_for<T>>(b.get(i)));
+  }
+  return r;
+}
+
+/// Lane-wise multiply-subtract (AIE `aie::msc`).
+template <class T, unsigned N>
+[[nodiscard]] inline accum<detail::acc_tag_for<T>, N> msc(
+    const accum<detail::acc_tag_for<T>, N>& acc, const vector<T, N>& a,
+    const vector<T, N>& b) {
+  record(OpClass::vector_mac);
+  accum<detail::acc_tag_for<T>, N> r = acc;
+  for (unsigned i = 0; i < N; ++i) {
+    r.set(i, r.get(i) - static_cast<detail::acc_elem_for<T>>(a.get(i)) *
+                            static_cast<detail::acc_elem_for<T>>(b.get(i)));
+  }
+  return r;
+}
+
+/// Multiply by a broadcast scalar (AIE `aie::mul(vec, scalar)`).
+template <class T, unsigned N>
+[[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mul(
+    const vector<T, N>& a, T s) {
+  record(OpClass::vector_mac);
+  accum<detail::acc_tag_for<T>, N> acc;
+  for (unsigned i = 0; i < N; ++i) {
+    acc.set(i, static_cast<detail::acc_elem_for<T>>(a.get(i)) *
+                   static_cast<detail::acc_elem_for<T>>(s));
+  }
+  return acc;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mac(
+    const accum<detail::acc_tag_for<T>, N>& acc, const vector<T, N>& a, T s) {
+  record(OpClass::vector_mac);
+  accum<detail::acc_tag_for<T>, N> r = acc;
+  for (unsigned i = 0; i < N; ++i) {
+    r.set(i, r.get(i) + static_cast<detail::acc_elem_for<T>>(a.get(i)) *
+                            static_cast<detail::acc_elem_for<T>>(s));
+  }
+  return r;
+}
+
+// ---------- sliding multiplies (FIR-style convolution) ----------
+
+/// Mirrors aie::sliding_mul_ops<Lanes, Points, CoeffStep, DataStepX, ...>:
+/// lane L computes sum_{p<Points} coeff[cstart + p*CoeffStep] *
+/// data[dstart + L*DataStepY + p*DataStepX]. This is the workhorse of
+/// hand-optimized AIE FIR/Farrow kernels.
+template <unsigned Lanes, unsigned Points, int CoeffStep = 1,
+          int DataStepX = 1, int DataStepY = 1>
+struct sliding_mul_ops {
+  template <class C, unsigned NC, class D, unsigned ND>
+  [[nodiscard]] static accum<detail::acc_tag_for<D>, Lanes> mul(
+      const vector<C, NC>& coeff, unsigned cstart, const vector<D, ND>& data,
+      unsigned dstart) {
+    record(OpClass::vector_mac, Points);  // Points MACs issue back-to-back
+    accum<detail::acc_tag_for<D>, Lanes> acc;
+    accumulate(acc, coeff, cstart, data, dstart, /*negate=*/false);
+    return acc;
+  }
+
+  template <class C, unsigned NC, class D, unsigned ND>
+  [[nodiscard]] static accum<detail::acc_tag_for<D>, Lanes> mac(
+      accum<detail::acc_tag_for<D>, Lanes> acc, const vector<C, NC>& coeff,
+      unsigned cstart, const vector<D, ND>& data, unsigned dstart) {
+    record(OpClass::vector_mac, Points);
+    accumulate(acc, coeff, cstart, data, dstart, /*negate=*/false);
+    return acc;
+  }
+
+ private:
+  template <class C, unsigned NC, class D, unsigned ND>
+  static void accumulate(accum<detail::acc_tag_for<D>, Lanes>& acc,
+                         const vector<C, NC>& coeff, unsigned cstart,
+                         const vector<D, ND>& data, unsigned dstart,
+                         bool negate) {
+    using A = detail::acc_elem_for<D>;
+    for (unsigned lane = 0; lane < Lanes; ++lane) {
+      A sum = acc.get(lane);
+      for (unsigned p = 0; p < Points; ++p) {
+        const auto ci =
+            static_cast<unsigned>(static_cast<int>(cstart) +
+                                  static_cast<int>(p) * CoeffStep) % NC;
+        const auto di = static_cast<unsigned>(
+                            static_cast<int>(dstart) +
+                            static_cast<int>(lane) * DataStepY +
+                            static_cast<int>(p) * DataStepX) %
+                        ND;
+        const A prod =
+            static_cast<A>(coeff.get(ci)) * static_cast<A>(data.get(di));
+        sum = negate ? sum - prod : sum + prod;
+      }
+      acc.set(lane, sum);
+    }
+  }
+};
+
+/// Symmetric sliding multiply (AIE `sliding_mul_sym_ops`): exploits
+/// coefficient symmetry c[p] == c[Points-1-p] by pre-adding the mirrored
+/// data samples, halving the MAC count -- the standard trick in
+/// hand-optimized symmetric FIR kernels.
+template <unsigned Lanes, unsigned Points>
+struct sliding_mul_sym_ops {
+  static_assert(Points % 2 == 0, "symmetric form implemented for even taps");
+
+  template <class C, unsigned NC, class D, unsigned ND>
+  [[nodiscard]] static accum<detail::acc_tag_for<D>, Lanes> mul(
+      const vector<C, NC>& coeff, unsigned cstart, const vector<D, ND>& data,
+      unsigned dstart) {
+    record(OpClass::vector_mac, Points / 2);
+    record(OpClass::vector_alu, Points / 2);  // the pre-adds
+    using A = detail::acc_elem_for<D>;
+    accum<detail::acc_tag_for<D>, Lanes> acc;
+    for (unsigned lane = 0; lane < Lanes; ++lane) {
+      A sum{};
+      for (unsigned p = 0; p < Points / 2; ++p) {
+        const A c = static_cast<A>(coeff.get((cstart + p) % NC));
+        const A lo = static_cast<A>(data.get((dstart + lane + p) % ND));
+        const A hi = static_cast<A>(
+            data.get((dstart + lane + Points - 1 - p) % ND));
+        sum += c * (lo + hi);
+      }
+      acc.set(lane, sum);
+    }
+    return acc;
+  }
+};
+
+// ---------- compares, select, shuffles (sorting networks) ----------
+
+template <class T, unsigned N>
+[[nodiscard]] inline mask<N> lt(const vector<T, N>& a, const vector<T, N>& b) {
+  record(OpClass::vector_alu);
+  mask<N> m;
+  for (unsigned i = 0; i < N; ++i) m.set(i, a.get(i) < b.get(i));
+  return m;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline mask<N> ge(const vector<T, N>& a, const vector<T, N>& b) {
+  record(OpClass::vector_alu);
+  mask<N> m;
+  for (unsigned i = 0; i < N; ++i) m.set(i, a.get(i) >= b.get(i));
+  return m;
+}
+
+/// Per-lane select: lane i is a[i] where m[i], else b[i] (AIE `select`).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> select(const vector<T, N>& a,
+                                         const vector<T, N>& b,
+                                         const mask<N>& m) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, m.get(i) ? a.get(i) : b.get(i));
+  return r;
+}
+
+/// Rotates lanes down by `n` (lane i <- lane (i+n) mod N).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> shuffle_down(const vector<T, N>& a,
+                                               unsigned n) {
+  record(OpClass::shuffle);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, a.get((i + n) % N));
+  return r;
+}
+
+/// Rotates lanes up by `n` (lane i <- lane (i-n) mod N).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> shuffle_up(const vector<T, N>& a,
+                                             unsigned n) {
+  record(OpClass::shuffle);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, a.get((i + N - (n % N)) % N));
+  return r;
+}
+
+/// Reverses lane order (AIE `aie::reverse`).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> reverse(const vector<T, N>& a) {
+  record(OpClass::shuffle);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, a.get(N - 1 - i));
+  return r;
+}
+
+/// Exchanges lanes within blocks of 2*`stride`: lane i swaps with lane
+/// i XOR stride. This is the butterfly permutation bitonic networks use.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> butterfly(const vector<T, N>& a,
+                                            unsigned stride) {
+  record(OpClass::shuffle);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, a.get(i ^ stride));
+  return r;
+}
+
+/// Gathers arbitrary lanes: r[i] = a[idx[i]] (AIE generalized shuffle).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> permute(const vector<T, N>& a,
+                                          const vector<std::int32_t, N>& idx) {
+  record(OpClass::shuffle);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) {
+    r.set(i, a.get(static_cast<unsigned>(idx.get(i)) % N));
+  }
+  return r;
+}
+
+/// Interleaves even/odd lanes of two vectors (AIE `interleave_zip`).
+template <class T, unsigned N>
+[[nodiscard]] inline std::pair<vector<T, N>, vector<T, N>> interleave_zip(
+    const vector<T, N>& a, const vector<T, N>& b) {
+  record(OpClass::shuffle, 2);
+  vector<T, N> lo, hi;
+  for (unsigned i = 0; i < N / 2; ++i) {
+    lo.set(2 * i, a.get(i));
+    lo.set(2 * i + 1, b.get(i));
+    hi.set(2 * i, a.get(N / 2 + i));
+    hi.set(2 * i + 1, b.get(N / 2 + i));
+  }
+  return {lo, hi};
+}
+
+/// De-interleaves lanes of two vectors (AIE `interleave_unzip`).
+template <class T, unsigned N>
+[[nodiscard]] inline std::pair<vector<T, N>, vector<T, N>> interleave_unzip(
+    const vector<T, N>& a, const vector<T, N>& b) {
+  record(OpClass::shuffle, 2);
+  vector<T, N> even, odd;
+  for (unsigned i = 0; i < N / 2; ++i) {
+    even.set(i, a.get(2 * i));
+    odd.set(i, a.get(2 * i + 1));
+    even.set(N / 2 + i, b.get(2 * i));
+    odd.set(N / 2 + i, b.get(2 * i + 1));
+  }
+  return {even, odd};
+}
+
+/// Keeps the even-indexed lanes in the lower half (AIE `filter_even`);
+/// the upper half is zero.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N / 2> filter_even(const vector<T, N>& a) {
+  record(OpClass::shuffle);
+  vector<T, N / 2> r;
+  for (unsigned i = 0; i < N / 2; ++i) r.set(i, a.get(2 * i));
+  return r;
+}
+
+/// Keeps the odd-indexed lanes (AIE `filter_odd`).
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N / 2> filter_odd(const vector<T, N>& a) {
+  record(OpClass::shuffle);
+  vector<T, N / 2> r;
+  for (unsigned i = 0; i < N / 2; ++i) r.set(i, a.get(2 * i + 1));
+  return r;
+}
+
+// ---------- reductions ----------
+
+template <class T, unsigned N>
+[[nodiscard]] inline T reduce_add(const vector<T, N>& a) {
+  record(OpClass::vector_alu, /*log-tree*/ 4);
+  T s{};
+  for (unsigned i = 0; i < N; ++i) s = static_cast<T>(s + a.get(i));
+  return s;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline T reduce_min(const vector<T, N>& a) {
+  record(OpClass::vector_alu, 4);
+  T s = a.get(0);
+  for (unsigned i = 1; i < N; ++i) s = std::min(s, a.get(i));
+  return s;
+}
+
+template <class T, unsigned N>
+[[nodiscard]] inline T reduce_max(const vector<T, N>& a) {
+  record(OpClass::vector_alu, 4);
+  T s = a.get(0);
+  for (unsigned i = 1; i < N; ++i) s = std::max(s, a.get(i));
+  return s;
+}
+
+}  // namespace aie

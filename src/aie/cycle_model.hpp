@@ -1,0 +1,112 @@
+// aie -- operation instrumentation feeding the cycle-approximate simulator.
+//
+// The paper links AMD's proprietary x86 models of the AIE intrinsics into
+// cgsim (Section 3.9) and measures cycle counts with AMD's aiesim. Neither
+// is redistributable, so this emulation layer counts the operations a
+// kernel executes (classified by VLIW issue slot) and the aiesim substitute
+// converts the counts into cycles with a VLIW issue model (see
+// src/aiesim/cost_model.hpp and DESIGN.md, substitution #2).
+//
+// Instrumentation is collected into whichever OpCounter is currently
+// *active* (a thread-local pointer). When none is active -- the common case
+// for functional simulation -- recording is a single predictable branch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace aie {
+
+/// Classification of emulated operations by the AIE VLIW issue slot they
+/// occupy (UG1079: one vector op, two loads, one store and scalar/move ops
+/// can issue per cycle).
+enum class OpClass : std::uint8_t {
+  vector_mac,   ///< vector multiply-accumulate (the fixed/float MAC path)
+  vector_alu,   ///< vector add/sub/min/max/compare/select
+  vector_shift, ///< shift-round-saturate, upshift
+  shuffle,      ///< lane permutes, extracts, interleaves
+  load,         ///< 128/256-bit vector load
+  store,        ///< vector store
+  scalar,       ///< scalar ALU / address computation
+};
+
+constexpr std::size_t kNumOpClasses = 7;
+
+[[nodiscard]] constexpr std::string_view op_class_name(OpClass c) {
+  switch (c) {
+    case OpClass::vector_mac: return "vector_mac";
+    case OpClass::vector_alu: return "vector_alu";
+    case OpClass::vector_shift: return "vector_shift";
+    case OpClass::shuffle: return "shuffle";
+    case OpClass::load: return "load";
+    case OpClass::store: return "store";
+    case OpClass::scalar: return "scalar";
+  }
+  return "?";
+}
+
+/// Accumulated operation counts for one kernel activation window.
+struct OpCounts {
+  std::array<std::uint64_t, kNumOpClasses> ops{};
+
+  [[nodiscard]] std::uint64_t operator[](OpClass c) const {
+    return ops[static_cast<std::size_t>(c)];
+  }
+  void add(OpClass c, std::uint64_t n) {
+    ops[static_cast<std::size_t>(c)] += n;
+  }
+  OpCounts& operator+=(const OpCounts& o) {
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) ops[i] += o.ops[i];
+    return *this;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto v : ops) t += v;
+    return t;
+  }
+};
+
+/// Collects instrumentation while attached; the aiesim engine attaches one
+/// counter per simulated tile around every kernel resumption.
+class OpCounter {
+ public:
+  OpCounts counts{};
+
+  void reset() { counts = OpCounts{}; }
+};
+
+namespace detail {
+inline thread_local OpCounter* g_active_counter = nullptr;
+}
+
+/// RAII activation of an OpCounter on the current thread.
+class ScopedCounter {
+ public:
+  explicit ScopedCounter(OpCounter* c) : prev_(detail::g_active_counter) {
+    detail::g_active_counter = c;
+  }
+  ~ScopedCounter() { detail::g_active_counter = prev_; }
+  ScopedCounter(const ScopedCounter&) = delete;
+  ScopedCounter& operator=(const ScopedCounter&) = delete;
+
+ private:
+  OpCounter* prev_;
+};
+
+[[nodiscard]] inline OpCounter* active_counter() {
+  return detail::g_active_counter;
+}
+
+inline void set_active_counter(OpCounter* c) {
+  detail::g_active_counter = c;
+}
+
+/// Records `n` operations of class `c` into the active counter, if any.
+inline void record(OpClass c, std::uint64_t n = 1) {
+  if (OpCounter* cnt = detail::g_active_counter; cnt != nullptr) {
+    cnt->counts.add(c, n);
+  }
+}
+
+}  // namespace aie

@@ -1,0 +1,114 @@
+// aie -- AIE1 intrinsic-style compatibility layer.
+//
+// AMD's Vitis-Tutorials kernels predate the aie:: API in places and call
+// raw intrinsics (`fpmac`, `mac16`, `upd_w`, `ext_w`, ...). The paper's
+// ported examples "rely exclusively on standard C++, AIE intrinsics, and
+// the AIE vector API" (Section 5.1); this header provides the intrinsic
+// spellings on top of the functional emulation so such kernels port
+// verbatim. Only the widely-used subset is covered; everything forwards to
+// src/aie/api.hpp and records the same instrumentation.
+#pragma once
+
+#include "accum.hpp"
+#include "api.hpp"
+#include "vector.hpp"
+
+namespace aie::intrinsics {
+
+// ---- floating-point MAC family (v8float accumulators) ----
+
+/// acc = acc + a * b (lane-wise), AIE1 `fpmac`.
+[[nodiscard]] inline accfloat<8> fpmac(const accfloat<8>& acc,
+                                       const vector<float, 8>& a,
+                                       const vector<float, 8>& b) {
+  return mac(acc, a, b);
+}
+
+/// acc = a * b, AIE1 `fpmul`.
+[[nodiscard]] inline accfloat<8> fpmul(const vector<float, 8>& a,
+                                       const vector<float, 8>& b) {
+  return mul(a, b);
+}
+
+/// acc = acc - a * b, AIE1 `fpmsc`.
+[[nodiscard]] inline accfloat<8> fpmsc(const accfloat<8>& acc,
+                                       const vector<float, 8>& a,
+                                       const vector<float, 8>& b) {
+  return msc(acc, a, b);
+}
+
+// ---- int16 MAC family (acc48 accumulators) ----
+
+/// 16-lane int16 multiply into acc48, AIE1 `mul16` (unit-stride form).
+[[nodiscard]] inline acc48<16> mul16(const vector<std::int16_t, 16>& a,
+                                     const vector<std::int16_t, 16>& b) {
+  return mul(a, b);
+}
+
+/// 16-lane int16 MAC into acc48, AIE1 `mac16` (unit-stride form).
+[[nodiscard]] inline acc48<16> mac16(const acc48<16>& acc,
+                                     const vector<std::int16_t, 16>& a,
+                                     const vector<std::int16_t, 16>& b) {
+  return mac(acc, a, b);
+}
+
+// ---- vector register manipulation ----
+
+/// Updates 256-bit half `idx` of a 512-bit register, AIE1 `upd_w`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> upd_w(vector<T, N> big, unsigned idx,
+                                        const vector<T, N / 2>& half) {
+  big.insert(idx, half);
+  return big;
+}
+
+/// Extracts 256-bit half `idx` of a 512-bit register, AIE1 `ext_w`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N / 2> ext_w(const vector<T, N>& big,
+                                            unsigned idx) {
+  return big.template extract<2>(idx);
+}
+
+/// Single-lane update, AIE1 `upd_elem`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> upd_elem(vector<T, N> v, unsigned lane,
+                                           T value) {
+  record(OpClass::scalar);
+  v.set(lane, value);
+  return v;
+}
+
+/// Single-lane extract, AIE1 `ext_elem`.
+template <class T, unsigned N>
+[[nodiscard]] inline T ext_elem(const vector<T, N>& v, unsigned lane) {
+  record(OpClass::scalar);
+  return v.get(lane);
+}
+
+/// Concatenates two registers, AIE1 `concat`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, 2 * N> concat(const vector<T, N>& lo,
+                                             const vector<T, N>& hi) {
+  record(OpClass::shuffle);
+  vector<T, 2 * N> r;
+  r.insert(0, lo);
+  r.insert(1, hi);
+  return r;
+}
+
+/// Byte-wise register shift by whole lanes, AIE1 `shft_elem` style.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> shift_elements(const vector<T, N>& v,
+                                                 int lanes) {
+  record(OpClass::shuffle);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) {
+    const int src = static_cast<int>(i) - lanes;
+    r.set(i, src >= 0 && src < static_cast<int>(N)
+                 ? v.get(static_cast<unsigned>(src))
+                 : T{});
+  }
+  return r;
+}
+
+}  // namespace aie::intrinsics

@@ -1,0 +1,157 @@
+// aie -- functional emulation of the AIE vector register types.
+//
+// Substitutes AMD's x86 emulation library (paper Section 3.9): kernels
+// written against the AIE vector API compile and execute on the host with
+// identical arithmetic results. Each operation records its VLIW issue-slot
+// class so the cycle-approximate simulator can reconstruct timing.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "cycle_model.hpp"
+
+namespace aie {
+
+/// A fixed-width SIMD register of N lanes of element type T.
+/// Mirrors aie::vector<T, Elems> from the AIE API (UG1079).
+template <class T, unsigned N>
+class vector {
+  static_assert(N > 0 && (N & (N - 1)) == 0, "lane count must be a power of two");
+
+ public:
+  using value_type = T;
+  static constexpr unsigned size_v = N;
+
+  constexpr vector() = default;
+  constexpr vector(std::initializer_list<T> init) {
+    unsigned i = 0;
+    for (T v : init) {
+      if (i == N) break;
+      lanes_[i++] = v;
+    }
+  }
+
+  [[nodiscard]] static constexpr unsigned size() { return N; }
+
+  [[nodiscard]] constexpr T get(unsigned i) const { return lanes_[i]; }
+  constexpr void set(unsigned i, T v) { lanes_[i] = v; }
+  [[nodiscard]] constexpr T operator[](unsigned i) const { return lanes_[i]; }
+
+  [[nodiscard]] constexpr const std::array<T, N>& data() const {
+    return lanes_;
+  }
+  [[nodiscard]] constexpr std::array<T, N>& data() { return lanes_; }
+
+  /// Extracts sub-vector `part` of `N / Parts` lanes (AIE `extract`).
+  template <unsigned Parts>
+  [[nodiscard]] vector<T, N / Parts> extract(unsigned part) const {
+    static_assert(Parts > 0 && N % Parts == 0);
+    record(OpClass::shuffle);
+    vector<T, N / Parts> r;
+    for (unsigned i = 0; i < N / Parts; ++i) {
+      r.set(i, lanes_[part * (N / Parts) + i]);
+    }
+    return r;
+  }
+
+  /// Inserts `sub` as part `part` (AIE `insert`).
+  template <unsigned M>
+  vector& insert(unsigned part, const vector<T, M>& sub) {
+    static_assert(M <= N && N % M == 0);
+    record(OpClass::shuffle);
+    for (unsigned i = 0; i < M; ++i) lanes_[part * M + i] = sub.get(i);
+    return *this;
+  }
+
+  /// Widens into the lower half of a 2N vector (upper lanes zero).
+  [[nodiscard]] vector<T, 2 * N> grow() const {
+    record(OpClass::shuffle);
+    vector<T, 2 * N> r;
+    for (unsigned i = 0; i < N; ++i) r.set(i, lanes_[i]);
+    return r;
+  }
+
+  [[nodiscard]] constexpr bool operator==(const vector&) const = default;
+
+ private:
+  std::array<T, N> lanes_{};
+};
+
+// Common AIE register shorthands.
+using v4int32 = vector<std::int32_t, 4>;
+using v8int32 = vector<std::int32_t, 8>;
+using v16int32 = vector<std::int32_t, 16>;
+using v8int16 = vector<std::int16_t, 8>;
+using v16int16 = vector<std::int16_t, 16>;
+using v32int16 = vector<std::int16_t, 32>;
+using v16int8 = vector<std::int8_t, 16>;
+using v32int8 = vector<std::int8_t, 32>;
+using v4float = vector<float, 4>;
+using v8float = vector<float, 8>;
+using v16float = vector<float, 16>;
+
+/// Loads N lanes from (aligned) memory -- AIE `aie::load_v<N>(ptr)`.
+template <unsigned N, class T>
+[[nodiscard]] inline vector<T, N> load_v(const T* ptr) {
+  record(OpClass::load, (N * sizeof(T) + 31) / 32);  // 256-bit loads
+  vector<T, N> r;
+  std::memcpy(r.data().data(), ptr, N * sizeof(T));
+  return r;
+}
+
+/// Stores all lanes to memory -- AIE `aie::store_v(ptr, v)`.
+template <class T, unsigned N>
+inline void store_v(T* ptr, const vector<T, N>& v) {
+  record(OpClass::store, (N * sizeof(T) + 31) / 32);
+  std::memcpy(ptr, v.data().data(), N * sizeof(T));
+}
+
+/// All-zero vector -- AIE `aie::zeros<T, N>()`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> zeros() {
+  record(OpClass::vector_alu);
+  return vector<T, N>{};
+}
+
+/// Splats `v` across all lanes -- AIE `aie::broadcast<T, N>(v)`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> broadcast(T v) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  for (unsigned i = 0; i < N; ++i) r.set(i, v);
+  return r;
+}
+
+/// Lane iota {0, 1, ...} scaled by `step` -- AIE `aie::iota`.
+template <class T, unsigned N>
+[[nodiscard]] inline vector<T, N> iota(T start = T{0}, T step = T{1}) {
+  record(OpClass::vector_alu);
+  vector<T, N> r;
+  T v = start;
+  for (unsigned i = 0; i < N; ++i, v = static_cast<T>(v + step)) r.set(i, v);
+  return r;
+}
+
+/// Per-lane boolean mask -- mirrors aie::mask<N>.
+template <unsigned N>
+class mask {
+ public:
+  [[nodiscard]] constexpr bool get(unsigned i) const { return bits_[i]; }
+  constexpr void set(unsigned i, bool v) { bits_[i] = v; }
+  [[nodiscard]] constexpr unsigned count() const {
+    unsigned c = 0;
+    for (bool b : bits_) c += b ? 1u : 0u;
+    return c;
+  }
+  [[nodiscard]] constexpr bool operator==(const mask&) const = default;
+
+ private:
+  std::array<bool, N> bits_{};
+};
+
+}  // namespace aie

@@ -1,0 +1,87 @@
+// apps -- port of AMD's Vitis-Tutorials "bitonic-sorting" example
+// (paper Section 5): a single-kernel graph implementing a 16-wide bitonic
+// sort on 32-bit floats using the AIE vector API.
+//
+// The sorting network is expressed exactly the way the hand-optimized AIE
+// version is: butterfly lane exchanges, vector min/max, and per-stage
+// constant select masks (computed at compile time). One stream element is
+// one 16-float block (64 bytes -- the Table 1 block size).
+#pragma once
+
+#include <array>
+
+#include "aie/aie.hpp"
+#include "core/cgsim.hpp"
+
+namespace apps::bitonic {
+
+using Block = aie::vector<float, 16>;
+
+namespace detail {
+
+/// Select mask for stage (k, j) of a 16-lane bitonic network: lane i takes
+/// the min of (i, i^j) when the lane sorts ascending within its k-block and
+/// is the lower partner -- or both conditions are inverted.
+template <unsigned N>
+constexpr std::array<bool, N> stage_take_min(unsigned k, unsigned j) {
+  std::array<bool, N> take{};
+  for (unsigned i = 0; i < N; ++i) {
+    const bool ascending = (i & k) == 0;
+    const bool lower = (i & j) == 0;
+    take[i] = ascending == lower;
+  }
+  return take;
+}
+
+template <unsigned N>
+aie::mask<N> to_mask(const std::array<bool, N>& bits) {
+  aie::mask<N> m;
+  for (unsigned i = 0; i < N; ++i) m.set(i, bits[i]);
+  return m;
+}
+
+}  // namespace detail
+
+/// Sorts the 16 lanes of `v` ascending with a bitonic network
+/// (10 compare-exchange stages, each one butterfly + min + max + select).
+inline Block sort16(Block v) {
+  for (unsigned k = 2; k <= 16; k <<= 1) {
+    for (unsigned j = k >> 1; j >= 1; j >>= 1) {
+      const Block partner = aie::butterfly(v, j);
+      const Block lo = aie::min(v, partner);
+      const Block hi = aie::max(v, partner);
+      static constexpr unsigned N = 16;
+      // Masks depend only on (k, j); they are compile-time constants in the
+      // hand-optimized kernel as well.
+      const auto take = detail::stage_take_min<N>(k, j);
+      v = aie::select(lo, hi, detail::to_mask<N>(take));
+    }
+  }
+  return v;
+}
+
+COMPUTE_KERNEL(aie, bitonic_sort16,
+               cgsim::KernelReadPort<Block> in,
+               cgsim::KernelWritePort<Block> out) {
+  while (true) {
+    co_await out.put(apps::bitonic::sort16(co_await in.get()));
+  }
+}
+
+/// The complete single-kernel graph (stream I/O, as in the AMD original).
+inline constexpr auto graph = cgsim::make_compute_graph_v<[](
+    cgsim::IoConnector<Block> in) {
+  in.attr("plio_name", "DataIn0");
+  cgsim::IoConnector<Block> out;
+  bitonic_sort16(in, out);
+  out.attr("plio_name", "DataOut0");
+  return std::make_tuple(out);
+}>;
+
+/// Scalar golden reference.
+inline std::array<float, 16> reference_sort(std::array<float, 16> a) {
+  std::sort(a.begin(), a.end());
+  return a;
+}
+
+}  // namespace apps::bitonic

@@ -1,0 +1,154 @@
+// apps -- 16-point radix-2 FFT (additional application; AMD's tutorial set
+// includes FFT examples and the bitonic port already exercises the same
+// butterfly data-movement primitives).
+//
+// One stream element is one 16-sample complex frame (split re/im planes,
+// 128 bytes). The kernel runs an iterative decimation-in-time radix-2 FFT:
+// a bit-reversal permute (aie::permute) followed by four butterfly stages,
+// each built from lane-exchange (aie::butterfly), per-stage constexpr
+// twiddle tables, and vector MAC arithmetic -- the structure of a
+// hand-written AIE FFT stage.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "aie/aie.hpp"
+#include "core/cgsim.hpp"
+
+namespace apps::fft {
+
+constexpr unsigned kN = 16;
+using V = aie::vector<float, kN>;
+
+/// One complex frame in split (planar) layout.
+struct Frame {
+  V re, im;
+  bool operator==(const Frame&) const = default;
+};
+
+namespace detail {
+
+consteval std::array<std::int32_t, kN> bit_reverse_table() {
+  std::array<std::int32_t, kN> t{};
+  for (unsigned i = 0; i < kN; ++i) {
+    unsigned r = 0;
+    for (unsigned b = 0; b < 4; ++b) r |= ((i >> b) & 1u) << (3 - b);
+    t[i] = static_cast<std::int32_t>(r);
+  }
+  return t;
+}
+
+/// Twiddle factors for stage `s` (half-size = 2^s): lane i in the upper
+/// half of each 2^(s+1) block multiplies by W = exp(-2*pi*j*k/2^(s+1)).
+struct StageTwiddles {
+  std::array<double, kN> re{}, im{};
+};
+
+inline StageTwiddles stage_twiddles(unsigned s) {
+  StageTwiddles t;
+  const unsigned m = 1u << (s + 1);  // butterfly block size
+  for (unsigned i = 0; i < kN; ++i) {
+    const unsigned k = i % m;
+    if (k >= m / 2) {
+      const double ang =
+          -2.0 * std::numbers::pi * static_cast<double>(k - m / 2) /
+          static_cast<double>(m);
+      t.re[i] = std::cos(ang);
+      t.im[i] = std::sin(ang);
+    } else {
+      t.re[i] = 1.0;
+      t.im[i] = 0.0;
+    }
+  }
+  return t;
+}
+
+}  // namespace detail
+
+/// In-register 16-point FFT (DIT, radix 2).
+inline Frame fft16(const Frame& in) {
+  // Bit-reversal permutation.
+  aie::vector<std::int32_t, kN> rev;
+  constexpr auto table = detail::bit_reverse_table();
+  for (unsigned i = 0; i < kN; ++i) rev.set(i, table[i]);
+  V re = aie::permute(in.re, rev);
+  V im = aie::permute(in.im, rev);
+
+  for (unsigned s = 0; s < 4; ++s) {
+    const unsigned half = 1u << s;
+    const auto tw = detail::stage_twiddles(s);
+    V wre, wim;
+    aie::mask<kN> is_upper;
+    for (unsigned i = 0; i < kN; ++i) {
+      wre.set(i, static_cast<float>(tw.re[i]));
+      wim.set(i, static_cast<float>(tw.im[i]));
+      is_upper.set(i, (i & half) != 0);
+    }
+    // t = W * x  on the upper lanes (complex multiply, 4 MACs).
+    auto tre_acc = aie::mul(re, wre);
+    tre_acc = aie::msc(tre_acc, im, wim);
+    auto tim_acc = aie::mul(re, wim);
+    tim_acc = aie::mac(tim_acc, im, wre);
+    const V tre = aie::to_vector(tre_acc);
+    const V tim = aie::to_vector(tim_acc);
+    // Partner exchange across the butterfly distance.
+    const V pre = aie::butterfly(tre, half);
+    const V pim = aie::butterfly(tim, half);
+    // Lower lanes: x_lower + t_partner; upper lanes: x_partner_lower - t.
+    // Expressed uniformly: out = select(x + p, p - t, lower?) with p the
+    // exchanged value; on lower lanes p is the upper partner's t, on upper
+    // lanes p is the lower partner's untouched x.
+    const V xre = aie::butterfly(re, half);
+    const V xim = aie::butterfly(im, half);
+    V lo_re = aie::add(re, pre);
+    V lo_im = aie::add(im, pim);
+    V hi_re = aie::sub(xre, tre);
+    V hi_im = aie::sub(xim, tim);
+    aie::mask<kN> take_lower;
+    for (unsigned i = 0; i < kN; ++i) take_lower.set(i, (i & half) == 0);
+    re = aie::select(lo_re, hi_re, take_lower);
+    im = aie::select(lo_im, hi_im, take_lower);
+  }
+  return Frame{re, im};
+}
+
+COMPUTE_KERNEL(aie, fft16_kernel,
+               cgsim::KernelReadPort<Frame> in,
+               cgsim::KernelWritePort<Frame> out) {
+  while (true) {
+    co_await out.put(apps::fft::fft16(co_await in.get()));
+  }
+}
+
+inline constexpr auto graph = cgsim::make_compute_graph_v<[](
+    cgsim::IoConnector<Frame> in) {
+  in.attr("plio_name", "FftIn0");
+  cgsim::IoConnector<Frame> out;
+  fft16_kernel(in, out);
+  out.attr("plio_name", "FftOut0");
+  return std::make_tuple(out);
+}>;
+
+/// O(N^2) reference DFT.
+inline std::array<std::complex<double>, kN> reference_dft(
+    const Frame& in) {
+  std::array<std::complex<double>, kN> out{};
+  for (unsigned k = 0; k < kN; ++k) {
+    std::complex<double> acc{};
+    for (unsigned n = 0; n < kN; ++n) {
+      const double ang = -2.0 * std::numbers::pi *
+                         static_cast<double>(k * n) /
+                         static_cast<double>(kN);
+      acc += std::complex<double>{in.re.get(n), in.im.get(n)} *
+             std::complex<double>{std::cos(ang), std::sin(ang)};
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+}  // namespace apps::fft

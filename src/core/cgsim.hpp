@@ -1,0 +1,47 @@
+// cgsim -- umbrella header: compute-graph prototyping for AMD Versal AI
+// Engines inside ordinary C++ applications.
+//
+// Reproduction of "A Compute Graph Simulation and Implementation Framework
+// Targeting AMD Versal AI Engines" (H2RC @ SC'25).
+//
+// Quickstart (paper Figures 3 and 4):
+//
+//   #include <cgsim/cgsim.hpp>
+//   using namespace cgsim;
+//
+//   COMPUTE_KERNEL(aie, adder,
+//                  KernelReadPort<float> in1,
+//                  KernelReadPort<float> in2,
+//                  KernelWritePort<float> out) {
+//     while (true) {
+//       co_await out.put(co_await in1.get() + co_await in2.get());
+//     }
+//   }
+//
+//   constexpr auto the_graph = make_compute_graph_v<[](
+//       IoConnector<float> a, IoConnector<float> b) {
+//     IoConnector<float> sum;
+//     adder(a, b, sum);
+//     return std::make_tuple(sum);
+//   }>;
+//
+//   std::vector<float> xs{1, 2}, ys{3, 4}, out;
+//   the_graph(xs, ys, out);   // out == {4, 6}
+#pragma once
+
+#include "channel.hpp"     // IWYU pragma: export
+#include "ct_graph.hpp"    // IWYU pragma: export
+#include "dma.hpp"         // IWYU pragma: export
+#include "dynamic_graph.hpp"  // IWYU pragma: export
+#include "flatten.hpp"     // IWYU pragma: export
+#include "fn_traits.hpp"   // IWYU pragma: export
+#include "graph_dot.hpp"   // IWYU pragma: export
+#include "graph_view.hpp"  // IWYU pragma: export
+#include "kernel.hpp"      // IWYU pragma: export
+#include "port_config.hpp" // IWYU pragma: export
+#include "ports.hpp"       // IWYU pragma: export
+#include "runtime.hpp"     // IWYU pragma: export
+#include "scheduler.hpp"   // IWYU pragma: export
+#include "session.hpp"     // IWYU pragma: export
+#include "task.hpp"        // IWYU pragma: export
+#include "types.hpp"       // IWYU pragma: export

@@ -1,0 +1,563 @@
+// cgsim -- MPMC broadcast channels connecting kernels (paper Section 3.6).
+//
+// Semantics: fixed capacity; every consumer endpoint receives a complete
+// copy of all data written to the channel (broadcast); data from a single
+// producer stays ordered, data from multiple producers may interleave.
+//
+// The cooperative backends use a *completion-based* protocol: a kernel that
+// cannot make progress registers a waiter record pointing into its awaiter
+// frame, and the channel itself performs the transfer the moment it becomes
+// possible, then hands the coroutine back to the executor. This makes every
+// wake-up productive (no spurious retries), which is where cgsim's
+// near-zero synchronization overhead (paper Section 5.2) comes from.
+//
+// Three backends share one interface:
+//   * CoopChannel     -- completion-based, single-threaded; also serves the
+//                        cycle-approximate backend via per-item virtual-time
+//                        stamps (SimHooks).
+//   * ThreadedChannel -- mutex/condition-variable blocking ops for the
+//                        thread-per-kernel x86sim-style runtime.
+//   * RtpChannel      -- sticky single-value channel backing AIE runtime
+//                        parameters (paper Section 3.7).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "port_config.hpp"
+#include "task.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+/// Virtual-time hooks for the cycle-approximate backend. The engine knows
+/// which kernel is currently executing and what its tile clock reads.
+class SimHooks {
+ public:
+  virtual ~SimHooks() = default;
+  /// Virtual time (cycles) of the currently running kernel.
+  [[nodiscard]] virtual std::uint64_t now() const = 0;
+  /// Charges stream/buffer access cost for one element of `elem_bytes`
+  /// moved through the port bound to `ch` with the given settings to the
+  /// currently running kernel.
+  virtual void charge_port_access(const PortSettings& s,
+                                  std::size_t elem_bytes, bool is_read,
+                                  const ChannelBase* ch) = 0;
+};
+
+/// Outcome of a non-blocking channel operation.
+enum class ChanStatus : std::uint8_t {
+  ok,       ///< transferred one element
+  blocked,  ///< would block (full / empty); caller should suspend
+  closed,   ///< permanently unusable in this direction
+};
+
+/// Type-erased channel base: lifecycle, closure bookkeeping and statistics.
+class ChannelBase {
+ public:
+  explicit ChannelBase(int consumers) : consumers_total_(consumers) {}
+  virtual ~ChannelBase() = default;
+  ChannelBase(const ChannelBase&) = delete;
+  ChannelBase& operator=(const ChannelBase&) = delete;
+
+  void set_producers(int n) {
+    producers_open_ = n;
+    producers_total_ = n;
+  }
+  void set_debug_name(std::string name) { debug_name_ = std::move(name); }
+  [[nodiscard]] const std::string& debug_name() const { return debug_name_; }
+
+  /// One producer endpoint finished; closing the last one releases blocked
+  /// consumers with ChanStatus::closed once the buffer drains.
+  virtual void producer_done() = 0;
+  /// One consumer endpoint finished; its cursor stops constraining ring
+  /// reuse, and closing the last one releases blocked producers.
+  virtual void consumer_done(int consumer) = 0;
+
+  [[nodiscard]] int consumers() const { return consumers_total_; }
+  [[nodiscard]] int producers_open() const { return producers_open_; }
+  [[nodiscard]] int consumers_open() const { return consumers_open_; }
+  [[nodiscard]] bool push_closed() const {
+    return producers_total_ > 0 && producers_open_ == 0;
+  }
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+  [[nodiscard]] std::uint64_t popped(int consumer) const {
+    return popped_.empty() ? 0 : popped_[static_cast<std::size_t>(consumer)];
+  }
+
+  /// Attaches virtual-time hooks (cycle-approximate backend only).
+  virtual void attach_sim_hooks(SimHooks*) {}
+
+ protected:
+  int consumers_total_ = 0;
+  int producers_total_ = 0;
+  int producers_open_ = 0;
+  int consumers_open_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::vector<std::uint64_t> popped_;
+  std::string debug_name_;
+};
+
+/// Typed channel operations. `consumer` identifies the broadcast endpoint.
+template <class T>
+class TypedChannel : public ChannelBase {
+ public:
+  using ChannelBase::ChannelBase;
+
+  /// Pending push registered by a suspending producer. The channel performs
+  /// `*value -> ring` itself when space appears, sets `*status`, and hands
+  /// `h` to the executor. All pointers live in the awaiter frame, which is
+  /// stable while the coroutine is suspended.
+  struct PushWaiter {
+    const T* value;
+    ChanStatus* status;
+    std::coroutine_handle<> h;
+  };
+  /// Pending pop registered by a suspending consumer.
+  struct PopWaiter {
+    T* out;
+    ChanStatus* status;
+    std::coroutine_handle<> h;
+    int consumer;
+  };
+
+  // --- cooperative (non-blocking fast path + completion registration) ---
+  virtual ChanStatus try_push(const T& v) = 0;
+  virtual ChanStatus try_pop(int consumer, T& out) = 0;
+  /// Registers `w`; may complete it synchronously (executor notified) when
+  /// the operation is already possible or permanently impossible.
+  virtual void add_push_waiter(PushWaiter w) = 0;
+  virtual void add_pop_waiter(PopWaiter w) = 0;
+
+  // --- threaded (blocking; return false when closed) ---
+  virtual bool blocking_push(const T& v) = 0;
+  virtual bool blocking_pop(int consumer, T& out) = 0;
+};
+
+/// Cooperative broadcast ring buffer. Single-threaded by construction; no
+/// locks, no atomics.
+template <class T>
+class CoopChannel final : public TypedChannel<T> {
+  using typename TypedChannel<T>::PushWaiter;
+  using typename TypedChannel<T>::PopWaiter;
+
+ public:
+  CoopChannel(int consumers, int capacity, Executor* exec)
+      : TypedChannel<T>(consumers),
+        capacity_(static_cast<std::size_t>(std::max(capacity, 1))),
+        slots_(capacity_),
+        stamps_(capacity_, 0),
+        cursors_(static_cast<std::size_t>(consumers), 0),
+        consumer_active_(static_cast<std::size_t>(consumers), 1),
+        pop_waiters_(static_cast<std::size_t>(consumers)),
+        exec_(exec) {
+    this->popped_.assign(static_cast<std::size_t>(consumers), 0);
+    this->consumers_open_ = consumers;
+  }
+
+  ChanStatus try_push(const T& v) override {
+    if (this->consumers_total_ > 0 && this->consumers_open_ == 0) {
+      return ChanStatus::closed;  // nobody will ever read again
+    }
+    if (this->consumers_total_ > 0 && head_ - min_cursor() >= capacity_) {
+      return ChanStatus::blocked;
+    }
+    do_push(v);
+    return ChanStatus::ok;
+  }
+
+  ChanStatus try_pop(int consumer, T& out) override {
+    const auto c = static_cast<std::size_t>(consumer);
+    if (cursors_[c] == head_) {
+      return this->push_closed() ? ChanStatus::closed : ChanStatus::blocked;
+    }
+    if (sim_ != nullptr && stamps_[cursors_[c] % capacity_] > sim_->now()) {
+      // The element exists but has not yet arrived in virtual time; the
+      // caller suspends and the completion path schedules the wake at the
+      // element's stamp.
+      return ChanStatus::blocked;
+    }
+    do_pop(c, out);
+    return ChanStatus::ok;
+  }
+
+  void add_push_waiter(PushWaiter w) override {
+    // Completion may already be possible (or impossible); check-then-park.
+    if (this->consumers_total_ > 0 && this->consumers_open_ == 0) {
+      *w.status = ChanStatus::closed;
+      exec_->make_ready(w.h, now_or_zero());
+      return;
+    }
+    if (this->consumers_total_ == 0 || head_ - min_cursor() < capacity_) {
+      do_push(*w.value);
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, now_or_zero());
+      return;
+    }
+    push_waiters_.push_back(w);
+  }
+
+  void add_pop_waiter(PopWaiter w) override {
+    const auto c = static_cast<std::size_t>(w.consumer);
+    if (cursors_[c] != head_) {
+      const std::uint64_t stamp = stamps_[cursors_[c] % capacity_];
+      do_pop(c, *w.out);
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, stamp);
+      return;
+    }
+    if (this->push_closed()) {
+      *w.status = ChanStatus::closed;
+      exec_->make_ready(w.h, now_or_zero());
+      return;
+    }
+    pop_waiters_[c].push_back(w);
+  }
+
+  bool blocking_push(const T&) override { unreachable_blocking(); }
+  bool blocking_pop(int, T&) override { unreachable_blocking(); }
+
+  void producer_done() override {
+    if (--this->producers_open_ == 0) {
+      // Consumers that already drained everything observe end-of-stream.
+      for (std::size_t c = 0; c < pop_waiters_.size(); ++c) {
+        if (cursors_[c] != head_) continue;  // still has data to read
+        for (auto& w : pop_waiters_[c]) {
+          *w.status = ChanStatus::closed;
+          exec_->make_ready(w.h, now_or_zero());
+        }
+        pop_waiters_[c].clear();
+      }
+    }
+  }
+
+  void consumer_done(int consumer) override {
+    const auto c = static_cast<std::size_t>(consumer);
+    if (consumer_active_[c] == 0) return;
+    consumer_active_[c] = 0;
+    --this->consumers_open_;
+    if (this->consumers_open_ == 0) {
+      for (auto& w : push_waiters_) {
+        *w.status = ChanStatus::closed;
+        exec_->make_ready(w.h, now_or_zero());
+      }
+      push_waiters_.clear();
+    } else {
+      service_push_waiters();  // this cursor no longer limits ring reuse
+    }
+  }
+
+  void attach_sim_hooks(SimHooks* hooks) override { sim_ = hooks; }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t occupancy(int consumer) const {
+    return static_cast<std::size_t>(
+        head_ - cursors_[static_cast<std::size_t>(consumer)]);
+  }
+
+ private:
+  [[noreturn]] static void unreachable_blocking() {
+    throw std::logic_error{
+        "blocking channel ops are not available on a cooperative channel"};
+  }
+
+  [[nodiscard]] std::uint64_t now_or_zero() const {
+    return sim_ != nullptr ? sim_->now() : 0;
+  }
+
+  [[nodiscard]] std::uint64_t min_cursor() const {
+    std::uint64_t m = head_;
+    for (std::size_t c = 0; c < cursors_.size(); ++c) {
+      if (consumer_active_[c] != 0) m = std::min(m, cursors_[c]);
+    }
+    return m;
+  }
+
+  void do_push(const T& v) {
+    slots_[head_ % capacity_] = v;
+    stamps_[head_ % capacity_] = now_or_zero();
+    ++head_;
+    ++this->pushed_;
+    service_pop_waiters();
+  }
+
+  void do_pop(std::size_t c, T& out) {
+    out = slots_[cursors_[c] % capacity_];
+    ++cursors_[c];
+    ++this->popped_[c];
+    service_push_waiters();
+  }
+
+  // Completes parked pops for which data is now available. Completion of a
+  // pop frees slots, which may complete parked pushes, which in turn feed
+  // parked pops; the mutual recursion terminates because every step moves
+  // at least one element.
+  void service_pop_waiters() {
+    for (std::size_t c = 0; c < pop_waiters_.size(); ++c) {
+      while (!pop_waiters_[c].empty() && cursors_[c] != head_) {
+        PopWaiter w = pop_waiters_[c].front();
+        pop_waiters_[c].pop_front();
+        const std::uint64_t stamp = stamps_[cursors_[c] % capacity_];
+        do_pop(c, *w.out);
+        *w.status = ChanStatus::ok;
+        exec_->make_ready(w.h, stamp);
+      }
+    }
+  }
+
+  void service_push_waiters() {
+    while (!push_waiters_.empty() &&
+           (this->consumers_total_ == 0 || head_ - min_cursor() < capacity_)) {
+      PushWaiter w = push_waiters_.front();
+      push_waiters_.pop_front();
+      do_push(*w.value);
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, now_or_zero());
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  std::vector<std::uint64_t> stamps_;  // virtual availability times (sim)
+  std::uint64_t head_ = 0;
+  std::vector<std::uint64_t> cursors_;
+  std::vector<std::uint8_t> consumer_active_;
+  std::vector<std::deque<PopWaiter>> pop_waiters_;
+  std::deque<PushWaiter> push_waiters_;
+  Executor* exec_;
+  SimHooks* sim_ = nullptr;
+};
+
+/// Thread-safe broadcast ring used by the thread-per-kernel runtime. This
+/// deliberately reproduces the synchronization structure of AMD's x86sim
+/// (one mutex + condition variables per channel), which is what Table 2 of
+/// the paper compares cgsim against.
+template <class T>
+class ThreadedChannel final : public TypedChannel<T> {
+  using typename TypedChannel<T>::PushWaiter;
+  using typename TypedChannel<T>::PopWaiter;
+
+ public:
+  ThreadedChannel(int consumers, int capacity)
+      : TypedChannel<T>(consumers),
+        capacity_(static_cast<std::size_t>(std::max(capacity, 1))),
+        slots_(capacity_),
+        cursors_(static_cast<std::size_t>(consumers), 0),
+        consumer_active_(static_cast<std::size_t>(consumers), 1) {
+    this->popped_.assign(static_cast<std::size_t>(consumers), 0);
+    this->consumers_open_ = consumers;
+  }
+
+  bool blocking_push(const T& v) override {
+    std::unique_lock lk{m_};
+    not_full_.wait(lk, [&] {
+      return this->consumers_open_ == 0 || this->consumers_total_ == 0 ||
+             head_ - min_cursor() < capacity_;
+    });
+    if (this->consumers_total_ > 0 && this->consumers_open_ == 0) {
+      return false;
+    }
+    slots_[head_ % capacity_] = v;
+    ++head_;
+    ++this->pushed_;
+    not_empty_.notify_all();
+    return true;
+  }
+
+  bool blocking_pop(int consumer, T& out) override {
+    const auto c = static_cast<std::size_t>(consumer);
+    std::unique_lock lk{m_};
+    not_empty_.wait(lk,
+                    [&] { return cursors_[c] != head_ || this->push_closed(); });
+    if (cursors_[c] == head_) return false;  // closed and drained
+    out = slots_[cursors_[c] % capacity_];
+    ++cursors_[c];
+    ++this->popped_[c];
+    not_full_.notify_all();
+    return true;
+  }
+
+  ChanStatus try_push(const T&) override { unreachable_coop(); }
+  ChanStatus try_pop(int, T&) override { unreachable_coop(); }
+  void add_push_waiter(PushWaiter) override { unreachable_coop(); }
+  void add_pop_waiter(PopWaiter) override { unreachable_coop(); }
+
+  void producer_done() override {
+    std::lock_guard lk{m_};
+    if (--this->producers_open_ == 0) not_empty_.notify_all();
+  }
+  void consumer_done(int consumer) override {
+    std::lock_guard lk{m_};
+    const auto c = static_cast<std::size_t>(consumer);
+    if (consumer_active_[c] != 0) {
+      consumer_active_[c] = 0;
+      --this->consumers_open_;
+      not_full_.notify_all();
+    }
+  }
+
+ private:
+  [[noreturn]] static void unreachable_coop() {
+    throw std::logic_error{
+        "cooperative channel ops are not available on a threaded channel"};
+  }
+
+  [[nodiscard]] std::uint64_t min_cursor() const {
+    std::uint64_t m = head_;
+    for (std::size_t c = 0; c < cursors_.size(); ++c) {
+      if (consumer_active_[c] != 0) m = std::min(m, cursors_[c]);
+    }
+    return m;
+  }
+
+  std::size_t capacity_;
+  std::vector<T> slots_;
+  std::uint64_t head_ = 0;
+  std::vector<std::uint64_t> cursors_;
+  std::vector<std::uint8_t> consumer_active_;
+  std::mutex m_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+};
+
+/// Sticky single-value channel for AIE runtime parameters: a read returns
+/// the most recent value without consuming it; a write overwrites. Reads
+/// block only until the first value arrives.
+template <class T>
+class RtpChannel final : public TypedChannel<T> {
+  using typename TypedChannel<T>::PushWaiter;
+  using typename TypedChannel<T>::PopWaiter;
+
+ public:
+  RtpChannel(int consumers, ExecMode mode, Executor* exec)
+      : TypedChannel<T>(consumers), mode_(mode), exec_(exec) {
+    this->popped_.assign(static_cast<std::size_t>(std::max(consumers, 1)), 0);
+    this->consumers_open_ = consumers;
+  }
+
+  ChanStatus try_push(const T& v) override {
+    value_ = v;
+    has_value_ = true;
+    ++this->pushed_;
+    for (auto& w : pop_waiters_) {
+      *w.out = value_;
+      ++this->popped_[static_cast<std::size_t>(w.consumer)];
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, 0);
+    }
+    pop_waiters_.clear();
+    return ChanStatus::ok;
+  }
+
+  ChanStatus try_pop(int consumer, T& out) override {
+    if (!has_value_) {
+      return this->push_closed() ? ChanStatus::closed : ChanStatus::blocked;
+    }
+    out = value_;
+    ++this->popped_[static_cast<std::size_t>(consumer)];
+    return ChanStatus::ok;
+  }
+
+  void add_push_waiter(PushWaiter w) override {
+    // Pushes to an RTP never block.
+    try_push(*w.value);
+    *w.status = ChanStatus::ok;
+    exec_->make_ready(w.h, 0);
+  }
+  void add_pop_waiter(PopWaiter w) override {
+    if (has_value_ || this->push_closed()) {
+      *w.status = try_pop(w.consumer, *w.out);
+      exec_->make_ready(w.h, 0);
+      return;
+    }
+    pop_waiters_.push_back(w);
+  }
+
+  bool blocking_push(const T& v) override {
+    {
+      std::lock_guard lk{m_};
+      value_ = v;
+      has_value_ = true;
+      ++this->pushed_;
+    }
+    cv_.notify_all();
+    return true;
+  }
+
+  bool blocking_pop(int consumer, T& out) override {
+    std::unique_lock lk{m_};
+    cv_.wait(lk, [&] { return has_value_ || this->push_closed(); });
+    if (!has_value_) return false;
+    out = value_;
+    ++this->popped_[static_cast<std::size_t>(consumer)];
+    return true;
+  }
+
+  void producer_done() override {
+    if (mode_ == ExecMode::threaded) {
+      std::lock_guard lk{m_};
+      --this->producers_open_;
+      cv_.notify_all();
+      return;
+    }
+    if (--this->producers_open_ == 0 && !has_value_) {
+      for (auto& w : pop_waiters_) {
+        *w.status = ChanStatus::closed;
+        exec_->make_ready(w.h, 0);
+      }
+      pop_waiters_.clear();
+    }
+  }
+  void consumer_done(int) override { --this->consumers_open_; }
+
+  /// Final value, for runtime-parameter sinks.
+  [[nodiscard]] bool latest(T& out) const {
+    if (!has_value_) return false;
+    out = value_;
+    return true;
+  }
+
+ private:
+  ExecMode mode_;
+  T value_{};
+  bool has_value_ = false;
+  std::deque<PopWaiter> pop_waiters_;
+  Executor* exec_;
+  std::mutex m_;
+  std::condition_variable cv_;
+};
+
+namespace detail {
+template <class T>
+ChannelBase* create_channel(ExecMode mode, int consumers, int capacity,
+                            bool rtp, Executor* exec) {
+  if (rtp) return new RtpChannel<T>(consumers, mode, exec);
+  switch (mode) {
+    case ExecMode::threaded:
+      return new ThreadedChannel<T>(consumers, capacity);
+    case ExecMode::coop:
+    case ExecMode::sim:
+      return new CoopChannel<T>(consumers, capacity, exec);
+  }
+  return nullptr;
+}
+
+template <class T>
+inline constexpr ChannelVTable channel_vtable_v{
+    &create_channel<T>, detail::pretty_type_name<T>(), sizeof(T), alignof(T)};
+}  // namespace detail
+
+template <class T>
+const ChannelVTable& channel_vtable() {
+  return detail::channel_vtable_v<T>;
+}
+
+}  // namespace cgsim

@@ -1,0 +1,240 @@
+// cgsim -- compile-time compute-graph construction (paper Sections 3.2-3.4).
+//
+// Graph construction runs entirely inside constexpr evaluation. Kernel
+// instantiations and IoConnector objects allocate nodes on the compile-time
+// heap (`constexpr new`); connectivity forms a pointer-based graph. Because
+// C++20 requires every compile-time allocation to be freed before constant
+// evaluation ends, the graph is subsequently *flattened* (flatten.hpp) into
+// an array-based structure that can live in a constexpr variable.
+//
+// Construction bookkeeping uses union-find "arenas": every connector or
+// kernel initially belongs to some arena; touching two arenas in one kernel
+// call merges them. This allows graph-definition lambdas to instantiate
+// kernels in any order (including source kernels whose connectors are not
+// yet attached to anything). A subgraph that never merges with the arena of
+// the global inputs/outputs leaks its allocations, which C++ turns into a
+// compile error -- disconnected graphs are rejected by construction.
+#pragma once
+
+#include <string_view>
+
+#include "port_config.hpp"
+#include "ports.hpp"
+#include "task.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+/// Runtime wiring handed to a kernel thunk: one PortBinding per signature
+/// parameter, in declaration order.
+struct KernelBinding {
+  const PortBinding* ports = nullptr;
+  std::size_t nports = 0;
+};
+
+using KernelThunk = KernelTask (*)(const KernelBinding&);
+using VTableFn = const ChannelVTable& (*)();
+
+namespace ct {
+
+struct EdgeNode;
+struct KernelNode;
+
+/// Union-find handle grouping all graph elements created so far that are
+/// already known to be connected.
+struct Arena {
+  Arena* parent = nullptr;
+  Arena* absorbed_head = nullptr;  // arenas merged into this one (for reaping)
+  Arena* absorbed_next = nullptr;
+  EdgeNode* edges_head = nullptr;
+  KernelNode* kernels_head = nullptr;
+  int n_edges = 0;
+  int n_kernels = 0;
+  int n_ports = 0;
+};
+
+/// One stream connection (an IoConnector's identity) on the constexpr heap.
+struct EdgeNode {
+  TypeId type = nullptr;
+  VTableFn vtable = nullptr;
+  PortSettings settings{};  // merged over all endpoints (Section 3.4)
+  bool has_settings = false;
+  Attribute attrs[kMaxAttrsPerEdge]{};
+  int n_attrs = 0;
+  int capacity = kDefaultChannelCapacity;
+  int index = -1;  // assigned during flattening
+  EdgeNode* next = nullptr;
+};
+
+struct PortRef {
+  bool is_read = false;
+  EdgeNode* edge = nullptr;
+  PortSettings settings{};
+};
+
+/// One kernel instantiation on the constexpr heap.
+struct KernelNode {
+  std::string_view name{};
+  Realm realm = Realm::aie;
+  KernelThunk thunk = nullptr;
+  PortRef ports[kMaxPortsPerKernel]{};
+  int nports = 0;
+  int index = -1;
+  KernelNode* next = nullptr;
+};
+
+[[nodiscard]] constexpr Arena* find_root(Arena* a) {
+  while (a->parent != nullptr) a = a->parent;
+  return a;
+}
+
+constexpr Arena* merge(Arena* a, Arena* b) {
+  a = find_root(a);
+  b = find_root(b);
+  if (a == b) return a;
+  if (b->edges_head != nullptr) {
+    EdgeNode* t = b->edges_head;
+    while (t->next != nullptr) t = t->next;
+    t->next = a->edges_head;
+    a->edges_head = b->edges_head;
+    b->edges_head = nullptr;
+  }
+  if (b->kernels_head != nullptr) {
+    KernelNode* t = b->kernels_head;
+    while (t->next != nullptr) t = t->next;
+    t->next = a->kernels_head;
+    a->kernels_head = b->kernels_head;
+    b->kernels_head = nullptr;
+  }
+  a->n_edges += b->n_edges;
+  a->n_kernels += b->n_kernels;
+  a->n_ports += b->n_ports;
+  if (b->absorbed_head != nullptr) {
+    Arena* t = b->absorbed_head;
+    while (t->absorbed_next != nullptr) t = t->absorbed_next;
+    t->absorbed_next = a->absorbed_head;
+    a->absorbed_head = b->absorbed_head;
+    b->absorbed_head = nullptr;
+  }
+  b->parent = a;
+  b->absorbed_next = a->absorbed_head;
+  a->absorbed_head = b;
+  return a;
+}
+
+/// Restores creation order: nodes are pushed at the list head, so the
+/// lists come out newest-first; flattening wants oldest-first so indices
+/// are stable and match the graph definition's reading order.
+template <class Node, Node* Node::* Next>
+constexpr Node* reverse_list(Node* head) {
+  Node* prev = nullptr;
+  while (head != nullptr) {
+    Node* next = head->*Next;
+    head->*Next = prev;
+    prev = head;
+    head = next;
+  }
+  return prev;
+}
+
+constexpr void restore_creation_order(Arena* root) {
+  root->edges_head = reverse_list<EdgeNode, &EdgeNode::next>(root->edges_head);
+  root->kernels_head =
+      reverse_list<KernelNode, &KernelNode::next>(root->kernels_head);
+}
+
+/// Frees the whole constexpr object graph reachable from a root arena.
+constexpr void destroy_arena(Arena* root) {
+  KernelNode* k = root->kernels_head;
+  while (k != nullptr) {
+    KernelNode* n = k->next;
+    delete k;
+    k = n;
+  }
+  EdgeNode* e = root->edges_head;
+  while (e != nullptr) {
+    EdgeNode* n = e->next;
+    delete e;
+    e = n;
+  }
+  Arena* a = root->absorbed_head;
+  while (a != nullptr) {
+    Arena* n = a->absorbed_next;
+    delete a;
+    a = n;
+  }
+  delete root;
+}
+
+}  // namespace ct
+
+/// A (future) stream connection between kernels or between a kernel and the
+/// outside world (paper Section 3.4, Figure 4). Connectors are handed to
+/// kernel instantiations; several readers of one connector broadcast,
+/// several writers merge.
+template <class T>
+class IoConnector {
+ public:
+  using value_type = T;
+
+  constexpr IoConnector() = default;
+
+  /// Attaches auxiliary extractor-facing information (paper Section 3.4),
+  /// e.g. `.attr("plio_name", "DataIn1")`. Returns *this for chaining.
+  constexpr IoConnector& attr(std::string_view key, std::string_view value) {
+    ensure();
+    push_attr({key, value, 0, false});
+    return *this;
+  }
+  constexpr IoConnector& attr(std::string_view key, long long value) {
+    ensure();
+    push_attr({key, {}, value, true});
+    return *this;
+  }
+  /// Overrides the simulation channel capacity (elements) of this edge.
+  constexpr IoConnector& capacity(int elements) {
+    ensure();
+    edge_->capacity = elements;
+    return *this;
+  }
+
+  /// Binds this connector into `a`'s arena, creating its edge on first use
+  /// or merging arenas when already bound elsewhere.
+  constexpr void bind(ct::Arena* a) {
+    a = ct::find_root(a);
+    if (edge_ == nullptr) {
+      arena_ = a;
+      edge_ = new ct::EdgeNode{};
+      edge_->type = type_id<T>();
+      edge_->vtable = &channel_vtable<T>;
+      edge_->next = a->edges_head;
+      a->edges_head = edge_;
+      ++a->n_edges;
+    } else if (ct::find_root(arena_) != a) {
+      ct::merge(arena_, a);
+    }
+    arena_ = ct::find_root(arena_);
+  }
+
+  /// Self-binds into a fresh arena when not yet connected to anything.
+  constexpr void ensure() {
+    if (edge_ == nullptr) bind(new ct::Arena{});
+  }
+
+  [[nodiscard]] constexpr ct::Arena* arena() const { return arena_; }
+  [[nodiscard]] constexpr ct::EdgeNode* edge() const { return edge_; }
+  [[nodiscard]] constexpr bool bound() const { return edge_ != nullptr; }
+
+ private:
+  constexpr void push_attr(const Attribute& a) {
+    if (edge_->n_attrs >= kMaxAttrsPerEdge) {
+      throw "too many attributes on one connection";  // constexpr failure
+    }
+    edge_->attrs[edge_->n_attrs++] = a;
+  }
+
+  ct::Arena* arena_ = nullptr;
+  ct::EdgeNode* edge_ = nullptr;
+};
+
+}  // namespace cgsim

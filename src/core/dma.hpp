@@ -1,0 +1,65 @@
+// cgsim -- DMA descriptor transforms for data sources and sinks.
+//
+// The paper's Section 6 lists "advanced DMA operations such as
+// corner-turning" among the hardware capabilities cgsim does not yet
+// expose; this extension implements them. On Versal hardware the tile DMA
+// can reorder data while moving it (multi-dimensional address generation);
+// in cgsim a DmaTransform is applied element-wise by the data source or
+// sink coroutine, so a prototype observes exactly the layout the DMA
+// descriptor would produce.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <functional>
+
+namespace cgsim::dma {
+
+/// Element-wise block transform applied by a source (before injecting into
+/// the graph) or a sink (after draining from it).
+template <class T>
+using Transform = std::function<T(const T&)>;
+
+namespace detail {
+template <class B>
+concept ArrayBlock = requires(B b) {
+  b.size();
+  b[0];
+  typename B::value_type;
+};
+}  // namespace detail
+
+/// Corner-turning DMA descriptor: interprets each block as a Rows x Cols
+/// row-major matrix and transposes it during the transfer (UG1079
+/// "multi-dimensional tiling" / corner turn).
+template <std::size_t Rows, std::size_t Cols>
+struct CornerTurn {
+  template <detail::ArrayBlock B>
+  [[nodiscard]] B operator()(const B& in) const {
+    static_assert(Rows * Cols > 0);
+    B out{};
+    for (std::size_t r = 0; r < Rows; ++r) {
+      for (std::size_t c = 0; c < Cols; ++c) {
+        out[c * Rows + r] = in[r * Cols + c];
+      }
+    }
+    return out;
+  }
+};
+
+/// Strided gather: out[i] = in[(i * Stride) % N] -- the DMA's 1D stride
+/// address generation.
+template <std::size_t Stride>
+struct Stride1D {
+  template <detail::ArrayBlock B>
+  [[nodiscard]] B operator()(const B& in) const {
+    B out{};
+    const std::size_t n = in.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = in[(i * Stride) % n];
+    }
+    return out;
+  }
+};
+
+}  // namespace cgsim::dma

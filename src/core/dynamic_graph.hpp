@@ -1,0 +1,176 @@
+// cgsim -- runtime (dynamic) graph construction baseline.
+//
+// The paper's predecessor, Graphtoy, constructs compute graphs dynamically
+// at run time; Section 3.1 explains why cgsim abandoned that model (graph
+// extraction from arbitrary runtime construction reduces to the halting
+// problem) and moved construction to compile time. This header implements
+// the rejected alternative as a baseline: a DynamicGraphBuilder produces
+// the same flattened representation at run time and executes through the
+// same runtime — but its graphs are *opaque to the extractor* (there is no
+// constexpr variable to ingest), which is precisely the paper's argument.
+// It is also the escape hatch for genuinely data-dependent topologies.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flatten.hpp"
+#include "fn_traits.hpp"
+#include "graph_view.hpp"
+#include "kernel.hpp"
+#include "ports.hpp"
+#include "runtime.hpp"
+#include "types.hpp"
+
+namespace cgsim::rt {
+
+/// Builds a compute graph at run time (the Graphtoy model). Edges and
+/// kernels are added imperatively; `finalize()` computes endpoints and
+/// yields a GraphView backed by this object (which must outlive it).
+class DynamicGraphBuilder {
+ public:
+  /// Adds a stream connection of element type T; returns its edge id.
+  template <class T>
+  int add_edge(int capacity = kDefaultChannelCapacity,
+               PortSettings settings = {}) {
+    FlatEdge e;
+    e.type = type_id<T>();
+    e.vtable = &channel_vtable<T>;
+    e.settings = settings;
+    e.capacity = capacity;
+    edges_.push_back(e);
+    return static_cast<int>(edges_.size()) - 1;
+  }
+
+  /// Instantiates a kernel over existing edges (signature order). Element
+  /// types are checked immediately; mismatches throw -- the dynamic
+  /// counterpart of the compile errors the constexpr builder produces.
+  template <class Def, class... Ts>
+  void add_kernel(KernelHandle<Def> /*handle*/,
+                  std::initializer_list<int> edge_ids) {
+    using traits = fn_traits<decltype(&Def::body)>;
+    if (edge_ids.size() != traits::arity) {
+      throw std::invalid_argument{
+          std::string{Def::kernel_name} +
+          ": wrong number of edges for kernel signature"};
+    }
+    FlatKernel k;
+    k.name = Def::kernel_name;
+    k.realm = Def::realm;
+    k.thunk = &detail::kernel_thunk<Def>;
+    k.first_port = static_cast<int>(ports_.size());
+    k.nports = static_cast<int>(traits::arity);
+    int i = 0;
+    for (int edge : edge_ids) check_and_add_port<Def>(edge, i++);
+    kernels_.push_back(k);
+    finalized_ = false;
+  }
+
+  /// Declares `edge` a global input (a data source attaches to it).
+  void add_input(int edge) {
+    inputs_.push_back(
+        FlatGlobal{edge, edges_.at(static_cast<std::size_t>(edge)).type, -1});
+    finalized_ = false;
+  }
+  /// Declares `edge` a global output (a data sink drains it).
+  void add_output(int edge) {
+    outputs_.push_back(
+        FlatGlobal{edge, edges_.at(static_cast<std::size_t>(edge)).type, -1});
+    finalized_ = false;
+  }
+
+  /// Assigns broadcast endpoints and producer/consumer counts.
+  void finalize() {
+    std::vector<int> producers(edges_.size(), 0);
+    std::vector<int> consumers(edges_.size(), 0);
+    for (FlatPort& p : ports_) {
+      const auto e = static_cast<std::size_t>(p.edge);
+      if (p.is_read) {
+        p.endpoint = consumers[e]++;
+      } else {
+        ++producers[e];
+      }
+    }
+    for (FlatGlobal& in : inputs_) {
+      ++producers[static_cast<std::size_t>(in.edge)];
+    }
+    for (FlatGlobal& out : outputs_) {
+      out.endpoint = consumers[static_cast<std::size_t>(out.edge)]++;
+    }
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      edges_[e].n_producers = producers[e];
+      edges_[e].n_consumers = consumers[e];
+    }
+    finalized_ = true;
+  }
+
+  /// View over the built graph; finalizes lazily. The builder must outlive
+  /// every use of the view.
+  [[nodiscard]] GraphView view() {
+    if (!finalized_) finalize();
+    return GraphView{kernels_, ports_, edges_, inputs_, outputs_};
+  }
+
+  /// Runs the graph, mirroring the constexpr graphs' invocation.
+  template <class... Args>
+  RunResult operator()(Args&&... args) {
+    return run_graph(view(), RunOptions{}, std::forward<Args>(args)...);
+  }
+  template <class... Args>
+  RunResult run(const RunOptions& opts, Args&&... args) {
+    return run_graph(view(), opts, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] std::size_t num_kernels() const { return kernels_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+
+ private:
+  template <class Def>
+  void check_and_add_port(int edge, int index) {
+    using traits = fn_traits<decltype(&Def::body)>;
+    if (edge < 0 || static_cast<std::size_t>(edge) >= edges_.size()) {
+      throw std::out_of_range{"dynamic graph: edge id out of range"};
+    }
+    FlatEdge& fe = edges_[static_cast<std::size_t>(edge)];
+    // Resolve the port's static type/direction by index at run time.
+    bool matched = false;
+    [&]<std::size_t... I>(std::index_sequence<I...>) {
+      (
+          [&] {
+            if (static_cast<int>(I) != index) return;
+            using P = port_traits<typename traits::template arg<I>>;
+            if (type_id<typename P::value_type>() != fe.type) {
+              throw std::invalid_argument{
+                  std::string{Def::kernel_name} +
+                  ": edge element type does not match kernel port " +
+                  std::to_string(index)};
+            }
+            const MergeResult m =
+                try_merge_settings(fe.settings, P::settings);
+            if (!m.ok) {
+              throw std::invalid_argument{
+                  std::string{Def::kernel_name} + ": " +
+                  std::string{m.error}};
+            }
+            fe.settings = m.merged;
+            ports_.push_back(FlatPort{P::is_read, edge, P::settings, -1});
+            matched = true;
+          }(),
+          ...);
+    }(std::make_index_sequence<traits::arity>{});
+    if (!matched) {
+      throw std::logic_error{"dynamic graph: bad port index"};
+    }
+  }
+
+  std::vector<FlatKernel> kernels_;
+  std::vector<FlatPort> ports_;
+  std::vector<FlatEdge> edges_;
+  std::vector<FlatGlobal> inputs_;
+  std::vector<FlatGlobal> outputs_;
+  bool finalized_ = false;
+};
+
+}  // namespace cgsim::rt

@@ -1,0 +1,238 @@
+// cgsim -- graph flattening / serialization (paper Section 3.5) and the
+// user-facing make_compute_graph_v entry point (paper Section 3.4).
+//
+// The graph-definition lambda executes twice during constant evaluation:
+// a first pass counts kernels, edges and ports (lambdas are pure, so both
+// passes observe the same graph); a second pass fills a FlatGraph whose
+// array dimensions come from the first pass. Both passes free every
+// compile-time allocation before returning, as the standard requires.
+#pragma once
+
+#include <array>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "ct_graph.hpp"
+#include "fn_traits.hpp"
+#include "graph_view.hpp"
+#include "port_config.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+// Defined in runtime.hpp; instantiated only when a graph is invoked.
+template <class... Args>
+RunResult run_graph(const GraphView& g, const RunOptions& opts,
+                    Args&&... args);
+
+/// Entity counts of a constructed graph; template parameter of FlatGraph.
+struct GraphCounts {
+  int kernels = 0;
+  int edges = 0;
+  int ports = 0;
+  int inputs = 0;
+  int outputs = 0;
+
+  [[nodiscard]] constexpr bool operator==(const GraphCounts&) const = default;
+};
+
+namespace detail {
+
+template <class T>
+struct is_io_connector : std::false_type {};
+template <class T>
+struct is_io_connector<IoConnector<T>> : std::true_type {};
+
+// Normalizes the lambda's return into a tuple of connectors.
+template <class R>
+constexpr auto as_output_tuple(R&& r) {
+  using V = std::remove_cvref_t<R>;
+  if constexpr (is_io_connector<V>::value) {
+    return std::tuple<V>{std::forward<R>(r)};
+  } else {
+    return std::forward<R>(r);  // already a std::tuple
+  }
+}
+
+struct LambdaRun {
+  ct::Arena* root = nullptr;
+};
+
+/// Runs the graph-definition lambda: binds its parameters (the global
+/// inputs) into a fresh arena, invokes it, folds the outputs' arenas back
+/// into one root, and validates connectivity. `visit(root, inputs, outs)`
+/// inspects the finished pointer graph before everything is freed.
+template <class L, class Visit>
+constexpr auto with_graph(const L& lam, Visit visit) {
+  using traits = fn_traits<L>;
+  auto* root = new ct::Arena{};
+  typename traits::args_tuple inputs{};
+  std::apply([&](auto&... in) { (in.bind(root), ...); }, inputs);
+  auto outs = as_output_tuple(std::apply(lam, inputs));
+
+  std::apply(
+      [&](auto&... out) {
+        (
+            [&] {
+              if (!out.bound()) {
+                throw "graph output connector is not connected to anything";
+              }
+              ct::merge(root, out.arena());
+            }(),
+            ...);
+      },
+      outs);
+  ct::Arena* final_root = ct::find_root(root);
+  if (final_root->n_kernels == 0) {
+    throw "compute graph contains no kernels";
+  }
+  ct::restore_creation_order(final_root);
+
+  auto result = visit(final_root, inputs, outs);
+  ct::destroy_arena(final_root);
+  return result;
+}
+
+template <class L>
+constexpr GraphCounts count_graph(const L& lam) {
+  return with_graph(lam, [](ct::Arena* root, auto& inputs, auto& outs) {
+    GraphCounts c{};
+    c.kernels = root->n_kernels;
+    c.edges = root->n_edges;
+    c.ports = root->n_ports;
+    c.inputs = static_cast<int>(std::tuple_size_v<
+                                std::remove_cvref_t<decltype(inputs)>>);
+    c.outputs = static_cast<int>(
+        std::tuple_size_v<std::remove_cvref_t<decltype(outs)>>);
+    return c;
+  });
+}
+
+}  // namespace detail
+
+/// The complete serialized compute graph (paper Figure 1, Section 3.5):
+/// a literal type storable in a constexpr variable. Invoking the object
+/// (paper Section 3.8) deserializes it onto the runtime heap and executes
+/// it with the supplied data sources and sinks.
+template <GraphCounts C>
+struct FlatGraph {
+  static constexpr GraphCounts counts = C;
+
+  FlatKernel kernels[static_cast<std::size_t>(C.kernels)]{};
+  FlatPort ports[static_cast<std::size_t>(C.ports)]{};
+  FlatEdge edges[static_cast<std::size_t>(C.edges)]{};
+  FlatGlobal inputs[static_cast<std::size_t>(C.inputs) + 1]{};   // +1: C.inputs may be 0
+  FlatGlobal outputs[static_cast<std::size_t>(C.outputs) + 1]{};
+
+  [[nodiscard]] GraphView view() const {
+    return GraphView{
+        std::span<const FlatKernel>{kernels, static_cast<std::size_t>(C.kernels)},
+        std::span<const FlatPort>{ports, static_cast<std::size_t>(C.ports)},
+        std::span<const FlatEdge>{edges, static_cast<std::size_t>(C.edges)},
+        std::span<const FlatGlobal>{inputs, static_cast<std::size_t>(C.inputs)},
+        std::span<const FlatGlobal>{outputs, static_cast<std::size_t>(C.outputs)},
+    };
+  }
+
+  /// Runs the graph with positional data sources (graph inputs first) and
+  /// sinks (graph outputs last) -- paper Section 3.7.
+  template <class... Args>
+  RunResult operator()(Args&&... args) const {
+    return run_graph(view(), RunOptions{}, std::forward<Args>(args)...);
+  }
+
+  /// Runs with explicit options (execution backend, input repetitions).
+  template <class... Args>
+  RunResult run(const RunOptions& opts, Args&&... args) const {
+    return run_graph(view(), opts, std::forward<Args>(args)...);
+  }
+};
+
+namespace detail {
+
+template <auto Lambda, GraphCounts C>
+constexpr FlatGraph<C> build_flat() {
+  return with_graph(Lambda, [](ct::Arena* root, auto& inputs, auto& outs) {
+    FlatGraph<C> g{};
+    // Assign edge indices and serialize edge metadata.
+    int ei = 0;
+    for (ct::EdgeNode* e = root->edges_head; e != nullptr; e = e->next) {
+      e->index = ei;
+      FlatEdge& fe = g.edges[ei];
+      fe.type = e->type;
+      fe.vtable = e->vtable;
+      fe.settings = e->settings;
+      fe.capacity = e->capacity;
+      fe.n_attrs = e->n_attrs;
+      for (int a = 0; a < e->n_attrs; ++a) fe.attrs[a] = e->attrs[a];
+      ++ei;
+    }
+    // Serialize kernels and ports; assign broadcast endpoints.
+    std::array<int, static_cast<std::size_t>(C.edges)> producers{};
+    std::array<int, static_cast<std::size_t>(C.edges)> consumers{};
+    int ki = 0;
+    int pi = 0;
+    for (ct::KernelNode* k = root->kernels_head; k != nullptr; k = k->next) {
+      g.kernels[ki] =
+          FlatKernel{k->name, k->realm, k->thunk, pi, k->nports};
+      for (int p = 0; p < k->nports; ++p) {
+        const ct::PortRef& pr = k->ports[p];
+        const auto edge = static_cast<std::size_t>(pr.edge->index);
+        FlatPort& fp = g.ports[pi++];
+        fp.is_read = pr.is_read;
+        fp.edge = pr.edge->index;
+        fp.settings = pr.settings;
+        fp.endpoint = pr.is_read ? consumers[edge]++ : -1;
+        if (!pr.is_read) ++producers[edge];
+      }
+      ++ki;
+    }
+    // Global inputs feed edges (producers), outputs drain them (consumers).
+    int gi = 0;
+    std::apply(
+        [&](auto&... in) {
+          ((g.inputs[gi] = FlatGlobal{in.edge()->index, in.edge()->type, -1},
+            ++producers[static_cast<std::size_t>(in.edge()->index)], ++gi),
+           ...);
+        },
+        inputs);
+    int go = 0;
+    std::apply(
+        [&](auto&... out) {
+          ((g.outputs[go] =
+                FlatGlobal{out.edge()->index, out.edge()->type,
+                           consumers[static_cast<std::size_t>(
+                               out.edge()->index)]++},
+            ++go),
+           ...);
+        },
+        outs);
+    for (int e = 0; e < C.edges; ++e) {
+      g.edges[e].n_producers = producers[static_cast<std::size_t>(e)];
+      g.edges[e].n_consumers = consumers[static_cast<std::size_t>(e)];
+    }
+    return g;
+  });
+}
+
+}  // namespace detail
+
+/// Builds a complete, serialized compute graph from a graph-definition
+/// lambda at compile time (paper Section 3.4, Figure 4):
+///
+///   constexpr auto the_graph = make_compute_graph_v<[](
+///       IoConnector<int> a) {
+///     IoConnector<int> b, c;
+///     k(a, b);
+///     k(b, c);
+///     return std::make_tuple(c);
+///   }>;
+///
+/// The lambda's parameters become the graph's global inputs; the returned
+/// connectors its global outputs.
+template <auto Lambda>
+inline constexpr auto make_compute_graph_v =
+    detail::build_flat<Lambda, detail::count_graph(Lambda)>();
+
+}  // namespace cgsim

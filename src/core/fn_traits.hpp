@@ -1,0 +1,35 @@
+// cgsim -- minimal function-signature introspection.
+//
+// Used to recover kernel port types from the COMPUTE_KERNEL body signature
+// and global I/O connector types from the graph definition lambda.
+#pragma once
+
+#include <cstddef>
+#include <tuple>
+
+namespace cgsim {
+
+template <class F>
+struct fn_traits;
+
+template <class R, class... As>
+struct fn_traits<R (*)(As...)> {
+  using result = R;
+  using args_tuple = std::tuple<As...>;
+  static constexpr std::size_t arity = sizeof...(As);
+  template <std::size_t I>
+  using arg = std::tuple_element_t<I, std::tuple<As...>>;
+};
+
+template <class R, class... As>
+struct fn_traits<R (As...)> : fn_traits<R (*)(As...)> {};
+
+// Member operator() of (capture-less, non-generic) lambdas.
+template <class C, class R, class... As>
+struct fn_traits<R (C::*)(As...) const> : fn_traits<R (*)(As...)> {};
+
+template <class L>
+  requires requires { &L::operator(); }
+struct fn_traits<L> : fn_traits<decltype(&L::operator())> {};
+
+}  // namespace cgsim

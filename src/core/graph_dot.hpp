@@ -1,0 +1,101 @@
+// cgsim -- Graphviz export of flattened compute graphs.
+//
+// Developer tooling around the serialized representation: renders any
+// GraphView as a `dot` digraph with kernels as boxes (labelled with their
+// realm), global I/O as ellipses, and edges annotated with element type
+// and buffer mode. Handy while prototyping (paper Figure 2's "iterate on
+// the graph" loop) and used by the examples.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "graph_view.hpp"
+#include "port_config.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+struct DotOptions {
+  std::string graph_name = "compute_graph";
+  bool show_types = true;
+  bool show_buffer_modes = true;
+};
+
+/// Writes `g` as a Graphviz digraph to `os`.
+inline void write_dot(std::ostream& os, const GraphView& g,
+                      const DotOptions& opts = {}) {
+  os << "digraph " << opts.graph_name << " {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontname=\"monospace\"];\n";
+  // Kernel nodes.
+  for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+    os << "  k" << k << " [shape=box,label=\"" << g.kernels[k].name << "\\n("
+       << realm_name(g.kernels[k].realm) << ")\"];\n";
+  }
+  // Global I/O nodes.
+  for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+    os << "  in" << i << " [shape=ellipse,label=\"in" << i << "\"];\n";
+  }
+  for (std::size_t o = 0; o < g.outputs.size(); ++o) {
+    os << "  out" << o << " [shape=ellipse,label=\"out" << o << "\"];\n";
+  }
+
+  auto edge_label = [&](int e) {
+    const FlatEdge& fe = g.edges[static_cast<std::size_t>(e)];
+    std::ostringstream lbl;
+    if (opts.show_types) lbl << fe.vtable().type_name;
+    if (opts.show_buffer_modes &&
+        fe.settings.buffer != BufferMode::unspecified) {
+      lbl << (opts.show_types ? "\\n" : "")
+          << buffer_mode_name(fe.settings.buffer);
+    }
+    if (fe.settings.rtp) lbl << (lbl.str().empty() ? "" : "\\n") << "RTP";
+    return lbl.str();
+  };
+
+  // Data edges: every producer endpoint connects to every consumer
+  // endpoint of the same channel (broadcast/merge semantics).
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    std::vector<std::string> sources;
+    std::vector<std::string> sinks;
+    for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+      const FlatKernel& fk = g.kernels[k];
+      for (int p = 0; p < fk.nports; ++p) {
+        const FlatPort& fp =
+            g.ports[static_cast<std::size_t>(fk.first_port + p)];
+        if (fp.edge != static_cast<int>(e)) continue;
+        (fp.is_read ? sinks : sources).push_back("k" + std::to_string(k));
+      }
+    }
+    for (std::size_t i = 0; i < g.inputs.size(); ++i) {
+      if (g.inputs[i].edge == static_cast<int>(e)) {
+        sources.push_back("in" + std::to_string(i));
+      }
+    }
+    for (std::size_t o = 0; o < g.outputs.size(); ++o) {
+      if (g.outputs[o].edge == static_cast<int>(e)) {
+        sinks.push_back("out" + std::to_string(o));
+      }
+    }
+    for (const std::string& s : sources) {
+      for (const std::string& d : sinks) {
+        os << "  " << s << " -> " << d << " [label=\"" << edge_label(
+               static_cast<int>(e))
+           << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+/// Convenience: the dot text as a string.
+[[nodiscard]] inline std::string to_dot(const GraphView& g,
+                                        const DotOptions& opts = {}) {
+  std::ostringstream os;
+  write_dot(os, g, opts);
+  return os.str();
+}
+
+}  // namespace cgsim

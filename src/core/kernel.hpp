@@ -1,0 +1,173 @@
+// cgsim -- kernel definition: the COMPUTE_KERNEL macro and KernelHandle
+// (paper Section 3.3, Figure 3).
+//
+// COMPUTE_KERNEL(realm, name, ports...) generates
+//   * a metadata class `name_kernel_def` holding the kernel's name, realm,
+//     and its coroutine body as a static member function, and
+//   * a constexpr instance `name` of KernelHandle, callable inside graph
+//     definition lambdas to instantiate the kernel.
+//
+// The handle's call operator runs at compile time: it type-checks the
+// IoConnector arguments against the body signature, merges port settings
+// into the touched edges, and records a KernelNode on the constexpr heap.
+// It also captures `&kernel_thunk<Def>`, the template function the runtime
+// later calls to reconstruct the kernel with properly typed ports (paper
+// Sections 3.5-3.6: "type information ... is preserved through template
+// functions").
+#pragma once
+
+#include <tuple>
+#include <utility>
+
+#include "ct_graph.hpp"
+#include "fn_traits.hpp"
+#include "ports.hpp"
+#include "task.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+namespace detail {
+
+/// Reconstructs a typed kernel instance from type-erased runtime bindings.
+template <class Def>
+KernelTask kernel_thunk(const KernelBinding& b) {
+  using traits = fn_traits<decltype(&Def::body)>;
+  return [&b]<std::size_t... I>(std::index_sequence<I...>) {
+    return Def::body(typename traits::template arg<I>{b.ports[I]}...);
+  }(std::make_index_sequence<traits::arity>{});
+}
+
+}  // namespace detail
+
+/// Compile-time callable representing one kernel type; invoking it inside a
+/// graph-definition lambda instantiates the kernel (paper Figure 4).
+template <class Def>
+class KernelHandle {
+  using traits = fn_traits<decltype(&Def::body)>;
+
+ public:
+  template <class... Ts>
+  constexpr void operator()(IoConnector<Ts>&... cs) const {
+    static_assert(sizeof...(Ts) == traits::arity,
+                  "kernel instantiation: wrong number of connectors");
+    static_assert(sizeof...(Ts) <= kMaxPortsPerKernel,
+                  "kernel has too many ports");
+    check_types(std::index_sequence_for<Ts...>{},
+                std::type_identity<std::tuple<Ts...>>{});
+
+    // Bring every argument into one arena (order-independent construction).
+    (cs.ensure(), ...);
+    ct::Arena* root = nullptr;
+    ((root = root == nullptr ? ct::find_root(cs.arena())
+                             : ct::merge(root, cs.arena())),
+     ...);
+
+    auto* k = new ct::KernelNode{};
+    k->name = Def::kernel_name;
+    k->realm = Def::realm;
+    k->thunk = &detail::kernel_thunk<Def>;
+    record_ports(k, root, std::index_sequence_for<Ts...>{}, cs...);
+    k->next = root->kernels_head;
+    root->kernels_head = k;
+    ++root->n_kernels;
+    root->n_ports += k->nports;
+  }
+
+  [[nodiscard]] static constexpr std::string_view name() {
+    return Def::kernel_name;
+  }
+  [[nodiscard]] static constexpr Realm realm() { return Def::realm; }
+  [[nodiscard]] static constexpr std::size_t arity() { return traits::arity; }
+
+ private:
+  template <std::size_t... I, class... Ts>
+  static constexpr void check_types(std::index_sequence<I...>,
+                                    std::type_identity<std::tuple<Ts...>>) {
+    static_assert(
+        (std::is_same_v<
+             typename port_traits<typename traits::template arg<I>>::value_type,
+             std::tuple_element_t<I, std::tuple<Ts...>>> &&
+         ...),
+        "kernel instantiation: connector element type does not match the "
+        "kernel port type");
+  }
+
+  template <std::size_t... I, class... Ts>
+  static constexpr void record_ports(ct::KernelNode* k, ct::Arena* /*root*/,
+                                     std::index_sequence<I...>,
+                                     IoConnector<Ts>&... cs) {
+    (record_one<I>(k, cs), ...);
+  }
+
+  template <std::size_t I, class T>
+  static constexpr void record_one(ct::KernelNode* k, IoConnector<T>& c) {
+    using P = port_traits<typename traits::template arg<I>>;
+    ct::EdgeNode* e = c.edge();
+    // Merge this endpoint's settings into the connection; incompatible
+    // settings make constant evaluation (and thus compilation) fail here.
+    if (e->has_settings) {
+      e->settings = merge_settings_or_fail(e->settings, P::settings);
+    } else {
+      e->settings = P::settings;
+      e->has_settings = true;
+    }
+    k->ports[k->nports++] = ct::PortRef{P::is_read, e, P::settings};
+  }
+};
+
+}  // namespace cgsim
+
+/// Defines a compute kernel (paper Figure 3):
+///
+///   COMPUTE_KERNEL(aie, adder,
+///                  cgsim::KernelReadPort<float> in1,
+///                  cgsim::KernelReadPort<float> in2,
+///                  cgsim::KernelWritePort<float> out) {
+///     while (true) {
+///       co_await out.put(co_await in1.get() + co_await in2.get());
+///     }
+///   }
+///
+/// The first argument is the execution realm (target hardware) the graph
+/// extractor later uses for partitioning; the second the kernel name; the
+/// rest the kernel's I/O port declarations, which double as the coroutine's
+/// parameter list.
+#define COMPUTE_KERNEL(realm_, name_, ...)                                 \
+  struct name_##_kernel_def {                                              \
+    static constexpr std::string_view kernel_name = #name_;                \
+    static constexpr ::cgsim::Realm realm = ::cgsim::Realm::realm_;        \
+    static ::cgsim::KernelTask body(__VA_ARGS__);                          \
+  };                                                                       \
+  inline constexpr ::cgsim::KernelHandle<name_##_kernel_def> name_{};      \
+  inline ::cgsim::KernelTask name_##_kernel_def::body(__VA_ARGS__)
+
+/// Defines a compute kernel templated over one element type -- support for
+/// templated kernels is listed as future work in the paper (Section 6) and
+/// implemented here as an extension:
+///
+///   COMPUTE_KERNEL_TEMPLATE(aie, caster, T,
+///                           cgsim::KernelReadPort<T> in,
+///                           cgsim::KernelWritePort<float> out) {
+///     while (true) {
+///       co_await out.put(static_cast<float>(co_await in.get()));
+///     }
+///   }
+///
+/// Instantiations are used as `caster<int>(a, b)` inside graph definitions;
+/// each instantiation reports a synthesized kernel name like "caster<int>"
+/// to the flattened graph and the extractor.
+#define COMPUTE_KERNEL_TEMPLATE(realm_, name_, TP, ...)                    \
+  template <class TP>                                                      \
+  struct name_##_kernel_def {                                              \
+    static constexpr auto kernel_name_storage =                            \
+        ::cgsim::detail::template_kernel_name<TP>(#name_);                 \
+    static constexpr std::string_view kernel_name =                        \
+        kernel_name_storage.view();                                        \
+    static constexpr ::cgsim::Realm realm = ::cgsim::Realm::realm_;        \
+    static ::cgsim::KernelTask body(__VA_ARGS__);                          \
+  };                                                                       \
+  template <class TP>                                                      \
+  inline constexpr ::cgsim::KernelHandle<name_##_kernel_def<TP>> name_{};  \
+  template <class TP>                                                      \
+  ::cgsim::KernelTask name_##_kernel_def<TP>::body(__VA_ARGS__)

@@ -1,0 +1,154 @@
+// cgsim -- per-port settings and per-connection attributes.
+//
+// Settings that influence graph behaviour (paper Section 3.4) are non-type
+// template parameters of KernelReadPort / KernelWritePort. When two
+// parameterized ports meet on one IoConnector, their settings are merged;
+// incompatible settings abort constexpr evaluation, i.e. become a compile
+// error at the graph definition site.
+//
+// Attributes (string key -> string-or-integer value) do NOT affect runtime
+// behaviour; they carry auxiliary information (PLIO names, buffering modes)
+// to the graph extractor.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cgsim {
+
+/// Buffering discipline of a kernel I/O port.
+enum class BufferMode : std::uint8_t {
+  unspecified,  ///< merges with anything
+  stream,       ///< AXI4-Stream style per-beat access
+  window,       ///< whole-block window buffer
+  pingpong,     ///< double-buffered window
+};
+
+[[nodiscard]] constexpr std::string_view buffer_mode_name(BufferMode m) {
+  switch (m) {
+    case BufferMode::unspecified: return "unspecified";
+    case BufferMode::stream: return "stream";
+    case BufferMode::window: return "window";
+    case BufferMode::pingpong: return "pingpong";
+  }
+  return "?";
+}
+
+/// How a global connection reaches the AIE array (paper Section 6 lists
+/// Global Memory I/O as future work; implemented here as an extension).
+enum class IoKind : std::uint8_t {
+  unspecified,  ///< merges with anything; defaults to plio
+  plio,         ///< PL streaming interface (the paper's evaluation setup)
+  gmio,         ///< NoC DMA to global memory (burst transfers)
+};
+
+[[nodiscard]] constexpr std::string_view io_kind_name(IoKind k) {
+  switch (k) {
+    case IoKind::unspecified: return "unspecified";
+    case IoKind::plio: return "plio";
+    case IoKind::gmio: return "gmio";
+  }
+  return "?";
+}
+
+/// Port settings; a structural type usable as a non-type template parameter.
+/// Zero-valued fields mean "unspecified" and merge with any concrete value.
+struct PortSettings {
+  int beat_bits = 0;     ///< AXI beat width in bits (0 = unspecified -> 32)
+  bool rtp = false;      ///< port is an AIE runtime parameter
+  BufferMode buffer = BufferMode::unspecified;
+  int window_size = 0;   ///< elements per window (window/pingpong modes)
+  IoKind io = IoKind::unspecified;  ///< global-interface kind (plio/gmio)
+
+  [[nodiscard]] constexpr bool operator==(const PortSettings&) const = default;
+};
+
+/// Result of a settings merge; `ok == false` carries a diagnostic.
+struct MergeResult {
+  bool ok = true;
+  PortSettings merged{};
+  std::string_view error{};
+};
+
+/// Merges the settings of two endpoints that share a connection
+/// (paper Section 3.4: "cgsim checks for compatibility and merges their
+/// configurations into a unified setting shared by all connected
+/// endpoints").
+[[nodiscard]] constexpr MergeResult try_merge_settings(PortSettings a,
+                                                       PortSettings b) {
+  MergeResult r{};
+  if (a.beat_bits == 0) {
+    r.merged.beat_bits = b.beat_bits;
+  } else if (b.beat_bits == 0 || a.beat_bits == b.beat_bits) {
+    r.merged.beat_bits = a.beat_bits;
+  } else {
+    return {false, {}, "incompatible beat widths on connected ports"};
+  }
+  if (a.rtp != b.rtp) {
+    return {false, {},
+            "runtime-parameter port connected to a streaming port"};
+  }
+  r.merged.rtp = a.rtp;
+  if (a.buffer == BufferMode::unspecified) {
+    r.merged.buffer = b.buffer;
+  } else if (b.buffer == BufferMode::unspecified || a.buffer == b.buffer) {
+    r.merged.buffer = a.buffer;
+  } else {
+    return {false, {}, "incompatible buffer modes on connected ports"};
+  }
+  if (a.window_size == 0) {
+    r.merged.window_size = b.window_size;
+  } else if (b.window_size == 0 || a.window_size == b.window_size) {
+    r.merged.window_size = a.window_size;
+  } else {
+    return {false, {}, "incompatible window sizes on connected ports"};
+  }
+  if (a.io == IoKind::unspecified) {
+    r.merged.io = b.io;
+  } else if (b.io == IoKind::unspecified || a.io == b.io) {
+    r.merged.io = a.io;
+  } else {
+    return {false, {}, "incompatible global-interface kinds (plio vs gmio)"};
+  }
+  return r;
+}
+
+/// Merge that fails constexpr evaluation (and therefore compilation when it
+/// runs at compile time) on incompatible settings.
+[[nodiscard]] constexpr PortSettings merge_settings_or_fail(PortSettings a,
+                                                            PortSettings b) {
+  const MergeResult r = try_merge_settings(a, b);
+  if (!r.ok) {
+    // Reached only on incompatible settings: not a constant expression, so
+    // graph construction fails to compile with this call in the trace.
+    throw r.error;  // NOLINT -- intentional constexpr failure signal
+  }
+  return r.merged;
+}
+
+/// Effective beat width after defaulting (bits).
+[[nodiscard]] constexpr int effective_beat_bits(const PortSettings& s) {
+  return s.beat_bits == 0 ? 32 : s.beat_bits;
+}
+
+/// One extractor-facing attribute attached to a connection
+/// (paper Section 3.4). Values are string literals or integers; keys are
+/// string literals, so string_views remain valid from compile time into
+/// run time.
+struct Attribute {
+  std::string_view key{};
+  std::string_view str_value{};
+  long long int_value = 0;
+  bool is_int = false;
+
+  [[nodiscard]] constexpr bool operator==(const Attribute&) const = default;
+};
+
+constexpr int kMaxAttrsPerEdge = 8;
+constexpr int kMaxPortsPerKernel = 16;
+constexpr int kMaxGlobalPorts = 32;
+
+/// Default ring capacity (elements) of the MPMC channels backing an edge.
+constexpr int kDefaultChannelCapacity = 64;
+
+}  // namespace cgsim

@@ -1,0 +1,179 @@
+// cgsim -- kernel-facing streaming I/O port types (paper Sections 3.3, 3.6).
+//
+// KernelReadPort / KernelWritePort appear in COMPUTE_KERNEL signatures.
+// Behavioural settings (beat width, runtime-parameter flag, buffer mode)
+// are non-type template parameters; they take part in connection merging at
+// graph-construction (compile) time. At run time a port is bound to one
+// broadcast-channel endpoint and accessed with `co_await port.get()` /
+// `co_await port.put(v)`.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <utility>
+
+#include "channel.hpp"
+#include "port_config.hpp"
+#include "task.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+/// Runtime wiring of one kernel port; filled in by the RuntimeContext when
+/// a serialized graph is instantiated (paper Section 3.6).
+struct PortBinding {
+  ChannelBase* channel = nullptr;
+  int consumer = -1;  ///< broadcast endpoint for read ports
+  ExecMode mode = ExecMode::coop;
+  SimHooks* sim = nullptr;
+};
+
+namespace detail {
+
+template <class T>
+struct [[nodiscard]] ReadAwaiter {
+  TypedChannel<T>* ch;
+  int consumer;
+  ExecMode mode;
+  SimHooks* sim;
+  PortSettings settings;
+  T value{};
+  ChanStatus st = ChanStatus::blocked;
+
+  bool await_ready() {
+    if (mode == ExecMode::threaded) {
+      st = ch->blocking_pop(consumer, value) ? ChanStatus::ok
+                                             : ChanStatus::closed;
+      return true;
+    }
+    st = ch->try_pop(consumer, value);
+    return st != ChanStatus::blocked;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    ch->add_pop_waiter({&value, &st, h, consumer});
+  }
+  T await_resume() {
+    if (st == ChanStatus::closed) throw StreamClosed{};
+    if (sim != nullptr) {
+      sim->charge_port_access(settings, sizeof(T), /*is_read=*/true, ch);
+    }
+    return std::move(value);
+  }
+};
+
+template <class T>
+struct [[nodiscard]] WriteAwaiter {
+  TypedChannel<T>* ch;
+  ExecMode mode;
+  SimHooks* sim;
+  PortSettings settings;
+  T value;
+  ChanStatus st = ChanStatus::blocked;
+
+  bool await_ready() {
+    if (mode == ExecMode::threaded) {
+      st = ch->blocking_push(value) ? ChanStatus::ok : ChanStatus::closed;
+      return true;
+    }
+    st = ch->try_push(value);
+    return st != ChanStatus::blocked;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    ch->add_push_waiter({&value, &st, h});
+  }
+  void await_resume() {
+    if (st == ChanStatus::closed) throw StreamClosed{};
+    if (sim != nullptr) {
+      sim->charge_port_access(settings, sizeof(T), /*is_read=*/false, ch);
+    }
+  }
+};
+
+}  // namespace detail
+
+/// Streaming input of a compute kernel.
+///
+/// `S` carries behaviour-affecting settings (paper Section 3.4): e.g.
+/// `KernelReadPort<float, PortSettings{.rtp = true}>` declares an AIE
+/// runtime parameter, `KernelReadPort<int, PortSettings{.beat_bits = 64}>`
+/// pins the AXI beat width.
+template <class T, PortSettings S = PortSettings{}>
+class KernelReadPort {
+ public:
+  using value_type = T;
+  static constexpr PortSettings settings = S;
+  static constexpr bool is_read_port = true;
+
+  KernelReadPort() = default;
+  explicit KernelReadPort(const PortBinding& b)
+      : ch_(static_cast<TypedChannel<T>*>(b.channel)),
+        consumer_(b.consumer),
+        mode_(b.mode),
+        sim_(b.sim) {}
+
+  /// Awaitable that yields the next stream element; raises StreamClosed
+  /// (terminating the kernel) once the stream is exhausted for good.
+  [[nodiscard]] detail::ReadAwaiter<T> get() const {
+    return {ch_, consumer_, mode_, sim_, S};
+  }
+
+  [[nodiscard]] TypedChannel<T>* channel() const { return ch_; }
+  [[nodiscard]] int consumer() const { return consumer_; }
+
+ private:
+  TypedChannel<T>* ch_ = nullptr;
+  int consumer_ = -1;
+  ExecMode mode_ = ExecMode::coop;
+  SimHooks* sim_ = nullptr;
+};
+
+/// Streaming output of a compute kernel.
+template <class T, PortSettings S = PortSettings{}>
+class KernelWritePort {
+ public:
+  using value_type = T;
+  static constexpr PortSettings settings = S;
+  static constexpr bool is_read_port = false;
+
+  KernelWritePort() = default;
+  explicit KernelWritePort(const PortBinding& b)
+      : ch_(static_cast<TypedChannel<T>*>(b.channel)),
+        mode_(b.mode),
+        sim_(b.sim) {}
+
+  /// Awaitable that writes one element, suspending while the channel is
+  /// full; raises StreamClosed when every downstream consumer has finished.
+  [[nodiscard]] detail::WriteAwaiter<T> put(T v) const {
+    return {ch_, mode_, sim_, S, std::move(v)};
+  }
+
+  [[nodiscard]] TypedChannel<T>* channel() const { return ch_; }
+
+ private:
+  TypedChannel<T>* ch_ = nullptr;
+  ExecMode mode_ = ExecMode::coop;
+  SimHooks* sim_ = nullptr;
+};
+
+/// Introspection over port parameter types of a kernel signature.
+template <class P>
+struct port_traits;
+
+template <class T, PortSettings S>
+struct port_traits<KernelReadPort<T, S>> {
+  using value_type = T;
+  static constexpr bool is_read = true;
+  static constexpr PortSettings settings = S;
+};
+
+template <class T, PortSettings S>
+struct port_traits<KernelWritePort<T, S>> {
+  using value_type = T;
+  static constexpr bool is_read = false;
+  static constexpr PortSettings settings = S;
+};
+
+template <class P>
+concept KernelPort = requires { port_traits<P>::is_read; };
+
+}  // namespace cgsim

@@ -1,0 +1,414 @@
+// cgsim -- runtime graph instantiation and execution
+// (paper Sections 3.6-3.8).
+//
+// RuntimeContext is the deserializer: it reconstructs a runnable copy of a
+// flattened compute graph on the runtime heap -- channels first, then the
+// kernels via their serialized thunks -- and manages the whole execution
+// instance. Global inputs/outputs are attached as data source/sink
+// coroutines reading/writing ordinary C++ containers (Section 3.7).
+//
+// Two execution strategies live here:
+//   * run_coop():     cooperative single-threaded scheduling (cgsim proper)
+//   * run_threaded(): one OS thread per kernel (the x86sim execution model)
+// The cycle-approximate backend drives the same context with its own
+// executor (see src/aiesim/).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "channel.hpp"
+#include "dma.hpp"
+#include "flatten.hpp"
+#include "graph_view.hpp"
+#include "kernel.hpp"
+#include "ports.hpp"
+#include "scheduler.hpp"
+#include "task.hpp"
+#include "types.hpp"
+
+namespace cgsim {
+
+/// Raised when the containers supplied at invocation do not match the
+/// graph's global port types.
+class TypeMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+// NOTE: the DMA-transform branch is kept outside the co_await expressions;
+// GCC 12 miscompiles conditional-operator temporaries of non-scalar type
+// inside await expressions (the coroutine frame copy of the std::function
+// gets clobbered).
+template <class T>
+KernelTask stream_source(KernelWritePort<T> out, std::span<const T> data,
+                         int repetitions, dma::Transform<T> dma_transform) {
+  for (int r = 0; r < repetitions; ++r) {
+    if (dma_transform) {
+      for (const T& v : data) co_await out.put(dma_transform(v));
+    } else {
+      for (const T& v : data) co_await out.put(v);
+    }
+  }
+}
+
+template <class T>
+KernelTask stream_sink(KernelReadPort<T> in, std::vector<T>* out,
+                       dma::Transform<T> dma_transform) {
+  while (true) {
+    T v = co_await in.get();  // terminates via StreamClosed
+    if (dma_transform) {
+      out->push_back(dma_transform(v));
+    } else {
+      out->push_back(std::move(v));
+    }
+  }
+}
+
+template <class T>
+KernelTask rtp_source(KernelWritePort<T> out, T value) {
+  co_await out.put(std::move(value));
+}
+
+template <class C>
+concept DataContainer = requires(const C& c) {
+  typename C::value_type;
+  std::span<const typename C::value_type>{c};
+};
+
+}  // namespace detail
+
+/// One execution instance of a compute graph (paper Section 3.6).
+class RuntimeContext {
+ public:
+  struct TaskRecord {
+    KernelTask task;
+    std::string name;
+    std::vector<ChannelBase*> out_channels;
+    std::vector<std::pair<ChannelBase*, int>> in_endpoints;
+    Realm realm = Realm::noextract;
+    int kernel_index = -1;  ///< -1 for source/sink tasks
+    bool finished = false;
+  };
+
+  /// Deserializes `g`. When `exec` is null the context's own FIFO scheduler
+  /// is used (cooperative mode); the cycle-approximate backend passes its
+  /// event-queue executor and SimHooks instead.
+  explicit RuntimeContext(const GraphView& g, ExecMode mode = ExecMode::coop,
+                          Executor* exec = nullptr, SimHooks* sim = nullptr)
+      : graph_(g), mode_(mode), sim_(sim) {
+    exec_ = exec != nullptr ? exec : &sched_;
+    // Recreate all channels from the serialized edge descriptors. Ping-pong
+    // window connections are double buffers on hardware: unless the user
+    // overrode the capacity, model exactly two windows in flight.
+    channels_.reserve(g.edges.size());
+    for (const FlatEdge& e : g.edges) {
+      int capacity = e.capacity;
+      if (e.settings.buffer == BufferMode::pingpong &&
+          capacity == kDefaultChannelCapacity) {
+        capacity = 2;
+      }
+      ChannelBase* ch = e.vtable().create(mode_, e.n_consumers, capacity,
+                                          e.settings.rtp, exec_);
+      ch->set_producers(e.n_producers);
+      if (sim_ != nullptr) ch->attach_sim_hooks(sim_);
+      channels_.emplace_back(ch);
+    }
+    // Recreate all kernels through their serialized thunks.
+    tasks_.reserve(g.kernels.size());
+    for (std::size_t ki = 0; ki < g.kernels.size(); ++ki) {
+      const FlatKernel& k = g.kernels[ki];
+      std::vector<PortBinding> bindings;
+      bindings.reserve(static_cast<std::size_t>(k.nports));
+      TaskRecord rec;
+      rec.name = std::string{k.name};
+      rec.realm = k.realm;
+      rec.kernel_index = static_cast<int>(ki);
+      for (int p = 0; p < k.nports; ++p) {
+        const FlatPort& fp =
+            g.ports[static_cast<std::size_t>(k.first_port + p)];
+        ChannelBase* ch = channels_[static_cast<std::size_t>(fp.edge)].get();
+        bindings.push_back(PortBinding{ch, fp.endpoint, mode_, sim_});
+        if (fp.is_read) {
+          rec.in_endpoints.emplace_back(ch, fp.endpoint);
+        } else {
+          rec.out_channels.push_back(ch);
+        }
+      }
+      rec.task = k.thunk(KernelBinding{bindings.data(), bindings.size()});
+      tasks_.push_back(std::move(rec));
+    }
+  }
+
+  RuntimeContext(const RuntimeContext&) = delete;
+  RuntimeContext& operator=(const RuntimeContext&) = delete;
+
+  // --- global I/O attachment (paper Section 3.7) ---
+
+  /// Attaches a streaming data source. `dma_transform` models a DMA
+  /// descriptor applied during the transfer (e.g. dma::CornerTurn).
+  template <class T>
+  void add_stream_source(std::size_t input_idx, std::span<const T> data,
+                         int repetitions = 1,
+                         dma::Transform<T> dma_transform = {}) {
+    const FlatGlobal& in = global_input(input_idx, type_id<T>());
+    auto* ch = channel_as<T>(in.edge);
+    PortBinding b{ch, -1, mode_, sim_};
+    TaskRecord rec;
+    rec.name = "source#" + std::to_string(input_idx);
+    rec.out_channels.push_back(ch);
+    rec.task = detail::stream_source<T>(KernelWritePort<T>{b}, data,
+                                        repetitions,
+                                        std::move(dma_transform));
+    tasks_.push_back(std::move(rec));
+  }
+
+  template <class T>
+  void add_stream_sink(std::size_t output_idx, std::vector<T>& out,
+                       dma::Transform<T> dma_transform = {}) {
+    const FlatGlobal& go = global_output(output_idx, type_id<T>());
+    auto* ch = channel_as<T>(go.edge);
+    PortBinding b{ch, go.endpoint, mode_, sim_};
+    TaskRecord rec;
+    rec.name = "sink#" + std::to_string(output_idx);
+    rec.in_endpoints.emplace_back(ch, go.endpoint);
+    rec.task = detail::stream_sink<T>(KernelReadPort<T>{b}, &out,
+                                      std::move(dma_transform));
+    tasks_.push_back(std::move(rec));
+  }
+
+  template <class T>
+  void add_rtp_source(std::size_t input_idx, T value) {
+    const FlatGlobal& in = global_input(input_idx, type_id<T>());
+    require_rtp(in.edge, "runtime-parameter source");
+    auto* ch = channel_as<T>(in.edge);
+    PortBinding b{ch, -1, mode_, sim_};
+    TaskRecord rec;
+    rec.name = "rtp-source#" + std::to_string(input_idx);
+    rec.out_channels.push_back(ch);
+    rec.task = detail::rtp_source<T>(KernelWritePort<T>{b}, std::move(value));
+    tasks_.push_back(std::move(rec));
+  }
+
+  /// A runtime-parameter sink has no coroutine: the final value is copied
+  /// out after the run completes.
+  template <class T>
+  void add_rtp_sink(std::size_t output_idx, T& out) {
+    const FlatGlobal& go = global_output(output_idx, type_id<T>());
+    require_rtp(go.edge, "runtime-parameter sink");
+    auto* ch = static_cast<RtpChannel<T>*>(
+        channels_[static_cast<std::size_t>(go.edge)].get());
+    ch->consumer_done(go.endpoint);  // never blocks ring reuse
+    finalizers_.push_back([ch, &out] { (void)ch->latest(out); });
+  }
+
+  // --- execution ---
+
+  /// Cooperative single-threaded execution (paper Section 3.8).
+  RunResult run_coop() {
+    start_all();
+    RunResult r{};
+    r.resumes = sched_.run([this](std::coroutine_handle<> h) {
+      on_task_finished(h);
+    });
+    return finish(r);
+  }
+
+  /// Thread-per-kernel execution (the x86sim model, paper Section 5.2).
+  RunResult run_threaded() {
+    RunResult r{};
+    {
+      std::vector<std::jthread> threads;
+      threads.reserve(tasks_.size());
+      for (TaskRecord& rec : tasks_) {
+        threads.emplace_back([this, &rec] {
+          rec.task.handle().resume();
+          if (rec.task.done()) on_task_finished_record(rec);
+        });
+      }
+    }  // join
+    r.resumes = tasks_.size();
+    return finish(r);
+  }
+
+  /// Registers every task with the executor in suspended state; used by
+  /// run_coop() and by the cycle-approximate engine.
+  void start_all() {
+    for (TaskRecord& rec : tasks_) {
+      by_handle_[rec.task.handle().address()] = &rec;
+      exec_->make_ready(rec.task.handle(), 0);
+    }
+  }
+
+  /// Closure bookkeeping shared by all execution strategies.
+  void on_task_finished(std::coroutine_handle<> h) {
+    auto it = by_handle_.find(h.address());
+    if (it != by_handle_.end()) on_task_finished_record(*it->second);
+  }
+
+  [[nodiscard]] std::vector<TaskRecord>& tasks() { return tasks_; }
+  [[nodiscard]] const GraphView& graph() const { return graph_; }
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] ChannelBase* channel(int edge) {
+    return channels_[static_cast<std::size_t>(edge)].get();
+  }
+  [[nodiscard]] TaskRecord* record_for(std::coroutine_handle<> h) {
+    auto it = by_handle_.find(h.address());
+    return it == by_handle_.end() ? nullptr : it->second;
+  }
+
+  /// Gathers statistics, runs finalizers, and rethrows the first kernel
+  /// error, if any. Exposed for custom engines.
+  RunResult finish(RunResult r) {
+    for (TaskRecord& rec : tasks_) {
+      if (rec.task.done()) {
+        ++r.kernels_completed;
+      } else {
+        ++r.kernels_destroyed;
+        r.deadlocked = true;
+        r.blocked_kernels.push_back(rec.name);
+      }
+      if (std::exception_ptr e = rec.task.error()) {
+        std::rethrow_exception(e);
+      }
+    }
+    for (std::size_t o = 0; o < graph_.outputs.size(); ++o) {
+      const FlatGlobal& go = graph_.outputs[o];
+      if (go.endpoint >= 0) {
+        r.items_consumed +=
+            channels_[static_cast<std::size_t>(go.edge)]->popped(go.endpoint);
+      }
+    }
+    for (auto& f : finalizers_) f();
+    return r;
+  }
+
+ private:
+  void on_task_finished_record(TaskRecord& rec) {
+    if (rec.finished) return;
+    rec.finished = true;
+    for (auto& [ch, endpoint] : rec.in_endpoints) ch->consumer_done(endpoint);
+    for (ChannelBase* ch : rec.out_channels) ch->producer_done();
+  }
+
+  [[nodiscard]] const FlatGlobal& global_input(std::size_t idx, TypeId t) {
+    if (idx >= graph_.inputs.size()) {
+      throw std::out_of_range{"graph input index out of range"};
+    }
+    const FlatGlobal& g = graph_.inputs[idx];
+    check_type(g, t, "input");
+    return g;
+  }
+  [[nodiscard]] const FlatGlobal& global_output(std::size_t idx, TypeId t) {
+    if (idx >= graph_.outputs.size()) {
+      throw std::out_of_range{"graph output index out of range"};
+    }
+    const FlatGlobal& g = graph_.outputs[idx];
+    check_type(g, t, "output");
+    return g;
+  }
+  void check_type(const FlatGlobal& g, TypeId t, const char* what) {
+    if (g.type != t) {
+      const FlatEdge& e = graph_.edges[static_cast<std::size_t>(g.edge)];
+      throw TypeMismatchError{
+          std::string{"graph "} + what + " element type mismatch: graph " +
+          "expects " + std::string{e.vtable().type_name}};
+    }
+  }
+  void require_rtp(int edge, const char* what) {
+    if (!graph_.edges[static_cast<std::size_t>(edge)].settings.rtp) {
+      throw TypeMismatchError{
+          std::string{what} + " attached to a non-RTP connection"};
+    }
+  }
+  template <class T>
+  [[nodiscard]] TypedChannel<T>* channel_as(int edge) {
+    return static_cast<TypedChannel<T>*>(
+        channels_[static_cast<std::size_t>(edge)].get());
+  }
+
+  GraphView graph_;
+  ExecMode mode_;
+  SimHooks* sim_;
+  Executor* exec_;
+  Scheduler sched_;
+  // Channels are declared before tasks so tasks (which reference channels)
+  // are destroyed first.
+  std::vector<std::unique_ptr<ChannelBase>> channels_;
+  std::vector<TaskRecord> tasks_;
+  std::unordered_map<void*, TaskRecord*> by_handle_;
+  std::vector<std::function<void()>> finalizers_;
+};
+
+namespace detail {
+
+template <class Arg>
+void attach_io(RuntimeContext& ctx, const GraphView& g, const RunOptions& opts,
+               std::size_t pos, Arg&& arg) {
+  using V = std::remove_cvref_t<Arg>;
+  const bool is_input = pos < g.inputs.size();
+  const std::size_t idx = is_input ? pos : pos - g.inputs.size();
+  // Whether `arg` could legally serve as a sink (mutable lvalue); const or
+  // temporary arguments can only be sources.
+  constexpr bool sinkable = std::is_lvalue_reference_v<Arg&&> &&
+                            !std::is_const_v<std::remove_reference_t<Arg>>;
+  if constexpr (DataContainer<V>) {
+    using T = typename V::value_type;
+    if (is_input) {
+      ctx.add_stream_source<T>(idx, std::span<const T>{arg},
+                               opts.repetitions);
+    } else if constexpr (sinkable) {
+      ctx.add_stream_sink<T>(idx, arg);
+    } else {
+      throw std::invalid_argument{
+          "graph output sink must be a mutable lvalue container"};
+    }
+  } else {
+    // Scalar: a runtime parameter (paper Section 3.7).
+    if (is_input) {
+      ctx.add_rtp_source<V>(idx, V{arg});
+    } else if constexpr (sinkable) {
+      ctx.add_rtp_sink<V>(idx, arg);
+    } else {
+      throw std::invalid_argument{
+          "runtime-parameter sink must be a mutable lvalue"};
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Invokes a compute graph: positional data sources for every global input
+/// first, then data sinks for every global output (paper Section 3.7).
+/// Containers become element streams; scalars become runtime parameters.
+template <class... Args>
+RunResult run_graph(const GraphView& g, const RunOptions& opts,
+                    Args&&... args) {
+  if (sizeof...(args) != g.inputs.size() + g.outputs.size()) {
+    throw std::invalid_argument{
+        "graph invocation: expected one argument per global input and "
+        "output"};
+  }
+  if (opts.mode == ExecMode::sim) {
+    throw std::invalid_argument{
+        "ExecMode::sim requires the cycle-approximate engine; use "
+        "aiesim::simulate()"};
+  }
+  RuntimeContext ctx{g, opts.mode};
+  std::size_t pos = 0;
+  (detail::attach_io(ctx, g, opts, pos++, std::forward<Args>(args)), ...);
+  return opts.mode == ExecMode::threaded ? ctx.run_threaded()
+                                         : ctx.run_coop();
+}
+
+}  // namespace cgsim

@@ -1,0 +1,100 @@
+// cgsim -- the kernel coroutine type and scheduler interface.
+//
+// Every compute kernel body is a C++20 coroutine of type KernelTask
+// (paper Section 3.8). Kernels are created suspended, registered with the
+// cooperative scheduler, and resumed until no coroutine can make progress.
+// A kernel written as `while (true) { ... }` terminates through the
+// StreamClosed signal raised by a read on an exhausted stream whose
+// producers have all finished.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+namespace cgsim {
+
+/// Internal control-flow signal: a stream endpoint became permanently
+/// unusable (all producers finished and the buffer drained, or all
+/// consumers finished). Unwinds the kernel coroutine; the runtime treats it
+/// as normal termination, mirroring how real AIE kernels stop when their
+/// input windows stop arriving.
+struct StreamClosed {};
+
+/// Abstract cooperative executor; channels use it to move coroutines whose
+/// pending channel operation completed back onto the ready list.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Marks `h` runnable. `not_before` is a virtual-time lower bound in
+  /// cycles, used by the cycle-approximate backend; the plain cooperative
+  /// scheduler ignores it. Channels complete an operation exactly once per
+  /// suspension, so `h` is never enqueued twice.
+  virtual void make_ready(std::coroutine_handle<> h,
+                          std::uint64_t not_before) = 0;
+};
+
+/// Move-only handle to a suspended kernel coroutine.
+///
+/// Lifetime: the coroutine frame is destroyed by ~KernelTask. The runtime
+/// context keeps every task alive for the whole graph execution and reaps
+/// them afterwards (paper Section 3.8).
+class [[nodiscard]] KernelTask {
+ public:
+  struct promise_type {
+    std::exception_ptr error{};
+    bool closed_normally = false;  // terminated via StreamClosed
+
+    KernelTask get_return_object() {
+      return KernelTask{
+          std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() {
+      try {
+        throw;
+      } catch (const StreamClosed&) {
+        closed_normally = true;
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+  };
+
+  KernelTask() = default;
+  explicit KernelTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+  KernelTask(KernelTask&& o) noexcept : h_(std::exchange(o.h_, {})) {}
+  KernelTask& operator=(KernelTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, {});
+    }
+    return *this;
+  }
+  KernelTask(const KernelTask&) = delete;
+  KernelTask& operator=(const KernelTask&) = delete;
+  ~KernelTask() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(h_); }
+  [[nodiscard]] bool done() const { return h_ && h_.done(); }
+  [[nodiscard]] std::coroutine_handle<promise_type> handle() const {
+    return h_;
+  }
+  [[nodiscard]] std::exception_ptr error() const {
+    return h_ ? h_.promise().error : nullptr;
+  }
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = {};
+    }
+  }
+  std::coroutine_handle<promise_type> h_{};
+};
+
+}  // namespace cgsim

@@ -1,0 +1,144 @@
+// cgsim -- structural validation of flattened compute graphs.
+//
+// The constexpr builder produces well-formed graphs by construction; the
+// runtime (Graphtoy-style) builder and any hand-assembled GraphView do
+// not. validate_graph() checks the invariants every consumer of a
+// GraphView (runtime, simulators, extractor) relies on and reports every
+// violation found, making bad graphs fail loudly before they deadlock or
+// corrupt a run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph_view.hpp"
+#include "port_config.hpp"
+
+namespace cgsim {
+
+/// Returns a human-readable message per violated invariant (empty = valid).
+[[nodiscard]] inline std::vector<std::string> validate_graph(
+    const GraphView& g) {
+  std::vector<std::string> issues;
+  auto issue = [&](std::string msg) { issues.push_back(std::move(msg)); };
+
+  const auto n_edges = static_cast<int>(g.edges.size());
+  const auto n_ports = static_cast<int>(g.ports.size());
+
+  if (g.kernels.empty()) issue("graph has no kernels");
+
+  // Kernel port ranges tile the port array without overlap.
+  std::vector<int> port_owner(g.ports.size(), -1);
+  for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+    const FlatKernel& fk = g.kernels[k];
+    if (fk.thunk == nullptr) {
+      issue("kernel '" + std::string{fk.name} + "' has no runtime thunk");
+    }
+    if (fk.first_port < 0 || fk.nports < 0 ||
+        fk.first_port + fk.nports > n_ports) {
+      issue("kernel '" + std::string{fk.name} + "' port range out of bounds");
+      continue;
+    }
+    for (int p = fk.first_port; p < fk.first_port + fk.nports; ++p) {
+      if (port_owner[static_cast<std::size_t>(p)] != -1) {
+        issue("port " + std::to_string(p) + " owned by two kernels");
+      }
+      port_owner[static_cast<std::size_t>(p)] = static_cast<int>(k);
+    }
+  }
+  for (std::size_t p = 0; p < port_owner.size(); ++p) {
+    if (port_owner[p] == -1) {
+      issue("port " + std::to_string(p) + " not owned by any kernel");
+    }
+  }
+
+  // Ports reference valid edges; endpoints are dense per edge.
+  std::vector<int> consumers(g.edges.size(), 0);
+  std::vector<int> producers(g.edges.size(), 0);
+  std::vector<std::vector<int>> seen_endpoints(g.edges.size());
+  auto count_consumer = [&](int edge, int endpoint, const char* what) {
+    const auto e = static_cast<std::size_t>(edge);
+    if (endpoint < 0) {
+      issue(std::string{what} + " missing broadcast endpoint");
+      return;
+    }
+    for (int s : seen_endpoints[e]) {
+      if (s == endpoint) {
+        issue(std::string{what} + " duplicates endpoint " +
+              std::to_string(endpoint));
+      }
+    }
+    seen_endpoints[e].push_back(endpoint);
+    ++consumers[e];
+  };
+  for (std::size_t p = 0; p < g.ports.size(); ++p) {
+    const FlatPort& fp = g.ports[p];
+    if (fp.edge < 0 || fp.edge >= n_edges) {
+      issue("port " + std::to_string(p) + " references invalid edge");
+      continue;
+    }
+    if (fp.is_read) {
+      count_consumer(fp.edge, fp.endpoint, "read port");
+    } else {
+      ++producers[static_cast<std::size_t>(fp.edge)];
+      if (fp.endpoint != -1) {
+        issue("write port " + std::to_string(p) +
+              " carries a consumer endpoint");
+      }
+    }
+  }
+  for (const FlatGlobal& in : g.inputs) {
+    if (in.edge < 0 || in.edge >= n_edges) {
+      issue("global input references invalid edge");
+      continue;
+    }
+    ++producers[static_cast<std::size_t>(in.edge)];
+    if (g.edges[static_cast<std::size_t>(in.edge)].type != in.type) {
+      issue("global input type disagrees with its edge");
+    }
+  }
+  for (const FlatGlobal& out : g.outputs) {
+    if (out.edge < 0 || out.edge >= n_edges) {
+      issue("global output references invalid edge");
+      continue;
+    }
+    count_consumer(out.edge, out.endpoint, "global output");
+    if (g.edges[static_cast<std::size_t>(out.edge)].type != out.type) {
+      issue("global output type disagrees with its edge");
+    }
+  }
+
+  // Edge bookkeeping matches the endpoint census.
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const FlatEdge& fe = g.edges[e];
+    if (fe.vtable == nullptr) {
+      issue("edge " + std::to_string(e) + " has no channel vtable");
+    }
+    if (fe.capacity <= 0) {
+      issue("edge " + std::to_string(e) + " has non-positive capacity");
+    }
+    if (fe.n_consumers != consumers[e]) {
+      issue("edge " + std::to_string(e) + " consumer count mismatch (" +
+            std::to_string(fe.n_consumers) + " recorded, " +
+            std::to_string(consumers[e]) + " actual)");
+    }
+    if (fe.n_producers != producers[e]) {
+      issue("edge " + std::to_string(e) + " producer count mismatch");
+    }
+    if (fe.n_producers == 0 && fe.n_consumers > 0) {
+      issue("edge " + std::to_string(e) + " has readers but no writer");
+    }
+    // Endpoint density: 0..n_consumers-1 each exactly once.
+    for (int exp = 0; exp < fe.n_consumers; ++exp) {
+      bool found = false;
+      for (int s : seen_endpoints[e]) found |= s == exp;
+      if (!found) {
+        issue("edge " + std::to_string(e) + " missing endpoint " +
+              std::to_string(exp));
+      }
+    }
+  }
+  return issues;
+}
+
+}  // namespace cgsim

@@ -1,0 +1,558 @@
+#include "codegen_aie.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "rewriter.hpp"
+
+namespace cgx {
+
+namespace {
+
+/// One parsed kernel signature parameter: type spelling + name.
+struct Param {
+  std::string type;
+  std::string name;
+};
+
+/// Splits a parameter list at depth-0 commas and separates the trailing
+/// identifier (the parameter name) from the type spelling.
+std::vector<Param> parse_params(const std::string& params) {
+  std::vector<Param> out;
+  int depth = 0;
+  std::size_t start = 0;
+  auto flush = [&](std::size_t end) {
+    std::string piece = params.substr(start, end - start);
+    // Trim.
+    const auto b = piece.find_first_not_of(" \t\r\n");
+    const auto e = piece.find_last_not_of(" \t\r\n");
+    if (b == std::string::npos) return;
+    piece = piece.substr(b, e - b + 1);
+    // The parameter name is the trailing identifier.
+    std::size_t n = piece.size();
+    while (n > 0 && (std::isalnum(static_cast<unsigned char>(piece[n - 1])) !=
+                         0 ||
+                     piece[n - 1] == '_')) {
+      --n;
+    }
+    Param p;
+    p.name = piece.substr(n);
+    p.type = piece.substr(0, n);
+    const auto te = p.type.find_last_not_of(" \t\r\n");
+    p.type = te == std::string::npos ? p.type : p.type.substr(0, te + 1);
+    out.push_back(std::move(p));
+  };
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const char c = params[i];
+    if (c == '<' || c == '(' || c == '[' || c == '{') ++depth;
+    if (c == '>' || c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      flush(i);
+      start = i + 1;
+    }
+  }
+  flush(params.size());
+  return out;
+}
+
+/// Wraps `text` in its namespace block when `prefix` (e.g. "a::b::") is
+/// non-empty.
+[[nodiscard]] std::string in_namespace(const std::string& prefix,
+                                       const std::string& text) {
+  if (prefix.empty()) return text;
+  const std::string name = prefix.substr(0, prefix.size() - 2);
+  return "namespace " + name + " {\n" + text + "\n}  // namespace " + name;
+}
+
+/// "caster<int>" -> "caster"; plain names pass through.
+[[nodiscard]] std::string base_of(const std::string& name) {
+  const auto p = name.find('<');
+  return p == std::string::npos ? name : name.substr(0, p);
+}
+
+/// "caster<int>" -> "int"; "" for plain names.
+[[nodiscard]] std::string inst_arg_of(const std::string& name) {
+  const auto p = name.find('<');
+  if (p == std::string::npos) return {};
+  return name.substr(p + 1, name.size() - p - 2);
+}
+
+/// C identifier for an (instantiated) kernel name: "caster<int>" ->
+/// "caster_int".
+[[nodiscard]] std::string sanitize(const std::string& name) {
+  std::string out;
+  bool last_us = false;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+      out.push_back(c);
+      last_us = false;
+    } else if (!last_us && !out.empty()) {
+      out.push_back('_');
+      last_us = true;
+    }
+  }
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+[[nodiscard]] bool is_window(const cgsim::PortSettings& s) {
+  return s.buffer == cgsim::BufferMode::window ||
+         s.buffer == cgsim::BufferMode::pingpong;
+}
+
+[[nodiscard]] std::string plio_width(const cgsim::PortSettings& s) {
+  switch (cgsim::effective_beat_bits(s)) {
+    case 64: return "adf::plio_64_bits";
+    case 128: return "adf::plio_128_bits";
+    default: return "adf::plio_32_bits";
+  }
+}
+
+/// adf endpoint reference of one side of a connection.
+struct Endpoint {
+  std::string ref;   ///< e.g. "k0.out[1]" or "plio_in_0.out[0]"
+  bool is_rtp = false;
+};
+
+class AieCodegen {
+ public:
+  AieCodegen(const GraphDesc& graph, const SourceFile& file,
+             const ScanResult& scan, const CoextractConfig& cfg)
+      : g_(graph), file_(file), scan_(scan), cfg_(cfg) {}
+
+  GeneratedProject run() {
+    collect_kernels();
+    out_.files["aie_kernel_ports.hpp"] = aie_port_support_header();
+    out_.files["kernel_decls.hpp"] = gen_kernel_decls();
+    out_.files["graph.hpp"] = gen_graph();
+    out_.files["graph.cpp"] = gen_graph_main();
+    out_.files["Makefile"] = gen_makefile();
+    for (const auto& [base, site] : bases_) {
+      out_.files[base + ".cc"] = gen_kernel_source(base, site);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void collect_kernels() {
+    for (const KernelDesc& k : g_.kernels) {
+      if (k.realm != cgsim::Realm::aie) continue;
+      aie_kernels_.push_back(&k);
+      if (sites_.contains(k.name)) continue;
+      const std::string base = base_of(k.name);
+      const KernelSite* site = find_kernel(scan_, base);
+      if (site == nullptr) {
+        if (!bases_.contains(base)) {
+          out_.warnings.push_back("kernel '" + base +
+                                  "' not found in source " + file_.path());
+          bases_.emplace(base, nullptr);
+        }
+        continue;
+      }
+      sites_.emplace(k.name, site);
+      bases_.emplace(base, site);
+    }
+    std::erase_if(bases_, [](const auto& kv) { return kv.second == nullptr; });
+  }
+
+  /// First AIE kernel instance with `name` (instances share one source).
+  [[nodiscard]] const KernelDesc* desc_for(const std::string& name) const {
+    for (const KernelDesc* k : aie_kernels_) {
+      if (k->name == name) return k;
+    }
+    return nullptr;
+  }
+
+  // ---- kernel_decls.hpp (paper Section 4.7) ----
+  std::string gen_kernel_decls() {
+    std::ostringstream os;
+    os << "// Generated by cgx (cgsim graph extractor) from "
+       << file_.path() << "\n"
+       << "// Kernel declarations for graph '" << g_.name << "' (AIE realm)"
+       << "\n#pragma once\n\n#include \"aie_kernel_ports.hpp\"\n\n";
+
+    // Co-extracted includes and declarations (paper Section 4.6).
+    std::vector<const KernelSite*> roots;
+    for (const auto& [base, site] : bases_) roots.push_back(site);
+    const CoextractResult co = coextract(file_, scan_, roots, cfg_);
+    for (const IncludeDirective* inc : co.includes) {
+      const std::string mapped = cfg_.mapped(inc->header);
+      const bool angled = inc->angled || mapped != inc->header;
+      os << "#include " << (angled ? "<" : "\"") << mapped
+         << (angled ? ">" : "\"") << "\n";
+    }
+    if (!co.includes.empty()) os << "\n";
+    if (!co.decls.empty()) {
+      os << "// --- co-extracted declarations ---\n";
+      for (const DeclUnit* d : co.decls) {
+        os << in_namespace(
+                  d->namespace_prefix,
+                  std::string{strip_cgsim_namespace(file_.text(d->range))})
+           << "\n\n";
+      }
+    }
+
+    os << "// --- kernel forward declarations ---\n";
+    for (const auto& [base, site] : bases_) {
+      os << in_namespace(site->namespace_prefix,
+                         kernel_declaration(file_, *site))
+         << "\n";
+    }
+    os << "\n// --- AIE entry points (adapter thunks, Section 4.5) ---\n";
+    for (const auto& [name, site] : sites_) {
+      os << thunk_signature(name) << ";\n";
+    }
+    return os.str();
+  }
+
+  // ---- per-kernel .cc (paper Sections 4.4-4.6) ----
+  std::string gen_kernel_source(const std::string& base,
+                                const KernelSite* site) {
+    std::ostringstream os;
+    os << "// Generated by cgx from " << file_.path() << " (kernel '" << base
+       << "', lines around " << file_.line_of(site->full_range.begin)
+       << ")\n#include \"kernel_decls.hpp\"\n\n"
+       << "// --- transformed kernel definition (coroutine awaits removed,"
+          " paper Section 4.4) ---\n"
+       << in_namespace(site->namespace_prefix, kernel_definition(file_, *site))
+       << "\n\n"
+       << "// --- AIE adapter thunk(s): convert native AIE parameters into\n"
+       << "// --- the generic cgsim port types (paper Section 4.5) ---\n";
+    for (const auto& [name, inst_site] : sites_) {
+      if (inst_site != site || base_of(name) != base) continue;
+      emit_thunk(os, name, site);
+    }
+    return os.str();
+  }
+
+  void emit_thunk(std::ostringstream& os, const std::string& name,
+                  const KernelSite* site) {
+    os << thunk_signature(name) << " {\n";
+    std::string params_text = kernel_params(file_, *site);
+    if (site->is_template) {
+      // Substitute the type parameter with this instantiation's argument.
+      params_text = substitute_identifier(params_text, site->template_param,
+                                          inst_arg_of(name));
+    }
+    const auto params = parse_params(params_text);
+    if (!site->namespace_prefix.empty()) {
+      // Resolve the kernel and any namespace-local settings constants /
+      // element types used as template arguments.
+      os << "  using namespace "
+         << site->namespace_prefix.substr(0,
+                                          site->namespace_prefix.size() - 2)
+         << ";\n";
+    }
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      os << "  " << params[i].type << " port_" << i << "{native_" << i
+         << "};\n";
+    }
+    // Template instantiations call with an explicit template argument.
+    os << "  " << (site->is_template ? name : base_of(name)) << "(";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      os << (i > 0 ? ", " : "") << "port_" << i;
+    }
+    os << ");\n}\n\n";
+  }
+
+  /// Native AIE signature of the thunk.
+  std::string thunk_signature(const std::string& name) {
+    const KernelDesc* kd = desc_for(name);
+    std::ostringstream os;
+    os << "void " << sanitize(name) << "_aie(";
+    for (std::size_t i = 0; kd != nullptr && i < kd->ports.size(); ++i) {
+      const PortDesc& p = kd->ports[i];
+      const EdgeDesc& e = g_.edges[static_cast<std::size_t>(p.edge)];
+      if (i > 0) os << ", ";
+      if (p.settings.rtp) {
+        os << e.type_name << (p.is_read ? " " : "* ") << "native_" << i;
+      } else if (is_window(p.settings)) {
+        os << (p.is_read ? "input_window<" : "output_window<") << e.type_name
+           << ">* native_" << i;
+      } else {
+        os << (p.is_read ? "input_stream<" : "output_stream<") << e.type_name
+           << ">* native_" << i;
+      }
+    }
+    os << ")";
+    return os.str();
+  }
+
+  // ---- graph.hpp (paper Section 4.7) ----
+  std::string gen_graph() {
+    std::ostringstream os;
+    os << "// Generated by cgx from " << file_.path() << "\n"
+       << "// adf::graph definition for '" << g_.name << "' (AIE realm)\n"
+       << "#pragma once\n\n#include <adf.h>\n\n#include "
+          "\"kernel_decls.hpp\"\n\n"
+       << "class " << g_.name << "_aie : public adf::graph {\n public:\n";
+
+    // External interface members: one PLIO (or RTP port) per global or
+    // inter-realm edge touched by an AIE kernel.
+    const auto edge_io = external_edges();
+    for (const auto& [edge, dir] : edge_io) {
+      const EdgeDesc& e = g_.edges[static_cast<std::size_t>(edge)];
+      const std::string n = io_name(edge);
+      if (e.settings.rtp) {
+        os << "  adf::" << (dir ? "input" : "output") << "_port " << n
+           << ";  // runtime parameter\n";
+      } else if (e.settings.io == cgsim::IoKind::gmio) {
+        os << "  adf::" << (dir ? "input" : "output") << "_gmio " << n
+           << ";  // " << port_class_name(e.cls) << " (global memory)\n";
+      } else {
+        os << "  adf::" << (dir ? "input" : "output") << "_plio " << n
+           << ";  // " << port_class_name(e.cls) << ", "
+           << e.attr_or("plio_name", "unnamed") << "\n";
+      }
+    }
+    for (std::size_t i = 0; i < aie_kernels_.size(); ++i) {
+      os << "  adf::kernel k" << i << ";  // " << aie_kernels_[i]->name
+         << "\n";
+    }
+
+    os << "\n  " << g_.name << "_aie() {\n";
+    // Kernel instantiation.
+    for (std::size_t i = 0; i < aie_kernels_.size(); ++i) {
+      const std::string& n = aie_kernels_[i]->name;
+      os << "    k" << i << " = adf::kernel::create(" << sanitize(n)
+         << "_aie);\n"
+         << "    adf::source(k" << i << ") = \"" << base_of(n)
+         << ".cc\";\n"
+         << "    adf::runtime<adf::ratio>(k" << i << ") = 0.9;\n";
+    }
+    // External port instantiation.
+    for (const auto& [edge, dir] : edge_io) {
+      const EdgeDesc& e = g_.edges[static_cast<std::size_t>(edge)];
+      const std::string n = io_name(edge);
+      if (e.settings.rtp) continue;  // RTP ports need no create()
+      if (e.settings.io == cgsim::IoKind::gmio) {
+        // burst length 256, 1000 MB/s required bandwidth (UG1079 defaults).
+        os << "    " << n << " = adf::" << (dir ? "input" : "output")
+           << "_gmio::create(\"" << e.attr_or("gmio_name", n)
+           << "\", 256, 1000);\n";
+      } else {
+        os << "    " << n << " = adf::" << (dir ? "input" : "output")
+           << "_plio::create(\"" << e.attr_or("plio_name", n) << "\", "
+           << plio_width(e.settings) << ", \"data/" << n << ".txt\");\n";
+      }
+    }
+    // Connectivity.
+    os << "\n";
+    emit_connections(os, edge_io);
+    os << "  }\n};\n";
+    return os.str();
+  }
+
+  /// Top-level simulation driver instantiating the graph, as UG1076's
+  /// standalone-graph flow expects.
+  std::string gen_graph_main() {
+    std::ostringstream os;
+    os << "// Generated by cgx: aiesimulator / x86simulator driver for '"
+       << g_.name << "'\n#include \"graph.hpp\"\n\n"
+       << g_.name << "_aie the_graph;\n\n"
+       << "#if defined(__AIESIM__) || defined(__X86SIM__)\n"
+       << "int main() {\n"
+       << "  the_graph.init();\n"
+       << "  the_graph.run(/*iterations=*/16);\n"
+       << "  the_graph.end();\n"
+       << "  return 0;\n"
+       << "}\n"
+       << "#endif\n";
+    return os.str();
+  }
+
+  /// Build rules for AMD's aiecompiler + simulators (UG1076 flow).
+  std::string gen_makefile() {
+    std::ostringstream os;
+    os << "# Generated by cgx: Vitis AIE build flow for graph '" << g_.name
+       << "'\n"
+       << "# Requires a Vitis installation (aiecompiler on PATH) and a\n"
+       << "# Versal platform .xpfm.\n\n"
+       << "PLATFORM ?= xilinx_vck190_base_202420_1\n"
+       << "WORKDIR  ?= Work\n\n"
+       << "SOURCES := graph.cpp";
+    for (const auto& [base, site] : bases_) os << " " << base << ".cc";
+    os << "\n\nall: $(WORKDIR)/libadf.a\n\n"
+       << "$(WORKDIR)/libadf.a: $(SOURCES) graph.hpp kernel_decls.hpp\n"
+       << "\taiecompiler --platform=$(PLATFORM) -workdir=$(WORKDIR) \\\n"
+       << "\t  --include=. graph.cpp\n\n"
+       << "aiesim: all\n"
+       << "\taiesimulator --pkg-dir=$(WORKDIR)\n\n"
+       << "x86sim: all\n"
+       << "\tx86simulator --pkg-dir=$(WORKDIR)\n\n"
+       << "clean:\n"
+       << "\trm -rf $(WORKDIR) aiesimulator_output x86simulator_output\n\n"
+       << ".PHONY: all aiesim x86sim clean\n";
+    return os.str();
+  }
+
+  /// Edges needing an external interface on the AIE subgraph, with
+  /// direction (true = into the AIE array).
+  [[nodiscard]] std::vector<std::pair<int, bool>> external_edges() const {
+    std::vector<std::pair<int, bool>> out;
+    std::set<int> seen;
+    for (const KernelDesc* k : aie_kernels_) {
+      for (const PortDesc& p : k->ports) {
+        const EdgeDesc& e = g_.edges[static_cast<std::size_t>(p.edge)];
+        if (e.cls == PortClass::intra_realm) continue;
+        if (!seen.insert(p.edge).second) continue;
+        out.emplace_back(p.edge, p.is_read);
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::string io_name(int edge) const {
+    const EdgeDesc& e = g_.edges[static_cast<std::size_t>(edge)];
+    const char* prefix = e.settings.rtp ? "rtp_e"
+                         : e.settings.io == cgsim::IoKind::gmio ? "gmio_e"
+                                                                : "plio_e";
+    return prefix + std::to_string(edge);
+  }
+
+  void emit_connections(std::ostringstream& os,
+                        const std::vector<std::pair<int, bool>>& edge_io) {
+    // Per-kernel-instance in/out slot numbering, in signature order.
+    struct Slot {
+      std::string ref;
+      bool rtp;
+    };
+    std::vector<std::vector<Slot>> producers(g_.edges.size());
+    std::vector<std::vector<Slot>> consumers(g_.edges.size());
+    for (std::size_t i = 0; i < aie_kernels_.size(); ++i) {
+      int in_slot = 0;
+      int out_slot = 0;
+      for (const PortDesc& p : aie_kernels_[i]->ports) {
+        const auto edge = static_cast<std::size_t>(p.edge);
+        const std::string kref = "k" + std::to_string(i);
+        if (p.is_read) {
+          consumers[edge].push_back(
+              Slot{kref + ".in[" + std::to_string(in_slot++) + "]",
+                   p.settings.rtp});
+        } else {
+          producers[edge].push_back(
+              Slot{kref + ".out[" + std::to_string(out_slot++) + "]",
+                   p.settings.rtp});
+        }
+      }
+    }
+    for (const auto& [edge, into_aie] : edge_io) {
+      const auto e = static_cast<std::size_t>(edge);
+      const std::string n = io_name(edge);
+      if (into_aie) {
+        producers[e].push_back(Slot{n + (g_.edges[e].settings.rtp
+                                             ? ""
+                                             : ".out[0]"),
+                                    g_.edges[e].settings.rtp});
+      } else {
+        consumers[e].push_back(Slot{n + (g_.edges[e].settings.rtp
+                                             ? ""
+                                             : ".in[0]"),
+                                    g_.edges[e].settings.rtp});
+      }
+    }
+    for (std::size_t e = 0; e < g_.edges.size(); ++e) {
+      const EdgeDesc& ed = g_.edges[e];
+      for (const Slot& src : producers[e]) {
+        for (const Slot& dst : consumers[e]) {
+          if (ed.settings.rtp) {
+            os << "    adf::connect<adf::parameter>(" << src.ref
+               << ", adf::async(" << dst.ref << "));\n";
+          } else if (is_window(ed.settings)) {
+            os << "    adf::connect<adf::window<"
+               << ed.elem_size << ">>(" << src.ref << ", " << dst.ref
+               << ");\n";
+          } else {
+            os << "    adf::connect<adf::stream>(" << src.ref << ", "
+               << dst.ref << ");\n";
+          }
+        }
+      }
+    }
+  }
+
+  const GraphDesc& g_;
+  const SourceFile& file_;
+  const ScanResult& scan_;
+  CoextractConfig cfg_;
+  std::vector<const KernelDesc*> aie_kernels_;
+  std::map<std::string, const KernelSite*> sites_;   // instance name -> site
+  std::map<std::string, const KernelSite*> bases_;   // base name -> site
+  GeneratedProject out_{};
+};
+
+}  // namespace
+
+GeneratedProject generate_aie_project(const GraphDesc& graph,
+                                      const SourceFile& file,
+                                      const ScanResult& scan,
+                                      const CoextractConfig& coextract_cfg) {
+  return AieCodegen{graph, file, scan, coextract_cfg}.run();
+}
+
+std::string aie_port_support_header() {
+  return R"(// Generated by cgx: AIE-realm implementation of the cgsim port API.
+// The extractor removes co_await from kernel bodies (paper Section 4.4);
+// the port types below adapt the resulting synchronous get()/put() calls
+// to the native AIE streaming interfaces. Compile with the AMD Vitis
+// aiecompiler; this header has no cgsim dependency.
+#pragma once
+
+#include <adf.h>
+
+enum class BufferMode { unspecified, stream, window, pingpong };
+enum class IoKind { unspecified, plio, gmio };
+
+struct PortSettings {
+  int beat_bits = 0;
+  bool rtp = false;
+  BufferMode buffer = BufferMode::unspecified;
+  int window_size = 0;
+  IoKind io = IoKind::unspecified;
+};
+
+template <class T, PortSettings S = PortSettings{}>
+class KernelReadPort {
+ public:
+  explicit KernelReadPort(input_stream<T>* s) : stream_(s) {}
+  explicit KernelReadPort(input_window<T>* w) : window_(w) {}
+  explicit KernelReadPort(T rtp) : rtp_value_(rtp) {}
+
+  T get() {
+    if (window_) { T v; window_readincr(window_, v); return v; }
+    if (stream_) return readincr(stream_);
+    return rtp_value_;
+  }
+
+  struct Awaitable { T value; T await_resume() { return value; } };
+  Awaitable operator co_await() = delete;  // co_await was removed
+
+ private:
+  input_stream<T>* stream_ = nullptr;
+  input_window<T>* window_ = nullptr;
+  T rtp_value_{};
+};
+
+template <class T, PortSettings S = PortSettings{}>
+class KernelWritePort {
+ public:
+  explicit KernelWritePort(output_stream<T>* s) : stream_(s) {}
+  explicit KernelWritePort(output_window<T>* w) : window_(w) {}
+  explicit KernelWritePort(T* rtp) : rtp_out_(rtp) {}
+
+  void put(const T& v) {
+    if (window_) { window_writeincr(window_, v); return; }
+    if (stream_) { writeincr(stream_, v); return; }
+    *rtp_out_ = v;
+  }
+
+ private:
+  output_stream<T>* stream_ = nullptr;
+  output_window<T>* window_ = nullptr;
+  T* rtp_out_ = nullptr;
+};
+)";
+}
+
+}  // namespace cgx

@@ -1,0 +1,41 @@
+// extractor -- AIE realm code generator (paper Sections 4.5 and 4.7).
+//
+// Emits, per compute graph, the two headers AMD's AIE graph programming
+// guide (UG1079) recommends -- kernel_decls.hpp with the declarations of
+// all AIE-realm kernel functions, and graph.hpp defining the adf::graph
+// (kernel instantiations, external I/O ports, connectivity and
+// user-defined attributes) -- plus one .cc source per kernel containing the
+// transformed kernel function, its co-extracted dependencies, and the
+// adapter thunk that converts AIE-specific kernel parameters (streams,
+// windows, runtime parameters) into the generic KernelReadPort /
+// KernelWritePort types the kernel body expects (Section 4.5).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "coextract.hpp"
+#include "graph_desc.hpp"
+#include "scanner.hpp"
+#include "source_file.hpp"
+
+namespace cgx {
+
+/// A generated AIE project: file name -> contents.
+struct GeneratedProject {
+  std::map<std::string, std::string> files;
+  std::vector<std::string> warnings;
+};
+
+/// Generates the AIE-realm project for `graph`. `file` and `scan` describe
+/// the prototype source that defines the kernels.
+[[nodiscard]] GeneratedProject generate_aie_project(
+    const GraphDesc& graph, const SourceFile& file, const ScanResult& scan,
+    const CoextractConfig& coextract_cfg = {});
+
+/// The static support header implementing cgsim's port API on top of the
+/// native AIE streaming interfaces (paper Section 4.4, last paragraph).
+[[nodiscard]] std::string aie_port_support_header();
+
+}  // namespace cgx

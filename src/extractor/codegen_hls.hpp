@@ -1,0 +1,36 @@
+// extractor -- HLS realm code generator.
+//
+// The paper's extractor generates code only for the AIE target but was
+// architected for additional realms (Section 6: "This design will enable
+// the development of code generators for additional targets, including
+// FPGAs via HLS"). This backend realizes that extension: kernels annotated
+// with the `hls` realm become Vitis-HLS top functions with AXI-Stream
+// (hls::stream) interfaces, and the realm's intra-realm connectivity is
+// emitted as a DATAFLOW wrapper.
+//
+// Generated files (all under an `hls/` prefix in the project):
+//   hls_kernel_ports.hpp  -- KernelReadPort/KernelWritePort over hls::stream
+//   hls_kernels.hpp       -- co-extracted declarations + kernel/top decls
+//   <kernel>_hls.cpp      -- transformed kernel + extern "C" top function
+//   <graph>_dataflow.cpp  -- DATAFLOW wrapper wiring the intra-realm edges
+#pragma once
+
+#include "codegen_aie.hpp"  // GeneratedProject
+#include "coextract.hpp"
+#include "graph_desc.hpp"
+#include "scanner.hpp"
+#include "source_file.hpp"
+
+namespace cgx {
+
+/// Generates the HLS-realm project for `graph`; empty when the graph has
+/// no kernels in the hls realm.
+[[nodiscard]] GeneratedProject generate_hls_project(
+    const GraphDesc& graph, const SourceFile& file, const ScanResult& scan,
+    const CoextractConfig& coextract_cfg = {});
+
+/// The static support header implementing cgsim's port API on top of
+/// hls::stream (the HLS analogue of paper Section 4.4's realm port types).
+[[nodiscard]] std::string hls_port_support_header();
+
+}  // namespace cgx

@@ -1,0 +1,77 @@
+#include "coextract.hpp"
+
+#include <algorithm>
+
+#include "lexer.hpp"
+
+namespace cgx {
+
+namespace {
+
+/// Identifiers mentioned in a source range.
+std::set<std::string> identifiers_in(const SourceFile& file, SourceRange r) {
+  std::set<std::string> ids;
+  for (const Token& t : lex(file.text(r))) {
+    if (t.kind == TokKind::identifier) ids.emplace(t.text);
+  }
+  return ids;
+}
+
+bool blacklisted(const IncludeDirective& inc, const CoextractConfig& cfg) {
+  return std::any_of(cfg.header_blacklist.begin(), cfg.header_blacklist.end(),
+                     [&](const std::string& b) {
+                       return inc.header == b ||
+                              inc.header.ends_with("/" + b);
+                     });
+}
+
+}  // namespace
+
+CoextractResult coextract(const SourceFile& file, const ScanResult& scan,
+                          const std::vector<const KernelSite*>& roots,
+                          const CoextractConfig& cfg) {
+  // Seed the worklist with everything the kernels mention.
+  std::set<std::string> wanted;
+  for (const KernelSite* k : roots) {
+    for (const std::string& id : identifiers_in(file, k->params_range)) {
+      wanted.insert(id);
+    }
+    for (const std::string& id : identifiers_in(file, k->body_range)) {
+      wanted.insert(id);
+    }
+  }
+
+  // Transitive closure over declaration units: a unit is pulled in when it
+  // declares a wanted name; pulling it in makes its references wanted too.
+  std::vector<bool> selected(scan.decls.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < scan.decls.size(); ++i) {
+      if (selected[i]) continue;
+      const DeclUnit& d = scan.decls[i];
+      const bool hit = std::any_of(
+          d.declared.begin(), d.declared.end(),
+          [&](const std::string& n) { return wanted.contains(n); });
+      if (!hit) continue;
+      selected[i] = true;
+      changed = true;
+      for (const std::string& r : d.referenced) wanted.insert(r);
+    }
+  }
+
+  CoextractResult out;
+  for (std::size_t i = 0; i < scan.decls.size(); ++i) {
+    if (selected[i]) out.decls.push_back(&scan.decls[i]);
+  }
+  std::sort(out.decls.begin(), out.decls.end(),
+            [](const DeclUnit* a, const DeclUnit* b) {
+              return a->range.begin < b->range.begin;
+            });
+  for (const IncludeDirective& inc : scan.includes) {
+    if (!blacklisted(inc, cfg)) out.includes.push_back(&inc);
+  }
+  return out;
+}
+
+}  // namespace cgx

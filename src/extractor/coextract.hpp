@@ -1,0 +1,58 @@
+// extractor -- co-extraction of referenced code (paper Section 4.6).
+//
+// Kernels may use custom data types, constant lookup tables and helper
+// functions defined at global scope in the prototype source. The extractor
+// computes the transitive closure of declarations a kernel references and
+// includes them (plus the file's #include directives, minus a per-realm
+// blacklist of simulation-only headers) in the generated kernel sources.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scanner.hpp"
+#include "source_file.hpp"
+
+namespace cgx {
+
+/// Per-realm header blacklist (paper: "to prevent simulation-specific
+/// helpers from being included in hardware builds") and mapping of
+/// simulation headers onto their hardware-toolchain equivalents.
+struct CoextractConfig {
+  std::vector<std::string> header_blacklist{
+      "core/cgsim.hpp",
+      "cgsim.hpp",
+      "cgsim/cgsim.hpp",
+      "extractor/registry.hpp",
+      "registry.hpp",
+  };
+  /// simulation header -> header to emit instead (empty = keep as is).
+  std::vector<std::pair<std::string, std::string>> header_map{
+      {"aie/aie.hpp", "aie_api/aie.hpp"},
+  };
+
+  /// The header to emit for `inc`, after mapping.
+  [[nodiscard]] std::string mapped(const std::string& header) const {
+    for (const auto& [from, to] : header_map) {
+      if (header == from || header.ends_with("/" + from)) return to;
+    }
+    return header;
+  }
+};
+
+struct CoextractResult {
+  /// Declaration units to copy, in original source order.
+  std::vector<const DeclUnit*> decls;
+  /// Include directives to re-emit, in original source order.
+  std::vector<const IncludeDirective*> includes;
+};
+
+/// Closure of declarations transitively referenced from the kernels named
+/// in `roots` (their parameter lists and bodies).
+[[nodiscard]] CoextractResult coextract(const SourceFile& file,
+                                        const ScanResult& scan,
+                                        const std::vector<const KernelSite*>& roots,
+                                        const CoextractConfig& cfg = {});
+
+}  // namespace cgx

@@ -1,0 +1,71 @@
+#include "extractor.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "codegen_hls.hpp"
+#include "manifest.hpp"
+
+namespace cgx {
+
+ExtractReport extract_graph(const GraphDesc& graph, const SourceFile& file,
+                            const ExtractOptions& opts) {
+  ExtractReport rep;
+  rep.graph_name = graph.name;
+  const ScanResult sc = scan(file);
+
+  for (const KernelDesc& k : graph.kernels) {
+    if (k.realm == cgsim::Realm::aie) ++rep.aie_kernels;
+    if (k.realm == cgsim::Realm::hls) ++rep.hls_kernels;
+    if (k.realm == cgsim::Realm::noextract) ++rep.noextract_kernels;
+  }
+  for (const EdgeDesc& e : graph.edges) {
+    switch (e.cls) {
+      case PortClass::intra_realm: ++rep.intra_realm_edges; break;
+      case PortClass::inter_realm: ++rep.inter_realm_edges; break;
+      case PortClass::global_io: ++rep.global_edges; break;
+    }
+  }
+
+  if (rep.aie_kernels > 0) {
+    rep.project = generate_aie_project(graph, file, sc, opts.coextract);
+  }
+  GeneratedProject hls = generate_hls_project(graph, file, sc,
+                                              opts.coextract);
+  for (auto& [name, text] : hls.files) {
+    rep.project.files.emplace(name, std::move(text));
+  }
+  for (auto& w : hls.warnings) {
+    rep.project.warnings.push_back(std::move(w));
+  }
+  rep.project.files["graph.json"] = graph_manifest_json(graph);
+  if (opts.write_files) {
+    rep.out_dir = opts.out_dir + "/" + graph.name;
+    write_project(rep.project, rep.out_dir);
+  }
+  return rep;
+}
+
+std::vector<ExtractReport> extract_all(const ExtractOptions& opts) {
+  std::vector<ExtractReport> reports;
+  for (const GraphDesc& g : registry()) {
+    const SourceFile file = SourceFile::load(g.source_path);
+    reports.push_back(extract_graph(g, file, opts));
+  }
+  return reports;
+}
+
+void write_project(const GeneratedProject& p, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  for (const auto& [name, contents] : p.files) {
+    const std::filesystem::path path = std::filesystem::path{dir} / name;
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out{path, std::ios::binary};
+    if (!out) throw std::runtime_error{"cannot write " + path.string()};
+    out << contents;
+  }
+}
+
+}  // namespace cgx

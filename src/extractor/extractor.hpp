@@ -1,0 +1,58 @@
+// extractor -- top-level driver (paper Section 4, Figure 5).
+//
+// Orchestrates the extraction flow: graph ingestion from the registry,
+// realm partitioning, kernel transformation, co-extraction, and realm code
+// generation, writing one Vitis-compatible project directory per graph.
+// The `noextract` realm excludes kernels from extraction (Section 4).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codegen_aie.hpp"
+#include "coextract.hpp"
+#include "graph_desc.hpp"
+#include "registry.hpp"
+#include "scanner.hpp"
+#include "source_file.hpp"
+
+namespace cgx {
+
+struct ExtractOptions {
+  std::string out_dir = "cgx_out";  ///< project root; one subdir per graph
+  bool write_files = true;          ///< false: in-memory only (tests)
+  CoextractConfig coextract{};
+};
+
+/// Result of extracting one graph.
+struct ExtractReport {
+  std::string graph_name;
+  /// Generated files from all realm backends (HLS files carry an `hls/`
+  /// prefix -- paper Section 4.7: realm-specific generators may emit
+  /// multiple source files).
+  GeneratedProject project;
+  /// Where files were written (empty when write_files is false).
+  std::string out_dir;
+  int aie_kernels = 0;
+  int hls_kernels = 0;
+  int noextract_kernels = 0;
+  int intra_realm_edges = 0;
+  int inter_realm_edges = 0;
+  int global_edges = 0;
+};
+
+/// Extracts a single graph description whose source file is already loaded.
+[[nodiscard]] ExtractReport extract_graph(const GraphDesc& graph,
+                                          const SourceFile& file,
+                                          const ExtractOptions& opts);
+
+/// Extracts every graph in the global registry (loading each defining
+/// source file from disk) and returns one report per graph.
+[[nodiscard]] std::vector<ExtractReport> extract_all(
+    const ExtractOptions& opts);
+
+/// Writes a generated project under `dir` (creating directories).
+void write_project(const GeneratedProject& p, const std::string& dir);
+
+}  // namespace cgx

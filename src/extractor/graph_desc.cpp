@@ -1,0 +1,91 @@
+#include "graph_desc.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace cgx {
+
+GraphDesc GraphDesc::from_view(const cgsim::GraphView& g, std::string name,
+                               std::string source_path) {
+  GraphDesc d;
+  d.name = std::move(name);
+  d.source_path = std::move(source_path);
+  d.edges.reserve(g.edges.size());
+  for (const cgsim::FlatEdge& e : g.edges) {
+    EdgeDesc ed;
+    const cgsim::ChannelVTable& vt = e.vtable();
+    ed.type_name = std::string{vt.type_name};
+    ed.elem_size = vt.elem_size;
+    ed.settings = e.settings;
+    ed.attrs.assign(e.attrs, e.attrs + e.n_attrs);
+    ed.n_producers = e.n_producers;
+    ed.n_consumers = e.n_consumers;
+    d.edges.push_back(std::move(ed));
+  }
+  d.kernels.reserve(g.kernels.size());
+  for (const cgsim::FlatKernel& k : g.kernels) {
+    KernelDesc kd;
+    kd.name = std::string{k.name};
+    kd.realm = k.realm;
+    for (int p = 0; p < k.nports; ++p) {
+      const cgsim::FlatPort& fp =
+          g.ports[static_cast<std::size_t>(k.first_port + p)];
+      kd.ports.push_back(
+          PortDesc{fp.is_read, fp.edge, fp.settings, fp.endpoint});
+    }
+    d.kernels.push_back(std::move(kd));
+  }
+  for (const cgsim::FlatGlobal& in : g.inputs) d.input_edges.push_back(in.edge);
+  for (const cgsim::FlatGlobal& out : g.outputs) {
+    d.output_edges.push_back(out.edge);
+  }
+  classify_ports(d);
+  return d;
+}
+
+bool GraphDesc::is_global_edge(int e) const {
+  return std::find(input_edges.begin(), input_edges.end(), e) !=
+             input_edges.end() ||
+         std::find(output_edges.begin(), output_edges.end(), e) !=
+             output_edges.end();
+}
+
+void classify_ports(GraphDesc& g) {
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const int edge = static_cast<int>(e);
+    if (g.is_global_edge(edge)) {
+      g.edges[e].cls = PortClass::global_io;
+      continue;
+    }
+    std::set<cgsim::Realm> realms;
+    for (const KernelDesc& k : g.kernels) {
+      for (const PortDesc& p : k.ports) {
+        if (p.edge == edge) realms.insert(k.realm);
+      }
+    }
+    g.edges[e].cls = realms.size() > 1 ? PortClass::inter_realm
+                                       : PortClass::intra_realm;
+  }
+}
+
+std::vector<const KernelDesc*> kernels_in_realm(const GraphDesc& g,
+                                                cgsim::Realm realm) {
+  std::vector<const KernelDesc*> out;
+  for (const KernelDesc& k : g.kernels) {
+    if (k.realm == realm) out.push_back(&k);
+  }
+  return out;
+}
+
+std::vector<cgsim::Realm> realms_of(const GraphDesc& g) {
+  std::vector<cgsim::Realm> out;
+  for (const KernelDesc& k : g.kernels) {
+    if (std::find(out.begin(), out.end(), k.realm) == out.end()) {
+      out.push_back(k.realm);
+    }
+  }
+  return out;
+}
+
+}  // namespace cgx

@@ -1,0 +1,100 @@
+// extractor -- deserialized compute-graph description (paper Section 4.2).
+//
+// The paper's extractor asks Clang's constexpr interpreter for the value of
+// every global annotated with the extract_compute_graph attribute and
+// deserializes the flattened structure back into a pointer-based graph.
+// This reproduction preserves the same trick with the host toolchain
+// available (DESIGN.md substitution #4): the user's translation unit is
+// compiled normally -- the compiler's constexpr evaluator has already
+// produced the FlatGraph -- and CGSIM_EXTRACTABLE registers the result for
+// the extractor, which converts it into the mutable description below.
+// Type information is recovered from the serialized per-type vtables, the
+// runtime analogue of following the thunk's template arguments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph_view.hpp"
+#include "core/port_config.hpp"
+#include "core/types.hpp"
+
+namespace cgx {
+
+/// Classification of a connection after realm partitioning
+/// (paper Section 4.3).
+enum class PortClass {
+  intra_realm,  ///< both endpoints in one realm
+  inter_realm,  ///< crosses realms
+  global_io,    ///< enters or leaves the graph
+};
+
+[[nodiscard]] constexpr std::string_view port_class_name(PortClass c) {
+  switch (c) {
+    case PortClass::intra_realm: return "intra-realm";
+    case PortClass::inter_realm: return "inter-realm";
+    case PortClass::global_io: return "global";
+  }
+  return "?";
+}
+
+struct PortDesc {
+  bool is_read = false;
+  int edge = -1;
+  cgsim::PortSettings settings{};
+  int endpoint = -1;
+};
+
+struct KernelDesc {
+  std::string name;
+  cgsim::Realm realm = cgsim::Realm::aie;
+  std::vector<PortDesc> ports;
+};
+
+struct EdgeDesc {
+  std::string type_name;      ///< C++ spelling of the element type
+  std::size_t elem_size = 0;  ///< sizeof the element type
+  cgsim::PortSettings settings{};
+  std::vector<cgsim::Attribute> attrs;
+  int n_producers = 0;
+  int n_consumers = 0;
+  PortClass cls = PortClass::intra_realm;  // filled by partitioning
+
+  /// Looks up a string attribute; returns `def` when absent.
+  [[nodiscard]] std::string_view attr_or(std::string_view key,
+                                         std::string_view def) const {
+    for (const auto& a : attrs) {
+      if (!a.is_int && a.key == key) return a.str_value;
+    }
+    return def;
+  }
+};
+
+/// A complete, mutable description of one extractable compute graph.
+struct GraphDesc {
+  std::string name;         ///< name of the constexpr graph variable
+  std::string source_path;  ///< file that defines graph and kernels
+  std::vector<KernelDesc> kernels;
+  std::vector<EdgeDesc> edges;
+  std::vector<int> input_edges;
+  std::vector<int> output_edges;
+
+  /// Deserializes a flattened graph (paper Section 4.2).
+  static GraphDesc from_view(const cgsim::GraphView& g, std::string name,
+                             std::string source_path);
+
+  [[nodiscard]] bool is_global_edge(int e) const;
+};
+
+/// Computes each connection's PortClass from the kernel realm annotations
+/// (paper Section 4.3) and stores it on the edges.
+void classify_ports(GraphDesc& g);
+
+/// Kernels of `g` belonging to `realm`, in graph order.
+[[nodiscard]] std::vector<const KernelDesc*> kernels_in_realm(
+    const GraphDesc& g, cgsim::Realm realm);
+
+/// Distinct realms used by the graph's kernels.
+[[nodiscard]] std::vector<cgsim::Realm> realms_of(const GraphDesc& g);
+
+}  // namespace cgx

@@ -1,0 +1,194 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace cgx {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+// Multi-character punctuators, longest first so maximal munch works.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "<=>",                              // 3
+    "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",     // 2
+    "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> toks;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;
+        continue;
+      }
+      const std::size_t start = pos_;
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        emit(toks, TokKind::comment, start);
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        emit(toks, TokKind::comment, start);
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        skip_preprocessor();
+        emit(toks, TokKind::preprocessor, start);
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == 'R' && peek(1) == '"') {
+        skip_raw_string();
+        emit(toks, TokKind::string_lit, start);
+        continue;
+      }
+      if (c == '"') {
+        skip_quoted('"');
+        emit(toks, TokKind::string_lit, start);
+        continue;
+      }
+      if (c == '\'') {
+        skip_quoted('\'');
+        emit(toks, TokKind::char_lit, start);
+        continue;
+      }
+      if (is_ident_start(c)) {
+        while (pos_ < text_.size() && is_ident_char(text_[pos_])) ++pos_;
+        emit(toks, TokKind::identifier, start);
+        continue;
+      }
+      if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+        skip_number();
+        emit(toks, TokKind::number, start);
+        continue;
+      }
+      skip_punct();
+      emit(toks, TokKind::punct, start);
+    }
+    toks.push_back(Token{TokKind::end_of_file, {}, text_.size()});
+    return toks;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t n) const {
+    return pos_ + n < text_.size() ? text_[pos_ + n] : '\0';
+  }
+
+  void emit(std::vector<Token>& toks, TokKind kind, std::size_t start) {
+    toks.push_back(Token{kind, text_.substr(start, pos_ - start), start});
+  }
+
+  void skip_line_comment() {
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+  }
+
+  void skip_block_comment() {
+    pos_ += 2;
+    while (pos_ + 1 < text_.size() &&
+           !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+      ++pos_;
+    }
+    pos_ = pos_ + 2 <= text_.size() ? pos_ + 2 : text_.size();
+  }
+
+  // A directive spans to end of line, honouring backslash continuations.
+  void skip_preprocessor() {
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\\' && peek(1) == '\n') {
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == '\n') break;
+      ++pos_;
+    }
+  }
+
+  void skip_quoted(char quote) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (text_[pos_] == quote) {
+        ++pos_;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void skip_raw_string() {
+    // R"delim( ... )delim"
+    pos_ += 2;  // R"
+    std::size_t dstart = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '(') ++pos_;
+    const std::string_view delim = text_.substr(dstart, pos_ - dstart);
+    ++pos_;  // (
+    const std::string closer = ")" + std::string{delim} + "\"";
+    const std::size_t found = text_.find(closer, pos_);
+    pos_ = found == std::string_view::npos ? text_.size()
+                                           : found + closer.size();
+  }
+
+  void skip_number() {
+    // pp-number: digits, idents, dots, exponent signs, digit separators.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (is_ident_char(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > 0) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+  }
+
+  void skip_punct() {
+    const std::string_view rest = text_.substr(pos_);
+    for (std::string_view p : kPuncts) {
+      if (rest.starts_with(p)) {
+        pos_ += p.size();
+        return;
+      }
+    }
+    ++pos_;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view text) { return Lexer{text}.run(); }
+
+}  // namespace cgx

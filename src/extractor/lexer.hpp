@@ -1,0 +1,51 @@
+// extractor -- C++ token lexer.
+//
+// A from-scratch tokenizer sufficient for the structural source analysis
+// the extractor performs (DESIGN.md substitution #4 for Clang LibTooling's
+// lexing layer): identifiers, literals (including raw strings), comments,
+// preprocessor directives and punctuation, each with byte offsets back
+// into the original file so rewrites can splice text precisely.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "source_file.hpp"
+
+namespace cgx {
+
+enum class TokKind {
+  identifier,
+  number,
+  string_lit,
+  char_lit,
+  punct,
+  preprocessor,  ///< whole directive line(s), e.g. `#include <x>`
+  comment,       ///< // or /* */ (kept: rewrites preserve comments)
+  end_of_file,
+};
+
+struct Token {
+  TokKind kind = TokKind::end_of_file;
+  std::string_view text{};  ///< view into the SourceFile text
+  std::size_t offset = 0;   ///< byte offset of the first character
+
+  [[nodiscard]] SourceRange range() const {
+    return SourceRange{offset, offset + text.size()};
+  }
+  [[nodiscard]] bool is(std::string_view s) const { return text == s; }
+  [[nodiscard]] bool is_ident(std::string_view s) const {
+    return kind == TokKind::identifier && text == s;
+  }
+};
+
+/// Tokenizes `text` (which must outlive the returned tokens). Whitespace is
+/// dropped; comments and preprocessor directives are kept as single tokens.
+[[nodiscard]] std::vector<Token> lex(std::string_view text);
+
+/// Convenience: lexes a SourceFile.
+[[nodiscard]] inline std::vector<Token> lex(const SourceFile& f) {
+  return lex(f.text());
+}
+
+}  // namespace cgx

@@ -1,0 +1,94 @@
+#include "manifest.hpp"
+
+#include <sstream>
+
+namespace cgx {
+
+namespace {
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_settings(std::ostringstream& os, const cgsim::PortSettings& s) {
+  os << "{\"beat_bits\": " << cgsim::effective_beat_bits(s)
+     << ", \"rtp\": " << (s.rtp ? "true" : "false") << ", \"buffer\": \""
+     << cgsim::buffer_mode_name(s.buffer) << "\", \"window_size\": "
+     << s.window_size << ", \"io\": \"" << cgsim::io_kind_name(s.io)
+     << "\"}";
+}
+
+}  // namespace
+
+std::string graph_manifest_json(const GraphDesc& g) {
+  std::ostringstream os;
+  os << "{\n  \"graph\": \"" << esc(g.name) << "\",\n  \"source\": \""
+     << esc(g.source_path) << "\",\n  \"kernels\": [\n";
+  for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+    const KernelDesc& kd = g.kernels[k];
+    os << "    {\"name\": \"" << esc(kd.name) << "\", \"realm\": \""
+       << cgsim::realm_name(kd.realm) << "\", \"ports\": [";
+    for (std::size_t p = 0; p < kd.ports.size(); ++p) {
+      const PortDesc& pd = kd.ports[p];
+      os << (p > 0 ? ", " : "") << "{\"dir\": \""
+         << (pd.is_read ? "in" : "out") << "\", \"edge\": " << pd.edge
+         << "}";
+    }
+    os << "]}" << (k + 1 < g.kernels.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"edges\": [\n";
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const EdgeDesc& ed = g.edges[e];
+    os << "    {\"id\": " << e << ", \"type\": \"" << esc(ed.type_name)
+       << "\", \"bytes\": " << ed.elem_size << ", \"class\": \""
+       << port_class_name(ed.cls) << "\", \"producers\": "
+       << ed.n_producers << ", \"consumers\": " << ed.n_consumers
+       << ", \"settings\": ";
+    write_settings(os, ed.settings);
+    if (!ed.attrs.empty()) {
+      os << ", \"attributes\": {";
+      for (std::size_t a = 0; a < ed.attrs.size(); ++a) {
+        const cgsim::Attribute& at = ed.attrs[a];
+        os << (a > 0 ? ", " : "") << "\"" << esc(at.key) << "\": ";
+        if (at.is_int) {
+          os << at.int_value;
+        } else {
+          os << "\"" << esc(at.str_value) << "\"";
+        }
+      }
+      os << "}";
+    }
+    os << "}" << (e + 1 < g.edges.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"inputs\": [";
+  for (std::size_t i = 0; i < g.input_edges.size(); ++i) {
+    os << (i > 0 ? ", " : "") << g.input_edges[i];
+  }
+  os << "],\n  \"outputs\": [";
+  for (std::size_t o = 0; o < g.output_edges.size(); ++o) {
+    os << (o > 0 ? ", " : "") << g.output_edges[o];
+  }
+  os << "]\n}\n";
+  return os.str();
+}
+
+}  // namespace cgx

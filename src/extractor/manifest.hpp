@@ -1,0 +1,19 @@
+// extractor -- machine-readable graph manifest (graph.json).
+//
+// Downstream tooling (build systems, visualizers, CI checks on extracted
+// projects) should not have to re-parse generated C++ to learn a graph's
+// structure. The manifest serializes the deserialized GraphDesc -- kernels
+// with realms and ports, edges with types/settings/attributes/partitioning
+// class, and the global interface -- as JSON.
+#pragma once
+
+#include <string>
+
+#include "graph_desc.hpp"
+
+namespace cgx {
+
+/// Serializes `g` as pretty-printed JSON.
+[[nodiscard]] std::string graph_manifest_json(const GraphDesc& g);
+
+}  // namespace cgx

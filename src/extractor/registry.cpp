@@ -1,0 +1,27 @@
+#include "registry.hpp"
+
+#include <utility>
+
+namespace cgx {
+
+namespace {
+std::vector<GraphDesc>& mutable_registry() {
+  static std::vector<GraphDesc> g;
+  return g;
+}
+}  // namespace
+
+Registration::Registration(const char* name, const char* file,
+                           cgsim::GraphView view) {
+  mutable_registry().push_back(GraphDesc::from_view(view, name, file));
+}
+
+const std::vector<GraphDesc>& registry() { return mutable_registry(); }
+
+void clear_registry() { mutable_registry().clear(); }
+
+void register_graph(GraphDesc desc) {
+  mutable_registry().push_back(std::move(desc));
+}
+
+}  // namespace cgx

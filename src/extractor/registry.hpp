@@ -1,0 +1,45 @@
+// extractor -- registration of extractable compute graphs.
+//
+// The paper marks extractable graphs with a custom Clang attribute
+// (`extract_compute_graph`, Section 4.2). Without a patched compiler, this
+// reproduction uses a registration macro with identical information
+// content: the graph variable (whose flattened value the host compiler's
+// constexpr evaluator already produced), its spelled name, and the defining
+// source file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/graph_view.hpp"
+#include "graph_desc.hpp"
+
+namespace cgx {
+
+/// Static-initialization hook appending one graph to the global registry.
+class Registration {
+ public:
+  Registration(const char* name, const char* file, cgsim::GraphView view);
+};
+
+/// All graphs registered in this process, in registration order.
+[[nodiscard]] const std::vector<GraphDesc>& registry();
+
+/// Testing hook: clears the registry.
+void clear_registry();
+
+/// Registers one graph described programmatically (used by tests and by
+/// tools that synthesize descriptions without a live FlatGraph).
+void register_graph(GraphDesc desc);
+
+}  // namespace cgx
+
+/// Marks a constexpr cgsim graph variable as extractable -- the moral
+/// equivalent of the paper's `extract_compute_graph` attribute:
+///
+///   constexpr auto my_graph = cgsim::make_compute_graph_v<...>;
+///   CGSIM_EXTRACTABLE(my_graph);
+#define CGSIM_EXTRACTABLE(graph_var)                                    \
+  static const ::cgx::Registration graph_var##_cgx_registration {      \
+    #graph_var, __FILE__, (graph_var).view()                           \
+  }

@@ -1,0 +1,121 @@
+#include "rewriter.hpp"
+
+#include <cctype>
+
+#include "lexer.hpp"
+
+namespace cgx {
+
+namespace {
+
+/// Replaces tokens matching `pred` with nothing, eating one adjacent space.
+template <class Pred>
+std::string drop_tokens(std::string_view code, Pred pred) {
+  const std::vector<Token> toks = lex(code);
+  std::string out;
+  out.reserve(code.size());
+  std::size_t pos = 0;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::end_of_file) break;
+    if (!pred(t)) continue;
+    out.append(code.substr(pos, t.offset - pos));
+    pos = t.offset + t.text.size();
+    if (pos < code.size() && code[pos] == ' ') ++pos;  // eat one space
+  }
+  out.append(code.substr(pos));
+  return out;
+}
+
+}  // namespace
+
+std::string strip_co_await(std::string_view code) {
+  return drop_tokens(code,
+                     [](const Token& t) { return t.is_ident("co_await"); });
+}
+
+std::string strip_cgsim_namespace(std::string_view code) {
+  // Token-aware removal of `cgsim ::` (and a leading `::`) sequences.
+  const std::vector<Token> toks = lex(code);
+  std::string out;
+  out.reserve(code.size());
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!toks[i].is_ident("cgsim") || !toks[i + 1].is("::")) continue;
+    std::size_t begin = toks[i].offset;
+    // Also swallow a directly preceding `::` (fully qualified spelling).
+    if (i > 0 && toks[i - 1].is("::") &&
+        toks[i - 1].offset + 2 == toks[i].offset) {
+      begin = toks[i - 1].offset;
+    }
+    if (begin < pos) continue;  // already consumed
+    out.append(code.substr(pos, begin - pos));
+    pos = toks[i + 1].offset + 2;
+  }
+  out.append(code.substr(pos));
+  return out;
+}
+
+std::string collapse_blank_runs(std::string_view code) {
+  std::string out;
+  out.reserve(code.size());
+  int blank_lines = 0;
+  std::size_t line_start = 0;
+  for (std::size_t i = 0; i <= code.size(); ++i) {
+    if (i == code.size() || code[i] == '\n') {
+      const std::string_view line = code.substr(line_start, i - line_start);
+      const bool blank =
+          line.find_first_not_of(" \t\r") == std::string_view::npos;
+      blank_lines = blank ? blank_lines + 1 : 0;
+      if (blank_lines <= 1) {
+        out.append(line);
+        if (i < code.size()) out.push_back('\n');
+      }
+      line_start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string substitute_identifier(std::string_view code,
+                                  std::string_view from, std::string_view to) {
+  const std::vector<Token> toks = lex(code);
+  std::string out;
+  out.reserve(code.size());
+  std::size_t pos = 0;
+  for (const Token& t : toks) {
+    if (t.kind != TokKind::identifier || t.text != from) continue;
+    out.append(code.substr(pos, t.offset - pos));
+    out.append(to);
+    pos = t.offset + t.text.size();
+  }
+  out.append(code.substr(pos));
+  return out;
+}
+
+namespace {
+[[nodiscard]] std::string template_head(const KernelSite& site) {
+  return site.is_template
+             ? "template <class " + site.template_param + ">\n"
+             : std::string{};
+}
+}  // namespace
+
+std::string kernel_params(const SourceFile& file, const KernelSite& site) {
+  return strip_cgsim_namespace(file.text(site.params_range));
+}
+
+std::string kernel_declaration(const SourceFile& file,
+                               const KernelSite& site) {
+  return template_head(site) + "void " + site.name + "(" +
+         kernel_params(file, site) + ");";
+}
+
+std::string kernel_definition(const SourceFile& file,
+                              const KernelSite& site) {
+  const std::string body =
+      strip_cgsim_namespace(strip_co_await(file.text(site.body_range)));
+  return template_head(site) + "void " + site.name + "(" +
+         kernel_params(file, site) + ") " + collapse_blank_runs(body);
+}
+
+}  // namespace cgx

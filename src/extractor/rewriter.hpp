@@ -1,0 +1,54 @@
+// extractor -- standard kernel source transformations (paper Section 4.4).
+//
+// Realm-independent rewrites shared by all backends:
+//   * co_await removal -- turns the coroutine-based asynchronous stream
+//     operations into synchronous blocking calls, removing the dependency
+//     on cgsim's cooperative multitasking framework;
+//   * declaration/definition splitting -- each kernel is processed twice,
+//     once for a forward declaration (call signature only) and once for
+//     the full definition;
+//   * port-type respelling -- realms provide their own implementations of
+//     KernelReadPort / KernelWritePort (Section 4.4 last paragraph), so the
+//     extracted source drops the cgsim namespace qualification and binds
+//     against the realm's header instead.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scanner.hpp"
+#include "source_file.hpp"
+
+namespace cgx {
+
+/// Removes every `co_await` token (plus one following space) from `code`.
+[[nodiscard]] std::string strip_co_await(std::string_view code);
+
+/// Drops `cgsim::` / `::cgsim::` qualifications so the extracted kernel
+/// binds against the realm-provided port implementations.
+[[nodiscard]] std::string strip_cgsim_namespace(std::string_view code);
+
+/// Normalizes runs of whitespace introduced by the rewrites.
+[[nodiscard]] std::string collapse_blank_runs(std::string_view code);
+
+/// Replaces every standalone identifier token `from` with `to` (template
+/// parameter substitution for COMPUTE_KERNEL_TEMPLATE instantiations).
+[[nodiscard]] std::string substitute_identifier(std::string_view code,
+                                                std::string_view from,
+                                                std::string_view to);
+
+/// The transformed parameter list of a kernel (settings template arguments
+/// preserved; cgsim qualification removed).
+[[nodiscard]] std::string kernel_params(const SourceFile& file,
+                                        const KernelSite& site);
+
+/// Forward declaration: `void <name>(<params>);` -- template kernels get a
+/// `template <class TP>` head.
+[[nodiscard]] std::string kernel_declaration(const SourceFile& file,
+                                             const KernelSite& site);
+
+/// Full definition: `void <name>(<params>) { <body-without-co_await> }`
+[[nodiscard]] std::string kernel_definition(const SourceFile& file,
+                                            const KernelSite& site);
+
+}  // namespace cgx

@@ -1,0 +1,362 @@
+#include "scanner.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace cgx {
+
+namespace {
+
+/// Keywords and common library identifiers that never name a co-extractable
+/// declaration; filtering them keeps `referenced` lists small.
+const std::set<std::string, std::less<>>& noise_identifiers() {
+  static const std::set<std::string, std::less<>> kNoise{
+      "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+      "class", "co_await", "co_return", "co_yield", "const", "consteval",
+      "constexpr", "constinit", "continue", "decltype", "default", "delete",
+      "do", "double", "else", "enum", "explicit", "extern", "false", "float",
+      "for", "friend", "goto", "if", "inline", "int", "long", "mutable",
+      "namespace", "new", "noexcept", "nullptr", "operator", "private",
+      "protected", "public", "register", "requires", "return", "short",
+      "signed", "sizeof", "static", "static_assert", "struct", "switch",
+      "template", "this", "throw", "true", "try", "typedef", "typename",
+      "union", "unsigned", "using", "virtual", "void", "volatile",
+      "wchar_t", "while", "std", "size_t", "int8_t", "int16_t", "int32_t",
+      "int64_t", "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+  };
+  return kNoise;
+}
+
+[[nodiscard]] bool is_code(const Token& t) {
+  return t.kind != TokKind::comment && t.kind != TokKind::preprocessor &&
+         t.kind != TokKind::end_of_file;
+}
+
+class Scanner {
+ public:
+  Scanner(const SourceFile& file, const std::vector<Token>& toks)
+      : file_(file), toks_(toks) {}
+
+  ScanResult run() {
+    find_includes();
+    find_kernels();
+    find_decls();
+    return std::move(result_);
+  }
+
+ private:
+  // --- includes ---
+  void find_includes() {
+    for (const Token& t : toks_) {
+      if (t.kind != TokKind::preprocessor) continue;
+      std::string_view s = t.text;
+      std::size_t p = s.find_first_not_of("# \t");
+      if (p == std::string_view::npos || !s.substr(p).starts_with("include")) {
+        continue;
+      }
+      p = s.find_first_of("<\"", p);
+      if (p == std::string_view::npos) continue;
+      const char close = s[p] == '<' ? '>' : '"';
+      const std::size_t q = s.find(close, p + 1);
+      if (q == std::string_view::npos) continue;
+      result_.includes.push_back(IncludeDirective{
+          std::string{s.substr(p + 1, q - p - 1)}, s[p] == '<', t.range()});
+    }
+  }
+
+  // --- kernel macro expansion ranges ---
+  void find_kernels() {
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      const bool is_template = toks_[i].is_ident("COMPUTE_KERNEL_TEMPLATE");
+      if (!toks_[i].is_ident("COMPUTE_KERNEL") && !is_template) continue;
+      KernelSite site{};
+      site.is_template = is_template;
+      const std::size_t start = i;
+      std::size_t j = next_code(i + 1);
+      if (j >= toks_.size() || !toks_[j].is("(")) continue;
+      // Macro arguments: realm , name , params... )
+      const std::size_t open = j;
+      const std::size_t close = match_paren(open);
+      if (close == npos) continue;
+      std::vector<std::size_t> commas;  // depth-1 commas
+      int depth = 0;
+      for (std::size_t k = open; k <= close; ++k) {
+        if (!is_code(toks_[k])) continue;
+        if (toks_[k].is("(") || toks_[k].is("[") || toks_[k].is("{")) ++depth;
+        if (toks_[k].is(")") || toks_[k].is("]") || toks_[k].is("}")) --depth;
+        if (depth == 1 && toks_[k].is(",")) commas.push_back(k);
+      }
+      // realm , name [, type-param] , params...
+      const std::size_t needed = is_template ? 3u : 2u;
+      if (commas.size() < needed) continue;
+      site.realm = slice_text(open + 1, commas[0]);
+      site.name = slice_text(commas[0] + 1, commas[1]);
+      if (is_template) {
+        site.template_param = slice_text(commas[1] + 1, commas[2]);
+      }
+      const std::size_t params_from = commas[needed - 1];
+      site.params_range =
+          SourceRange{toks_[next_code(params_from + 1)].offset,
+                      toks_[close].offset};
+      // Body block.
+      std::size_t b = next_code(close + 1);
+      if (b >= toks_.size() || !toks_[b].is("{")) continue;
+      const std::size_t bend = match_brace(b);
+      if (bend == npos) continue;
+      site.body_range = SourceRange{toks_[b].offset,
+                                    toks_[bend].offset + 1};
+      site.full_range = SourceRange{toks_[start].offset,
+                                    toks_[bend].offset + 1};
+      result_.kernels.push_back(std::move(site));
+      i = bend;
+    }
+  }
+
+  // --- declaration units (recursing into namespace blocks) ---
+  void find_decls() {
+    scan_block(0, toks_.size(), "");
+    assign_kernel_namespaces();
+  }
+
+  void scan_block(std::size_t i, std::size_t end, const std::string& ns) {
+    while (i < end && toks_[i].kind != TokKind::end_of_file) {
+      const Token& t = toks_[i];
+      if (!is_code(t)) {
+        ++i;
+        continue;
+      }
+      if (in_kernel(t.offset)) {  // kernels are handled separately
+        i = skip_past_kernel(i);
+        continue;
+      }
+      if (t.is_ident("CGSIM_EXTRACTABLE")) {  // registration marker
+        i = skip_call_statement(i);
+        continue;
+      }
+      if (t.is_ident("namespace")) {
+        // `namespace a::b { ... }` -> recurse; `namespace x = y;` -> unit.
+        std::string name;
+        std::size_t j = next_code(i + 1);
+        while (j < end && (toks_[j].kind == TokKind::identifier ||
+                           toks_[j].is("::"))) {
+          name += toks_[j].text;
+          j = next_code(j + 1);
+        }
+        if (j < end && toks_[j].is("{")) {
+          const std::size_t close = match_brace(j);
+          if (close == npos) break;
+          const std::string inner_ns =
+              name.empty() ? ns : ns + name + "::";
+          namespace_ranges_.push_back(
+              {SourceRange{toks_[i].offset,
+                           toks_[close].offset + 1},
+               inner_ns});
+          scan_block(j + 1, close, inner_ns);
+          i = close + 1;
+          continue;
+        }
+      }
+      // One declaration unit starts here.
+      const std::size_t unit_start = i;
+      std::size_t uend = unit_end(unit_start);
+      if (uend == npos || uend >= end) uend = std::min(uend, end - 1);
+      if (uend == npos) break;
+      DeclUnit unit{};
+      unit.namespace_prefix = ns;
+      unit.range = SourceRange{toks_[unit_start].offset,
+                               toks_[uend].offset + toks_[uend].text.size()};
+      analyze_unit(unit, unit_start, uend);
+      result_.decls.push_back(std::move(unit));
+      i = uend + 1;
+    }
+  }
+
+  /// Deepest namespace block containing each kernel gives its prefix.
+  void assign_kernel_namespaces() {
+    for (KernelSite& k : result_.kernels) {
+      // Deeper namespaces have smaller ranges; prefer the smallest match.
+      std::size_t best = static_cast<std::size_t>(-1);
+      for (const auto& [range, ns] : namespace_ranges_) {
+        if (range.contains(k.full_range.begin) && range.size() < best) {
+          best = range.size();
+          k.namespace_prefix = ns;
+        }
+      }
+    }
+  }
+
+  /// Index of the token that terminates the unit starting at `start`:
+  /// a `;` at depth 0, or the `}` of a depth-0 brace block (plus a trailing
+  /// `;` when present, as structs/classes require).
+  [[nodiscard]] std::size_t unit_end(std::size_t start) {
+    int depth = 0;
+    for (std::size_t k = start; k < toks_.size(); ++k) {
+      const Token& t = toks_[k];
+      if (!is_code(t)) continue;
+      if (t.is("(") || t.is("[")) ++depth;
+      if (t.is(")") || t.is("]")) --depth;
+      if (t.is("{")) ++depth;
+      if (t.is("}")) {
+        --depth;
+        if (depth == 0) {
+          const std::size_t n = next_code(k + 1);
+          return (n < toks_.size() && toks_[n].is(";")) ? n : k;
+        }
+      }
+      if (depth == 0 && t.is(";")) return k;
+    }
+    return npos;
+  }
+
+  void analyze_unit(DeclUnit& unit, std::size_t start, std::size_t end) {
+    const auto& noise = noise_identifiers();
+    std::set<std::string, std::less<>> declared;
+    int depth = 0;
+    for (std::size_t k = start; k <= end; ++k) {
+      const Token& t = toks_[k];
+      if (!is_code(t)) continue;
+      if (t.is("(") || t.is("[") || t.is("{")) {
+        ++depth;
+        continue;
+      }
+      if (t.is(")") || t.is("]") || t.is("}")) {
+        --depth;
+        continue;
+      }
+      if (t.kind != TokKind::identifier) continue;
+      const std::string name{t.text};
+      // Declared-name heuristics (over-collection is safe: it only makes
+      // co-extraction more inclusive).
+      const bool at_top = depth == 0;
+      if (at_top) {
+        const Token* prev = prev_code(k);
+        const Token* next = next_code_tok(k);
+        const bool after_tag =
+            prev != nullptr &&
+            (prev->is_ident("struct") || prev->is_ident("class") ||
+             prev->is_ident("enum") || prev->is_ident("union") ||
+             prev->is_ident("namespace"));
+        const bool before_open_paren = next != nullptr && next->is("(");
+        const bool var_like =
+            next != nullptr && (next->is("=") || next->is(";") ||
+                                next->is("[") || next->is("{"));
+        const bool after_scope = prev != nullptr && prev->is("::");
+        if ((after_tag || before_open_paren || var_like) && !after_scope &&
+            !noise.contains(name)) {
+          declared.insert(name);
+        }
+      }
+      if (!noise.contains(name)) {
+        unit.referenced.push_back(name);
+      }
+    }
+    unit.declared.assign(declared.begin(), declared.end());
+    // Referenced = mentioned minus declared.
+    std::erase_if(unit.referenced, [&](const std::string& n) {
+      return declared.contains(n);
+    });
+    std::sort(unit.referenced.begin(), unit.referenced.end());
+    unit.referenced.erase(
+        std::unique(unit.referenced.begin(), unit.referenced.end()),
+        unit.referenced.end());
+  }
+
+  // --- helpers ---
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t next_code(std::size_t i) const {
+    while (i < toks_.size() && !is_code(toks_[i])) ++i;
+    return i;
+  }
+  [[nodiscard]] const Token* next_code_tok(std::size_t i) const {
+    const std::size_t n = next_code(i + 1);
+    return n < toks_.size() ? &toks_[n] : nullptr;
+  }
+  [[nodiscard]] const Token* prev_code(std::size_t i) const {
+    while (i > 0) {
+      --i;
+      if (is_code(toks_[i])) return &toks_[i];
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t match_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t k = open; k < toks_.size(); ++k) {
+      if (!is_code(toks_[k])) continue;
+      if (toks_[k].is("(")) ++depth;
+      if (toks_[k].is(")")) {
+        if (--depth == 0) return k;
+      }
+    }
+    return npos;
+  }
+  [[nodiscard]] std::size_t match_brace(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t k = open; k < toks_.size(); ++k) {
+      if (!is_code(toks_[k])) continue;
+      if (toks_[k].is("{")) ++depth;
+      if (toks_[k].is("}")) {
+        if (--depth == 0) return k;
+      }
+    }
+    return npos;
+  }
+
+  [[nodiscard]] bool in_kernel(std::size_t offset) const {
+    return std::any_of(result_.kernels.begin(), result_.kernels.end(),
+                       [&](const KernelSite& s) {
+                         return s.full_range.contains(offset);
+                       });
+  }
+  [[nodiscard]] std::size_t skip_past_kernel(std::size_t i) const {
+    const std::size_t off = toks_[i].offset;
+    for (const KernelSite& s : result_.kernels) {
+      if (s.full_range.contains(off)) {
+        while (i < toks_.size() && toks_[i].offset < s.full_range.end) ++i;
+        // Tolerate a trailing `;` after the kernel body.
+        const std::size_t n = next_code(i);
+        return (n < toks_.size() && toks_[n].is(";")) ? n + 1 : i;
+      }
+    }
+    return i + 1;
+  }
+  [[nodiscard]] std::size_t skip_call_statement(std::size_t i) const {
+    while (i < toks_.size() && !toks_[i].is(";")) ++i;
+    return i + 1;
+  }
+
+  /// Source text between token indices [from, to), trimmed.
+  [[nodiscard]] std::string slice_text(std::size_t from, std::size_t to) const {
+    from = next_code(from);
+    if (from >= to) return {};
+    std::size_t last = to;
+    while (last > from && !is_code(toks_[last - 1])) --last;
+    if (last == from) return {};
+    const std::size_t b = toks_[from].offset;
+    const std::size_t e = toks_[last - 1].offset + toks_[last - 1].text.size();
+    std::string s{file_.text(SourceRange{b, e})};
+    return s;
+  }
+
+  const SourceFile& file_;
+  const std::vector<Token>& toks_;
+  ScanResult result_{};
+  std::vector<std::pair<SourceRange, std::string>> namespace_ranges_;
+};
+
+}  // namespace
+
+ScanResult scan(const SourceFile& file, const std::vector<Token>& tokens) {
+  return Scanner{file, tokens}.run();
+}
+
+const KernelSite* find_kernel(const ScanResult& s, std::string_view name) {
+  for (const KernelSite& k : s.kernels) {
+    if (k.name == name) return &k;
+  }
+  return nullptr;
+}
+
+}  // namespace cgx

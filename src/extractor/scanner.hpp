@@ -1,0 +1,69 @@
+// extractor -- structural source scanning.
+//
+// Recovers from the token stream what the paper's extractor gets from the
+// Clang AST (Sections 4.4 and 4.6):
+//   * COMPUTE_KERNEL macro *expansion ranges* -- the paper stresses that
+//     the rewriter must operate on the full expansion range because kernel
+//     functions are defined through a preprocessor macro (footnote 3);
+//   * top-level declaration units (types, constants, helper functions,
+//     namespaces) with the names they declare and the identifiers they
+//     reference, feeding transitive co-extraction;
+//   * #include directives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "source_file.hpp"
+
+namespace cgx {
+
+/// One COMPUTE_KERNEL(realm, name, params...) { body } occurrence.
+struct KernelSite {
+  std::string name;          ///< kernel name (2nd macro argument)
+  std::string realm;         ///< realm spelling (1st macro argument)
+  SourceRange full_range{};  ///< macro name through closing body brace
+  SourceRange params_range{};///< inside the macro parens, after `name,`
+  SourceRange body_range{};  ///< including the outer braces
+  std::string namespace_prefix;  ///< e.g. "apps::bitonic::" (may be empty)
+  bool is_template = false;      ///< COMPUTE_KERNEL_TEMPLATE site
+  std::string template_param;    ///< the type parameter name (e.g. "T")
+};
+
+/// One declaration unit (everything between the end of the previous unit
+/// and the `;` or closing brace that finishes this one). Units inside
+/// namespace blocks are scanned individually and carry the enclosing
+/// namespace spelling so the code generator can re-wrap them.
+struct DeclUnit {
+  std::vector<std::string> declared;    ///< names this unit introduces
+  std::vector<std::string> referenced;  ///< identifiers it mentions
+  SourceRange range{};
+  std::string namespace_prefix;  ///< e.g. "util::" (empty at file scope)
+};
+
+struct IncludeDirective {
+  std::string header;  ///< path between the delimiters
+  bool angled = false; ///< <...> vs "..."
+  SourceRange range{};
+};
+
+/// Full structural scan of one source file.
+struct ScanResult {
+  std::vector<KernelSite> kernels;
+  std::vector<DeclUnit> decls;
+  std::vector<IncludeDirective> includes;
+};
+
+[[nodiscard]] ScanResult scan(const SourceFile& file,
+                              const std::vector<Token>& tokens);
+
+[[nodiscard]] inline ScanResult scan(const SourceFile& file) {
+  return scan(file, lex(file));
+}
+
+/// Finds the kernel site for `name`; nullptr when absent.
+[[nodiscard]] const KernelSite* find_kernel(const ScanResult& s,
+                                            std::string_view name);
+
+}  // namespace cgx

@@ -1,0 +1,44 @@
+#include "source_file.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace cgx {
+
+SourceFile::SourceFile(std::string path, std::string text)
+    : path_(std::move(path)), text_(std::move(text)) {
+  index_lines();
+}
+
+SourceFile SourceFile::load(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error{"cannot open source file: " + path};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return SourceFile{path, std::move(ss).str()};
+}
+
+void SourceFile::index_lines() {
+  line_starts_.clear();
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+SourceLoc SourceFile::loc(std::size_t offset) const {
+  offset = std::min(offset, text_.size());
+  const auto it =
+      std::upper_bound(line_starts_.begin(), line_starts_.end(), offset);
+  const auto line_idx =
+      static_cast<std::size_t>(std::distance(line_starts_.begin(), it)) - 1;
+  return SourceLoc{offset, static_cast<int>(line_idx) + 1,
+                   static_cast<int>(offset - line_starts_[line_idx]) + 1};
+}
+
+}  // namespace cgx

@@ -1,0 +1,62 @@
+// extractor -- source file loading and location mapping.
+//
+// The graph extractor (paper Section 4) operates on the original C++
+// source text: kernel functions are isolated by cutting their macro
+// expansion ranges out of the file (Section 4.4). SourceFile owns the text
+// and provides offset <-> line/column mapping for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgx {
+
+struct SourceLoc {
+  std::size_t offset = 0;
+  int line = 1;  // 1-based
+  int column = 1;
+};
+
+/// A half-open byte range [begin, end) in a source file.
+struct SourceRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool contains(std::size_t off) const {
+    return off >= begin && off < end;
+  }
+  [[nodiscard]] bool operator==(const SourceRange&) const = default;
+};
+
+/// An in-memory source file with line mapping.
+class SourceFile {
+ public:
+  SourceFile() = default;
+  SourceFile(std::string path, std::string text);
+
+  /// Loads `path` from disk; throws std::runtime_error when unreadable.
+  static SourceFile load(const std::string& path);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::string_view text() const { return text_; }
+  [[nodiscard]] std::string_view text(SourceRange r) const {
+    return std::string_view{text_}.substr(r.begin, r.size());
+  }
+
+  [[nodiscard]] SourceLoc loc(std::size_t offset) const;
+  [[nodiscard]] int line_of(std::size_t offset) const {
+    return loc(offset).line;
+  }
+
+ private:
+  void index_lines();
+
+  std::string path_;
+  std::string text_;
+  std::vector<std::size_t> line_starts_;  // offset of each line start
+};
+
+}  // namespace cgx

@@ -1,0 +1,41 @@
+// x86sim -- functional simulation with one OS thread per kernel
+// (DESIGN.md substitution #3 for AMD's x86sim).
+//
+// Paper Section 5.2: "x86sim assigns each kernel to a dedicated OS thread,
+// whereas cgsim employs cooperative multitasking to execute all kernels on
+// a single shared thread." This module reproduces exactly that execution
+// model over the same flattened graphs: ThreadedChannel (mutex + condition
+// variables) replaces the cooperative channel, and every kernel, source and
+// sink coroutine runs to completion on its own std::jthread with blocking
+// stream accesses.
+#pragma once
+
+#include <utility>
+
+#include "core/cgsim.hpp"
+
+namespace x86sim {
+
+/// Result of a thread-per-kernel functional simulation.
+struct SimResult {
+  cgsim::RunResult run{};
+  std::size_t threads_used = 0;
+};
+
+/// Runs `g` with the x86sim execution model; the invocation convention
+/// (positional sources then sinks) matches cgsim's (paper Section 3.7).
+template <class... Args>
+SimResult simulate(const cgsim::GraphView& g, int repetitions,
+                   Args&&... args) {
+  cgsim::RuntimeContext ctx{g, cgsim::ExecMode::threaded};
+  cgsim::RunOptions opts{cgsim::ExecMode::threaded, repetitions};
+  std::size_t pos = 0;
+  (cgsim::detail::attach_io(ctx, g, opts, pos++, std::forward<Args>(args)),
+   ...);
+  SimResult r{};
+  r.threads_used = ctx.tasks().size();
+  r.run = ctx.run_threaded();
+  return r;
+}
+
+}  // namespace x86sim

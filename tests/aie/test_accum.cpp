@@ -1,0 +1,89 @@
+// AIE accumulator emulation: shift-round-saturate and upshift semantics.
+#include <gtest/gtest.h>
+
+#include "aie/aie.hpp"
+
+namespace {
+
+TEST(AieAccum, UpsShiftsLeft) {
+  aie::vector<std::int16_t, 8> v;
+  v.set(0, 3);
+  v.set(1, -2);
+  const auto a = aie::ups(v, 4);
+  EXPECT_EQ(a.get(0), 48);
+  EXPECT_EQ(a.get(1), -32);
+}
+
+TEST(AieAccum, SrsRoundsHalfUp) {
+  aie::acc48<8> a;
+  a.set(0, 15);   // 15 >> 3 = 1.875 -> rounds to 2
+  a.set(1, 12);   // 12 >> 3 = 1.5   -> rounds to 2 (half up)
+  a.set(2, 11);   // 11 >> 3 = 1.375 -> rounds to 1
+  a.set(3, -12);  // -1.5 -> rounds toward +inf => -1
+  const auto v = aie::srs<std::int16_t>(a, 3);
+  EXPECT_EQ(v.get(0), 2);
+  EXPECT_EQ(v.get(1), 2);
+  EXPECT_EQ(v.get(2), 1);
+  EXPECT_EQ(v.get(3), -1);
+}
+
+TEST(AieAccum, SrsSaturatesToLaneType) {
+  aie::acc48<4> a;
+  a.set(0, 1'000'000);
+  a.set(1, -1'000'000);
+  const auto v = aie::srs<std::int16_t>(a, 0);
+  EXPECT_EQ(v.get(0), 32767);
+  EXPECT_EQ(v.get(1), -32768);
+}
+
+TEST(AieAccum, SrsZeroShiftIsIdentityInRange) {
+  aie::acc48<4> a;
+  a.set(0, 1234);
+  a.set(1, -4321);
+  const auto v = aie::srs<std::int32_t>(a, 0);
+  EXPECT_EQ(v.get(0), 1234);
+  EXPECT_EQ(v.get(1), -4321);
+}
+
+TEST(AieAccum, UpsSrsRoundTrip) {
+  aie::vector<std::int16_t, 8> v;
+  for (unsigned i = 0; i < 8; ++i) {
+    v.set(i, static_cast<std::int16_t>(static_cast<int>(i) * 100 - 350));
+  }
+  const auto rt = aie::srs<std::int16_t>(aie::ups(v, 10), 10);
+  EXPECT_EQ(rt, v);
+}
+
+TEST(AieAccum, FloatAccumConversions) {
+  aie::v8float v{1.5f, -2.5f};
+  const auto a = aie::to_accum(v);
+  EXPECT_EQ(a.get(0), 1.5f);
+  const auto back = aie::to_vector(a);
+  EXPECT_EQ(back, v);
+}
+
+TEST(AieAccum, FloatSrsIgnoresShift) {
+  aie::accfloat<4> a;
+  a.set(0, 3.75f);
+  const auto v = aie::srs<float>(a, 7);
+  EXPECT_EQ(v.get(0), 3.75f);
+}
+
+// Property: srs(ups(v, s), s) == v for all shifts while values stay in
+// range (no saturation, exact rounding).
+class UpsSrs : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpsSrs, RoundTripAllShifts) {
+  const int shift = GetParam();
+  aie::vector<std::int16_t, 16> v;
+  for (unsigned i = 0; i < 16; ++i) {
+    v.set(i, static_cast<std::int16_t>(static_cast<int>(i * 37) - 300));
+  }
+  EXPECT_EQ(aie::srs<std::int16_t>(aie::ups(v, shift), shift), v)
+      << "shift=" << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, UpsSrs,
+                         ::testing::Values(0, 1, 2, 4, 8, 12, 14, 16));
+
+}  // namespace

@@ -1,0 +1,190 @@
+// AIE API emulation: arithmetic, MACs, sliding multiplies, shuffles,
+// compares/selects and reductions, checked against scalar models.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <random>
+
+#include "aie/aie.hpp"
+
+namespace {
+
+TEST(AieApi, AddSubNeg) {
+  aie::v4float a{1, 2, 3, 4}, b{10, 20, 30, 40};
+  EXPECT_EQ(aie::add(a, b), (aie::v4float{11, 22, 33, 44}));
+  EXPECT_EQ(aie::sub(b, a), (aie::v4float{9, 18, 27, 36}));
+  EXPECT_EQ(aie::neg(a), (aie::v4float{-1, -2, -3, -4}));
+}
+
+TEST(AieApi, MinMax) {
+  aie::v4int32 a{1, 9, 3, 7}, b{5, 2, 8, 7};
+  EXPECT_EQ(aie::min(a, b), (aie::v4int32{1, 2, 3, 7}));
+  EXPECT_EQ(aie::max(a, b), (aie::v4int32{5, 9, 8, 7}));
+}
+
+TEST(AieApi, MulFloatGoesToFloatAccum) {
+  aie::v4float a{1.5f, 2, 3, 4}, b{2, 2, 2, 2};
+  const auto acc = aie::mul(a, b);
+  EXPECT_FLOAT_EQ(acc.get(0), 3.0f);
+  EXPECT_FLOAT_EQ(acc.get(3), 8.0f);
+}
+
+TEST(AieApi, MulIntGoesToWideAccum) {
+  aie::vector<std::int16_t, 4> a{30000, -30000}, b{4, 4};
+  const auto acc = aie::mul(a, b);
+  EXPECT_EQ(acc.get(0), 120000);   // exceeds int16 range: kept in acc48
+  EXPECT_EQ(acc.get(1), -120000);
+}
+
+TEST(AieApi, MacAccumulates) {
+  aie::v4float a{1, 2, 3, 4}, b{10, 10, 10, 10};
+  auto acc = aie::mul(a, b);
+  acc = aie::mac(acc, a, b);
+  EXPECT_FLOAT_EQ(acc.get(2), 60.0f);
+}
+
+TEST(AieApi, MscSubtracts) {
+  aie::v4float a{1, 2, 3, 4}, b{10, 10, 10, 10};
+  auto acc = aie::mul(a, b);
+  acc = aie::msc(acc, a, b);
+  for (unsigned i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(acc.get(i), 0.0f);
+}
+
+TEST(AieApi, ScalarBroadcastMulMac) {
+  aie::v4float a{1, 2, 3, 4};
+  auto acc = aie::mul(a, 3.0f);
+  EXPECT_FLOAT_EQ(acc.get(3), 12.0f);
+  acc = aie::mac(acc, a, 1.0f);
+  EXPECT_FLOAT_EQ(acc.get(3), 16.0f);
+}
+
+TEST(AieApi, SlidingMulMatchesScalarFir) {
+  // 8 lanes, 4 taps over int16, against a scalar convolution.
+  aie::vector<std::int16_t, 8> coeff{1, -2, 3, -4};
+  aie::vector<std::int16_t, 16> data;
+  for (unsigned i = 0; i < 16; ++i) {
+    data.set(i, static_cast<std::int16_t>(i + 1));
+  }
+  const auto acc = aie::sliding_mul_ops<8, 4>::mul(coeff, 0u, data, 0u);
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    std::int64_t want = 0;
+    for (unsigned p = 0; p < 4; ++p) {
+      want += static_cast<std::int64_t>(coeff.get(p)) * data.get(lane + p);
+    }
+    EXPECT_EQ(acc.get(lane), want) << "lane " << lane;
+  }
+}
+
+TEST(AieApi, SlidingMacAccumulatesOnTop) {
+  aie::vector<std::int16_t, 8> coeff{2};
+  aie::vector<std::int16_t, 16> data;
+  data.set(0, 5);
+  auto acc = aie::sliding_mul_ops<8, 1>::mul(coeff, 0u, data, 0u);
+  acc = aie::sliding_mul_ops<8, 1>::mac(acc, coeff, 0u, data, 0u);
+  EXPECT_EQ(acc.get(0), 20);
+}
+
+TEST(AieApi, SlidingMulCoeffStep) {
+  // CoeffStep = 2 reads every other coefficient.
+  aie::vector<std::int16_t, 8> coeff{1, 99, 2, 99, 3, 99};
+  aie::vector<std::int16_t, 16> data;
+  for (unsigned i = 0; i < 16; ++i) data.set(i, 1);
+  const auto acc =
+      aie::sliding_mul_ops<4, 3, /*CoeffStep=*/2>::mul(coeff, 0u, data, 0u);
+  EXPECT_EQ(acc.get(0), 1 + 2 + 3);
+}
+
+TEST(AieApi, CompareAndSelect) {
+  aie::v4int32 a{1, 5, 3, 7}, b{2, 4, 3, 8};
+  const auto m = aie::lt(a, b);
+  EXPECT_TRUE(m.get(0));
+  EXPECT_FALSE(m.get(1));
+  EXPECT_FALSE(m.get(2));  // equal is not less
+  const auto sel = aie::select(a, b, m);
+  EXPECT_EQ(sel, (aie::v4int32{1, 4, 3, 7}));
+  const auto g = aie::ge(a, b);
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(g.get(i), !m.get(i));
+}
+
+TEST(AieApi, ShuffleUpDownAreInverse) {
+  aie::v8int32 v;
+  for (unsigned i = 0; i < 8; ++i) v.set(i, static_cast<int>(i));
+  EXPECT_EQ(aie::shuffle_up(aie::shuffle_down(v, 3), 3), v);
+  const auto d = aie::shuffle_down(v, 2);
+  EXPECT_EQ(d.get(0), 2);
+  EXPECT_EQ(d.get(7), 1);  // wraps
+}
+
+TEST(AieApi, Reverse) {
+  aie::v4int32 v{1, 2, 3, 4};
+  EXPECT_EQ(aie::reverse(v), (aie::v4int32{4, 3, 2, 1}));
+  EXPECT_EQ(aie::reverse(aie::reverse(v)), v);
+}
+
+TEST(AieApi, ButterflyIsInvolution) {
+  aie::v16float v;
+  for (unsigned i = 0; i < 16; ++i) v.set(i, static_cast<float>(i));
+  for (unsigned stride : {1u, 2u, 4u, 8u}) {
+    const auto b = aie::butterfly(v, stride);
+    EXPECT_EQ(aie::butterfly(b, stride), v) << "stride " << stride;
+    EXPECT_EQ(b.get(0), static_cast<float>(stride));
+  }
+}
+
+TEST(AieApi, Permute) {
+  aie::v4int32 v{10, 20, 30, 40};
+  aie::vector<std::int32_t, 4> idx{3, 2, 1, 0};
+  EXPECT_EQ(aie::permute(v, idx), (aie::v4int32{40, 30, 20, 10}));
+}
+
+TEST(AieApi, InterleaveZipUnzipRoundTrip) {
+  aie::v8int32 a, b;
+  for (unsigned i = 0; i < 8; ++i) {
+    a.set(i, static_cast<int>(i));
+    b.set(i, static_cast<int>(100 + i));
+  }
+  const auto [lo, hi] = aie::interleave_zip(a, b);
+  EXPECT_EQ(lo.get(0), 0);
+  EXPECT_EQ(lo.get(1), 100);
+  EXPECT_EQ(lo.get(2), 1);
+  const auto [even, odd] = aie::interleave_unzip(lo, hi);
+  EXPECT_EQ(even, a);
+  EXPECT_EQ(odd, b);
+}
+
+TEST(AieApi, Reductions) {
+  aie::v8float v{1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_FLOAT_EQ(aie::reduce_add(v), 36.0f);
+  EXPECT_FLOAT_EQ(aie::reduce_min(v), 1.0f);
+  EXPECT_FLOAT_EQ(aie::reduce_max(v), 8.0f);
+}
+
+// Property sweep: a compare-exchange built from min/max/select sorts any
+// pair of lanes -- the primitive underlying the bitonic kernel.
+class CompareExchange : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CompareExchange, ButterflyMinMaxSorts) {
+  const unsigned seed = GetParam();
+  std::mt19937 rng{seed};
+  std::uniform_real_distribution<float> dist{-100, 100};
+  aie::v16float v;
+  for (unsigned i = 0; i < 16; ++i) v.set(i, dist(rng));
+  const auto partner = aie::butterfly(v, 1);
+  const auto lo = aie::min(v, partner);
+  const auto hi = aie::max(v, partner);
+  aie::mask<16> take_min;
+  for (unsigned i = 0; i < 16; ++i) take_min.set(i, (i & 1) == 0);
+  const auto r = aie::select(lo, hi, take_min);
+  for (unsigned i = 0; i < 16; i += 2) {
+    EXPECT_LE(r.get(i), r.get(i + 1));
+    // The exchange is a permutation of each pair.
+    EXPECT_EQ(std::minmax(v.get(i), v.get(i + 1)),
+              std::minmax(r.get(i), r.get(i + 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompareExchange,
+                         ::testing::Range(0u, 10u));
+
+}  // namespace

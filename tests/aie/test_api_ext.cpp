@@ -1,0 +1,107 @@
+// Extended AIE API surface: abs/clamp and the symmetric sliding multiply.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "aie/aie.hpp"
+
+namespace {
+
+TEST(AieApiExt, Abs) {
+  aie::v4int32 a{-3, 4, 0, -7};
+  EXPECT_EQ(aie::abs(a), (aie::v4int32{3, 4, 0, 7}));
+  aie::v4float f{-1.5f, 2.5f};
+  EXPECT_EQ(aie::abs(f), (aie::v4float{1.5f, 2.5f}));
+}
+
+TEST(AieApiExt, Clamp) {
+  aie::v8int32 a;
+  for (unsigned i = 0; i < 8; ++i) {
+    a.set(i, static_cast<int>(i) * 10 - 35);  // -35 .. 35
+  }
+  const auto c = aie::clamp(a, -20, 20);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_GE(c.get(i), -20);
+    EXPECT_LE(c.get(i), 20);
+  }
+  EXPECT_EQ(c.get(0), -20);
+  EXPECT_EQ(c.get(7), 20);
+  EXPECT_EQ(c.get(3), -5);  // in range: unchanged
+}
+
+TEST(AieApiExt, SymmetricSlidingMulMatchesGeneralForm) {
+  // For a symmetric coefficient set the optimized form must equal the
+  // general sliding multiply.
+  aie::vector<std::int16_t, 8> sym_coeff{2, -5, 7, 11, 11, 7, -5, 2};
+  aie::vector<std::int16_t, 16> data;
+  std::mt19937 rng{5};
+  std::uniform_int_distribution<int> d{-1000, 1000};
+  for (unsigned i = 0; i < 16; ++i) {
+    data.set(i, static_cast<std::int16_t>(d(rng)));
+  }
+  const auto general =
+      aie::sliding_mul_ops<8, 8>::mul(sym_coeff, 0u, data, 0u);
+  const auto symmetric =
+      aie::sliding_mul_sym_ops<8, 8>::mul(sym_coeff, 0u, data, 0u);
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    EXPECT_EQ(general.get(lane), symmetric.get(lane)) << "lane " << lane;
+  }
+}
+
+TEST(AieApiExt, SymmetricFormHalvesMacCount) {
+  aie::vector<std::int16_t, 8> coeff{1, 2, 2, 1};
+  aie::vector<std::int16_t, 16> data;
+  aie::OpCounter general_ops, sym_ops;
+  {
+    aie::ScopedCounter s{&general_ops};
+    (void)aie::sliding_mul_ops<8, 4>::mul(coeff, 0u, data, 0u);
+  }
+  {
+    aie::ScopedCounter s{&sym_ops};
+    (void)aie::sliding_mul_sym_ops<8, 4>::mul(coeff, 0u, data, 0u);
+  }
+  EXPECT_EQ(general_ops.counts[aie::OpClass::vector_mac], 4u);
+  EXPECT_EQ(sym_ops.counts[aie::OpClass::vector_mac], 2u);
+}
+
+TEST(AieApiExt, FilterEvenOdd) {
+  aie::v8int32 v;
+  for (unsigned i = 0; i < 8; ++i) v.set(i, static_cast<int>(i));
+  const auto even = aie::filter_even(v);
+  const auto odd = aie::filter_odd(v);
+  static_assert(decltype(even)::size_v == 4);
+  EXPECT_EQ(even, (aie::v4int32{0, 2, 4, 6}));
+  EXPECT_EQ(odd, (aie::v4int32{1, 3, 5, 7}));
+  // interleave_zip(even, odd) restores the original ordering pairwise.
+  aie::v4int32 e = even, o = odd;
+  const auto [lo, hi] = aie::interleave_zip(e, o);
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(lo.get(i), v.get(i));
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(hi.get(i), v.get(4 + i));
+}
+
+// Property: symmetric == general over random symmetric taps and data.
+class SymSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SymSweep, EquivalenceOverRandomInputs) {
+  std::mt19937 rng{GetParam()};
+  std::uniform_int_distribution<int> d{-5000, 5000};
+  aie::vector<std::int16_t, 8> coeff;
+  for (unsigned p = 0; p < 4; ++p) {
+    const auto c = static_cast<std::int16_t>(d(rng));
+    coeff.set(p, c);
+    coeff.set(7 - p, c);  // enforce symmetry
+  }
+  aie::vector<std::int16_t, 16> data;
+  for (unsigned i = 0; i < 16; ++i) {
+    data.set(i, static_cast<std::int16_t>(d(rng)));
+  }
+  const auto g = aie::sliding_mul_ops<8, 8>::mul(coeff, 0u, data, 0u);
+  const auto s = aie::sliding_mul_sym_ops<8, 8>::mul(coeff, 0u, data, 0u);
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    ASSERT_EQ(g.get(lane), s.get(lane));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymSweep, ::testing::Range(0u, 12u));
+
+}  // namespace

@@ -1,0 +1,85 @@
+// AIE1 intrinsic-style compatibility layer.
+#include <gtest/gtest.h>
+
+#include "aie/aie.hpp"
+
+namespace {
+
+namespace ai = aie::intrinsics;
+
+TEST(Intrinsics, FpmacFamily) {
+  aie::v8float a{1, 2, 3, 4, 5, 6, 7, 8};
+  aie::v8float b{2, 2, 2, 2, 2, 2, 2, 2};
+  auto acc = ai::fpmul(a, b);
+  EXPECT_FLOAT_EQ(acc.get(3), 8.0f);
+  acc = ai::fpmac(acc, a, b);
+  EXPECT_FLOAT_EQ(acc.get(3), 16.0f);
+  acc = ai::fpmsc(acc, a, b);
+  EXPECT_FLOAT_EQ(acc.get(3), 8.0f);
+}
+
+TEST(Intrinsics, Mac16IsWideAccumulate) {
+  aie::v16int16 a, b;
+  for (unsigned i = 0; i < 16; ++i) {
+    a.set(i, 30000);
+    b.set(i, 4);
+  }
+  auto acc = ai::mul16(a, b);
+  acc = ai::mac16(acc, a, b);
+  EXPECT_EQ(acc.get(0), 240000);  // exceeds int16: held in acc48
+}
+
+TEST(Intrinsics, UpdExtW) {
+  aie::v16float big;
+  aie::v8float half;
+  for (unsigned i = 0; i < 8; ++i) half.set(i, static_cast<float>(i + 1));
+  big = ai::upd_w(big, 1, half);
+  EXPECT_EQ(big.get(8), 1.0f);
+  EXPECT_EQ(big.get(15), 8.0f);
+  EXPECT_EQ(big.get(0), 0.0f);
+  const auto back = ai::ext_w(big, 1);
+  EXPECT_EQ(back, half);
+}
+
+TEST(Intrinsics, UpdExtElem) {
+  aie::v4int32 v{1, 2, 3, 4};
+  v = ai::upd_elem(v, 2, 99);
+  EXPECT_EQ(ai::ext_elem(v, 2), 99);
+  EXPECT_EQ(ai::ext_elem(v, 0), 1);
+}
+
+TEST(Intrinsics, Concat) {
+  aie::v4float lo{1, 2, 3, 4}, hi{5, 6, 7, 8};
+  const auto c = ai::concat(lo, hi);
+  static_assert(decltype(c)::size_v == 8);
+  EXPECT_EQ(c.get(0), 1.0f);
+  EXPECT_EQ(c.get(4), 5.0f);
+  EXPECT_EQ(c.get(7), 8.0f);
+}
+
+TEST(Intrinsics, ShiftElementsZeroFills) {
+  aie::v8int32 v;
+  for (unsigned i = 0; i < 8; ++i) v.set(i, static_cast<int>(i + 1));
+  const auto up = ai::shift_elements(v, 2);
+  EXPECT_EQ(up.get(0), 0);
+  EXPECT_EQ(up.get(2), 1);
+  EXPECT_EQ(up.get(7), 6);
+  const auto down = ai::shift_elements(v, -3);
+  EXPECT_EQ(down.get(0), 4);
+  EXPECT_EQ(down.get(4), 8);
+  EXPECT_EQ(down.get(5), 0);
+}
+
+TEST(Intrinsics, RecordIntoCycleModel) {
+  aie::OpCounter c;
+  {
+    aie::ScopedCounter s{&c};
+    aie::v8float a, b;
+    (void)ai::fpmac(ai::fpmul(a, b), a, b);
+    (void)ai::concat(aie::v4float{}, aie::v4float{});
+  }
+  EXPECT_EQ(c.counts[aie::OpClass::vector_mac], 2u);
+  EXPECT_GE(c.counts[aie::OpClass::shuffle], 1u);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// AIE vector register emulation tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aie/aie.hpp"
+
+namespace {
+
+TEST(AieVector, DefaultIsZero) {
+  aie::v8float v;
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(v.get(i), 0.0f);
+}
+
+TEST(AieVector, InitializerList) {
+  aie::vector<int, 4> v{1, 2, 3};
+  EXPECT_EQ(v.get(0), 1);
+  EXPECT_EQ(v.get(2), 3);
+  EXPECT_EQ(v.get(3), 0);  // unfilled lanes stay zero
+}
+
+TEST(AieVector, SetGetRoundTrip) {
+  aie::v16int16 v;
+  for (unsigned i = 0; i < 16; ++i) v.set(i, static_cast<std::int16_t>(i * 3));
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ(v[i], static_cast<std::int16_t>(i * 3));
+  }
+}
+
+TEST(AieVector, LoadStoreRoundTrip) {
+  float buf[16];
+  std::iota(buf, buf + 16, 1.0f);
+  const auto v = aie::load_v<16>(buf);
+  float out[16] = {};
+  aie::store_v(out, v);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_EQ(out[i], buf[i]);
+}
+
+TEST(AieVector, ExtractParts) {
+  aie::v16float v;
+  for (unsigned i = 0; i < 16; ++i) v.set(i, static_cast<float>(i));
+  const auto lo = v.extract<2>(0);
+  const auto hi = v.extract<2>(1);
+  static_assert(decltype(lo)::size_v == 8);
+  EXPECT_EQ(lo.get(0), 0.0f);
+  EXPECT_EQ(lo.get(7), 7.0f);
+  EXPECT_EQ(hi.get(0), 8.0f);
+  EXPECT_EQ(hi.get(7), 15.0f);
+}
+
+TEST(AieVector, InsertParts) {
+  aie::v8int32 sub;
+  for (unsigned i = 0; i < 8; ++i) sub.set(i, static_cast<int>(100 + i));
+  aie::v16int32 v;
+  v.insert(1, sub);
+  EXPECT_EQ(v.get(8), 100);
+  EXPECT_EQ(v.get(15), 107);
+  EXPECT_EQ(v.get(0), 0);
+}
+
+TEST(AieVector, Grow) {
+  aie::v4float v{1, 2, 3, 4};
+  const auto g = v.grow();
+  static_assert(decltype(g)::size_v == 8);
+  EXPECT_EQ(g.get(3), 4.0f);
+  EXPECT_EQ(g.get(4), 0.0f);
+}
+
+TEST(AieVector, BroadcastAndZeros) {
+  const auto b = aie::broadcast<float, 8>(2.5f);
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(b.get(i), 2.5f);
+  const auto z = aie::zeros<int, 4>();
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(z.get(i), 0);
+}
+
+TEST(AieVector, Iota) {
+  const auto v = aie::iota<int, 8>(10, 2);
+  EXPECT_EQ(v.get(0), 10);
+  EXPECT_EQ(v.get(7), 24);
+}
+
+TEST(AieVector, EqualityIsLaneWise) {
+  aie::v4float a{1, 2, 3, 4}, b{1, 2, 3, 4}, c{1, 2, 3, 5};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(AieMask, CountAndAccess) {
+  aie::mask<8> m;
+  m.set(1, true);
+  m.set(5, true);
+  EXPECT_TRUE(m.get(1));
+  EXPECT_FALSE(m.get(0));
+  EXPECT_EQ(m.count(), 2u);
+}
+
+// Property sweep: extract/insert are inverses for every part index.
+class ExtractInsert : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExtractInsert, RoundTrip) {
+  const unsigned part = GetParam();
+  aie::v16int32 v;
+  for (unsigned i = 0; i < 16; ++i) v.set(i, static_cast<int>(i * i));
+  const auto sub = v.extract<4>(part);
+  aie::v16int32 w;
+  w.insert(part, sub);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_EQ(w.get(part * 4 + i), v.get(part * 4 + i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, ExtractInsert, ::testing::Values(0u, 1u, 2u, 3u));
+
+}  // namespace

@@ -1,0 +1,92 @@
+// GMIO timing extension in the cycle-approximate cost model.
+#include <gtest/gtest.h>
+
+#include "aiesim/engine.hpp"
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+TEST(GmioCost, BulkTransfersBeatPerBeatStreams) {
+  aiesim::CostModel m;
+  const PortSettings gmio{.io = IoKind::gmio};
+  const PortSettings plio{};
+  // An 8 KiB block over GMIO bursts is far cheaper than 2048 PLIO beats.
+  EXPECT_LT(m.port_cycles(gmio, 8192, true, false),
+            m.port_cycles(plio, 8192, true, false));
+}
+
+TEST(GmioCost, SmallTransfersPaySetup) {
+  aiesim::CostModel m;
+  const PortSettings gmio{.io = IoKind::gmio};
+  const PortSettings plio{};
+  // A 4-byte scalar over GMIO pays the DMA setup; PLIO wins there.
+  EXPECT_GT(m.port_cycles(gmio, 4, true, false),
+            m.port_cycles(plio, 4, true, false));
+}
+
+TEST(GmioCost, ImmuneToExtractionPenalty) {
+  // Like window I/O, GMIO transfers are DMA-driven: the generated adapter
+  // thunk adds no per-beat cost.
+  aiesim::CostModel m;
+  const PortSettings gmio{.io = IoKind::gmio};
+  EXPECT_EQ(m.port_cycles(gmio, 4096, true, false),
+            m.port_cycles(gmio, 4096, true, true));
+}
+
+TEST(GmioCost, CrossoverExists) {
+  // There is a block size where GMIO and PLIO cost the same; below it PLIO
+  // wins, above it GMIO wins (burst amortization).
+  aiesim::CostModel m;
+  const PortSettings gmio{.io = IoKind::gmio};
+  const PortSettings plio{};
+  bool plio_wins_small = false;
+  bool gmio_wins_large = false;
+  for (std::size_t bytes = 4; bytes <= 65536; bytes *= 2) {
+    const auto g = m.port_cycles(gmio, bytes, true, false);
+    const auto p = m.port_cycles(plio, bytes, true, false);
+    if (bytes <= 64 && p < g) plio_wins_small = true;
+    if (bytes >= 16384 && g < p) gmio_wins_large = true;
+  }
+  EXPECT_TRUE(plio_wins_small);
+  EXPECT_TRUE(gmio_wins_large);
+}
+
+inline constexpr PortSettings gm_in{.io = IoKind::gmio};
+
+COMPUTE_KERNEL(aie, gm_scale,
+               KernelReadPort<float, gm_in> in,
+               KernelWritePort<float, gm_in> out) {
+  while (true) co_await out.put(2.0f * co_await in.get());
+}
+
+constexpr auto gm_graph = make_compute_graph_v<[](IoConnector<float> a) {
+  IoConnector<float> b;
+  gm_scale(a, b);
+  return std::make_tuple(b);
+}>;
+
+TEST(GmioCost, EndToEndSimulationRuns) {
+  std::vector<float> in(64, 1.5f);
+  std::vector<float> out;
+  const auto res =
+      aiesim::simulate(gm_graph.view(), aiesim::SimConfig{}, in, out);
+  ASSERT_EQ(out.size(), 64u);
+  EXPECT_EQ(out[0], 3.0f);
+  EXPECT_GT(res.virtual_cycles, 0u);
+}
+
+TEST(GmioCost, GeneratedIoDoesNotSlowGmioGraph) {
+  std::vector<float> in(64, 1.0f);
+  std::vector<float> out;
+  aiesim::SimConfig native;
+  const auto rn = aiesim::simulate(gm_graph.view(), native, in, out);
+  out.clear();
+  aiesim::SimConfig gen;
+  gen.generated_io = true;
+  const auto rg = aiesim::simulate(gm_graph.view(), gen, in, out);
+  EXPECT_EQ(rn.virtual_cycles, rg.virtual_cycles);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Kernel-to-tile placement and stream-switch hop latency on the 2D array.
+#include <gtest/gtest.h>
+
+#include "aiesim/engine.hpp"
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+using aiesim::Placement;
+using aiesim::TileCoord;
+
+COMPUTE_KERNEL(aie, pl_stage1,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get() + 1.0f);
+}
+
+COMPUTE_KERNEL(aie, pl_stage2,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get() * 2.0f);
+}
+
+constexpr auto pl_graph = make_compute_graph_v<[](IoConnector<float> a) {
+  IoConnector<float> m, z;
+  pl_stage1(a, m);
+  pl_stage2(m, z);
+  return std::make_tuple(z);
+}>;
+
+TEST(Placement, AutomaticSnakeOrder) {
+  const Placement p = Placement::automatic(pl_graph.view(), /*columns=*/4);
+  EXPECT_EQ(p.of(0), (TileCoord{0, 0}));
+  EXPECT_EQ(p.of(1), (TileCoord{1, 0}));
+}
+
+TEST(Placement, SnakeReversesOnOddRows) {
+  // A fabricated 6-kernel view is unnecessary: exercise the math directly
+  // via a wider graph-independent check using the 2-kernel view but
+  // column width 1 (kernel 1 lands on row 1, which is reversed).
+  const Placement p = Placement::automatic(pl_graph.view(), /*columns=*/1);
+  EXPECT_EQ(p.of(0), (TileCoord{0, 0}));
+  EXPECT_EQ(p.of(1), (TileCoord{0, 1}));
+}
+
+TEST(Placement, ExplicitOverride) {
+  const Placement p = Placement::explicit_by_name(
+      pl_graph.view(), {{"pl_stage2", TileCoord{7, 3}}});
+  EXPECT_EQ(p.of(0), (TileCoord{0, 0}));  // automatic
+  EXPECT_EQ(p.of(1), (TileCoord{7, 3}));  // overridden
+}
+
+TEST(Placement, EdgeHopsReflectDistance) {
+  const GraphView g = pl_graph.view();
+  const Placement near = Placement::explicit_by_name(
+      g, {{"pl_stage1", TileCoord{0, 0}}, {"pl_stage2", TileCoord{1, 0}}});
+  const Placement far = Placement::explicit_by_name(
+      g, {{"pl_stage1", TileCoord{0, 0}}, {"pl_stage2", TileCoord{7, 7}}});
+  // The middle edge (index of m) is the only kernel-to-kernel edge.
+  int middle = -1;
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    bool has_writer = false, has_reader = false;
+    for (const FlatPort& p : g.ports) {
+      if (p.edge != static_cast<int>(e)) continue;
+      (p.is_read ? has_reader : has_writer) = true;
+    }
+    if (has_reader && has_writer) middle = static_cast<int>(e);
+  }
+  ASSERT_NE(middle, -1);
+  EXPECT_EQ(near.edge_hops(g, middle), 1);
+  EXPECT_EQ(far.edge_hops(g, middle), 14);
+}
+
+TEST(Placement, DistantPlacementSlowsSimulation) {
+  std::vector<float> in(256, 1.0f);
+  std::vector<float> out;
+  aiesim::SimConfig near_cfg;
+  near_cfg.placement = {{"pl_stage1", TileCoord{0, 0}},
+                        {"pl_stage2", TileCoord{1, 0}}};
+  const auto near_res =
+      aiesim::simulate(pl_graph.view(), near_cfg, in, out);
+  out.clear();
+  aiesim::SimConfig far_cfg;
+  far_cfg.placement = {{"pl_stage1", TileCoord{0, 0}},
+                       {"pl_stage2", TileCoord{7, 7}}};
+  const auto far_res = aiesim::simulate(pl_graph.view(), far_cfg, in, out);
+  EXPECT_GT(far_res.virtual_cycles, near_res.virtual_cycles);
+  // Functional results are placement-invariant.
+  EXPECT_EQ(out.size(), 256u);
+  EXPECT_EQ(out[0], 4.0f);
+}
+
+TEST(Placement, GlobalEdgesUnaffectedByPlacement) {
+  // A single-kernel graph has no kernel-to-kernel edge: placement must not
+  // change its timing.
+  static constexpr auto single = make_compute_graph_v<[](
+      IoConnector<float> a) {
+    IoConnector<float> z;
+    pl_stage1(a, z);
+    return std::make_tuple(z);
+  }>;
+  std::vector<float> in(64, 1.0f);
+  std::vector<float> out;
+  aiesim::SimConfig c1;
+  const auto r1 = aiesim::simulate(single.view(), c1, in, out);
+  out.clear();
+  aiesim::SimConfig c2;
+  c2.placement = {{"pl_stage1", TileCoord{7, 7}}};
+  const auto r2 = aiesim::simulate(single.view(), c2, in, out);
+  EXPECT_EQ(r1.virtual_cycles, r2.virtual_cycles);
+}
+
+}  // namespace

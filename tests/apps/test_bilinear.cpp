@@ -1,0 +1,121 @@
+// Ported Bilinear_Interpolation example (paper Section 5).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "apps/bilinear.hpp"
+
+namespace {
+
+using apps::bilinear::kLanes;
+using apps::bilinear::Packet;
+using apps::bilinear::V;
+
+Packet random_packet(std::mt19937& rng) {
+  std::uniform_real_distribution<float> pix{0, 255};
+  std::uniform_real_distribution<float> frac{0, 1};
+  Packet p;
+  for (unsigned i = 0; i < kLanes; ++i) {
+    p.p00.set(i, pix(rng));
+    p.p01.set(i, pix(rng));
+    p.p10.set(i, pix(rng));
+    p.p11.set(i, pix(rng));
+    p.fx.set(i, frac(rng));
+    p.fy.set(i, frac(rng));
+  }
+  return p;
+}
+
+TEST(Bilinear, CornersAreExact) {
+  Packet p;
+  for (unsigned i = 0; i < kLanes; ++i) {
+    p.p00.set(i, 10);
+    p.p01.set(i, 20);
+    p.p10.set(i, 30);
+    p.p11.set(i, 40);
+  }
+  // fx = fy = 0 -> p00
+  const V at00 = apps::bilinear::interpolate(p);
+  for (unsigned i = 0; i < kLanes; ++i) EXPECT_FLOAT_EQ(at00.get(i), 10.0f);
+  // fx = 1, fy = 0 -> p01
+  for (unsigned i = 0; i < kLanes; ++i) p.fx.set(i, 1.0f);
+  const V at01 = apps::bilinear::interpolate(p);
+  for (unsigned i = 0; i < kLanes; ++i) EXPECT_FLOAT_EQ(at01.get(i), 20.0f);
+  // fx = fy = 1 -> p11
+  for (unsigned i = 0; i < kLanes; ++i) p.fy.set(i, 1.0f);
+  const V at11 = apps::bilinear::interpolate(p);
+  for (unsigned i = 0; i < kLanes; ++i) EXPECT_FLOAT_EQ(at11.get(i), 40.0f);
+}
+
+TEST(Bilinear, CenterIsAverage) {
+  Packet p;
+  for (unsigned i = 0; i < kLanes; ++i) {
+    p.p00.set(i, 0);
+    p.p01.set(i, 10);
+    p.p10.set(i, 20);
+    p.p11.set(i, 30);
+    p.fx.set(i, 0.5f);
+    p.fy.set(i, 0.5f);
+  }
+  const V c = apps::bilinear::interpolate(p);
+  for (unsigned i = 0; i < kLanes; ++i) EXPECT_FLOAT_EQ(c.get(i), 15.0f);
+}
+
+TEST(Bilinear, ResultWithinNeighbourEnvelope) {
+  std::mt19937 rng{5};
+  for (int n = 0; n < 50; ++n) {
+    const Packet p = random_packet(rng);
+    const V r = apps::bilinear::interpolate(p);
+    for (unsigned i = 0; i < kLanes; ++i) {
+      const float lo = std::min({p.p00.get(i), p.p01.get(i), p.p10.get(i),
+                                 p.p11.get(i)});
+      const float hi = std::max({p.p00.get(i), p.p01.get(i), p.p10.get(i),
+                                 p.p11.get(i)});
+      EXPECT_GE(r.get(i), lo - 1e-3f);
+      EXPECT_LE(r.get(i), hi + 1e-3f);
+    }
+  }
+}
+
+TEST(Bilinear, GraphMatchesReference) {
+  std::mt19937 rng{11};
+  std::vector<Packet> in(40);
+  for (auto& p : in) p = random_packet(rng);
+  std::vector<V> out;
+  apps::bilinear::graph(in, out);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    const auto want = apps::bilinear::reference(in[k]);
+    for (unsigned i = 0; i < kLanes; ++i) {
+      EXPECT_NEAR(out[k].get(i), want[i], 1e-3f) << "packet " << k;
+    }
+  }
+}
+
+// Property: interpolation is monotone in fx when p01 >= p00, p11 >= p10.
+class BilinearMonotone : public ::testing::TestWithParam<float> {};
+
+TEST_P(BilinearMonotone, MonotoneInFx) {
+  const float fy = GetParam();
+  Packet lo_p, hi_p;
+  for (unsigned i = 0; i < kLanes; ++i) {
+    for (Packet* p : {&lo_p, &hi_p}) {
+      p->p00.set(i, 1);
+      p->p01.set(i, 5);
+      p->p10.set(i, 2);
+      p->p11.set(i, 9);
+      p->fy.set(i, fy);
+    }
+    lo_p.fx.set(i, 0.25f);
+    hi_p.fx.set(i, 0.75f);
+  }
+  const V lo = apps::bilinear::interpolate(lo_p);
+  const V hi = apps::bilinear::interpolate(hi_p);
+  for (unsigned i = 0; i < kLanes; ++i) EXPECT_LE(lo.get(i), hi.get(i));
+}
+
+INSTANTIATE_TEST_SUITE_P(Fy, BilinearMonotone,
+                         ::testing::Values(0.0f, 0.25f, 0.5f, 0.75f, 1.0f));
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Ported bitonic-sorting example (paper Section 5): correctness of the
+// 16-wide sorting network and its single-kernel graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "apps/bitonic.hpp"
+
+namespace {
+
+using apps::bitonic::Block;
+
+Block make_block(const std::array<float, 16>& a) {
+  Block b;
+  for (unsigned i = 0; i < 16; ++i) b.set(i, a[i]);
+  return b;
+}
+
+std::array<float, 16> to_array(const Block& b) {
+  std::array<float, 16> a{};
+  for (unsigned i = 0; i < 16; ++i) a[i] = b.get(i);
+  return a;
+}
+
+TEST(Bitonic, SortsAscending) {
+  std::array<float, 16> a{9, 3, 7, 1, 15, 0, 2, 8, 5, 11, 4, 13, 6, 10, 14, 12};
+  const auto sorted = to_array(apps::bitonic::sort16(make_block(a)));
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(Bitonic, OutputIsPermutationOfInput) {
+  std::array<float, 16> a{};
+  std::mt19937 rng{3};
+  std::uniform_real_distribution<float> d{-50, 50};
+  for (auto& v : a) v = d(rng);
+  auto sorted = to_array(apps::bitonic::sort16(make_block(a)));
+  auto want = a;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(sorted, want);
+}
+
+TEST(Bitonic, AlreadySortedAndReversed) {
+  std::array<float, 16> asc{};
+  for (unsigned i = 0; i < 16; ++i) asc[i] = static_cast<float>(i);
+  EXPECT_EQ(to_array(apps::bitonic::sort16(make_block(asc))), asc);
+  std::array<float, 16> desc = asc;
+  std::reverse(desc.begin(), desc.end());
+  EXPECT_EQ(to_array(apps::bitonic::sort16(make_block(desc))), asc);
+}
+
+TEST(Bitonic, Duplicates) {
+  std::array<float, 16> a{};
+  a.fill(3.5f);
+  a[7] = 1.0f;
+  a[2] = 9.0f;
+  const auto sorted = to_array(apps::bitonic::sort16(make_block(a)));
+  EXPECT_EQ(sorted[0], 1.0f);
+  EXPECT_EQ(sorted[15], 9.0f);
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST(Bitonic, NegativeAndSpecialMagnitudes) {
+  std::array<float, 16> a{-1e30f, 1e30f, -1e-30f, 1e-30f, 0.0f, -0.0f,
+                          100.f, -100.f, 1.f, -1.f, 2.f, -2.f,
+                          3.f, -3.f, 4.f, -4.f};
+  const auto sorted = to_array(apps::bitonic::sort16(make_block(a)));
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_EQ(sorted[0], -1e30f);
+  EXPECT_EQ(sorted[15], 1e30f);
+}
+
+TEST(Bitonic, GraphStructure) {
+  static_assert(apps::bitonic::graph.counts.kernels == 1);
+  static_assert(apps::bitonic::graph.counts.inputs == 1);
+  static_assert(apps::bitonic::graph.counts.outputs == 1);
+  const cgsim::GraphView g = apps::bitonic::graph.view();
+  EXPECT_EQ(g.kernels[0].name, "bitonic_sort16");
+  EXPECT_EQ(g.kernels[0].realm, cgsim::Realm::aie);
+  // 64-byte stream elements, matching the Table 1 block size.
+  EXPECT_EQ(g.edges[static_cast<std::size_t>(g.inputs[0].edge)]
+                .vtable()
+                .elem_size,
+            64u);
+}
+
+TEST(Bitonic, GraphSortsStreams) {
+  std::mt19937 rng{17};
+  std::uniform_real_distribution<float> d{-100, 100};
+  std::vector<Block> in(50);
+  for (auto& b : in) {
+    for (unsigned i = 0; i < 16; ++i) b.set(i, d(rng));
+  }
+  std::vector<Block> out;
+  apps::bitonic::graph(in, out);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    const auto want = apps::bitonic::reference_sort(to_array(in[k]));
+    EXPECT_EQ(to_array(out[k]), want) << "block " << k;
+  }
+}
+
+// Property sweep over random seeds: the network equals std::sort.
+class BitonicProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitonicProperty, MatchesStdSort) {
+  std::mt19937 rng{GetParam()};
+  std::uniform_real_distribution<float> d{-1000, 1000};
+  std::array<float, 16> a{};
+  for (auto& v : a) v = d(rng);
+  const auto got = to_array(apps::bitonic::sort16(make_block(a)));
+  EXPECT_EQ(got, apps::bitonic::reference_sort(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitonicProperty, ::testing::Range(0u, 25u));
+
+}  // namespace

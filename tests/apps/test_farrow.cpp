@@ -1,0 +1,163 @@
+// Ported farrow_filter example (paper Section 5): fixed-point fractional
+// delay, two kernels with ping-pong buffer I/O.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "apps/farrow.hpp"
+
+namespace {
+
+using apps::farrow::BranchBlock;
+using apps::farrow::kBlockSamples;
+using apps::farrow::kTaps;
+using apps::farrow::MuBlock;
+using apps::farrow::SampleBlock;
+
+std::vector<SampleBlock> to_sample_blocks(const std::vector<std::int16_t>& s) {
+  std::vector<SampleBlock> blocks(s.size() / kBlockSamples);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (unsigned i = 0; i < kBlockSamples; ++i) {
+      blocks[b].s[i] = s[b * kBlockSamples + i];
+    }
+  }
+  return blocks;
+}
+
+std::vector<MuBlock> to_mu_blocks(const std::vector<std::int16_t>& s) {
+  std::vector<MuBlock> blocks(s.size() / kBlockSamples);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (unsigned i = 0; i < kBlockSamples; ++i) {
+      blocks[b].mu[i] = s[b * kBlockSamples + i];
+    }
+  }
+  return blocks;
+}
+
+TEST(Farrow, Q14Rounding) {
+  EXPECT_EQ(apps::farrow::q14_round(0), 0);
+  EXPECT_EQ(apps::farrow::q14_round(1 << 14), 1);
+  EXPECT_EQ(apps::farrow::q14_round((1 << 13)), 1);      // 0.5 rounds up
+  EXPECT_EQ(apps::farrow::q14_round((1 << 13) - 1), 0);  // just below 0.5
+  EXPECT_EQ(apps::farrow::sat16(40000), 32767);
+  EXPECT_EQ(apps::farrow::sat16(-40000), -32768);
+}
+
+TEST(Farrow, Branch0IsPassthroughTap) {
+  // Branch 0's coefficients are a pure delay of 4 samples in Q14; for a
+  // constant input the branch output equals the input.
+  std::vector<std::int16_t> x(kBlockSamples, 1000);
+  apps::farrow::BranchState st{};
+  const BranchBlock br =
+      apps::farrow::branch_filters(to_sample_blocks(x)[0], st);
+  // After the group delay has filled.
+  for (unsigned i = kTaps; i < 64; ++i) {
+    EXPECT_EQ(br.b0[i], 1000) << "i=" << i;
+  }
+}
+
+TEST(Farrow, MuZeroSelectsBranch0) {
+  // Horner with mu = 0 reduces to b0.
+  BranchBlock br{};
+  for (unsigned i = 0; i < kBlockSamples; ++i) {
+    br.b0[i] = static_cast<std::int16_t>(i % 1000);
+    br.b1[i] = 1111;
+    br.b2[i] = 2222;
+    br.b3[i] = 3333;
+  }
+  MuBlock mu{};  // all zero
+  const SampleBlock y = apps::farrow::combine(br, mu);
+  for (unsigned i = 0; i < kBlockSamples; ++i) {
+    EXPECT_EQ(y.s[i], static_cast<std::int16_t>(i % 1000));
+  }
+}
+
+TEST(Farrow, GraphBitExactAgainstReference) {
+  std::mt19937 rng{41};
+  std::uniform_int_distribution<int> dx{-25000, 25000};
+  std::uniform_int_distribution<int> dmu{0, (1 << 14) - 1};
+  std::vector<std::int16_t> xs(3 * kBlockSamples), mus(xs.size());
+  for (auto& v : xs) v = static_cast<std::int16_t>(dx(rng));
+  for (auto& v : mus) v = static_cast<std::int16_t>(dmu(rng));
+  std::vector<SampleBlock> out;
+  apps::farrow::graph(to_sample_blocks(xs), to_mu_blocks(mus), out);
+  ASSERT_EQ(out.size(), 3u);
+  const auto ref = apps::farrow::reference(xs, mus);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    for (unsigned i = 0; i < kBlockSamples; ++i) {
+      ASSERT_EQ(out[b].s[i], ref[b * kBlockSamples + i])
+          << "block " << b << " sample " << i;
+    }
+  }
+}
+
+TEST(Farrow, StateCarriesAcrossWindows) {
+  // The branch filter keeps the last taps-1 samples; a stream filtered in
+  // one window must equal the same stream filtered in two.
+  std::mt19937 rng{43};
+  std::uniform_int_distribution<int> dx{-20000, 20000};
+  std::vector<std::int16_t> xs(2 * kBlockSamples);
+  for (auto& v : xs) v = static_cast<std::int16_t>(dx(rng));
+
+  apps::farrow::BranchState st{};
+  std::vector<std::int16_t> two_windows;
+  for (const SampleBlock& blk : to_sample_blocks(xs)) {
+    const BranchBlock br = apps::farrow::branch_filters(blk, st);
+    two_windows.insert(two_windows.end(), br.b1.begin(), br.b1.end());
+  }
+  // Recompute branch 1 over the full stream at once and compare across the
+  // window seam.
+  for (std::size_t n = kTaps; n < xs.size(); ++n) {
+    std::int64_t acc = 0;
+    for (unsigned j = 0; j < kTaps; ++j) {
+      acc += static_cast<std::int64_t>(apps::farrow::kCoeffs[1][j]) *
+             xs[n - (kTaps - 1) + j];
+    }
+    ASSERT_EQ(two_windows[n], apps::farrow::q14_round(acc)) << "n=" << n;
+  }
+}
+
+TEST(Farrow, GraphTopology) {
+  static_assert(apps::farrow::graph.counts.kernels == 2);
+  static_assert(apps::farrow::graph.counts.inputs == 2);
+  static_assert(apps::farrow::graph.counts.outputs == 1);
+  const cgsim::GraphView g = apps::farrow::graph.view();
+  EXPECT_EQ(g.kernels[0].name, "farrow_branches");
+  EXPECT_EQ(g.kernels[1].name, "farrow_combine");
+  // The inter-kernel branch edge uses ping-pong windows.
+  bool found_pingpong = false;
+  for (const cgsim::FlatEdge& e : g.edges) {
+    if (e.settings.buffer == cgsim::BufferMode::pingpong) {
+      found_pingpong = true;
+      EXPECT_EQ(e.vtable().type_name, "apps::farrow::BranchBlock");
+    }
+  }
+  EXPECT_TRUE(found_pingpong);
+  // 4096-byte sample blocks: the Table 1 block size.
+  EXPECT_EQ(g.edges[static_cast<std::size_t>(g.inputs[0].edge)]
+                .vtable()
+                .elem_size,
+            4096u);
+}
+
+// Property: for constant mu, output is a linear function of input scale
+// within rounding (checks fixed-point arithmetic consistency).
+class FarrowScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(FarrowScale, SaturationIsClamped) {
+  const int scale = GetParam();
+  std::vector<std::int16_t> xs(kBlockSamples,
+                               static_cast<std::int16_t>(scale));
+  std::vector<std::int16_t> mus(kBlockSamples, 1 << 13);  // mu = 0.5
+  const auto y = apps::farrow::reference(xs, mus);
+  for (std::int16_t v : y) {
+    EXPECT_GE(v, -32768);
+    EXPECT_LE(v, 32767);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, FarrowScale,
+                         ::testing::Values(100, 1000, 10000, 32767, -32768));
+
+}  // namespace

@@ -1,0 +1,138 @@
+// 16-point radix-2 FFT application.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "apps/fft.hpp"
+
+namespace {
+
+using apps::fft::Frame;
+using apps::fft::kN;
+
+Frame random_frame(std::mt19937& rng) {
+  std::uniform_real_distribution<float> d{-2, 2};
+  Frame f;
+  for (unsigned i = 0; i < kN; ++i) {
+    f.re.set(i, d(rng));
+    f.im.set(i, d(rng));
+  }
+  return f;
+}
+
+void expect_matches_dft(const Frame& in, float tol = 1e-4f) {
+  const Frame got = apps::fft::fft16(in);
+  const auto want = apps::fft::reference_dft(in);
+  for (unsigned k = 0; k < kN; ++k) {
+    ASSERT_NEAR(got.re.get(k), want[k].real(), tol) << "bin " << k;
+    ASSERT_NEAR(got.im.get(k), want[k].imag(), tol) << "bin " << k;
+  }
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  Frame f{};
+  f.re.set(0, 1.0f);
+  const Frame got = apps::fft::fft16(f);
+  for (unsigned k = 0; k < kN; ++k) {
+    EXPECT_NEAR(got.re.get(k), 1.0f, 1e-5f);
+    EXPECT_NEAR(got.im.get(k), 0.0f, 1e-5f);
+  }
+}
+
+TEST(Fft, DcGivesSingleBin) {
+  Frame f{};
+  for (unsigned i = 0; i < kN; ++i) f.re.set(i, 1.0f);
+  const Frame got = apps::fft::fft16(f);
+  EXPECT_NEAR(got.re.get(0), 16.0f, 1e-4f);
+  for (unsigned k = 1; k < kN; ++k) {
+    EXPECT_NEAR(got.re.get(k), 0.0f, 1e-4f) << k;
+    EXPECT_NEAR(got.im.get(k), 0.0f, 1e-4f) << k;
+  }
+}
+
+TEST(Fft, PureToneLandsInItsBin) {
+  for (unsigned bin : {1u, 3u, 7u}) {
+    Frame f{};
+    for (unsigned n = 0; n < kN; ++n) {
+      const double ang = 2.0 * std::numbers::pi *
+                         static_cast<double>(bin * n) /
+                         static_cast<double>(kN);
+      f.re.set(n, static_cast<float>(std::cos(ang)));
+      f.im.set(n, static_cast<float>(std::sin(ang)));
+    }
+    const Frame got = apps::fft::fft16(f);
+    for (unsigned k = 0; k < kN; ++k) {
+      const double mag = std::hypot(got.re.get(k), got.im.get(k));
+      if (k == bin) {
+        EXPECT_NEAR(mag, 16.0, 1e-3) << "bin " << bin;
+      } else {
+        EXPECT_NEAR(mag, 0.0, 1e-3) << "bin " << bin << " leak at " << k;
+      }
+    }
+  }
+}
+
+TEST(Fft, MatchesReferenceDftOnRandomInput) {
+  std::mt19937 rng{111};
+  for (int i = 0; i < 20; ++i) expect_matches_dft(random_frame(rng));
+}
+
+TEST(Fft, Parseval) {
+  std::mt19937 rng{113};
+  const Frame f = random_frame(rng);
+  const Frame got = apps::fft::fft16(f);
+  double time_e = 0, freq_e = 0;
+  for (unsigned i = 0; i < kN; ++i) {
+    time_e += f.re.get(i) * f.re.get(i) + f.im.get(i) * f.im.get(i);
+    freq_e += got.re.get(i) * got.re.get(i) + got.im.get(i) * got.im.get(i);
+  }
+  EXPECT_NEAR(freq_e, 16.0 * time_e, 1e-2 * (1 + freq_e));
+}
+
+TEST(Fft, LinearityProperty) {
+  std::mt19937 rng{117};
+  const Frame a = random_frame(rng);
+  const Frame b = random_frame(rng);
+  Frame sum;
+  for (unsigned i = 0; i < kN; ++i) {
+    sum.re.set(i, a.re.get(i) + b.re.get(i));
+    sum.im.set(i, a.im.get(i) + b.im.get(i));
+  }
+  const Frame fa = apps::fft::fft16(a);
+  const Frame fb = apps::fft::fft16(b);
+  const Frame fs = apps::fft::fft16(sum);
+  for (unsigned k = 0; k < kN; ++k) {
+    EXPECT_NEAR(fs.re.get(k), fa.re.get(k) + fb.re.get(k), 1e-3f);
+    EXPECT_NEAR(fs.im.get(k), fa.im.get(k) + fb.im.get(k), 1e-3f);
+  }
+}
+
+TEST(Fft, GraphStreamsFrames) {
+  std::mt19937 rng{119};
+  std::vector<Frame> in(16);
+  for (auto& f : in) f = random_frame(rng);
+  std::vector<Frame> out;
+  apps::fft::graph(in, out);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const auto want = apps::fft::reference_dft(in[i]);
+    for (unsigned k = 0; k < kN; ++k) {
+      ASSERT_NEAR(out[i].re.get(k), want[k].real(), 1e-3f)
+          << "frame " << i << " bin " << k;
+    }
+  }
+}
+
+// Property sweep: FFT matches DFT across many random seeds.
+class FftSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FftSweep, MatchesDft) {
+  std::mt19937 rng{GetParam()};
+  expect_matches_dft(random_frame(rng), 2e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FftSweep, ::testing::Range(200u, 215u));
+
+}  // namespace

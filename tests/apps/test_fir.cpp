@@ -1,0 +1,135 @@
+// Symmetric FIR application (extension app): bit-exactness against the
+// scalar reference and DSP sanity properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "apps/fir.hpp"
+
+namespace {
+
+using apps::fir::Block;
+using apps::fir::kBlockSamples;
+using apps::fir::kTaps;
+
+std::vector<Block> to_blocks(const std::vector<std::int16_t>& s) {
+  std::vector<Block> blocks(s.size() / kBlockSamples);
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (unsigned i = 0; i < kBlockSamples; ++i) {
+      blocks[b].s[i] = s[b * kBlockSamples + i];
+    }
+  }
+  return blocks;
+}
+
+// An impulse of amplitude 2^14 reproduces the Q14 taps exactly.
+static_assert(apps::fir::kQ == 14);
+
+TEST(Fir, ImpulseRecoversCoefficients) {
+  std::vector<std::int16_t> x(kBlockSamples, 0);
+  x[0] = 1 << apps::fir::kQ;  // unit impulse in Q14
+  apps::fir::State st{};
+  const Block y = apps::fir::process_block(to_blocks(x)[0], st);
+  // y[n] = c[kTaps-1-n] for n < kTaps, which equals c[n] by symmetry.
+  for (unsigned j = 0; j < kTaps; ++j) {
+    EXPECT_EQ(y.s[j], apps::fir::kCoeffs[j]) << "tap " << j;
+  }
+  // After the support the response is identically zero.
+  for (unsigned n = kTaps; n < kTaps + 32; ++n) {
+    EXPECT_EQ(y.s[n], 0) << "n=" << n;
+  }
+}
+
+TEST(Fir, BitExactAgainstReference) {
+  std::mt19937 rng{51};
+  std::uniform_int_distribution<int> d{-20000, 20000};
+  std::vector<std::int16_t> x(3 * kBlockSamples);
+  for (auto& v : x) v = static_cast<std::int16_t>(d(rng));
+  std::vector<Block> out;
+  apps::fir::graph(to_blocks(x), out);
+  ASSERT_EQ(out.size(), 3u);
+  const auto ref = apps::fir::reference(x);
+  for (std::size_t b = 0; b < out.size(); ++b) {
+    for (unsigned i = 0; i < kBlockSamples; ++i) {
+      ASSERT_EQ(out[b].s[i], ref[b * kBlockSamples + i])
+          << "block " << b << " sample " << i;
+    }
+  }
+}
+
+TEST(Fir, StateCarriesAcrossWindows) {
+  // One long window vs two half-length passes through the same State.
+  std::mt19937 rng{53};
+  std::uniform_int_distribution<int> d{-10000, 10000};
+  std::vector<std::int16_t> x(2 * kBlockSamples);
+  for (auto& v : x) v = static_cast<std::int16_t>(d(rng));
+  apps::fir::State st{};
+  std::vector<std::int16_t> got;
+  for (const Block& b : to_blocks(x)) {
+    const Block y = apps::fir::process_block(b, st);
+    got.insert(got.end(), y.s.begin(), y.s.end());
+  }
+  const auto ref = apps::fir::reference(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i]) << "sample " << i;
+  }
+}
+
+TEST(Fir, DcGainMatchesCoefficientSum) {
+  // A constant input converges to input * sum(c)/2^14.
+  const std::int16_t amplitude = 1000;
+  std::vector<std::int16_t> x(kBlockSamples, amplitude);
+  const auto y = apps::fir::reference(x);
+  std::int64_t csum = 0;
+  for (auto c : apps::fir::kCoeffs) csum += c;
+  const auto expect = static_cast<std::int16_t>(
+      (static_cast<std::int64_t>(amplitude) * csum +
+       (std::int64_t{1} << (apps::fir::kQ - 1))) >>
+      apps::fir::kQ);
+  EXPECT_NEAR(y.back(), expect, 1);
+}
+
+TEST(Fir, LowPassAttenuatesAlternatingSignal) {
+  // The prototype is a low-pass: a Nyquist-rate alternating signal must
+  // come out much smaller than a DC signal of the same amplitude.
+  std::vector<std::int16_t> nyq(kBlockSamples), dc(kBlockSamples, 10000);
+  for (unsigned i = 0; i < kBlockSamples; ++i) {
+    nyq[i] = static_cast<std::int16_t>(i % 2 == 0 ? 10000 : -10000);
+  }
+  const auto y_nyq = apps::fir::reference(nyq);
+  const auto y_dc = apps::fir::reference(dc);
+  EXPECT_LT(std::abs(static_cast<int>(y_nyq.back())),
+            std::abs(static_cast<int>(y_dc.back())) / 10);
+}
+
+TEST(Fir, GraphUsesWindows) {
+  const cgsim::GraphView g = apps::fir::graph.view();
+  EXPECT_EQ(g.edges[static_cast<std::size_t>(g.inputs[0].edge)]
+                .settings.buffer,
+            cgsim::BufferMode::pingpong);
+}
+
+// Property: linearity (scaling the input scales the output) within
+// rounding, across random seeds.
+class FirLinearity : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FirLinearity, DoublingInputDoublesOutput) {
+  std::mt19937 rng{GetParam()};
+  std::uniform_int_distribution<int> d{-5000, 5000};
+  std::vector<std::int16_t> x1(kBlockSamples), x2(kBlockSamples);
+  for (unsigned i = 0; i < kBlockSamples; ++i) {
+    x1[i] = static_cast<std::int16_t>(d(rng));
+    x2[i] = static_cast<std::int16_t>(2 * x1[i]);
+  }
+  const auto y1 = apps::fir::reference(x1);
+  const auto y2 = apps::fir::reference(x2);
+  for (std::size_t i = 64; i < y1.size(); i += 97) {
+    EXPECT_NEAR(y2[i], 2 * y1[i], 2) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FirLinearity, ::testing::Range(0u, 6u));
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tiled GEMM application (split-K across two AIE kernels).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "apps/gemm.hpp"
+#include "x86sim/x86sim.hpp"
+
+namespace {
+
+using apps::gemm::kTile;
+using apps::gemm::Tile;
+using apps::gemm::TilePair;
+
+Tile random_tile(std::mt19937& rng) {
+  std::uniform_real_distribution<float> d{-2, 2};
+  Tile t;
+  for (auto& v : t.m) v = d(rng);
+  return t;
+}
+
+Tile identity_tile() {
+  Tile t;
+  for (unsigned i = 0; i < kTile; ++i) t.set(i, i, 1.0f);
+  return t;
+}
+
+void expect_tiles_near(const Tile& got, const Tile& want, float tol) {
+  for (unsigned i = 0; i < kTile * kTile; ++i) {
+    ASSERT_NEAR(got.m[i], want.m[i], tol * (1 + std::abs(want.m[i])))
+        << "element " << i;
+  }
+}
+
+TEST(Gemm, TileKernelMatchesReference) {
+  std::mt19937 rng{61};
+  const Tile a = random_tile(rng);
+  const Tile b = random_tile(rng);
+  expect_tiles_near(apps::gemm::multiply_tile(a, b),
+                    apps::gemm::reference_multiply(a, b), 1e-4f);
+}
+
+TEST(Gemm, IdentityIsNeutral) {
+  std::mt19937 rng{67};
+  const Tile a = random_tile(rng);
+  expect_tiles_near(apps::gemm::multiply_tile(a, identity_tile()), a, 1e-5f);
+  expect_tiles_near(apps::gemm::multiply_tile(identity_tile(), a), a, 1e-5f);
+}
+
+TEST(Gemm, GraphComputesSplitKProducts) {
+  std::mt19937 rng{71};
+  const Tile a0 = random_tile(rng), b0 = random_tile(rng);
+  const Tile a1 = random_tile(rng), b1 = random_tile(rng);
+  std::vector<TilePair> half0{{a0, b0}};
+  std::vector<TilePair> half1{{a1, b1}};
+  std::vector<Tile> out;
+  apps::gemm::graph(half0, half1, out);
+  ASSERT_EQ(out.size(), 1u);
+  // out = a0*b0 + a1*b1
+  const Tile p0 = apps::gemm::reference_multiply(a0, b0);
+  const Tile p1 = apps::gemm::reference_multiply(a1, b1);
+  Tile want;
+  for (unsigned i = 0; i < kTile * kTile; ++i) want.m[i] = p0.m[i] + p1.m[i];
+  expect_tiles_near(out[0], want, 1e-4f);
+}
+
+TEST(Gemm, TiledDriverMatchesFullReference) {
+  // 2x4 tile grid times 4x3 tile grid (K = 4 tiles, split across halves).
+  std::mt19937 rng{73};
+  std::vector<std::vector<Tile>> a(2, std::vector<Tile>(4));
+  std::vector<std::vector<Tile>> b(4, std::vector<Tile>(3));
+  for (auto& row : a) {
+    for (auto& t : row) t = random_tile(rng);
+  }
+  for (auto& row : b) {
+    for (auto& t : row) t = random_tile(rng);
+  }
+  const auto got = apps::gemm::multiply_tiled(a, b);
+  ASSERT_EQ(got.size(), 6u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      Tile want{};
+      for (std::size_t k = 0; k < 4; ++k) {
+        const Tile p = apps::gemm::reference_multiply(a[r][k], b[k][c]);
+        for (unsigned i = 0; i < kTile * kTile; ++i) want.m[i] += p.m[i];
+      }
+      expect_tiles_near(got[r * 3 + c], want, 1e-3f);
+    }
+  }
+}
+
+TEST(Gemm, BackendsAgree) {
+  std::mt19937 rng{79};
+  std::vector<TilePair> half0{{random_tile(rng), random_tile(rng)},
+                              {random_tile(rng), random_tile(rng)}};
+  std::vector<TilePair> half1{{random_tile(rng), random_tile(rng)},
+                              {random_tile(rng), random_tile(rng)}};
+  std::vector<Tile> coop, threaded;
+  apps::gemm::graph(half0, half1, coop);
+  x86sim::simulate(apps::gemm::graph.view(), 1, half0, half1, threaded);
+  EXPECT_EQ(coop, threaded);
+}
+
+TEST(Gemm, GraphTopology) {
+  static_assert(apps::gemm::graph.counts.kernels == 3);
+  const cgsim::GraphView g = apps::gemm::graph.view();
+  EXPECT_EQ(g.kernels[0].name, "gemm_half");
+  EXPECT_EQ(g.kernels[1].name, "gemm_half");
+  EXPECT_EQ(g.kernels[2].name, "gemm_acc");
+  // 1 KiB tiles, 2 KiB tile pairs.
+  EXPECT_EQ(g.edges[static_cast<std::size_t>(g.inputs[0].edge)]
+                .vtable()
+                .elem_size,
+            2048u);
+}
+
+}  // namespace

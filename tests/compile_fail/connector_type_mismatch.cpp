@@ -1,0 +1,17 @@
+// MUST NOT COMPILE: connector element type differs from the kernel port
+// type (paper Section 3.3: port types are checked at compile time).
+#include "core/cgsim.hpp"
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, cf_float_kernel, KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  co_await out.put(co_await in.get());
+}
+
+constexpr auto bad = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<float> b;
+  cf_float_kernel(a, b);  // int connector into a float port
+  return std::make_tuple(b);
+}>;
+
+int main() { return bad.counts.kernels; }

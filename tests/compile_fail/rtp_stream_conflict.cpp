@@ -1,0 +1,24 @@
+// MUST NOT COMPILE: a runtime-parameter port connected to a streaming port
+// (paper Section 3.4).
+#include "core/cgsim.hpp"
+using namespace cgsim;
+
+inline constexpr PortSettings rtp{.rtp = true};
+inline constexpr PortSettings stream{.buffer = BufferMode::stream};
+
+COMPUTE_KERNEL(aie, cf_rtp_writer, KernelWritePort<int, rtp> out) {
+  co_await out.put(1);
+}
+COMPUTE_KERNEL(aie, cf_stream_reader, KernelReadPort<int, stream> in,
+               KernelWritePort<int> out) {
+  co_await out.put(co_await in.get());
+}
+
+constexpr auto bad = make_compute_graph_v<[]() {
+  IoConnector<int> mid, out;
+  cf_rtp_writer(mid);
+  cf_stream_reader(mid, out);
+  return std::make_tuple(out);
+}>;
+
+int main() { return bad.counts.kernels; }

@@ -1,0 +1,25 @@
+// MUST NOT COMPILE: two ports with different beat widths on one connector
+// (paper Section 3.4: "If the settings are incompatible, a compile-time
+// error is generated").
+#include "core/cgsim.hpp"
+using namespace cgsim;
+
+inline constexpr PortSettings w32{.beat_bits = 32};
+inline constexpr PortSettings w64{.beat_bits = 64};
+
+COMPUTE_KERNEL(aie, cf_w32, KernelWritePort<int, w32> out) {
+  co_await out.put(1);
+}
+COMPUTE_KERNEL(aie, cf_r64, KernelReadPort<int, w64> in,
+               KernelWritePort<int> out) {
+  co_await out.put(co_await in.get());
+}
+
+constexpr auto bad = make_compute_graph_v<[]() {
+  IoConnector<int> mid, out;
+  cf_w32(mid);
+  cf_r64(mid, out);  // 32-bit writer meets 64-bit reader: constexpr throw
+  return std::make_tuple(out);
+}>;
+
+int main() { return bad.counts.kernels; }

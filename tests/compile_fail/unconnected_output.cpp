@@ -1,0 +1,17 @@
+// MUST NOT COMPILE: a returned graph output that is not connected to
+// anything (constexpr throw during graph construction).
+#include "core/cgsim.hpp"
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, cf_sink_only, KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  co_await out.put(co_await in.get());
+}
+
+constexpr auto bad = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> used, dangling;
+  cf_sink_only(a, used);
+  return std::make_tuple(dangling);  // never wired to any kernel
+}>;
+
+int main() { return bad.counts.kernels; }

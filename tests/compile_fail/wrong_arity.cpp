@@ -1,0 +1,16 @@
+// MUST NOT COMPILE: kernel instantiated with the wrong number of
+// connectors.
+#include "core/cgsim.hpp"
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, cf_two_ports, KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  co_await out.put(co_await in.get());
+}
+
+constexpr auto bad = make_compute_graph_v<[](IoConnector<int> a) {
+  cf_two_ports(a);  // missing the output connector
+  return std::make_tuple(a);
+}>;
+
+int main() { return bad.counts.kernels; }

@@ -1,0 +1,257 @@
+// Broadcast MPMC channel semantics (paper Section 3.6): fixed capacity,
+// per-consumer complete copies, per-producer ordering, closure behaviour.
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <thread>
+#include <vector>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+/// Executor stub recording wakes.
+class StubExec final : public Executor {
+ public:
+  void make_ready(std::coroutine_handle<> h, std::uint64_t nb) override {
+    wakes.emplace_back(h, nb);
+  }
+  std::vector<std::pair<std::coroutine_handle<>, std::uint64_t>> wakes;
+};
+
+TEST(CoopChannel, FifoSingleConsumer) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 8, &ex};
+  ch.set_producers(1);
+  EXPECT_EQ(ch.try_push(1), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(2), ChanStatus::ok);
+  int v = 0;
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::blocked);
+}
+
+TEST(CoopChannel, CapacityBlocksProducer) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 2, &ex};
+  ch.set_producers(1);
+  EXPECT_EQ(ch.try_push(1), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(2), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(3), ChanStatus::blocked);
+  int v = 0;
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(3), ChanStatus::ok);
+}
+
+TEST(CoopChannel, BroadcastEveryConsumerSeesEverything) {
+  StubExec ex;
+  CoopChannel<int> ch{3, 8, &ex};
+  ch.set_producers(1);
+  for (int i = 0; i < 5; ++i) ASSERT_EQ(ch.try_push(i), ChanStatus::ok);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) {
+      int v = -1;
+      ASSERT_EQ(ch.try_pop(c, v), ChanStatus::ok) << "consumer " << c;
+      EXPECT_EQ(v, i);
+    }
+  }
+}
+
+TEST(CoopChannel, SlowestConsumerGatesRingReuse) {
+  StubExec ex;
+  CoopChannel<int> ch{2, 2, &ex};
+  ch.set_producers(1);
+  ASSERT_EQ(ch.try_push(1), ChanStatus::ok);
+  ASSERT_EQ(ch.try_push(2), ChanStatus::ok);
+  int v = 0;
+  // Fast consumer drains; slow consumer has not read anything.
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(3), ChanStatus::blocked);  // gated by consumer 1
+  ASSERT_EQ(ch.try_pop(1, v), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(3), ChanStatus::ok);
+}
+
+TEST(CoopChannel, ConsumerDoneReleasesGating) {
+  StubExec ex;
+  CoopChannel<int> ch{2, 1, &ex};
+  ch.set_producers(1);
+  ASSERT_EQ(ch.try_push(1), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(2), ChanStatus::blocked);
+  ch.consumer_done(1);  // the slow consumer leaves
+  int v = 0;
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(ch.try_push(2), ChanStatus::ok);
+}
+
+TEST(CoopChannel, AllConsumersDoneClosesPush) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 4, &ex};
+  ch.set_producers(1);
+  ch.consumer_done(0);
+  EXPECT_EQ(ch.try_push(1), ChanStatus::closed);
+}
+
+TEST(CoopChannel, ProducerDoneDrainsThenCloses) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 4, &ex};
+  ch.set_producers(1);
+  ASSERT_EQ(ch.try_push(7), ChanStatus::ok);
+  ch.producer_done();
+  int v = 0;
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::ok);  // drains remaining data
+  EXPECT_EQ(v, 7);
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::closed);
+}
+
+TEST(CoopChannel, ZeroConsumersDiscardsWrites) {
+  StubExec ex;
+  CoopChannel<int> ch{0, 2, &ex};
+  ch.set_producers(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(ch.try_push(i), ChanStatus::ok);
+  }
+  EXPECT_EQ(ch.total_pushed(), 10u);
+}
+
+TEST(CoopChannel, StatsCountPerConsumer) {
+  StubExec ex;
+  CoopChannel<int> ch{2, 8, &ex};
+  ch.set_producers(1);
+  ch.try_push(1);
+  ch.try_push(2);
+  int v = 0;
+  ch.try_pop(0, v);
+  EXPECT_EQ(ch.popped(0), 1u);
+  EXPECT_EQ(ch.popped(1), 0u);
+  EXPECT_EQ(ch.total_pushed(), 2u);
+}
+
+TEST(CoopChannel, BlockingOpsAreRejected) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 2, &ex};
+  int v = 0;
+  EXPECT_THROW(ch.blocking_push(1), std::logic_error);
+  EXPECT_THROW(ch.blocking_pop(0, v), std::logic_error);
+}
+
+// --- threaded channel ---
+
+TEST(ThreadedChannel, BlockingRoundTrip) {
+  ThreadedChannel<int> ch{1, 4};
+  ch.set_producers(1);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(ch.blocking_push(i));
+    ch.producer_done();
+  });
+  std::vector<int> got;
+  int v = 0;
+  while (ch.blocking_pop(0, v)) got.push_back(v);
+  producer.join();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadedChannel, BroadcastTwoConsumers) {
+  ThreadedChannel<int> ch{2, 4};
+  ch.set_producers(1);
+  std::vector<int> got0, got1;
+  std::thread c0([&] {
+    int v;
+    while (ch.blocking_pop(0, v)) got0.push_back(v);
+  });
+  std::thread c1([&] {
+    int v;
+    while (ch.blocking_pop(1, v)) got1.push_back(v);
+  });
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(ch.blocking_push(i));
+  ch.producer_done();
+  c0.join();
+  c1.join();
+  EXPECT_EQ(got0.size(), 50u);
+  EXPECT_EQ(got0, got1);
+}
+
+TEST(ThreadedChannel, ConsumerDoneUnblocksProducer) {
+  ThreadedChannel<int> ch{1, 1};
+  ch.set_producers(1);
+  ASSERT_TRUE(ch.blocking_push(1));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds{20});
+    ch.consumer_done(0);
+  });
+  // Full ring + departing consumer => push returns false (closed).
+  EXPECT_FALSE(ch.blocking_push(2));
+  closer.join();
+}
+
+TEST(ThreadedChannel, CoopOpsAreRejected) {
+  ThreadedChannel<int> ch{1, 2};
+  int v = 0;
+  EXPECT_THROW(ch.try_push(1), std::logic_error);
+  EXPECT_THROW(ch.try_pop(0, v), std::logic_error);
+}
+
+// --- RTP channel ---
+
+TEST(RtpChannel, StickyLatestValue) {
+  StubExec ex;
+  RtpChannel<float> ch{1, ExecMode::coop, &ex};
+  ch.set_producers(1);
+  float v = 0;
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::blocked);  // no value yet
+  ASSERT_EQ(ch.try_push(1.5f), ChanStatus::ok);
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(v, 1.5f);
+  // Reading again returns the same value (non-consuming).
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(v, 1.5f);
+  // Overwrite.
+  ASSERT_EQ(ch.try_push(2.5f), ChanStatus::ok);
+  ASSERT_EQ(ch.try_pop(0, v), ChanStatus::ok);
+  EXPECT_EQ(v, 2.5f);
+}
+
+TEST(RtpChannel, LatestForSinks) {
+  StubExec ex;
+  RtpChannel<int> ch{1, ExecMode::coop, &ex};
+  ch.set_producers(1);
+  int v = 0;
+  EXPECT_FALSE(ch.latest(v));
+  ch.try_push(9);
+  ASSERT_TRUE(ch.latest(v));
+  EXPECT_EQ(v, 9);
+}
+
+TEST(RtpChannel, ClosedWithoutValueReportsClosed) {
+  StubExec ex;
+  RtpChannel<int> ch{1, ExecMode::coop, &ex};
+  ch.set_producers(1);
+  ch.producer_done();
+  int v = 0;
+  EXPECT_EQ(ch.try_pop(0, v), ChanStatus::closed);
+}
+
+// --- vtable factory ---
+
+TEST(ChannelVTable, CreatesModeSpecificChannels) {
+  StubExec ex;
+  const ChannelVTable& vt = channel_vtable<int>();
+  EXPECT_EQ(vt.elem_size, sizeof(int));
+  EXPECT_EQ(vt.type_name, "int");
+  std::unique_ptr<ChannelBase> coop{
+      vt.create(ExecMode::coop, 1, 4, false, &ex)};
+  std::unique_ptr<ChannelBase> thr{
+      vt.create(ExecMode::threaded, 1, 4, false, &ex)};
+  std::unique_ptr<ChannelBase> rtp{
+      vt.create(ExecMode::coop, 1, 4, true, &ex)};
+  EXPECT_NE(dynamic_cast<CoopChannel<int>*>(coop.get()), nullptr);
+  EXPECT_NE(dynamic_cast<ThreadedChannel<int>*>(thr.get()), nullptr);
+  EXPECT_NE(dynamic_cast<RtpChannel<int>*>(rtp.get()), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Graphviz export and DMA descriptor transforms (corner-turning extension,
+// paper Section 6).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, dd_pass,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+constexpr auto dd_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b;
+  dd_pass(a, b);
+  return std::make_tuple(b);
+}>;
+
+TEST(GraphDot, ContainsKernelsAndIo) {
+  const std::string dot = to_dot(dd_graph.view());
+  EXPECT_NE(dot.find("digraph compute_graph"), std::string::npos);
+  EXPECT_NE(dot.find("k0 [shape=box,label=\"dd_pass\\n(aie)\"]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("in0 [shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("out0 [shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("in0 -> k0"), std::string::npos);
+  EXPECT_NE(dot.find("k0 -> out0"), std::string::npos);
+}
+
+TEST(GraphDot, EdgeLabelsShowTypes) {
+  const std::string dot = to_dot(dd_graph.view());
+  EXPECT_NE(dot.find("label=\"int\""), std::string::npos);
+}
+
+TEST(GraphDot, OptionsSuppressTypes) {
+  DotOptions opts;
+  opts.show_types = false;
+  opts.graph_name = "g2";
+  const std::string dot = to_dot(dd_graph.view(), opts);
+  EXPECT_NE(dot.find("digraph g2"), std::string::npos);
+  EXPECT_EQ(dot.find("label=\"int\""), std::string::npos);
+}
+
+// --- DMA transforms ---
+
+using Block4x4 = std::array<int, 16>;
+
+TEST(Dma, CornerTurnTransposes) {
+  Block4x4 in{};
+  for (int i = 0; i < 16; ++i) in[static_cast<std::size_t>(i)] = i;
+  const Block4x4 out = cgsim::dma::CornerTurn<4, 4>{}(in);
+  // in is row-major 4x4; out must be its transpose.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(out[c * 4 + r], in[r * 4 + c]);
+    }
+  }
+}
+
+TEST(Dma, CornerTurnIsInvolutionForSquare) {
+  Block4x4 in{};
+  for (int i = 0; i < 16; ++i) in[static_cast<std::size_t>(i)] = i * 7 - 3;
+  const auto once = cgsim::dma::CornerTurn<4, 4>{}(in);
+  EXPECT_EQ((cgsim::dma::CornerTurn<4, 4>{}(once)), in);
+}
+
+TEST(Dma, RectangularCornerTurn) {
+  std::array<int, 6> in{1, 2, 3, 4, 5, 6};  // 2x3 row-major
+  const auto out = cgsim::dma::CornerTurn<2, 3>{}(in);
+  // 3x2 row-major result.
+  EXPECT_EQ(out, (std::array<int, 6>{1, 4, 2, 5, 3, 6}));
+}
+
+TEST(Dma, Stride1D) {
+  std::array<int, 8> in{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto out = cgsim::dma::Stride1D<3>{}(in);
+  EXPECT_EQ(out, (std::array<int, 8>{0, 3, 6, 1, 4, 7, 2, 5}));
+}
+
+COMPUTE_KERNEL(aie, dd_block_pass,
+               KernelReadPort<Block4x4> in,
+               KernelWritePort<Block4x4> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+constexpr auto dd_block_graph = make_compute_graph_v<[](
+    IoConnector<Block4x4> a) {
+  IoConnector<Block4x4> b;
+  dd_block_pass(a, b);
+  return std::make_tuple(b);
+}>;
+
+TEST(Dma, SourceAppliesCornerTurnDuringTransfer) {
+  Block4x4 blk{};
+  for (int i = 0; i < 16; ++i) blk[static_cast<std::size_t>(i)] = i;
+  std::vector<Block4x4> in{blk};
+  std::vector<Block4x4> out;
+  RuntimeContext ctx{dd_block_graph.view()};
+  ctx.add_stream_source<Block4x4>(0, std::span<const Block4x4>{in}, 1,
+                                  cgsim::dma::CornerTurn<4, 4>{});
+  ctx.add_stream_sink<Block4x4>(0, out);
+  ctx.run_coop();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (cgsim::dma::CornerTurn<4, 4>{}(blk)));
+}
+
+TEST(Dma, SinkTransformUndoesSourceTransform) {
+  Block4x4 blk{};
+  for (int i = 0; i < 16; ++i) blk[static_cast<std::size_t>(i)] = 100 - i;
+  std::vector<Block4x4> in{blk};
+  std::vector<Block4x4> out;
+  RuntimeContext ctx{dd_block_graph.view()};
+  ctx.add_stream_source<Block4x4>(0, std::span<const Block4x4>{in}, 1,
+                                  cgsim::dma::CornerTurn<4, 4>{});
+  ctx.add_stream_sink<Block4x4>(0, out, cgsim::dma::CornerTurn<4, 4>{});
+  ctx.run_coop();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], blk);  // turn + turn = identity
+}
+
+}  // namespace

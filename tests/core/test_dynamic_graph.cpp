@@ -1,0 +1,180 @@
+// Runtime (Graphtoy-style) graph construction baseline -- the design
+// alternative the paper rejects in Section 3.1, implemented for comparison
+// and for data-dependent topologies.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/cgsim.hpp"
+#include "core/dynamic_graph.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, dg_inc,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+COMPUTE_KERNEL(aie, dg_add,
+               KernelReadPort<int> a,
+               KernelReadPort<int> b,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+
+inline constexpr PortSettings dg_rtp{.rtp = true};
+
+COMPUTE_KERNEL(aie, dg_rtp_scale,
+               KernelReadPort<int> in,
+               KernelReadPort<int, dg_rtp> factor,
+               KernelWritePort<int> out) {
+  while (true) {
+    co_await out.put(co_await in.get() * co_await factor.get());
+  }
+}
+
+TEST(DynamicGraph, BuildAndRunPipeline) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int m = b.add_edge<int>();
+  const int z = b.add_edge<int>();
+  b.add_kernel(dg_inc, {a, m});
+  b.add_kernel(dg_inc, {m, z});
+  b.add_input(a);
+  b.add_output(z);
+  std::vector<int> in{1, 2, 3};
+  std::vector<int> out;
+  const RunResult r = b(in, out);
+  EXPECT_EQ(out, (std::vector<int>{3, 4, 5}));
+  EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(DynamicGraph, DataDependentTopology) {
+  // The case compile-time construction cannot express: the pipeline depth
+  // comes from a runtime value.
+  for (int depth : {1, 3, 7}) {
+    rt::DynamicGraphBuilder b;
+    int prev = b.add_edge<int>();
+    b.add_input(prev);
+    for (int i = 0; i < depth; ++i) {
+      const int next = b.add_edge<int>();
+      b.add_kernel(dg_inc, {prev, next});
+      prev = next;
+    }
+    b.add_output(prev);
+    std::vector<int> in{100};
+    std::vector<int> out;
+    b(in, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], 100 + depth) << "depth " << depth;
+  }
+}
+
+TEST(DynamicGraph, BroadcastAndMerge) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int l = b.add_edge<int>();
+  const int r = b.add_edge<int>();
+  const int s = b.add_edge<int>();
+  b.add_kernel(dg_inc, {a, l});
+  b.add_kernel(dg_inc, {a, r});  // a broadcasts to two readers
+  b.add_kernel(dg_add, {l, r, s});
+  b.add_input(a);
+  b.add_output(s);
+  std::vector<int> in{5};
+  std::vector<int> out;
+  b(in, out);
+  EXPECT_EQ(out, (std::vector<int>{12}));  // (5+1)+(5+1)
+}
+
+TEST(DynamicGraph, TypeMismatchThrowsAtConstruction) {
+  rt::DynamicGraphBuilder b;
+  const int f = b.add_edge<float>();
+  const int o = b.add_edge<int>();
+  EXPECT_THROW(b.add_kernel(dg_inc, {f, o}), std::invalid_argument);
+}
+
+TEST(DynamicGraph, ArityMismatchThrows) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  EXPECT_THROW(b.add_kernel(dg_inc, {a}), std::invalid_argument);
+}
+
+TEST(DynamicGraph, EdgeIdOutOfRangeThrows) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  EXPECT_THROW(b.add_kernel(dg_inc, {a, 42}), std::out_of_range);
+}
+
+TEST(DynamicGraph, SettingsConflictThrowsAtConstruction) {
+  // The dynamic counterpart of tests/compile_fail/rtp_stream_conflict.
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int m = b.add_edge<int>();
+  const int o = b.add_edge<int>();
+  b.add_kernel(dg_inc, {a, m});  // plain stream write into m
+  EXPECT_THROW(b.add_kernel(dg_rtp_scale, {a, m, o}),  // RTP read of m
+               std::invalid_argument);
+}
+
+TEST(DynamicGraph, RtpWorks) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int f = b.add_edge<int>(1, PortSettings{.rtp = true});
+  const int o = b.add_edge<int>();
+  b.add_kernel(dg_rtp_scale, {a, f, o});
+  b.add_input(a);
+  b.add_input(f);
+  b.add_output(o);
+  std::vector<int> in{1, 2, 3};
+  std::vector<int> out;
+  b(in, 10, out);
+  EXPECT_EQ(out, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(DynamicGraph, MatchesEquivalentConstexprGraph) {
+  // Same topology built both ways produces identical results.
+  static constexpr auto ct_graph = make_compute_graph_v<[](
+      IoConnector<int> a) {
+    IoConnector<int> l, r, s;
+    dg_inc(a, l);
+    dg_inc(a, r);
+    dg_add(l, r, s);
+    return std::make_tuple(s);
+  }>;
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int l = b.add_edge<int>();
+  const int r = b.add_edge<int>();
+  const int s = b.add_edge<int>();
+  b.add_kernel(dg_inc, {a, l});
+  b.add_kernel(dg_inc, {a, r});
+  b.add_kernel(dg_add, {l, r, s});
+  b.add_input(a);
+  b.add_output(s);
+
+  std::vector<int> in(200);
+  std::iota(in.begin(), in.end(), -100);
+  std::vector<int> ct_out, dyn_out;
+  ct_graph(in, ct_out);
+  b(in, dyn_out);
+  EXPECT_EQ(ct_out, dyn_out);
+}
+
+TEST(DynamicGraph, ThreadedBackend) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int z = b.add_edge<int>();
+  b.add_kernel(dg_inc, {a, z});
+  b.add_input(a);
+  b.add_output(z);
+  std::vector<int> in{7};
+  std::vector<int> out;
+  b.run(RunOptions{.mode = ExecMode::threaded}, in, out);
+  EXPECT_EQ(out, (std::vector<int>{8}));
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+// Interactive streaming sessions: incremental push/poll embedding of a
+// compute graph in a host application loop.
+#include <gtest/gtest.h>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, ss_double,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(2 * co_await in.get());
+}
+
+COMPUTE_KERNEL(aie, ss_pairsum,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) {
+    const int a = co_await in.get();
+    const int b = co_await in.get();
+    co_await out.put(a + b);
+  }
+}
+
+constexpr auto ss_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b;
+  ss_double(a, b);
+  return std::make_tuple(b);
+}>;
+
+constexpr auto ss_pair_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b;
+  ss_pairsum(a, b);
+  return std::make_tuple(b);
+}>;
+
+TEST(Session, PushPollRoundTrip) {
+  InteractiveSession s{ss_graph.view()};
+  ASSERT_TRUE(s.push<int>(0, 21));
+  const auto v = s.poll<int>(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_FALSE(s.poll<int>(0).has_value());  // nothing more yet
+}
+
+TEST(Session, OutputsArriveOnlyWhenComputable) {
+  InteractiveSession s{ss_pair_graph.view()};
+  ASSERT_TRUE(s.push<int>(0, 1));
+  EXPECT_FALSE(s.poll<int>(0).has_value());  // pair incomplete
+  ASSERT_TRUE(s.push<int>(0, 2));
+  const auto v = s.poll<int>(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(Session, InterleavedStreaming) {
+  InteractiveSession s{ss_graph.view()};
+  std::vector<int> got;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(s.push<int>(0, i));
+    if (i % 3 == 0) {
+      while (auto v = s.poll<int>(0)) got.push_back(*v);
+    }
+  }
+  while (auto v = s.poll<int>(0)) got.push_back(*v);
+  ASSERT_EQ(got.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(got[static_cast<std::size_t>(i)], 2 * i);
+  }
+}
+
+TEST(Session, BackPressureReportsFullAndRecovers) {
+  // Without polling, the default capacity eventually exerts back-pressure.
+  InteractiveSession s{ss_graph.view()};
+  int accepted = 0;
+  while (accepted < 10000 && s.push<int>(0, accepted)) ++accepted;
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 10000);  // back-pressure kicked in
+  // Draining frees space again.
+  int drained = 0;
+  while (auto v = s.poll<int>(0)) {
+    EXPECT_EQ(*v, 2 * drained);
+    ++drained;
+  }
+  EXPECT_GT(drained, 0);
+  EXPECT_TRUE(s.push<int>(0, accepted));
+}
+
+TEST(Session, FinishTerminatesKernels) {
+  InteractiveSession s{ss_graph.view()};
+  ASSERT_TRUE(s.push<int>(0, 1));
+  EXPECT_FALSE(s.drained());
+  s.finish();
+  // The remaining output is still retrievable after finish().
+  const auto v = s.poll<int>(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 2);
+  EXPECT_TRUE(s.drained());
+}
+
+TEST(Session, PushAfterFinishThrows) {
+  InteractiveSession s{ss_graph.view()};
+  s.finish();
+  EXPECT_THROW((void)s.push<int>(0, 1), std::logic_error);
+}
+
+TEST(Session, TypeAndIndexChecks) {
+  InteractiveSession s{ss_graph.view()};
+  EXPECT_THROW((void)s.push<float>(0, 1.0f), TypeMismatchError);
+  EXPECT_THROW((void)s.push<int>(5, 1), std::out_of_range);
+  EXPECT_THROW((void)s.poll<float>(0), TypeMismatchError);
+  EXPECT_THROW((void)s.poll<int>(3), std::out_of_range);
+}
+
+}  // namespace
+
+namespace {
+
+inline constexpr cgsim::PortSettings ss_rtp{.rtp = true};
+
+COMPUTE_KERNEL(aie, ss_scale_rtp,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelReadPort<int, ss_rtp> factor,
+               cgsim::KernelWritePort<int> out) {
+  while (true) {
+    co_await out.put(co_await in.get() * co_await factor.get());
+  }
+}
+
+constexpr auto ss_rtp_graph = cgsim::make_compute_graph_v<[](
+    cgsim::IoConnector<int> data, cgsim::IoConnector<int> f) {
+  cgsim::IoConnector<int> out;
+  ss_scale_rtp(data, f, out);
+  return std::make_tuple(out);
+}>;
+
+TEST(Session, RuntimeParameterUpdatesLive) {
+  cgsim::InteractiveSession s{ss_rtp_graph.view()};
+  ASSERT_TRUE(s.push<int>(1, 10));  // set the RTP first
+  ASSERT_TRUE(s.push<int>(0, 1));
+  EXPECT_EQ(s.poll<int>(0).value_or(-1), 10);
+  // Update the runtime parameter mid-stream, as AIE RTPs allow.
+  ASSERT_TRUE(s.push<int>(1, 100));
+  ASSERT_TRUE(s.push<int>(0, 2));
+  EXPECT_EQ(s.poll<int>(0).value_or(-1), 200);
+}
+
+}  // namespace

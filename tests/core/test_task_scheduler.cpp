@@ -1,0 +1,143 @@
+// KernelTask lifetime semantics and cooperative scheduler behaviour
+// (paper Section 3.8).
+#include <gtest/gtest.h>
+
+#include <coroutine>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+struct Probe {
+  int constructed = 0;
+  int destroyed = 0;
+};
+
+struct Tracker {
+  Probe* p;
+  explicit Tracker(Probe* probe) : p(probe) { ++p->constructed; }
+  ~Tracker() { ++p->destroyed; }
+  Tracker(const Tracker&) = delete;
+  Tracker& operator=(const Tracker&) = delete;
+};
+
+KernelTask make_counting_task(int* counter) {
+  ++*counter;
+  co_return;
+}
+
+KernelTask make_tracking_task(Probe* probe) {
+  Tracker t{probe};
+  co_await std::suspend_always{};
+  co_return;
+}
+
+KernelTask make_throwing_task() {
+  throw std::runtime_error{"boom"};
+  co_return;  // unreachable; makes this a coroutine
+}
+
+KernelTask make_stream_closed_task() {
+  throw StreamClosed{};
+  co_return;
+}
+
+TEST(KernelTask, StartsSuspended) {
+  int count = 0;
+  KernelTask t = make_counting_task(&count);
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.done());
+  EXPECT_EQ(count, 0);  // initial_suspend: body not entered yet
+  t.handle().resume();
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(KernelTask, DestroyReleasesSuspendedFrame) {
+  Probe p;
+  {
+    KernelTask t = make_tracking_task(&p);
+    t.handle().resume();  // runs to the inner suspend point
+    EXPECT_EQ(p.constructed, 1);
+    EXPECT_EQ(p.destroyed, 0);
+  }  // ~KernelTask destroys the suspended coroutine; RAII must run
+  EXPECT_EQ(p.destroyed, 1);
+}
+
+TEST(KernelTask, MoveTransfersOwnership) {
+  int count = 0;
+  KernelTask a = make_counting_task(&count);
+  KernelTask b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.handle().resume();
+  EXPECT_TRUE(b.done());
+  KernelTask c;
+  c = std::move(b);
+  EXPECT_TRUE(c.done());
+}
+
+TEST(KernelTask, ExceptionIsCaptured) {
+  KernelTask t = make_throwing_task();
+  t.handle().resume();
+  EXPECT_TRUE(t.done());
+  ASSERT_NE(t.error(), nullptr);
+  EXPECT_THROW(std::rethrow_exception(t.error()), std::runtime_error);
+}
+
+TEST(KernelTask, StreamClosedIsNormalTermination) {
+  KernelTask t = make_stream_closed_task();
+  t.handle().resume();
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(t.error(), nullptr);  // not an error
+  EXPECT_TRUE(t.handle().promise().closed_normally);
+}
+
+TEST(Scheduler, RunsTasksFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  auto make = [&](int id) -> KernelTask {
+    order.push_back(id);
+    co_return;
+  };
+  KernelTask t1 = make(1);
+  KernelTask t2 = make(2);
+  KernelTask t3 = make(3);
+  s.make_ready(t2.handle(), 0);
+  s.make_ready(t1.handle(), 0);
+  s.make_ready(t3.handle(), 0);
+  int finished = 0;
+  const auto resumes = s.run([&](std::coroutine_handle<>) { ++finished; });
+  EXPECT_EQ(resumes, 3u);
+  EXPECT_EQ(finished, 3);
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(Scheduler, IdleAndPending) {
+  Scheduler s;
+  EXPECT_TRUE(s.idle());
+  int count = 0;
+  KernelTask t = make_counting_task(&count);
+  s.make_ready(t.handle(), 0);
+  EXPECT_FALSE(s.idle());
+  EXPECT_EQ(s.pending(), 1u);
+  s.run([](std::coroutine_handle<>) {});
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Scheduler, InstrumentedRunSeparatesResumeTime) {
+  Scheduler s;
+  int count = 0;
+  KernelTask t = make_counting_task(&count);
+  s.make_ready(t.handle(), 0);
+  double resume_s = -1.0;
+  const auto resumes =
+      s.run_instrumented([](std::coroutine_handle<>) {}, resume_s);
+  EXPECT_EQ(resumes, 1u);
+  EXPECT_GE(resume_s, 0.0);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Structural graph validation over constexpr graphs, dynamic graphs, the
+// ported apps, and deliberately corrupted views.
+#include <gtest/gtest.h>
+
+#include "apps/bilinear.hpp"
+#include "apps/bitonic.hpp"
+#include "apps/farrow.hpp"
+#include "apps/fir.hpp"
+#include "apps/gemm.hpp"
+#include "apps/iir.hpp"
+#include "core/cgsim.hpp"
+#include "core/dynamic_graph.hpp"
+#include "core/validate.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, va_pass,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+constexpr auto va_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b;
+  va_pass(a, b);
+  return std::make_tuple(b);
+}>;
+
+TEST(Validate, ConstexprGraphsAreValidByConstruction) {
+  EXPECT_TRUE(validate_graph(va_graph.view()).empty());
+}
+
+TEST(Validate, AllPortedAppsAreValid) {
+  for (const GraphView& g :
+       {apps::bitonic::graph.view(), apps::bilinear::graph.view(),
+        apps::iir::graph.view(), apps::farrow::graph.view(),
+        apps::fir::graph.view(), apps::gemm::graph.view()}) {
+    const auto issues = validate_graph(g);
+    EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues[0]);
+  }
+}
+
+TEST(Validate, DynamicBuilderProducesValidGraphs) {
+  rt::DynamicGraphBuilder b;
+  const int a = b.add_edge<int>();
+  const int z = b.add_edge<int>();
+  b.add_kernel(va_pass, {a, z});
+  b.add_input(a);
+  b.add_output(z);
+  const auto issues = validate_graph(b.view());
+  EXPECT_TRUE(issues.empty()) << (issues.empty() ? "" : issues[0]);
+}
+
+// --- corrupted views ---
+
+struct Corruptible {
+  std::vector<FlatKernel> kernels;
+  std::vector<FlatPort> ports;
+  std::vector<FlatEdge> edges;
+  std::vector<FlatGlobal> inputs;
+  std::vector<FlatGlobal> outputs;
+
+  static Corruptible from(const GraphView& g) {
+    return Corruptible{{g.kernels.begin(), g.kernels.end()},
+                       {g.ports.begin(), g.ports.end()},
+                       {g.edges.begin(), g.edges.end()},
+                       {g.inputs.begin(), g.inputs.end()},
+                       {g.outputs.begin(), g.outputs.end()}};
+  }
+  [[nodiscard]] GraphView view() const {
+    return GraphView{kernels, ports, edges, inputs, outputs};
+  }
+};
+
+bool mentions(const std::vector<std::string>& issues,
+              std::string_view needle) {
+  for (const auto& i : issues) {
+    if (i.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(Validate, DetectsBadEdgeIndex) {
+  auto c = Corruptible::from(va_graph.view());
+  c.ports[0].edge = 99;
+  EXPECT_TRUE(mentions(validate_graph(c.view()), "invalid edge"));
+}
+
+TEST(Validate, DetectsConsumerCountMismatch) {
+  auto c = Corruptible::from(va_graph.view());
+  c.edges[static_cast<std::size_t>(c.inputs[0].edge)].n_consumers = 5;
+  EXPECT_TRUE(
+      mentions(validate_graph(c.view()), "consumer count mismatch"));
+}
+
+TEST(Validate, DetectsDuplicateEndpoints) {
+  auto c = Corruptible::from(apps::gemm::graph.view());
+  // Give two read ports of one edge the same endpoint.
+  int edge_with_two = -1;
+  for (std::size_t e = 0; e < c.edges.size(); ++e) {
+    if (c.edges[e].n_consumers >= 1) continue;
+  }
+  // gemm_acc reads two distinct edges; duplicate an endpoint artificially
+  // on the accumulator output's edge consumers instead: simpler -- set the
+  // global output endpoint equal to an existing one after adding a fake
+  // read port... Easiest reliable corruption: clone endpoint 0.
+  for (FlatPort& p : c.ports) {
+    if (p.is_read && p.endpoint == 0 && edge_with_two == -1) {
+      edge_with_two = p.edge;
+    } else if (p.is_read && p.edge == edge_with_two && p.endpoint != 0) {
+      p.endpoint = 0;
+      const auto issues = validate_graph(c.view());
+      EXPECT_TRUE(mentions(issues, "duplicates endpoint") ||
+                  mentions(issues, "missing endpoint"));
+      return;
+    }
+  }
+  // Fallback: corrupt the bitonic output endpoint.
+  auto c2 = Corruptible::from(va_graph.view());
+  c2.outputs[0].endpoint = 7;
+  EXPECT_TRUE(mentions(validate_graph(c2.view()), "missing endpoint"));
+}
+
+TEST(Validate, DetectsMissingThunk) {
+  auto c = Corruptible::from(va_graph.view());
+  c.kernels[0].thunk = nullptr;
+  EXPECT_TRUE(mentions(validate_graph(c.view()), "no runtime thunk"));
+}
+
+TEST(Validate, DetectsWriterlessEdge) {
+  auto c = Corruptible::from(va_graph.view());
+  // Drop the global input: its edge keeps a reader but loses its writer.
+  c.inputs.clear();
+  const auto issues = validate_graph(c.view());
+  EXPECT_TRUE(mentions(issues, "producer count mismatch") ||
+              mentions(issues, "no writer"));
+}
+
+TEST(Validate, DetectsNonPositiveCapacity) {
+  auto c = Corruptible::from(va_graph.view());
+  c.edges[0].capacity = 0;
+  EXPECT_TRUE(mentions(validate_graph(c.view()), "non-positive capacity"));
+}
+
+TEST(Validate, DetectsTypeDisagreement) {
+  auto c = Corruptible::from(va_graph.view());
+  c.inputs[0].type = type_id<float>();
+  EXPECT_TRUE(mentions(validate_graph(c.view()), "type disagrees"));
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// HLS realm code generation (the paper's Section 6 extension) and GMIO
+// external interfaces.
+#include <gtest/gtest.h>
+
+#include "core/cgsim.hpp"
+#include "extractor/codegen_hls.hpp"
+#include "extractor/extractor.hpp"
+#include "extractor/scanner.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+inline constexpr PortSettings hg_gmio{.io = IoKind::gmio};
+
+COMPUTE_KERNEL(aie, hg_front,
+               KernelReadPort<float, hg_gmio> in,
+               KernelWritePort<float> mid) {
+  while (true) co_await mid.put(co_await in.get() * 0.5f);
+}
+
+COMPUTE_KERNEL(hls, hg_filter,
+               KernelReadPort<float> mid,
+               KernelWritePort<float> filtered) {
+  while (true) co_await filtered.put(co_await mid.get() + 1.0f);
+}
+
+COMPUTE_KERNEL(hls, hg_pack,
+               KernelReadPort<float> filtered,
+               KernelWritePort<int> out) {
+  while (true) {
+    co_await out.put(static_cast<int>(co_await filtered.get()));
+  }
+}
+
+constexpr auto hg_graph = make_compute_graph_v<[](IoConnector<float> a) {
+  IoConnector<float> m, f;
+  IoConnector<int> o;
+  hg_front(a, m);
+  hg_filter(m, f);
+  hg_pack(f, o);
+  return std::make_tuple(o);
+}>;
+
+const char* kProto = R"cpp(
+#include "core/cgsim.hpp"
+
+inline constexpr cgsim::PortSettings hg_gmio{.io = cgsim::IoKind::gmio};
+
+COMPUTE_KERNEL(aie, hg_front,
+               cgsim::KernelReadPort<float, hg_gmio> in,
+               cgsim::KernelWritePort<float> mid) {
+  while (true) co_await mid.put(co_await in.get() * 0.5f);
+}
+
+COMPUTE_KERNEL(hls, hg_filter,
+               cgsim::KernelReadPort<float> mid,
+               cgsim::KernelWritePort<float> filtered) {
+  while (true) co_await filtered.put(co_await mid.get() + 1.0f);
+}
+
+COMPUTE_KERNEL(hls, hg_pack,
+               cgsim::KernelReadPort<float> filtered,
+               cgsim::KernelWritePort<int> out) {
+  while (true) {
+    co_await out.put(static_cast<int>(co_await filtered.get()));
+  }
+}
+)cpp";
+
+struct Fixture {
+  cgx::GraphDesc desc =
+      cgx::GraphDesc::from_view(hg_graph.view(), "hg_graph", "hg.cpp");
+  cgx::SourceFile file{"hg.cpp", kProto};
+  cgx::ScanResult scanned = cgx::scan(file);
+};
+
+TEST(HlsRealm, MixedGraphStillSimulates) {
+  std::vector<float> in{2.0f, 4.0f};
+  std::vector<int> out;
+  hg_graph(in, out);
+  EXPECT_EQ(out, (std::vector<int>{2, 3}));  // 2*0.5+1=2, 4*0.5+1=3
+}
+
+TEST(HlsRealm, PartitioningSeparatesRealms) {
+  Fixture fx;
+  EXPECT_EQ(cgx::kernels_in_realm(fx.desc, Realm::aie).size(), 1u);
+  EXPECT_EQ(cgx::kernels_in_realm(fx.desc, Realm::hls).size(), 2u);
+  // The mid edge crosses aie -> hls.
+  int inter = 0;
+  for (const auto& e : fx.desc.edges) {
+    inter += e.cls == cgx::PortClass::inter_realm ? 1 : 0;
+  }
+  EXPECT_EQ(inter, 1);
+}
+
+TEST(HlsRealm, GeneratesHlsFiles) {
+  Fixture fx;
+  const auto proj =
+      cgx::generate_hls_project(fx.desc, fx.file, fx.scanned);
+  EXPECT_TRUE(proj.warnings.empty());
+  EXPECT_TRUE(proj.files.contains("hls/hls_kernel_ports.hpp"));
+  EXPECT_TRUE(proj.files.contains("hls/hls_kernels.hpp"));
+  EXPECT_TRUE(proj.files.contains("hls/hg_filter_hls.cpp"));
+  EXPECT_TRUE(proj.files.contains("hls/hg_pack_hls.cpp"));
+  EXPECT_TRUE(proj.files.contains("hls/hg_graph_dataflow.cpp"));
+}
+
+TEST(HlsRealm, TopFunctionHasAxisInterfaces) {
+  Fixture fx;
+  const auto proj = cgx::generate_hls_project(fx.desc, fx.file, fx.scanned);
+  const std::string& src = proj.files.at("hls/hg_filter_hls.cpp");
+  EXPECT_NE(src.find("extern \"C\" void hg_filter_hls("
+                     "hls::stream<float>& native_0, "
+                     "hls::stream<float>& native_1)"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("#pragma HLS INTERFACE axis port=native_0"),
+            std::string::npos);
+  EXPECT_EQ(src.find("co_await"), std::string::npos);
+  EXPECT_NE(src.find("filtered.put(mid.get() + 1.0f)"), std::string::npos)
+      << src;
+}
+
+TEST(HlsRealm, DataflowWrapperWiresIntraRealmEdge) {
+  Fixture fx;
+  const auto proj = cgx::generate_hls_project(fx.desc, fx.file, fx.scanned);
+  const std::string& df = proj.files.at("hls/hg_graph_dataflow.cpp");
+  EXPECT_NE(df.find("#pragma HLS DATAFLOW"), std::string::npos);
+  // The filtered edge (hls -> hls) becomes an internal stream.
+  EXPECT_NE(df.find("static hls::stream<float>"), std::string::npos) << df;
+  EXPECT_NE(df.find("hg_filter_hls("), std::string::npos);
+  EXPECT_NE(df.find("hg_pack_hls("), std::string::npos);
+}
+
+TEST(HlsRealm, DriverMergesBothRealms) {
+  Fixture fx;
+  cgx::ExtractOptions opts;
+  opts.write_files = false;
+  const auto rep = cgx::extract_graph(fx.desc, fx.file, opts);
+  EXPECT_EQ(rep.aie_kernels, 1);
+  EXPECT_EQ(rep.hls_kernels, 2);
+  // AIE files and HLS files in one project.
+  EXPECT_TRUE(rep.project.files.contains("graph.hpp"));
+  EXPECT_TRUE(rep.project.files.contains("hls/hg_graph_dataflow.cpp"));
+}
+
+TEST(HlsRealm, SupportHeaderUsesHlsStream) {
+  const std::string h = cgx::hls_port_support_header();
+  EXPECT_NE(h.find("#include <hls_stream.h>"), std::string::npos);
+  EXPECT_NE(h.find("stream_->read()"), std::string::npos);
+}
+
+TEST(Gmio, AieGraphUsesGmioPort) {
+  Fixture fx;
+  const auto proj = cgx::generate_aie_project(fx.desc, fx.file, fx.scanned);
+  const std::string& g = proj.files.at("graph.hpp");
+  EXPECT_NE(g.find("adf::input_gmio"), std::string::npos) << g;
+  EXPECT_NE(g.find("adf::input_gmio::create("), std::string::npos);
+}
+
+TEST(Gmio, SettingsMergeRules) {
+  const auto ok = try_merge_settings(PortSettings{.io = IoKind::gmio},
+                                     PortSettings{});
+  ASSERT_TRUE(ok.ok);
+  EXPECT_EQ(ok.merged.io, IoKind::gmio);
+  const auto bad = try_merge_settings(PortSettings{.io = IoKind::gmio},
+                                      PortSettings{.io = IoKind::plio});
+  EXPECT_FALSE(bad.ok);
+}
+
+TEST(Gmio, IoKindNames) {
+  EXPECT_EQ(io_kind_name(IoKind::plio), "plio");
+  EXPECT_EQ(io_kind_name(IoKind::gmio), "gmio");
+}
+
+}  // namespace

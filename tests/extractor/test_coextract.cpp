@@ -1,0 +1,137 @@
+// Co-extraction of referenced code (paper Section 4.6): transitive
+// dependency closure and the per-realm header blacklist.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "extractor/coextract.hpp"
+#include "extractor/scanner.hpp"
+
+namespace {
+
+using cgx::SourceFile;
+
+const char* kSrc = R"cpp(
+#include <array>
+#include <vector>
+#include "core/cgsim.hpp"
+#include "aie/aie.hpp"
+
+constexpr int kDepth = 4;           // used by helper_b -> transitively needed
+constexpr int kUnused = 99;         // referenced by nothing
+
+struct Inner { int v; };            // used by Outer
+struct Outer { Inner i; };          // used directly by the kernel
+
+int helper_b(int x) { return x + kDepth; }
+int helper_a(Outer o) { return helper_b(o.i.v); }
+
+int lonely(int x) { return x - 1; } // not reachable from the kernel
+
+COMPUTE_KERNEL(aie, consumer,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) {
+    Outer o{ Inner{ co_await in.get() } };
+    co_await out.put(helper_a(o));
+  }
+}
+)cpp";
+
+struct Fixture {
+  SourceFile file{"co.cpp", kSrc};
+  cgx::ScanResult scanned = cgx::scan(file);
+  cgx::CoextractResult result = cgx::coextract(
+      file, scanned, {cgx::find_kernel(scanned, "consumer")});
+
+  [[nodiscard]] bool has_decl(std::string_view name) const {
+    return std::any_of(
+        result.decls.begin(), result.decls.end(), [&](const auto* d) {
+          return std::find(d->declared.begin(), d->declared.end(), name) !=
+                 d->declared.end();
+        });
+  }
+  [[nodiscard]] bool has_include(std::string_view h) const {
+    return std::any_of(result.includes.begin(), result.includes.end(),
+                       [&](const auto* i) { return i->header == h; });
+  }
+};
+
+TEST(Coextract, DirectDependenciesIncluded) {
+  Fixture fx;
+  EXPECT_TRUE(fx.has_decl("Outer"));
+  EXPECT_TRUE(fx.has_decl("helper_a"));
+}
+
+TEST(Coextract, TransitiveDependenciesIncluded) {
+  Fixture fx;
+  // helper_a -> helper_b -> kDepth; Outer -> Inner.
+  EXPECT_TRUE(fx.has_decl("helper_b"));
+  EXPECT_TRUE(fx.has_decl("kDepth"));
+  EXPECT_TRUE(fx.has_decl("Inner"));
+}
+
+TEST(Coextract, UnreferencedDeclarationsExcluded) {
+  Fixture fx;
+  EXPECT_FALSE(fx.has_decl("kUnused"));
+  EXPECT_FALSE(fx.has_decl("lonely"));
+}
+
+TEST(Coextract, BlacklistedHeadersExcluded) {
+  Fixture fx;
+  EXPECT_FALSE(fx.has_include("core/cgsim.hpp"));
+  EXPECT_TRUE(fx.has_include("array"));
+  EXPECT_TRUE(fx.has_include("vector"));
+  EXPECT_TRUE(fx.has_include("aie/aie.hpp"));
+}
+
+TEST(Coextract, DeclsKeepSourceOrder) {
+  Fixture fx;
+  // Inner must come before Outer (source order), so the generated file
+  // compiles.
+  std::size_t inner_pos = 0, outer_pos = 0;
+  for (std::size_t i = 0; i < fx.result.decls.size(); ++i) {
+    const auto& names = fx.result.decls[i]->declared;
+    if (std::find(names.begin(), names.end(), "Inner") != names.end()) {
+      inner_pos = i;
+    }
+    if (std::find(names.begin(), names.end(), "Outer") != names.end()) {
+      outer_pos = i;
+    }
+  }
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST(Coextract, HeaderMapRewritesSimulationHeaders) {
+  cgx::CoextractConfig cfg;
+  EXPECT_EQ(cfg.mapped("aie/aie.hpp"), "aie_api/aie.hpp");
+  EXPECT_EQ(cfg.mapped("src/aie/aie.hpp"), "aie_api/aie.hpp");
+  EXPECT_EQ(cfg.mapped("vector"), "vector");
+}
+
+TEST(Coextract, NoRootsYieldsNothing) {
+  SourceFile file{"co.cpp", kSrc};
+  const auto scanned = cgx::scan(file);
+  const auto res = cgx::coextract(file, scanned, {});
+  EXPECT_TRUE(res.decls.empty());
+}
+
+TEST(Coextract, ParamTypesAreRoots) {
+  // A type that appears only in the signature must still be co-extracted.
+  const char* src = R"cpp(
+struct OnlyInSignature { int x; };
+COMPUTE_KERNEL(aie, sig_user,
+               cgsim::KernelReadPort<OnlyInSignature> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put((co_await in.get()).x);
+}
+)cpp";
+  SourceFile file{"sig.cpp", src};
+  const auto scanned = cgx::scan(file);
+  const auto res =
+      cgx::coextract(file, scanned, {cgx::find_kernel(scanned, "sig_user")});
+  ASSERT_EQ(res.decls.size(), 1u);
+  EXPECT_EQ(res.decls[0]->declared[0], "OnlyInSignature");
+}
+
+}  // namespace

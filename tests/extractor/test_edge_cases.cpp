@@ -1,0 +1,177 @@
+// Extractor robustness: messy-but-legal prototype sources.
+#include <gtest/gtest.h>
+
+#include "extractor/coextract.hpp"
+#include "extractor/rewriter.hpp"
+#include "extractor/scanner.hpp"
+
+namespace {
+
+using cgx::SourceFile;
+
+TEST(EdgeCases, CommentsInsideMacroArguments) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie /* the array */,
+               commented,  // kernel name
+               /* first port */ cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out /* last */) {
+  while (true) co_await out.put(co_await in.get());
+}
+)cpp";
+  const SourceFile f{"c.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  EXPECT_EQ(s.kernels[0].name, "commented");
+  EXPECT_EQ(s.kernels[0].realm, "aie");
+  const std::string decl = cgx::kernel_declaration(f, s.kernels[0]);
+  EXPECT_NE(decl.find("KernelReadPort<int> in"), std::string::npos);
+}
+
+TEST(EdgeCases, CoAwaitInsideStringLiteralsSurvives) {
+  const char* src = R"cpp(
+const char* kHelp = "call co_await to wait";
+COMPUTE_KERNEL(aie, stringy,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) {
+    const char* note = "co_await is removed from code, not strings";
+    (void)note;
+    co_await out.put(co_await in.get());
+  }
+}
+)cpp";
+  const SourceFile f{"s.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string def = cgx::kernel_definition(f, s.kernels[0]);
+  // The string literal keeps its co_await; the code loses both of them.
+  EXPECT_NE(def.find("\"co_await is removed from code, not strings\""),
+            std::string::npos);
+  EXPECT_NE(def.find("out.put(in.get())"), std::string::npos) << def;
+}
+
+TEST(EdgeCases, BracesInsideStringsDoNotConfuseBodyRange) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie, bracey,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) {
+    const char* json = "{ \"key\": { \"nested\": 1 } }";
+    (void)json;
+    co_await out.put(co_await in.get());
+  }
+}
+int after_kernel = 1;
+)cpp";
+  const SourceFile f{"b.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string_view body = f.text(s.kernels[0].body_range);
+  EXPECT_TRUE(body.ends_with("}"));
+  EXPECT_EQ(body.find("after_kernel"), std::string_view::npos);
+  // after_kernel is scanned as its own declaration unit.
+  bool found = false;
+  for (const auto& d : s.decls) {
+    for (const auto& n : d.declared) found |= n == "after_kernel";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EdgeCases, PreprocessorConditionalsAreIgnoredStructurally) {
+  const char* src = R"cpp(
+#ifdef NDEBUG
+#define TRACE(x)
+#else
+#define TRACE(x) log(x)
+#endif
+
+int helper() { return 1; }
+
+COMPUTE_KERNEL(aie, condk,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + helper());
+}
+)cpp";
+  const SourceFile f{"p.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const auto co = cgx::coextract(f, s, {&s.kernels[0]});
+  ASSERT_EQ(co.decls.size(), 1u);
+  EXPECT_EQ(co.decls[0]->declared[0], "helper");
+}
+
+TEST(EdgeCases, MultipleKernelsBackToBack) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie, k1, cgsim::KernelWritePort<int> o) { co_await o.put(1); }
+COMPUTE_KERNEL(aie, k2, cgsim::KernelReadPort<int> i,
+               cgsim::KernelWritePort<int> o) {
+  while (true) co_await o.put(co_await i.get());
+}
+COMPUTE_KERNEL(noextract, k3, cgsim::KernelReadPort<int> i,
+               cgsim::KernelWritePort<int> o) {
+  while (true) co_await o.put(co_await i.get());
+}
+)cpp";
+  const SourceFile f{"m.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 3u);
+  EXPECT_EQ(s.kernels[0].name, "k1");
+  EXPECT_EQ(s.kernels[2].realm, "noextract");
+}
+
+TEST(EdgeCases, TrailingSemicolonAfterKernelBody) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie, semi,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get());
+};
+int after = 2;
+)cpp";
+  const SourceFile f{"t.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  bool leaked = false;
+  for (const auto& d : s.decls) {
+    leaked |= f.text(d.range).find("COMPUTE_KERNEL") != std::string_view::npos;
+  }
+  EXPECT_FALSE(leaked);
+}
+
+TEST(EdgeCases, WindowsLineEndings) {
+  const std::string src =
+      "COMPUTE_KERNEL(aie, crlf,\r\n"
+      "               cgsim::KernelReadPort<int> in,\r\n"
+      "               cgsim::KernelWritePort<int> out) {\r\n"
+      "  while (true) co_await out.put(co_await in.get());\r\n"
+      "}\r\n";
+  const SourceFile f{"w.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string def = cgx::kernel_definition(f, s.kernels[0]);
+  EXPECT_EQ(def.find("co_await"), std::string::npos);
+}
+
+TEST(EdgeCases, DeeplyNestedTemplatesInParams) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie, nested_tpl,
+               cgsim::KernelReadPort<std::array<std::array<int, 4>, 4>> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) {
+    auto block = co_await in.get();
+    co_await out.put(block[0][0]);
+  }
+}
+)cpp";
+  const SourceFile f{"n.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string decl = cgx::kernel_declaration(f, s.kernels[0]);
+  EXPECT_NE(
+      decl.find("KernelReadPort<std::array<std::array<int, 4>, 4>> in"),
+      std::string::npos)
+      << decl;
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Graph ingestion (paper Section 4.2) and realm partitioning (Section 4.3).
+#include <gtest/gtest.h>
+
+#include "core/cgsim.hpp"
+#include "extractor/graph_desc.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, gd_a,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+COMPUTE_KERNEL(aie, gd_b,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+COMPUTE_KERNEL(noextract, gd_host,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+// in -> gd_a -> (intra) -> gd_b -> (inter) -> gd_host -> out
+constexpr auto gd_graph = make_compute_graph_v<[](IoConnector<float> a) {
+  a.attr("plio_name", "In0");
+  IoConnector<float> x, y, z;
+  gd_a(a, x);
+  gd_b(x, y);
+  gd_host(y, z);
+  return std::make_tuple(z);
+}>;
+
+cgx::GraphDesc make_desc() {
+  return cgx::GraphDesc::from_view(gd_graph.view(), "gd_graph", "gd.cpp");
+}
+
+TEST(GraphDesc, DeserializesKernels) {
+  const auto d = make_desc();
+  ASSERT_EQ(d.kernels.size(), 3u);
+  EXPECT_EQ(d.kernels[0].name, "gd_a");
+  EXPECT_EQ(d.kernels[0].realm, Realm::aie);
+  EXPECT_EQ(d.kernels[2].name, "gd_host");
+  EXPECT_EQ(d.kernels[2].realm, Realm::noextract);
+  EXPECT_EQ(d.kernels[0].ports.size(), 2u);
+  EXPECT_TRUE(d.kernels[0].ports[0].is_read);
+  EXPECT_FALSE(d.kernels[0].ports[1].is_read);
+}
+
+TEST(GraphDesc, TypeInformationRecoveredFromVTables) {
+  const auto d = make_desc();
+  for (const auto& e : d.edges) {
+    EXPECT_EQ(e.type_name, "float");
+    EXPECT_EQ(e.elem_size, sizeof(float));
+  }
+}
+
+TEST(GraphDesc, AttributesCarriedThrough) {
+  const auto d = make_desc();
+  const auto& in_edge =
+      d.edges[static_cast<std::size_t>(d.input_edges[0])];
+  EXPECT_EQ(in_edge.attr_or("plio_name", "?"), "In0");
+  EXPECT_EQ(in_edge.attr_or("missing", "fallback"), "fallback");
+}
+
+TEST(GraphDesc, PortClassification) {
+  // Paper Section 4.3: intra-realm, inter-realm, global.
+  const auto d = make_desc();
+  int intra = 0, inter = 0, global = 0;
+  for (const auto& e : d.edges) {
+    switch (e.cls) {
+      case cgx::PortClass::intra_realm: ++intra; break;
+      case cgx::PortClass::inter_realm: ++inter; break;
+      case cgx::PortClass::global_io: ++global; break;
+    }
+  }
+  EXPECT_EQ(global, 2);  // graph input and output
+  EXPECT_EQ(intra, 1);   // gd_a -> gd_b (both AIE)
+  EXPECT_EQ(inter, 1);   // gd_b -> gd_host (AIE -> noextract)
+}
+
+TEST(GraphDesc, IsGlobalEdge) {
+  const auto d = make_desc();
+  EXPECT_TRUE(d.is_global_edge(d.input_edges[0]));
+  EXPECT_TRUE(d.is_global_edge(d.output_edges[0]));
+}
+
+TEST(GraphDesc, KernelsInRealm) {
+  const auto d = make_desc();
+  const auto aie = cgx::kernels_in_realm(d, Realm::aie);
+  ASSERT_EQ(aie.size(), 2u);
+  EXPECT_EQ(aie[0]->name, "gd_a");
+  const auto host = cgx::kernels_in_realm(d, Realm::noextract);
+  ASSERT_EQ(host.size(), 1u);
+  EXPECT_EQ(host[0]->name, "gd_host");
+}
+
+TEST(GraphDesc, RealmsOf) {
+  const auto d = make_desc();
+  const auto realms = cgx::realms_of(d);
+  ASSERT_EQ(realms.size(), 2u);
+  EXPECT_EQ(realms[0], Realm::aie);
+  EXPECT_EQ(realms[1], Realm::noextract);
+}
+
+TEST(GraphDesc, PortClassNames) {
+  EXPECT_EQ(cgx::port_class_name(cgx::PortClass::intra_realm), "intra-realm");
+  EXPECT_EQ(cgx::port_class_name(cgx::PortClass::inter_realm), "inter-realm");
+  EXPECT_EQ(cgx::port_class_name(cgx::PortClass::global_io), "global");
+}
+
+}  // namespace

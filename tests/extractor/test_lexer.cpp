@@ -1,0 +1,134 @@
+// C++ lexer tests (extractor substrate).
+#include <gtest/gtest.h>
+
+#include "extractor/lexer.hpp"
+
+namespace {
+
+using cgx::lex;
+using cgx::TokKind;
+
+std::vector<cgx::Token> code_tokens(std::string_view s) {
+  auto toks = lex(s);
+  std::erase_if(toks, [](const cgx::Token& t) {
+    return t.kind == TokKind::end_of_file;
+  });
+  return toks;
+}
+
+TEST(Lexer, IdentifiersAndPunct) {
+  const std::string src = "int foo = bar(1, 2);";
+  const auto toks = code_tokens(src);
+  ASSERT_EQ(toks.size(), 10u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].kind, TokKind::identifier);
+  EXPECT_EQ(toks[2].text, "=");
+  EXPECT_EQ(toks[2].kind, TokKind::punct);
+  EXPECT_EQ(toks[4].text, "(");
+  EXPECT_EQ(toks[5].kind, TokKind::number);
+}
+
+TEST(Lexer, OffsetsIndexOriginalText) {
+  const std::string src = "ab + cd";
+  const auto toks = code_tokens(src);
+  EXPECT_EQ(toks[0].offset, 0u);
+  EXPECT_EQ(toks[1].offset, 3u);
+  EXPECT_EQ(toks[2].offset, 5u);
+  EXPECT_EQ(src.substr(toks[2].offset, toks[2].text.size()), "cd");
+}
+
+TEST(Lexer, MultiCharPunctuatorsMaximalMunch) {
+  const auto toks = code_tokens("a <<= b >> c :: d -> e <=> f");
+  EXPECT_EQ(toks[1].text, "<<=");
+  EXPECT_EQ(toks[3].text, ">>");
+  EXPECT_EQ(toks[5].text, "::");
+  EXPECT_EQ(toks[7].text, "->");
+  EXPECT_EQ(toks[9].text, "<=>");
+}
+
+TEST(Lexer, LineComment) {
+  const auto toks = code_tokens("x // trailing comment\ny");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokKind::comment);
+  EXPECT_EQ(toks[1].text, "// trailing comment");
+  EXPECT_EQ(toks[2].text, "y");
+}
+
+TEST(Lexer, BlockComment) {
+  const auto toks = code_tokens("x /* multi\nline */ y");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokKind::comment);
+  EXPECT_EQ(toks[2].text, "y");
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto toks = code_tokens(R"(f("a\"b", 'c'))");
+  EXPECT_EQ(toks[2].kind, TokKind::string_lit);
+  EXPECT_EQ(toks[2].text, R"("a\"b")");
+  EXPECT_EQ(toks[4].kind, TokKind::char_lit);
+}
+
+TEST(Lexer, RawStrings) {
+  const std::string src = "auto s = R\"xy(content )\" here)xy\"; int z;";
+  const auto toks = code_tokens(src);
+  bool found = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::string_lit) {
+      EXPECT_EQ(t.text, "R\"xy(content )\" here)xy\"");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(toks.back().text, ";");
+}
+
+TEST(Lexer, PreprocessorDirectiveIsOneToken) {
+  const auto toks = code_tokens("#include <vector>\nint x;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokKind::preprocessor);
+  EXPECT_EQ(toks[0].text, "#include <vector>");
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+TEST(Lexer, PreprocessorContinuationLines) {
+  const auto toks = code_tokens("#define M(a) \\\n  (a + 1)\nint x;");
+  EXPECT_EQ(toks[0].kind, TokKind::preprocessor);
+  EXPECT_NE(toks[0].text.find("(a + 1)"), std::string_view::npos);
+  EXPECT_EQ(toks[1].text, "int");
+}
+
+TEST(Lexer, HashInMiddleOfLineIsNotPreprocessor) {
+  const auto toks = code_tokens("int a; # not directive");
+  // '#' after code on the same line lexes as punctuation.
+  bool saw_pp = false;
+  for (const auto& t : toks) saw_pp |= t.kind == TokKind::preprocessor;
+  EXPECT_FALSE(saw_pp);
+}
+
+TEST(Lexer, NumbersWithSuffixesAndExponents) {
+  const auto toks = code_tokens("1.5e-3f 0x1Fu 1'000'000 2.0");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::number);
+  EXPECT_EQ(toks[0].text, "1.5e-3f");
+  EXPECT_EQ(toks[2].text, "1'000'000");
+}
+
+TEST(Lexer, CoAwaitIsSingleIdentifier) {
+  const auto toks = code_tokens("co_await port.get();");
+  EXPECT_EQ(toks[0].text, "co_await");
+  EXPECT_EQ(toks[0].kind, TokKind::identifier);
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto toks = lex(std::string_view{""});
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::end_of_file);
+}
+
+TEST(Lexer, UnterminatedStringDoesNotCrash) {
+  const auto toks = code_tokens("\"never closed");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::string_lit);
+}
+
+}  // namespace

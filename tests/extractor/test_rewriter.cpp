@@ -1,0 +1,107 @@
+// Standard kernel transformations (paper Section 4.4): co_await removal,
+// declaration/definition splitting, namespace respelling.
+#include <gtest/gtest.h>
+
+#include "extractor/rewriter.hpp"
+#include "extractor/scanner.hpp"
+
+namespace {
+
+using cgx::SourceFile;
+
+TEST(Rewriter, StripCoAwaitSimple) {
+  EXPECT_EQ(cgx::strip_co_await("co_await in.get();"), "in.get();");
+  EXPECT_EQ(cgx::strip_co_await("x = co_await a.get() + co_await b.get();"),
+            "x = a.get() + b.get();");
+}
+
+TEST(Rewriter, StripCoAwaitDoesNotTouchLookalikes) {
+  // Identifier boundaries respected: no substring damage.
+  EXPECT_EQ(cgx::strip_co_await("int co_awaited = my_co_await;"),
+            "int co_awaited = my_co_await;");
+}
+
+TEST(Rewriter, StripCoAwaitIgnoresStringsAndComments) {
+  EXPECT_EQ(cgx::strip_co_await("s = \"co_await\"; // co_await note"),
+            "s = \"co_await\"; // co_await note");
+}
+
+TEST(Rewriter, StripCgsimNamespace) {
+  EXPECT_EQ(cgx::strip_cgsim_namespace("cgsim::KernelReadPort<float> p"),
+            "KernelReadPort<float> p");
+  EXPECT_EQ(cgx::strip_cgsim_namespace("::cgsim::KernelWritePort<int> q"),
+            "KernelWritePort<int> q");
+  EXPECT_EQ(cgx::strip_cgsim_namespace("not_cgsim::thing"),
+            "not_cgsim::thing");
+}
+
+TEST(Rewriter, CollapseBlankRuns) {
+  EXPECT_EQ(cgx::collapse_blank_runs("a\n\n\n\nb"), "a\n\nb");
+  EXPECT_EQ(cgx::collapse_blank_runs("a\nb"), "a\nb");
+}
+
+const char* kKernelSrc = R"cpp(
+COMPUTE_KERNEL(aie, twice,
+               cgsim::KernelReadPort<float> in,
+               cgsim::KernelWritePort<float> out) {
+  while (true) {
+    const float v = co_await in.get();
+    co_await out.put(2.0f * v);
+  }
+}
+)cpp";
+
+TEST(Rewriter, KernelDeclaration) {
+  const SourceFile f{"k.cpp", kKernelSrc};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string decl = cgx::kernel_declaration(f, s.kernels[0]);
+  EXPECT_TRUE(decl.starts_with("void twice("));
+  EXPECT_TRUE(decl.ends_with(");"));
+  EXPECT_NE(decl.find("KernelReadPort<float> in"), std::string::npos);
+  // Namespace qualification removed (realm header provides the types).
+  EXPECT_EQ(decl.find("cgsim::"), std::string::npos);
+  // Declaration has no body.
+  EXPECT_EQ(decl.find("while"), std::string::npos);
+}
+
+TEST(Rewriter, KernelDefinition) {
+  const SourceFile f{"k.cpp", kKernelSrc};
+  const auto s = cgx::scan(f);
+  const std::string def = cgx::kernel_definition(f, s.kernels[0]);
+  EXPECT_TRUE(def.starts_with("void twice("));
+  // Body present, co_await gone, blocking calls remain.
+  EXPECT_NE(def.find("while (true)"), std::string::npos);
+  EXPECT_EQ(def.find("co_await"), std::string::npos);
+  EXPECT_NE(def.find("in.get()"), std::string::npos);
+  EXPECT_NE(def.find("out.put(2.0f * v)"), std::string::npos);
+  EXPECT_EQ(def.find("cgsim::"), std::string::npos);
+}
+
+TEST(Rewriter, DeclDefSplitIsConsistent) {
+  // Paper: each kernel is processed twice -- the declaration must be a
+  // prefix-compatible signature of the definition.
+  const SourceFile f{"k.cpp", kKernelSrc};
+  const auto s = cgx::scan(f);
+  const std::string decl = cgx::kernel_declaration(f, s.kernels[0]);
+  const std::string def = cgx::kernel_definition(f, s.kernels[0]);
+  const std::string sig = decl.substr(0, decl.size() - 1);  // drop ';'
+  EXPECT_EQ(def.substr(0, sig.size()), sig);
+}
+
+TEST(Rewriter, SettingsTemplateArgumentsSurvive) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie, wink,
+               cgsim::KernelReadPort<Block, kWindowIo> in,
+               cgsim::KernelWritePort<Block, kWindowIo> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+)cpp";
+  const SourceFile f{"w.cpp", src};
+  const auto s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string decl = cgx::kernel_declaration(f, s.kernels[0]);
+  EXPECT_NE(decl.find("KernelReadPort<Block, kWindowIo>"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,235 @@
+// Structural source scanning: kernel expansion ranges, declaration units,
+// includes (paper Sections 4.4 and 4.6).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "extractor/scanner.hpp"
+
+namespace {
+
+using cgx::ScanResult;
+using cgx::SourceFile;
+
+const char* kSample = R"cpp(
+#include <vector>
+#include "core/cgsim.hpp"
+
+using namespace cgsim;
+
+constexpr float kScale = 2.5f;
+
+struct Sample {
+  float v;
+};
+
+float helper(float x) { return x * kScale; }
+
+COMPUTE_KERNEL(aie, scaler,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(helper(co_await in.get()));
+  }
+}
+
+COMPUTE_KERNEL(noextract, passthru,
+               KernelReadPort<float> in,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+
+constexpr auto g = make_compute_graph_v<[](IoConnector<float> a) {
+  IoConnector<float> b, c;
+  scaler(a, b);
+  passthru(b, c);
+  return std::make_tuple(c);
+}>;
+
+CGSIM_EXTRACTABLE(g);
+)cpp";
+
+SourceFile sample_file() { return SourceFile{"sample.cpp", kSample}; }
+
+TEST(Scanner, FindsBothKernels) {
+  const SourceFile f = sample_file();
+  const ScanResult s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 2u);
+  EXPECT_EQ(s.kernels[0].name, "scaler");
+  EXPECT_EQ(s.kernels[0].realm, "aie");
+  EXPECT_EQ(s.kernels[1].name, "passthru");
+  EXPECT_EQ(s.kernels[1].realm, "noextract");
+}
+
+TEST(Scanner, KernelExpansionRangeCoversMacroThroughBody) {
+  const SourceFile f = sample_file();
+  const ScanResult s = cgx::scan(f);
+  const auto* k = cgx::find_kernel(s, "scaler");
+  ASSERT_NE(k, nullptr);
+  const std::string_view full = f.text(k->full_range);
+  EXPECT_TRUE(full.starts_with("COMPUTE_KERNEL"));
+  EXPECT_TRUE(full.ends_with("}"));
+  EXPECT_NE(full.find("co_await out.put"), std::string_view::npos);
+}
+
+TEST(Scanner, KernelParamsRange) {
+  const SourceFile f = sample_file();
+  const ScanResult s = cgx::scan(f);
+  const auto* k = cgx::find_kernel(s, "scaler");
+  ASSERT_NE(k, nullptr);
+  const std::string_view params = f.text(k->params_range);
+  EXPECT_NE(params.find("KernelReadPort<float> in"), std::string_view::npos);
+  EXPECT_NE(params.find("KernelWritePort<float> out"),
+            std::string_view::npos);
+  EXPECT_EQ(params.find("scaler"), std::string_view::npos);
+}
+
+TEST(Scanner, KernelBodyRangeIsBraced) {
+  const SourceFile f = sample_file();
+  const ScanResult s = cgx::scan(f);
+  const auto* k = cgx::find_kernel(s, "passthru");
+  ASSERT_NE(k, nullptr);
+  const std::string_view body = f.text(k->body_range);
+  EXPECT_TRUE(body.starts_with("{"));
+  EXPECT_TRUE(body.ends_with("}"));
+}
+
+TEST(Scanner, FindsIncludes) {
+  const ScanResult s = cgx::scan(sample_file());
+  ASSERT_EQ(s.includes.size(), 2u);
+  EXPECT_EQ(s.includes[0].header, "vector");
+  EXPECT_TRUE(s.includes[0].angled);
+  EXPECT_EQ(s.includes[1].header, "core/cgsim.hpp");
+  EXPECT_FALSE(s.includes[1].angled);
+}
+
+TEST(Scanner, DeclUnitsCoverHelpers) {
+  const ScanResult s = cgx::scan(sample_file());
+  auto declares = [&](std::string_view name) {
+    return std::any_of(s.decls.begin(), s.decls.end(), [&](const auto& d) {
+      return std::find(d.declared.begin(), d.declared.end(), name) !=
+             d.declared.end();
+    });
+  };
+  EXPECT_TRUE(declares("kScale"));
+  EXPECT_TRUE(declares("Sample"));
+  EXPECT_TRUE(declares("helper"));
+}
+
+TEST(Scanner, HelperReferencesItsDependencies) {
+  const ScanResult s = cgx::scan(sample_file());
+  const cgx::DeclUnit* helper = nullptr;
+  for (const auto& d : s.decls) {
+    if (std::find(d.declared.begin(), d.declared.end(), "helper") !=
+        d.declared.end()) {
+      helper = &d;
+    }
+  }
+  ASSERT_NE(helper, nullptr);
+  EXPECT_NE(std::find(helper->referenced.begin(), helper->referenced.end(),
+                      "kScale"),
+            helper->referenced.end());
+}
+
+TEST(Scanner, KernelsAreNotDeclUnits) {
+  const SourceFile f = sample_file();
+  const ScanResult s = cgx::scan(f);
+  for (const auto& d : s.decls) {
+    const std::string_view text = f.text(d.range);
+    EXPECT_EQ(text.find("COMPUTE_KERNEL"), std::string_view::npos)
+        << "kernel leaked into decl unit: " << text.substr(0, 40);
+  }
+}
+
+TEST(Scanner, NamespaceBlocksAreScannedPerDeclaration) {
+  const char* src = R"cpp(
+namespace util {
+struct Point { int x, y; };
+int manhattan(Point p) { return p.x + p.y; }
+}  // namespace util
+)cpp";
+  const SourceFile f{"ns.cpp", src};
+  const ScanResult s = cgx::scan(f);
+  ASSERT_EQ(s.decls.size(), 2u);
+  EXPECT_EQ(s.decls[0].namespace_prefix, "util::");
+  EXPECT_EQ(s.decls[0].declared, (std::vector<std::string>{"Point"}));
+  EXPECT_EQ(s.decls[1].namespace_prefix, "util::");
+  EXPECT_EQ(s.decls[1].declared, (std::vector<std::string>{"manhattan"}));
+}
+
+TEST(Scanner, NestedNamespacesCompose) {
+  const char* src = R"cpp(
+namespace a::b {
+namespace c {
+int deep() { return 1; }
+}
+int shallow() { return 2; }
+}
+)cpp";
+  const SourceFile f{"ns2.cpp", src};
+  const ScanResult s = cgx::scan(f);
+  ASSERT_EQ(s.decls.size(), 2u);
+  EXPECT_EQ(s.decls[0].namespace_prefix, "a::b::c::");
+  EXPECT_EQ(s.decls[1].namespace_prefix, "a::b::");
+}
+
+TEST(Scanner, KernelNamespacePrefixAssigned) {
+  const char* src = R"cpp(
+namespace apps::demo {
+COMPUTE_KERNEL(aie, nsk,
+               cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get());
+}
+}
+)cpp";
+  const SourceFile f{"nsk.cpp", src};
+  const ScanResult s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  EXPECT_EQ(s.kernels[0].namespace_prefix, "apps::demo::");
+}
+
+TEST(Scanner, MalformedKernelMissingBodyIsSkipped) {
+  const SourceFile f{"bad.cpp", "COMPUTE_KERNEL(aie, broken, int x);"};
+  const ScanResult s = cgx::scan(f);
+  EXPECT_TRUE(s.kernels.empty());
+}
+
+TEST(Scanner, FindKernelByName) {
+  const ScanResult s = cgx::scan(sample_file());
+  EXPECT_NE(cgx::find_kernel(s, "scaler"), nullptr);
+  EXPECT_EQ(cgx::find_kernel(s, "nonexistent"), nullptr);
+}
+
+TEST(Scanner, NestedBracesInKernelBody) {
+  const char* src = R"cpp(
+COMPUTE_KERNEL(aie, nested,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) {
+    int v = co_await in.get();
+    if (v > 0) {
+      for (int i = 0; i < v; ++i) { v += i; }
+    }
+    co_await out.put(v);
+  }
+}
+)cpp";
+  const SourceFile f{"nested.cpp", src};
+  const ScanResult s = cgx::scan(f);
+  ASSERT_EQ(s.kernels.size(), 1u);
+  const std::string_view body = f.text(s.kernels[0].body_range);
+  EXPECT_TRUE(body.ends_with("}"));
+  EXPECT_NE(body.find("v += i"), std::string_view::npos);
+}
+
+TEST(SourceFileTest, LineMapping) {
+  const SourceFile f{"x.cpp", "a\nbb\nccc\n"};
+  EXPECT_EQ(f.loc(0).line, 1);
+  EXPECT_EQ(f.loc(2).line, 2);
+  EXPECT_EQ(f.loc(2).column, 1);
+  EXPECT_EQ(f.loc(3).column, 2);
+  EXPECT_EQ(f.loc(5).line, 3);
+}
+
+}  // namespace

@@ -1,0 +1,178 @@
+// Templated kernel support (paper Section 6 lists it as future work;
+// implemented here): simulation with multiple instantiations and
+// extraction with per-instantiation adapter thunks.
+#include <gtest/gtest.h>
+
+#include "core/cgsim.hpp"
+#include "extractor/codegen_aie.hpp"
+#include "extractor/extractor.hpp"
+#include "extractor/rewriter.hpp"
+#include "extractor/scanner.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL_TEMPLATE(aie, tk_to_float, T,
+                        KernelReadPort<T> in,
+                        KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(static_cast<float>(co_await in.get()));
+  }
+}
+
+COMPUTE_KERNEL(aie, tk_sum2,
+               KernelReadPort<float> a,
+               KernelReadPort<float> b,
+               KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+
+constexpr auto tk_graph = make_compute_graph_v<[](IoConnector<int> xi,
+                                                  IoConnector<double> xd) {
+  IoConnector<float> fi, fd, sum;
+  tk_to_float<int>(xi, fi);
+  tk_to_float<double>(xd, fd);
+  tk_sum2(fi, fd, sum);
+  return std::make_tuple(sum);
+}>;
+
+TEST(TemplateKernels, InstantiationsCarrySynthesizedNames) {
+  const GraphView g = tk_graph.view();
+  ASSERT_EQ(g.kernels.size(), 3u);
+  EXPECT_EQ(g.kernels[0].name, "tk_to_float<int>");
+  EXPECT_EQ(g.kernels[1].name, "tk_to_float<double>");
+  EXPECT_EQ(g.kernels[2].name, "tk_sum2");
+}
+
+TEST(TemplateKernels, SimulationRunsBothInstantiations) {
+  std::vector<int> xi{1, 2, 3};
+  std::vector<double> xd{0.5, 0.25, 0.125};
+  std::vector<float> out;
+  tk_graph(xi, xd, out);
+  EXPECT_EQ(out, (std::vector<float>{1.5f, 2.25f, 3.125f}));
+}
+
+TEST(TemplateKernels, ThreadedBackendAgrees) {
+  std::vector<int> xi{10, 20};
+  std::vector<double> xd{1.0, 2.0};
+  std::vector<float> coop, thr;
+  tk_graph(xi, xd, coop);
+  tk_graph.run(RunOptions{.mode = ExecMode::threaded}, xi, xd, thr);
+  EXPECT_EQ(coop, thr);
+}
+
+// --- extraction ---
+
+const char* kProto = R"cpp(
+#include "core/cgsim.hpp"
+
+COMPUTE_KERNEL_TEMPLATE(aie, tk_to_float, T,
+                        cgsim::KernelReadPort<T> in,
+                        cgsim::KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(static_cast<float>(co_await in.get()));
+  }
+}
+
+COMPUTE_KERNEL(aie, tk_sum2,
+               cgsim::KernelReadPort<float> a,
+               cgsim::KernelReadPort<float> b,
+               cgsim::KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+)cpp";
+
+struct Fixture {
+  cgx::GraphDesc desc =
+      cgx::GraphDesc::from_view(tk_graph.view(), "tk_graph", "tk.cpp");
+  cgx::SourceFile file{"tk.cpp", kProto};
+  cgx::ScanResult scanned = cgx::scan(file);
+  cgx::GeneratedProject proj =
+      cgx::generate_aie_project(desc, file, scanned);
+};
+
+TEST(TemplateKernels, ScannerRecognizesTemplateMacro) {
+  Fixture fx;
+  const auto* site = cgx::find_kernel(fx.scanned, "tk_to_float");
+  ASSERT_NE(site, nullptr);
+  EXPECT_TRUE(site->is_template);
+  EXPECT_EQ(site->template_param, "T");
+  const auto* plain = cgx::find_kernel(fx.scanned, "tk_sum2");
+  ASSERT_NE(plain, nullptr);
+  EXPECT_FALSE(plain->is_template);
+}
+
+TEST(TemplateKernels, OneSourcePerBaseKernel) {
+  Fixture fx;
+  EXPECT_TRUE(fx.proj.warnings.empty());
+  EXPECT_TRUE(fx.proj.files.contains("tk_to_float.cc"));
+  EXPECT_TRUE(fx.proj.files.contains("tk_sum2.cc"));
+  // No per-instantiation .cc files.
+  EXPECT_FALSE(fx.proj.files.contains("tk_to_float<int>.cc"));
+}
+
+TEST(TemplateKernels, DefinitionStaysTemplated) {
+  Fixture fx;
+  const std::string& src = fx.proj.files.at("tk_to_float.cc");
+  EXPECT_NE(src.find("template <class T>\nvoid tk_to_float(KernelReadPort<T> "
+                     "in"),
+            std::string::npos)
+      << src;
+  EXPECT_EQ(src.find("co_await"), std::string::npos);
+}
+
+TEST(TemplateKernels, ThunkPerInstantiationWithSanitizedNames) {
+  Fixture fx;
+  const std::string& src = fx.proj.files.at("tk_to_float.cc");
+  EXPECT_NE(src.find("void tk_to_float_int_aie(input_stream<int>* native_0, "
+                     "output_stream<float>* native_1)"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("void tk_to_float_double_aie(input_stream<double>*"),
+            std::string::npos);
+  // The thunk substitutes the template parameter in the port types and
+  // calls the instantiation explicitly.
+  EXPECT_NE(src.find("KernelReadPort<int> port_0{native_0}"),
+            std::string::npos)
+      << src;
+  EXPECT_NE(src.find("tk_to_float<int>(port_0, port_1);"),
+            std::string::npos);
+  EXPECT_NE(src.find("tk_to_float<double>(port_0, port_1);"),
+            std::string::npos);
+}
+
+TEST(TemplateKernels, GraphCreatesSanitizedEntryPoints) {
+  Fixture fx;
+  const std::string& g = fx.proj.files.at("graph.hpp");
+  EXPECT_NE(g.find("adf::kernel::create(tk_to_float_int_aie)"),
+            std::string::npos)
+      << g;
+  EXPECT_NE(g.find("adf::kernel::create(tk_to_float_double_aie)"),
+            std::string::npos);
+  // Both instances compile from the shared base source.
+  EXPECT_NE(g.find("adf::source(k0) = \"tk_to_float.cc\""),
+            std::string::npos);
+  EXPECT_NE(g.find("adf::source(k1) = \"tk_to_float.cc\""),
+            std::string::npos);
+}
+
+TEST(TemplateKernels, DeclHeaderHasTemplateDeclAndBothThunks) {
+  Fixture fx;
+  const std::string& d = fx.proj.files.at("kernel_decls.hpp");
+  EXPECT_NE(d.find("template <class T>\nvoid tk_to_float("),
+            std::string::npos)
+      << d;
+  EXPECT_NE(d.find("tk_to_float_int_aie"), std::string::npos);
+  EXPECT_NE(d.find("tk_to_float_double_aie"), std::string::npos);
+}
+
+TEST(TemplateKernels, RewriterSubstituteIdentifier) {
+  EXPECT_EQ(cgx::substitute_identifier("KernelReadPort<T> in, T x", "T",
+                                       "int"),
+            "KernelReadPort<int> in, int x");
+  // Identifier boundaries respected.
+  EXPECT_EQ(cgx::substitute_identifier("TT T Tx", "T", "int"), "TT int Tx");
+}
+
+}  // namespace

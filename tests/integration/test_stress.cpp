@@ -1,0 +1,182 @@
+// Stress and failure-injection integration tests: wide/deep graphs, tiny
+// channel capacities, threaded error propagation, and randomized
+// cross-backend equivalence sweeps.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "core/cgsim.hpp"
+#include "x86sim/x86sim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, st_mix,
+               KernelReadPort<int> a,
+               KernelReadPort<int> b,
+               KernelWritePort<int> lo,
+               KernelWritePort<int> hi) {
+  while (true) {
+    const int x = co_await a.get();
+    const int y = co_await b.get();
+    co_await lo.put(std::min(x, y));
+    co_await hi.put(std::max(x, y));
+  }
+}
+
+COMPUTE_KERNEL(aie, st_add,
+               KernelReadPort<int> a,
+               KernelReadPort<int> b,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+
+COMPUTE_KERNEL(aie, st_inc,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+COMPUTE_KERNEL(aie, st_fail_on_negative,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) {
+    const int v = co_await in.get();
+    if (v < 0) throw std::domain_error{"negative input"};
+    co_await out.put(v);
+  }
+}
+
+// A 4-stage sorting-network-ish butterfly of st_mix kernels: 8 kernels,
+// plenty of cross connections, two outputs.
+constexpr auto butterfly_graph = make_compute_graph_v<[](
+    IoConnector<int> a, IoConnector<int> b, IoConnector<int> c,
+    IoConnector<int> d) {
+  IoConnector<int> l0, h0, l1, h1, lo, mid1, mid2, hi;
+  st_mix(a, b, l0, h0);
+  st_mix(c, d, l1, h1);
+  st_mix(l0, l1, lo, mid1);
+  st_mix(h0, h1, mid2, hi);
+  return std::make_tuple(lo, mid1, mid2, hi);
+}>;
+
+TEST(Stress, MultiOutputButterfly) {
+  std::mt19937 rng{101};
+  std::uniform_int_distribution<int> d{-1000, 1000};
+  const int n = 2000;
+  std::vector<int> a(n), b(n), c(n), e(n);
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i)] = d(rng);
+    b[static_cast<std::size_t>(i)] = d(rng);
+    c[static_cast<std::size_t>(i)] = d(rng);
+    e[static_cast<std::size_t>(i)] = d(rng);
+  }
+  std::vector<int> lo, m1, m2, hi;
+  const RunResult r = butterfly_graph(a, b, c, e, lo, m1, m2, hi);
+  EXPECT_FALSE(r.deadlocked);
+  ASSERT_EQ(lo.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    // lo is the min of all four; hi the max of all four.
+    const int mn = std::min({a[idx], b[idx], c[idx], e[idx]});
+    const int mx = std::max({a[idx], b[idx], c[idx], e[idx]});
+    ASSERT_EQ(lo[idx], mn) << i;
+    ASSERT_EQ(hi[idx], mx) << i;
+    // The four outputs are a permutation of the four inputs.
+    std::array<int, 4> got{lo[idx], m1[idx], m2[idx], hi[idx]};
+    std::array<int, 4> want{a[idx], b[idx], c[idx], e[idx]};
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    ASSERT_EQ(got, want) << i;
+  }
+}
+
+TEST(Stress, ButterflyCoopEqualsThreaded) {
+  std::vector<int> a{3, 1}, b{2, 9}, c{7, 4}, e{5, 6};
+  std::vector<int> lo1, m11, m21, hi1, lo2, m12, m22, hi2;
+  butterfly_graph(a, b, c, e, lo1, m11, m21, hi1);
+  x86sim::simulate(butterfly_graph.view(), 1, a, b, c, e, lo2, m12, m22,
+                   hi2);
+  EXPECT_EQ(lo1, lo2);
+  EXPECT_EQ(m11, m12);
+  EXPECT_EQ(m21, m22);
+  EXPECT_EQ(hi1, hi2);
+}
+
+// Tiny capacities force suspensions on nearly every element.
+constexpr auto tiny_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  a.capacity(1);
+  IoConnector<int> x, y, z;
+  x.capacity(1);
+  y.capacity(1);
+  z.capacity(1);
+  st_inc(a, x);
+  st_inc(x, y);
+  st_inc(y, z);
+  return std::make_tuple(z);
+}>;
+
+TEST(Stress, CapacityOnePipeline) {
+  std::vector<int> in(10000);
+  std::iota(in.begin(), in.end(), 0);
+  std::vector<int> out;
+  const RunResult r = tiny_graph(in, out);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<int>(i) + 3);
+  }
+  // With capacity 1 the scheduler must ping-pong: far more resumes than
+  // tasks.
+  EXPECT_GT(r.resumes, 10000u);
+}
+
+TEST(Stress, ThreadedErrorPropagates) {
+  constexpr auto g = make_compute_graph_v<[](IoConnector<int> a) {
+    IoConnector<int> b;
+    st_fail_on_negative(a, b);
+    return std::make_tuple(b);
+  }>;
+  std::vector<int> in{1, 2, -3, 4};
+  std::vector<int> out;
+  EXPECT_THROW(
+      g.run(RunOptions{.mode = ExecMode::threaded}, in, out),
+      std::domain_error);
+  // The cooperative backend reports the same failure.
+  out.clear();
+  EXPECT_THROW(g(in, out), std::domain_error);
+}
+
+// Fan-out/fan-in diamond with shared source, randomized sweep over sizes.
+constexpr auto diamond_graph = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> l, r, s;
+  st_inc(a, l);
+  st_inc(a, r);
+  st_add(l, r, s);
+  return std::make_tuple(s);
+}>;
+
+class StressSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StressSweep, DiamondAllBackendsAgree) {
+  const int n = GetParam();
+  std::mt19937 rng{static_cast<unsigned>(n)};
+  std::uniform_int_distribution<int> d{-100000, 100000};
+  std::vector<int> in(static_cast<std::size_t>(n));
+  for (auto& v : in) v = d(rng);
+  std::vector<int> coop, threaded;
+  diamond_graph(in, coop);
+  x86sim::simulate(diamond_graph.view(), 1, in, threaded);
+  ASSERT_EQ(coop.size(), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < coop.size(); ++i) {
+    ASSERT_EQ(coop[i], 2 * in[i] + 2);
+  }
+  EXPECT_EQ(coop, threaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StressSweep,
+                         ::testing::Values(0, 1, 2, 63, 64, 65, 1000, 4096));
+
+}  // namespace
