@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_instantiate.dir/bench_ablation_instantiate.cpp.o"
+  "CMakeFiles/bench_ablation_instantiate.dir/bench_ablation_instantiate.cpp.o.d"
+  "bench_ablation_instantiate"
+  "bench_ablation_instantiate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_instantiate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bilinear_pipeline.dir/bilinear_pipeline.cpp.o"
+  "CMakeFiles/bilinear_pipeline.dir/bilinear_pipeline.cpp.o.d"
+  "bilinear_pipeline"
+  "bilinear_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bilinear_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

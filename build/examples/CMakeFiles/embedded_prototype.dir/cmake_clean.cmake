@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedded_prototype.dir/embedded_prototype.cpp.o"
+  "CMakeFiles/embedded_prototype.dir/embedded_prototype.cpp.o.d"
+  "embedded_prototype"
+  "embedded_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedded_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

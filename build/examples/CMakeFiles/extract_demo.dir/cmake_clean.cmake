@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extract_demo.dir/extract_demo.cpp.o"
+  "CMakeFiles/extract_demo.dir/extract_demo.cpp.o.d"
+  "extract_demo"
+  "extract_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extract_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

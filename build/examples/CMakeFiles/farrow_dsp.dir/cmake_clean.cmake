@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/farrow_dsp.dir/farrow_dsp.cpp.o"
+  "CMakeFiles/farrow_dsp.dir/farrow_dsp.cpp.o.d"
+  "farrow_dsp"
+  "farrow_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/farrow_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

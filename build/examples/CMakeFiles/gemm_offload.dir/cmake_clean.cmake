@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_offload.dir/gemm_offload.cpp.o"
+  "CMakeFiles/gemm_offload.dir/gemm_offload.cpp.o.d"
+  "gemm_offload"
+  "gemm_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

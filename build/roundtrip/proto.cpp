@@ -1,0 +1,12 @@
+
+#include "core/cgsim.hpp"
+
+constexpr float kRoundtripScale = 3.0f;
+
+COMPUTE_KERNEL(aie, rtk_scale,
+               cgsim::KernelReadPort<float> in,
+               cgsim::KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(kRoundtripScale * co_await in.get());
+  }
+}

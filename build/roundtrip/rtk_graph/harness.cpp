@@ -1,0 +1,23 @@
+
+#include <cstdio>
+#include <vector>
+#include "kernel_decls.hpp"
+
+int main() {
+  std::vector<float> in{1.0f, 2.0f, 3.0f, 4.0f};
+  std::vector<float> out;
+  input_stream<float> s_in{in.data(), in.size()};
+  output_stream<float> s_out{&out};
+  try {
+    rtk_scale_aie(&s_in, &s_out);
+  } catch (const end_of_stream&) {
+    // Stream drained: the kernel's while(true) loop ends here, exactly as
+    // it would on hardware when the PLIO stops delivering data.
+  }
+  if (out.size() != 4) return 1;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (out[i] != 3.0f * in[i]) return 2;
+  }
+  std::puts("roundtrip ok");
+  return 0;
+}

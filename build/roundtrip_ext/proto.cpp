@@ -1,0 +1,18 @@
+
+#include "core/cgsim.hpp"
+
+COMPUTE_KERNEL_TEMPLATE(aie, rte_cast, T,
+                        cgsim::KernelReadPort<T> in,
+                        cgsim::KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(static_cast<float>(co_await in.get()) * 2.0f);
+  }
+}
+
+COMPUTE_KERNEL(hls, rte_offset,
+               cgsim::KernelReadPort<float> in,
+               cgsim::KernelWritePort<float> out) {
+  while (true) {
+    co_await out.put(co_await in.get() + 0.5f);
+  }
+}

@@ -1,0 +1,29 @@
+
+#pragma once
+#include <cstddef>
+#include <vector>
+struct end_of_stream {};
+template <class T>
+struct input_stream { const T* data; std::size_t n; std::size_t i = 0; };
+template <class T>
+T readincr(input_stream<T>* s) {
+  if (s->i >= s->n) throw end_of_stream{};
+  return s->data[s->i++];
+}
+template <class T>
+struct output_stream { std::vector<T>* out; };
+template <class T>
+void writeincr(output_stream<T>* s, const T& v) { s->out->push_back(v); }
+template <class T>
+struct input_window { const T* data; std::size_t n; std::size_t i = 0; };
+template <class T>
+void window_readincr(input_window<T>* w, T& v) {
+  if (w->i >= w->n) throw end_of_stream{};
+  v = w->data[w->i++];
+}
+template <class T>
+struct output_window { std::vector<T>* out; };
+template <class T>
+void window_writeincr(output_window<T>* w, const T& v) {
+  w->out->push_back(v);
+}

@@ -1,0 +1,19 @@
+
+#include <cstdio>
+#include <vector>
+#include "kernel_decls.hpp"
+int main() {
+  std::vector<int> in{1, 2, 3};
+  std::vector<float> out;
+  input_stream<int> s_in{in.data(), in.size()};
+  output_stream<float> s_out{&out};
+  try {
+    rte_cast_int_aie(&s_in, &s_out);
+  } catch (const end_of_stream&) {
+  }
+  if (out.size() != 3) return 1;
+  for (std::size_t i = 0; i < 3; ++i) {
+    if (out[i] != 2.0f * static_cast<float>(in[i])) return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,18 @@
+
+#pragma once
+#include <deque>
+namespace hls {
+template <class T>
+class stream {
+ public:
+  T read() {
+    T v = q_.front();
+    q_.pop_front();
+    return v;
+  }
+  void write(const T& v) { q_.push_back(v); }
+  bool empty() const { return q_.empty(); }
+ private:
+  std::deque<T> q_;
+};
+}  // namespace hls

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/extractor/codegen_aie.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/codegen_aie.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/codegen_aie.cpp.o.d"
+  "/root/repo/src/extractor/codegen_hls.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/codegen_hls.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/codegen_hls.cpp.o.d"
+  "/root/repo/src/extractor/coextract.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/coextract.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/coextract.cpp.o.d"
+  "/root/repo/src/extractor/extractor.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/extractor.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/extractor.cpp.o.d"
+  "/root/repo/src/extractor/graph_desc.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/graph_desc.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/graph_desc.cpp.o.d"
+  "/root/repo/src/extractor/lexer.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/lexer.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/lexer.cpp.o.d"
+  "/root/repo/src/extractor/manifest.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/manifest.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/manifest.cpp.o.d"
+  "/root/repo/src/extractor/registry.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/registry.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/registry.cpp.o.d"
+  "/root/repo/src/extractor/rewriter.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/rewriter.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/rewriter.cpp.o.d"
+  "/root/repo/src/extractor/scanner.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/scanner.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/scanner.cpp.o.d"
+  "/root/repo/src/extractor/source_file.cpp" "src/extractor/CMakeFiles/cgsim_extractor.dir/source_file.cpp.o" "gcc" "src/extractor/CMakeFiles/cgsim_extractor.dir/source_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

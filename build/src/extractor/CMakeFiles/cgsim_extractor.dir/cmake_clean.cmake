@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cgsim_extractor.dir/codegen_aie.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/codegen_aie.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/codegen_hls.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/codegen_hls.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/coextract.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/coextract.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/extractor.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/extractor.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/graph_desc.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/graph_desc.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/lexer.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/lexer.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/manifest.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/manifest.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/registry.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/registry.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/rewriter.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/rewriter.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/scanner.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/scanner.cpp.o.d"
+  "CMakeFiles/cgsim_extractor.dir/source_file.cpp.o"
+  "CMakeFiles/cgsim_extractor.dir/source_file.cpp.o.d"
+  "libcgsim_extractor.a"
+  "libcgsim_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cgsim_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

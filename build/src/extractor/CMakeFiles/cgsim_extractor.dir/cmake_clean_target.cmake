@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcgsim_extractor.a"
+)

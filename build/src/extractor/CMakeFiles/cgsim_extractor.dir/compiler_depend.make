@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cgsim_extractor.
+# This may be replaced when dependencies are built.

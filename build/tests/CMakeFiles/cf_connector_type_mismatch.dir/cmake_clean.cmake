@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_connector_type_mismatch.dir/compile_fail/connector_type_mismatch.cpp.o"
+  "CMakeFiles/cf_connector_type_mismatch.dir/compile_fail/connector_type_mismatch.cpp.o.d"
+  "cf_connector_type_mismatch"
+  "cf_connector_type_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_connector_type_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_rtp_stream_conflict.dir/compile_fail/rtp_stream_conflict.cpp.o"
+  "CMakeFiles/cf_rtp_stream_conflict.dir/compile_fail/rtp_stream_conflict.cpp.o.d"
+  "cf_rtp_stream_conflict"
+  "cf_rtp_stream_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_rtp_stream_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_settings_conflict.dir/compile_fail/settings_conflict.cpp.o"
+  "CMakeFiles/cf_settings_conflict.dir/compile_fail/settings_conflict.cpp.o.d"
+  "cf_settings_conflict"
+  "cf_settings_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_settings_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

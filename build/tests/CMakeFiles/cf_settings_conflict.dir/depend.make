@@ -1,0 +1,2 @@
+# Empty dependencies file for cf_settings_conflict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_unconnected_output.dir/compile_fail/unconnected_output.cpp.o"
+  "CMakeFiles/cf_unconnected_output.dir/compile_fail/unconnected_output.cpp.o.d"
+  "cf_unconnected_output"
+  "cf_unconnected_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_unconnected_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cf_wrong_arity.dir/compile_fail/wrong_arity.cpp.o"
+  "CMakeFiles/cf_wrong_arity.dir/compile_fail/wrong_arity.cpp.o.d"
+  "cf_wrong_arity"
+  "cf_wrong_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cf_wrong_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

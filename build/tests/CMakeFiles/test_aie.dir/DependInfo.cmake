@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aie/test_accum.cpp" "tests/CMakeFiles/test_aie.dir/aie/test_accum.cpp.o" "gcc" "tests/CMakeFiles/test_aie.dir/aie/test_accum.cpp.o.d"
+  "/root/repo/tests/aie/test_api.cpp" "tests/CMakeFiles/test_aie.dir/aie/test_api.cpp.o" "gcc" "tests/CMakeFiles/test_aie.dir/aie/test_api.cpp.o.d"
+  "/root/repo/tests/aie/test_api_ext.cpp" "tests/CMakeFiles/test_aie.dir/aie/test_api_ext.cpp.o" "gcc" "tests/CMakeFiles/test_aie.dir/aie/test_api_ext.cpp.o.d"
+  "/root/repo/tests/aie/test_cycle_model.cpp" "tests/CMakeFiles/test_aie.dir/aie/test_cycle_model.cpp.o" "gcc" "tests/CMakeFiles/test_aie.dir/aie/test_cycle_model.cpp.o.d"
+  "/root/repo/tests/aie/test_intrinsics.cpp" "tests/CMakeFiles/test_aie.dir/aie/test_intrinsics.cpp.o" "gcc" "tests/CMakeFiles/test_aie.dir/aie/test_intrinsics.cpp.o.d"
+  "/root/repo/tests/aie/test_vector.cpp" "tests/CMakeFiles/test_aie.dir/aie/test_vector.cpp.o" "gcc" "tests/CMakeFiles/test_aie.dir/aie/test_vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extractor/CMakeFiles/cgsim_extractor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aie.dir/aie/test_accum.cpp.o"
+  "CMakeFiles/test_aie.dir/aie/test_accum.cpp.o.d"
+  "CMakeFiles/test_aie.dir/aie/test_api.cpp.o"
+  "CMakeFiles/test_aie.dir/aie/test_api.cpp.o.d"
+  "CMakeFiles/test_aie.dir/aie/test_api_ext.cpp.o"
+  "CMakeFiles/test_aie.dir/aie/test_api_ext.cpp.o.d"
+  "CMakeFiles/test_aie.dir/aie/test_cycle_model.cpp.o"
+  "CMakeFiles/test_aie.dir/aie/test_cycle_model.cpp.o.d"
+  "CMakeFiles/test_aie.dir/aie/test_intrinsics.cpp.o"
+  "CMakeFiles/test_aie.dir/aie/test_intrinsics.cpp.o.d"
+  "CMakeFiles/test_aie.dir/aie/test_vector.cpp.o"
+  "CMakeFiles/test_aie.dir/aie/test_vector.cpp.o.d"
+  "test_aie"
+  "test_aie.pdb"
+  "test_aie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

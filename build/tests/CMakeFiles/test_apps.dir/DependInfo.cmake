@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/test_bilinear.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_bilinear.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_bilinear.cpp.o.d"
+  "/root/repo/tests/apps/test_bitonic.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_bitonic.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_bitonic.cpp.o.d"
+  "/root/repo/tests/apps/test_farrow.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_farrow.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_farrow.cpp.o.d"
+  "/root/repo/tests/apps/test_fft.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_fft.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_fft.cpp.o.d"
+  "/root/repo/tests/apps/test_fir.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_fir.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_fir.cpp.o.d"
+  "/root/repo/tests/apps/test_gemm.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_gemm.cpp.o.d"
+  "/root/repo/tests/apps/test_iir.cpp" "tests/CMakeFiles/test_apps.dir/apps/test_iir.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/test_iir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extractor/CMakeFiles/cgsim_extractor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps.dir/apps/test_bilinear.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_bilinear.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_bitonic.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_bitonic.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_farrow.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_farrow.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_fft.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_fft.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_fir.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_fir.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_gemm.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_gemm.cpp.o.d"
+  "CMakeFiles/test_apps.dir/apps/test_iir.cpp.o"
+  "CMakeFiles/test_apps.dir/apps/test_iir.cpp.o.d"
+  "test_apps"
+  "test_apps.pdb"
+  "test_apps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

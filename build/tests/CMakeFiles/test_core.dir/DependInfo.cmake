@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_channel.cpp" "tests/CMakeFiles/test_core.dir/core/test_channel.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_channel.cpp.o.d"
+  "/root/repo/tests/core/test_channel_fuzz.cpp" "tests/CMakeFiles/test_core.dir/core/test_channel_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_channel_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_ct_graph.cpp" "tests/CMakeFiles/test_core.dir/core/test_ct_graph.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_ct_graph.cpp.o.d"
+  "/root/repo/tests/core/test_dot_dma.cpp" "tests/CMakeFiles/test_core.dir/core/test_dot_dma.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dot_dma.cpp.o.d"
+  "/root/repo/tests/core/test_dynamic_graph.cpp" "tests/CMakeFiles/test_core.dir/core/test_dynamic_graph.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_dynamic_graph.cpp.o.d"
+  "/root/repo/tests/core/test_flatten.cpp" "tests/CMakeFiles/test_core.dir/core/test_flatten.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_flatten.cpp.o.d"
+  "/root/repo/tests/core/test_port_config.cpp" "tests/CMakeFiles/test_core.dir/core/test_port_config.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_port_config.cpp.o.d"
+  "/root/repo/tests/core/test_runtime.cpp" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "/root/repo/tests/core/test_session.cpp" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "/root/repo/tests/core/test_task_scheduler.cpp" "tests/CMakeFiles/test_core.dir/core/test_task_scheduler.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_task_scheduler.cpp.o.d"
+  "/root/repo/tests/core/test_validate.cpp" "tests/CMakeFiles/test_core.dir/core/test_validate.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extractor/CMakeFiles/cgsim_extractor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

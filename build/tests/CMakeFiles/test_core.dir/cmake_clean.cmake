@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_channel.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_channel.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_channel_fuzz.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_channel_fuzz.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ct_graph.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ct_graph.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dot_dma.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dot_dma.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_dynamic_graph.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_dynamic_graph.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_flatten.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_flatten.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_port_config.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_port_config.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_runtime.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_task_scheduler.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_task_scheduler.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_validate.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_validate.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

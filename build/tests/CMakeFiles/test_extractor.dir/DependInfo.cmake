@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/extractor/test_codegen.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_codegen.cpp.o.d"
+  "/root/repo/tests/extractor/test_codegen_hls.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_codegen_hls.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_codegen_hls.cpp.o.d"
+  "/root/repo/tests/extractor/test_coextract.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_coextract.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_coextract.cpp.o.d"
+  "/root/repo/tests/extractor/test_edge_cases.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/extractor/test_graph_desc.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_graph_desc.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_graph_desc.cpp.o.d"
+  "/root/repo/tests/extractor/test_lexer.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_lexer.cpp.o.d"
+  "/root/repo/tests/extractor/test_registry_driver.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_registry_driver.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_registry_driver.cpp.o.d"
+  "/root/repo/tests/extractor/test_rewriter.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_rewriter.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_rewriter.cpp.o.d"
+  "/root/repo/tests/extractor/test_scanner.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_scanner.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_scanner.cpp.o.d"
+  "/root/repo/tests/extractor/test_template_kernels.cpp" "tests/CMakeFiles/test_extractor.dir/extractor/test_template_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_extractor.dir/extractor/test_template_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extractor/CMakeFiles/cgsim_extractor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

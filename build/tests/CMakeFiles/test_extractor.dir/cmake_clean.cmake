@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extractor.dir/extractor/test_codegen.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_codegen.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_codegen_hls.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_codegen_hls.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_coextract.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_coextract.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_edge_cases.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_graph_desc.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_graph_desc.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_lexer.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_lexer.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_registry_driver.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_registry_driver.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_rewriter.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_rewriter.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_scanner.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_scanner.cpp.o.d"
+  "CMakeFiles/test_extractor.dir/extractor/test_template_kernels.cpp.o"
+  "CMakeFiles/test_extractor.dir/extractor/test_template_kernels.cpp.o.d"
+  "test_extractor"
+  "test_extractor.pdb"
+  "test_extractor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_apps_extract.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_apps_extract.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_apps_extract.cpp.o.d"
+  "/root/repo/tests/integration/test_backend_equivalence.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_backend_equivalence.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_backend_equivalence.cpp.o.d"
+  "/root/repo/tests/integration/test_roundtrip.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_roundtrip.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_roundtrip.cpp.o.d"
+  "/root/repo/tests/integration/test_roundtrip_ext.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_roundtrip_ext.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_roundtrip_ext.cpp.o.d"
+  "/root/repo/tests/integration/test_stress.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_stress.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_stress.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extractor/CMakeFiles/cgsim_extractor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/test_apps_extract.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_apps_extract.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_backend_equivalence.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_backend_equivalence.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_roundtrip.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_roundtrip.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_roundtrip_ext.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_roundtrip_ext.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/test_stress.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/test_stress.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/aiesim/test_cost_model.cpp" "tests/CMakeFiles/test_sim.dir/aiesim/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/aiesim/test_cost_model.cpp.o.d"
+  "/root/repo/tests/aiesim/test_engine.cpp" "tests/CMakeFiles/test_sim.dir/aiesim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/aiesim/test_engine.cpp.o.d"
+  "/root/repo/tests/aiesim/test_gmio_cost.cpp" "tests/CMakeFiles/test_sim.dir/aiesim/test_gmio_cost.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/aiesim/test_gmio_cost.cpp.o.d"
+  "/root/repo/tests/aiesim/test_placement.cpp" "tests/CMakeFiles/test_sim.dir/aiesim/test_placement.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/aiesim/test_placement.cpp.o.d"
+  "/root/repo/tests/aiesim/test_tile_stats.cpp" "tests/CMakeFiles/test_sim.dir/aiesim/test_tile_stats.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/aiesim/test_tile_stats.cpp.o.d"
+  "/root/repo/tests/x86sim/test_x86sim.cpp" "tests/CMakeFiles/test_sim.dir/x86sim/test_x86sim.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/x86sim/test_x86sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/extractor/CMakeFiles/cgsim_extractor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/aiesim/test_cost_model.cpp.o"
+  "CMakeFiles/test_sim.dir/aiesim/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_sim.dir/aiesim/test_engine.cpp.o"
+  "CMakeFiles/test_sim.dir/aiesim/test_engine.cpp.o.d"
+  "CMakeFiles/test_sim.dir/aiesim/test_gmio_cost.cpp.o"
+  "CMakeFiles/test_sim.dir/aiesim/test_gmio_cost.cpp.o.d"
+  "CMakeFiles/test_sim.dir/aiesim/test_placement.cpp.o"
+  "CMakeFiles/test_sim.dir/aiesim/test_placement.cpp.o.d"
+  "CMakeFiles/test_sim.dir/aiesim/test_tile_stats.cpp.o"
+  "CMakeFiles/test_sim.dir/aiesim/test_tile_stats.cpp.o.d"
+  "CMakeFiles/test_sim.dir/x86sim/test_x86sim.cpp.o"
+  "CMakeFiles/test_sim.dir/x86sim/test_x86sim.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

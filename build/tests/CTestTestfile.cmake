@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_aie[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_extractor[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+add_test(compile_fail.settings_conflict "/usr/bin/cmake" "--build" "/root/repo/build" "--target" "cf_settings_conflict")
+set_tests_properties(compile_fail.settings_conflict PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compile_fail.rtp_stream_conflict "/usr/bin/cmake" "--build" "/root/repo/build" "--target" "cf_rtp_stream_conflict")
+set_tests_properties(compile_fail.rtp_stream_conflict PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compile_fail.connector_type_mismatch "/usr/bin/cmake" "--build" "/root/repo/build" "--target" "cf_connector_type_mismatch")
+set_tests_properties(compile_fail.connector_type_mismatch PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compile_fail.wrong_arity "/usr/bin/cmake" "--build" "/root/repo/build" "--target" "cf_wrong_arity")
+set_tests_properties(compile_fail.wrong_arity PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(compile_fail.unconnected_output "/usr/bin/cmake" "--build" "/root/repo/build" "--target" "cf_unconnected_output")
+set_tests_properties(compile_fail.unconnected_output PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;84;add_test;/root/repo/tests/CMakeLists.txt;0;")
