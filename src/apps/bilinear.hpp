@@ -11,6 +11,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <span>
 
 #include "aie/aie.hpp"
 #include "core/cgsim.hpp"
@@ -49,8 +51,18 @@ inline V interpolate(const Packet& q) {
 COMPUTE_KERNEL(aie, bilinear_kernel,
                cgsim::KernelReadPort<Packet> in,
                cgsim::KernelWritePort<V> out) {
+  // Window-style processing: one suspension moves a whole batch of queries
+  // through the channel (bulk ring copies) instead of one element.
+  constexpr std::size_t kBatch = 64;
+  std::array<apps::bilinear::Packet, kBatch> q{};
+  std::array<apps::bilinear::V, kBatch> r{};
   while (true) {
-    co_await out.put(apps::bilinear::interpolate(co_await in.get()));
+    const std::size_t got = co_await in.get_n(
+        std::span<apps::bilinear::Packet>{q.data(), kBatch});
+    for (std::size_t i = 0; i < got; ++i) {
+      r[i] = apps::bilinear::interpolate(q[i]);
+    }
+    co_await out.put_n(std::span<const apps::bilinear::V>{r.data(), got});
   }
 }
 

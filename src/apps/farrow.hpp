@@ -14,7 +14,9 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "aie/aie.hpp"
@@ -119,9 +121,19 @@ COMPUTE_KERNEL(aie, farrow_branches,
                cgsim::KernelWritePort<BranchBlock,
                                       apps::farrow::kPingPong> branches) {
   apps::farrow::BranchState st{};
+  // Bulk window pairs: one suspension moves both ping-pong windows. The
+  // carried filter state is applied in stream order within the batch.
+  constexpr std::size_t kBatch = 2;
+  std::array<apps::farrow::SampleBlock, kBatch> blk{};
+  std::array<apps::farrow::BranchBlock, kBatch> br{};
   while (true) {
-    co_await branches.put(
-        apps::farrow::branch_filters(co_await in.get(), st));
+    const std::size_t got = co_await in.get_n(
+        std::span<apps::farrow::SampleBlock>{blk.data(), kBatch});
+    for (std::size_t i = 0; i < got; ++i) {
+      br[i] = apps::farrow::branch_filters(blk[i], st);
+    }
+    co_await branches.put_n(
+        std::span<const apps::farrow::BranchBlock>{br.data(), got});
   }
 }
 
@@ -130,10 +142,23 @@ COMPUTE_KERNEL(aie, farrow_combine,
                                      apps::farrow::kPingPong> branches,
                cgsim::KernelReadPort<MuBlock> mu,
                cgsim::KernelWritePort<SampleBlock> out) {
+  // Consume branch windows and delay windows in lockstep, a ping-pong pair
+  // per suspension.
+  constexpr std::size_t kBatch = 2;
+  std::array<apps::farrow::BranchBlock, kBatch> br{};
+  std::array<apps::farrow::MuBlock, kBatch> m{};
+  std::array<apps::farrow::SampleBlock, kBatch> res{};
   while (true) {
-    const apps::farrow::BranchBlock br = co_await branches.get();
-    const apps::farrow::MuBlock m = co_await mu.get();
-    co_await out.put(apps::farrow::combine(br, m));
+    const std::size_t got = co_await branches.get_n(
+        std::span<apps::farrow::BranchBlock>{br.data(), kBatch});
+    const std::size_t mgot =
+        co_await mu.get_n(std::span<apps::farrow::MuBlock>{m.data(), got});
+    const std::size_t pairs = got < mgot ? got : mgot;
+    for (std::size_t i = 0; i < pairs; ++i) {
+      res[i] = apps::farrow::combine(br[i], m[i]);
+    }
+    co_await out.put_n(
+        std::span<const apps::farrow::SampleBlock>{res.data(), pairs});
   }
 }
 

@@ -14,6 +14,8 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
+#include <span>
 
 #include "aie/aie.hpp"
 #include "core/cgsim.hpp"
@@ -92,11 +94,22 @@ COMPUTE_KERNEL(aie, iir_kernel,
                cgsim::KernelReadPort<float, apps::iir::kGainRtp> gain,
                cgsim::KernelWritePort<Block, apps::iir::kWindowIo> out) {
   apps::iir::State st{};
+  // Ping-pong window I/O: each suspension moves both in-flight windows
+  // (the double-buffer capacity) through the channel in one bulk copy. The
+  // gain RTP is sticky, so sampling it once per batch reads the same value
+  // a per-window sample would.
+  constexpr std::size_t kBatch = 2;
+  std::array<apps::iir::Block, kBatch> blk{};
+  std::array<apps::iir::Block, kBatch> res{};
   while (true) {
-    const apps::iir::Block blk = co_await in.get();
+    const std::size_t got =
+        co_await in.get_n(std::span<apps::iir::Block>{blk.data(), kBatch});
     const float g = co_await gain.get();
-    co_await out.put(
-        apps::iir::process_block(blk, st, apps::iir::kDefaultCoeffs, g));
+    for (std::size_t i = 0; i < got; ++i) {
+      res[i] =
+          apps::iir::process_block(blk[i], st, apps::iir::kDefaultCoeffs, g);
+    }
+    co_await out.put_n(std::span<const apps::iir::Block>{res.data(), got});
   }
 }
 

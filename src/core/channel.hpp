@@ -11,24 +11,35 @@
 // wake-up productive (no spurious retries), which is where cgsim's
 // near-zero synchronization overhead (paper Section 5.2) comes from.
 //
+// Besides the per-element operations there is a bulk interface
+// (try_push_n / try_pop_n plus bulk waiter records) that moves a whole
+// window of elements per suspension with contiguous ring copies, split at
+// the wrap point. Bulk waiters drain *incrementally* while parked, so a
+// batch larger than the ring capacity still completes (the transfer streams
+// through the ring in capacity-sized pieces).
+//
 // Three backends share one interface:
 //   * CoopChannel     -- completion-based, single-threaded; also serves the
 //                        cycle-approximate backend via per-item virtual-time
-//                        stamps (SimHooks).
+//                        stamps (SimHooks). Declared `final` so ports that
+//                        know the execution mode can call its methods
+//                        without virtual dispatch (see ports.hpp).
 //   * ThreadedChannel -- mutex/condition-variable blocking ops for the
 //                        thread-per-kernel x86sim-style runtime.
 //   * RtpChannel      -- sticky single-value channel backing AIE runtime
-//                        parameters (paper Section 3.7).
+//                        parameters (paper Section 3.7). Rejects bulk ops.
 #pragma once
 
 #include <algorithm>
 #include <condition_variable>
 #include <coroutine>
 #include <cstdint>
+#include <cstring>
 #include <deque>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -55,7 +66,7 @@ class SimHooks {
 
 /// Outcome of a non-blocking channel operation.
 enum class ChanStatus : std::uint8_t {
-  ok,       ///< transferred one element
+  ok,       ///< transferred the requested element(s)
   blocked,  ///< would block (full / empty); caller should suspend
   closed,   ///< permanently unusable in this direction
 };
@@ -129,6 +140,32 @@ class TypedChannel : public ChannelBase {
     int consumer;
   };
 
+  /// Pending bulk push: `src[done..n)` still has to enter the ring. The
+  /// channel advances `done` incrementally as space appears and completes
+  /// the waiter (writing `*moved`, `*status`, waking `h`) only when the
+  /// whole batch is in or the transfer becomes impossible.
+  struct BulkPushWaiter {
+    const T* src;
+    std::size_t n;
+    std::size_t done;
+    std::size_t* moved;
+    ChanStatus* status;
+    std::coroutine_handle<> h;
+  };
+  /// Pending bulk pop: `dst[done..n)` still has to be filled. `max_stamp`
+  /// tracks the newest virtual-time stamp consumed so the wake-up can be
+  /// scheduled at the batch's arrival time (cycle-approximate backend).
+  struct BulkPopWaiter {
+    T* dst;
+    std::size_t n;
+    std::size_t done;
+    std::size_t* moved;
+    ChanStatus* status;
+    std::coroutine_handle<> h;
+    int consumer;
+    std::uint64_t max_stamp;
+  };
+
   // --- cooperative (non-blocking fast path + completion registration) ---
   virtual ChanStatus try_push(const T& v) = 0;
   virtual ChanStatus try_pop(int consumer, T& out) = 0;
@@ -137,27 +174,53 @@ class TypedChannel : public ChannelBase {
   virtual void add_push_waiter(PushWaiter w) = 0;
   virtual void add_pop_waiter(PopWaiter w) = 0;
 
+  // --- cooperative bulk (window-at-a-time transfers) ---
+  /// Moves up to `n` elements, returning the count moved. `st` becomes ok
+  /// when the full batch moved, closed when the channel is terminally
+  /// unusable in this direction, blocked otherwise. Only the ring-buffered
+  /// cooperative channel supports these; RTP channels reject them.
+  virtual std::size_t try_push_n(const T* /*src*/, std::size_t /*n*/,
+                                 ChanStatus& /*st*/) {
+    reject_bulk();
+  }
+  virtual std::size_t try_pop_n(int /*consumer*/, T* /*dst*/,
+                                std::size_t /*n*/, ChanStatus& /*st*/) {
+    reject_bulk();
+  }
+  virtual void add_bulk_push_waiter(BulkPushWaiter /*w*/) { reject_bulk(); }
+  virtual void add_bulk_pop_waiter(BulkPopWaiter /*w*/) { reject_bulk(); }
+
   // --- threaded (blocking; return false when closed) ---
   virtual bool blocking_push(const T& v) = 0;
   virtual bool blocking_pop(int consumer, T& out) = 0;
+
+ private:
+  [[noreturn]] static void reject_bulk() {
+    throw std::logic_error{
+        "bulk channel ops are not supported by this channel"};
+  }
 };
 
 /// Cooperative broadcast ring buffer. Single-threaded by construction; no
-/// locks, no atomics.
+/// locks, no atomics. `final`: ports bound in a cooperative mode call these
+/// methods through a concrete CoopChannel<T>*, so every call in the
+/// simulation hot loop binds statically and inlines.
 template <class T>
 class CoopChannel final : public TypedChannel<T> {
   using typename TypedChannel<T>::PushWaiter;
   using typename TypedChannel<T>::PopWaiter;
+  using typename TypedChannel<T>::BulkPushWaiter;
+  using typename TypedChannel<T>::BulkPopWaiter;
 
  public:
   CoopChannel(int consumers, int capacity, Executor* exec)
       : TypedChannel<T>(consumers),
         capacity_(static_cast<std::size_t>(std::max(capacity, 1))),
         slots_(capacity_),
-        stamps_(capacity_, 0),
         cursors_(static_cast<std::size_t>(consumers), 0),
         consumer_active_(static_cast<std::size_t>(consumers), 1),
         pop_waiters_(static_cast<std::size_t>(consumers)),
+        bulk_pop_waiters_(static_cast<std::size_t>(consumers)),
         exec_(exec) {
     this->popped_.assign(static_cast<std::size_t>(consumers), 0);
     this->consumers_open_ = consumers;
@@ -167,10 +230,9 @@ class CoopChannel final : public TypedChannel<T> {
     if (this->consumers_total_ > 0 && this->consumers_open_ == 0) {
       return ChanStatus::closed;  // nobody will ever read again
     }
-    if (this->consumers_total_ > 0 && head_ - min_cursor() >= capacity_) {
-      return ChanStatus::blocked;
-    }
-    do_push(v);
+    if (ring_full()) return ChanStatus::blocked;
+    raw_write(&v, 1);
+    service_waiters();
     return ChanStatus::ok;
   }
 
@@ -185,7 +247,8 @@ class CoopChannel final : public TypedChannel<T> {
       // element's stamp.
       return ChanStatus::blocked;
     }
-    do_pop(c, out);
+    raw_read(c, &out, 1);
+    service_waiters();
     return ChanStatus::ok;
   }
 
@@ -196,22 +259,26 @@ class CoopChannel final : public TypedChannel<T> {
       exec_->make_ready(w.h, now_or_zero());
       return;
     }
-    if (this->consumers_total_ == 0 || head_ - min_cursor() < capacity_) {
-      do_push(*w.value);
+    if (!ring_full()) {
+      raw_write(w.value, 1);
       *w.status = ChanStatus::ok;
       exec_->make_ready(w.h, now_or_zero());
+      service_waiters();
       return;
     }
     push_waiters_.push_back(w);
+    ++parked_;
   }
 
   void add_pop_waiter(PopWaiter w) override {
     const auto c = static_cast<std::size_t>(w.consumer);
     if (cursors_[c] != head_) {
-      const std::uint64_t stamp = stamps_[cursors_[c] % capacity_];
-      do_pop(c, *w.out);
+      const std::uint64_t stamp =
+          sim_ != nullptr ? stamps_[cursors_[c] % capacity_] : 0;
+      raw_read(c, w.out, 1);
       *w.status = ChanStatus::ok;
       exec_->make_ready(w.h, stamp);
+      service_waiters();
       return;
     }
     if (this->push_closed()) {
@@ -220,6 +287,119 @@ class CoopChannel final : public TypedChannel<T> {
       return;
     }
     pop_waiters_[c].push_back(w);
+    ++parked_;
+  }
+
+  std::size_t try_push_n(const T* src, std::size_t n,
+                         ChanStatus& st) override {
+    if (this->consumers_total_ > 0 && this->consumers_open_ == 0) {
+      st = ChanStatus::closed;
+      return 0;
+    }
+    if (this->consumers_total_ == 0) {
+      // No consumers: writes are discarded after updating statistics, but
+      // still pass through the ring (chunked) so behaviour matches the
+      // scalar path.
+      std::size_t left = n;
+      const T* p = src;
+      while (left > 0) {
+        const std::size_t chunk = std::min(left, capacity_);
+        raw_write(p, chunk);
+        p += chunk;
+        left -= chunk;
+      }
+      st = ChanStatus::ok;
+      return n;
+    }
+    const std::size_t k = std::min(n, free_slots());
+    if (k > 0) {
+      raw_write(src, k);
+      service_waiters();
+    }
+    st = k == n ? ChanStatus::ok : ChanStatus::blocked;
+    return k;
+  }
+
+  std::size_t try_pop_n(int consumer, T* dst, std::size_t n,
+                        ChanStatus& st) override {
+    const auto c = static_cast<std::size_t>(consumer);
+    std::size_t avail = static_cast<std::size_t>(head_ - cursors_[c]);
+    if (sim_ != nullptr && avail > 0) {
+      // Elements past the first not-yet-arrived stamp are still in flight
+      // in virtual time.
+      const std::uint64_t now = sim_->now();
+      std::size_t ready = 0;
+      while (ready < avail &&
+             stamps_[(cursors_[c] + ready) % capacity_] <= now) {
+        ++ready;
+      }
+      avail = ready;
+    }
+    const std::size_t k = std::min(n, avail);
+    if (k > 0) {
+      raw_read(c, dst, k);
+      service_waiters();
+    }
+    if (k == n) {
+      st = ChanStatus::ok;
+    } else if (this->push_closed() && cursors_[c] == head_) {
+      st = ChanStatus::closed;  // partial transfer at end-of-stream
+    } else {
+      st = ChanStatus::blocked;
+    }
+    return k;
+  }
+
+  void add_bulk_push_waiter(BulkPushWaiter w) override {
+    if (this->consumers_total_ > 0 && this->consumers_open_ == 0) {
+      *w.moved = w.done;
+      *w.status = ChanStatus::closed;
+      exec_->make_ready(w.h, now_or_zero());
+      return;
+    }
+    if (this->consumers_total_ == 0) {
+      ChanStatus st{};
+      try_push_n(w.src + w.done, w.n - w.done, st);
+      *w.moved = w.n;
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, now_or_zero());
+      return;
+    }
+    const std::size_t k = std::min(w.n - w.done, free_slots());
+    if (k > 0) {
+      raw_write(w.src + w.done, k);
+      w.done += k;
+    }
+    if (w.done == w.n) {
+      *w.moved = w.n;
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, now_or_zero());
+    } else {
+      bulk_push_waiters_.push_back(w);
+      ++parked_;
+    }
+    service_waiters();
+  }
+
+  void add_bulk_pop_waiter(BulkPopWaiter w) override {
+    const auto c = static_cast<std::size_t>(w.consumer);
+    // Like the scalar completion path, a parked bulk pop consumes buffered
+    // data regardless of its stamp; the wake is scheduled at the newest
+    // consumed stamp instead.
+    drain_into(w);
+    if (w.done == w.n) {
+      *w.moved = w.n;
+      *w.status = ChanStatus::ok;
+      exec_->make_ready(w.h, w.max_stamp);
+    } else if (this->push_closed() && cursors_[c] == head_) {
+      *w.moved = w.done;
+      *w.status = ChanStatus::closed;
+      exec_->make_ready(w.h, std::max(w.max_stamp, now_or_zero()));
+    } else {
+      bulk_pop_waiters_[c].push_back(w);
+      ++parked_;
+    }
+    service_waiters();
   }
 
   bool blocking_push(const T&) override { unreachable_blocking(); }
@@ -227,14 +407,22 @@ class CoopChannel final : public TypedChannel<T> {
 
   void producer_done() override {
     if (--this->producers_open_ == 0) {
-      // Consumers that already drained everything observe end-of-stream.
+      // Consumers that already drained everything observe end-of-stream;
+      // parked bulk pops complete with whatever partial batch they hold.
       for (std::size_t c = 0; c < pop_waiters_.size(); ++c) {
         if (cursors_[c] != head_) continue;  // still has data to read
+        parked_ -= pop_waiters_[c].size() + bulk_pop_waiters_[c].size();
         for (auto& w : pop_waiters_[c]) {
           *w.status = ChanStatus::closed;
           exec_->make_ready(w.h, now_or_zero());
         }
         pop_waiters_[c].clear();
+        for (auto& w : bulk_pop_waiters_[c]) {
+          *w.moved = w.done;
+          *w.status = ChanStatus::closed;
+          exec_->make_ready(w.h, std::max(w.max_stamp, now_or_zero()));
+        }
+        bulk_pop_waiters_[c].clear();
       }
     }
   }
@@ -245,17 +433,29 @@ class CoopChannel final : public TypedChannel<T> {
     consumer_active_[c] = 0;
     --this->consumers_open_;
     if (this->consumers_open_ == 0) {
+      parked_ -= push_waiters_.size() + bulk_push_waiters_.size();
       for (auto& w : push_waiters_) {
         *w.status = ChanStatus::closed;
         exec_->make_ready(w.h, now_or_zero());
       }
       push_waiters_.clear();
+      for (auto& w : bulk_push_waiters_) {
+        *w.moved = w.done;
+        *w.status = ChanStatus::closed;
+        exec_->make_ready(w.h, now_or_zero());
+      }
+      bulk_push_waiters_.clear();
     } else {
-      service_push_waiters();  // this cursor no longer limits ring reuse
+      recompute_min_cursor();  // this cursor no longer limits ring reuse
+      service_waiters();
     }
   }
 
-  void attach_sim_hooks(SimHooks* hooks) override { sim_ = hooks; }
+  void attach_sim_hooks(SimHooks* hooks) override {
+    sim_ = hooks;
+    // Stamp storage is paid for only when a virtual-time engine attaches.
+    if (stamps_.size() != capacity_) stamps_.assign(capacity_, 0);
+  }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t occupancy(int consumer) const {
@@ -273,65 +473,169 @@ class CoopChannel final : public TypedChannel<T> {
     return sim_ != nullptr ? sim_->now() : 0;
   }
 
-  [[nodiscard]] std::uint64_t min_cursor() const {
+  [[nodiscard]] bool ring_full() const {
+    return this->consumers_total_ > 0 &&
+           head_ - min_cursor_ >= capacity_;
+  }
+  [[nodiscard]] std::size_t free_slots() const {
+    return this->consumers_total_ == 0
+               ? capacity_
+               : capacity_ - static_cast<std::size_t>(head_ - min_cursor_);
+  }
+
+  /// Rescans the cursor of every active consumer. Called only when the
+  /// lagging consumer advances or retires -- every other mutation leaves
+  /// the minimum untouched, so the per-push O(#consumers) scan of the
+  /// original design disappears from the hot path.
+  void recompute_min_cursor() {
     std::uint64_t m = head_;
     for (std::size_t c = 0; c < cursors_.size(); ++c) {
       if (consumer_active_[c] != 0) m = std::min(m, cursors_[c]);
     }
-    return m;
+    min_cursor_ = m;
   }
 
-  void do_push(const T& v) {
-    slots_[head_ % capacity_] = v;
-    stamps_[head_ % capacity_] = now_or_zero();
-    ++head_;
-    ++this->pushed_;
-    service_pop_waiters();
-  }
-
-  void do_pop(std::size_t c, T& out) {
-    out = slots_[cursors_[c] % capacity_];
-    ++cursors_[c];
-    ++this->popped_[c];
-    service_push_waiters();
-  }
-
-  // Completes parked pops for which data is now available. Completion of a
-  // pop frees slots, which may complete parked pushes, which in turn feed
-  // parked pops; the mutual recursion terminates because every step moves
-  // at least one element.
-  void service_pop_waiters() {
-    for (std::size_t c = 0; c < pop_waiters_.size(); ++c) {
-      while (!pop_waiters_[c].empty() && cursors_[c] != head_) {
-        PopWaiter w = pop_waiters_[c].front();
-        pop_waiters_[c].pop_front();
-        const std::uint64_t stamp = stamps_[cursors_[c] % capacity_];
-        do_pop(c, *w.out);
-        *w.status = ChanStatus::ok;
-        exec_->make_ready(w.h, stamp);
+  /// Copies `k` elements into the ring at `head_`, split at the wrap point.
+  /// `k` must not exceed the free space (or capacity when unconsumed).
+  void raw_write(const T* src, std::size_t k) {
+    const std::size_t pos = static_cast<std::size_t>(head_ % capacity_);
+    const std::size_t first = std::min(k, capacity_ - pos);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(slots_.data() + pos, src, first * sizeof(T));
+      std::memcpy(slots_.data(), src + first, (k - first) * sizeof(T));
+    } else {
+      std::copy_n(src, first, slots_.begin() + static_cast<std::ptrdiff_t>(pos));
+      std::copy_n(src + first, k - first, slots_.begin());
+    }
+    if (sim_ != nullptr) {
+      const std::uint64_t t = sim_->now();
+      for (std::size_t i = 0; i < k; ++i) {
+        stamps_[static_cast<std::size_t>((head_ + i) % capacity_)] = t;
       }
     }
+    head_ += k;
+    this->pushed_ += k;
   }
 
-  void service_push_waiters() {
-    while (!push_waiters_.empty() &&
-           (this->consumers_total_ == 0 || head_ - min_cursor() < capacity_)) {
-      PushWaiter w = push_waiters_.front();
-      push_waiters_.pop_front();
-      do_push(*w.value);
-      *w.status = ChanStatus::ok;
-      exec_->make_ready(w.h, now_or_zero());
+  /// Copies `k` buffered elements (which must be available) to `dst` and
+  /// advances consumer `c`, maintaining the cached minimum cursor.
+  void raw_read(std::size_t c, T* dst, std::size_t k) {
+    const std::size_t pos = static_cast<std::size_t>(cursors_[c] % capacity_);
+    const std::size_t first = std::min(k, capacity_ - pos);
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      std::memcpy(dst, slots_.data() + pos, first * sizeof(T));
+      std::memcpy(dst + first, slots_.data(), (k - first) * sizeof(T));
+    } else {
+      std::copy_n(slots_.begin() + static_cast<std::ptrdiff_t>(pos), first,
+                  dst);
+      std::copy_n(slots_.begin(), k - first, dst + first);
+    }
+    const std::uint64_t old = cursors_[c];
+    cursors_[c] += k;
+    this->popped_[c] += k;
+    if (old == min_cursor_) recompute_min_cursor();
+  }
+
+  /// Moves buffered data into a bulk pop waiter, advancing its progress and
+  /// stamp high-water mark.
+  void drain_into(BulkPopWaiter& w) {
+    const auto c = static_cast<std::size_t>(w.consumer);
+    const std::size_t avail = static_cast<std::size_t>(head_ - cursors_[c]);
+    const std::size_t k = std::min(w.n - w.done, avail);
+    if (k == 0) return;
+    if (sim_ != nullptr) {
+      for (std::size_t i = 0; i < k; ++i) {
+        w.max_stamp = std::max(
+            w.max_stamp,
+            stamps_[static_cast<std::size_t>((cursors_[c] + i) % capacity_)]);
+      }
+    }
+    raw_read(c, w.dst + w.done, k);
+    w.done += k;
+  }
+
+  /// Completes parked operations until a fixpoint: a completed pop frees
+  /// slots that may admit a parked push, whose data may feed another parked
+  /// pop. Uses the raw transfer primitives directly, so there is no
+  /// recursion; the loop terminates because every pass moves at least one
+  /// element.
+  void service_waiters() {
+    if (parked_ == 0) return;
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (std::size_t c = 0; c < pop_waiters_.size(); ++c) {
+        while (!pop_waiters_[c].empty() && cursors_[c] != head_) {
+          PopWaiter w = pop_waiters_[c].front();
+          pop_waiters_[c].pop_front();
+          --parked_;
+          const std::uint64_t stamp =
+              sim_ != nullptr ? stamps_[cursors_[c] % capacity_] : 0;
+          raw_read(c, w.out, 1);
+          *w.status = ChanStatus::ok;
+          exec_->make_ready(w.h, stamp);
+          progress = true;
+        }
+        while (!bulk_pop_waiters_[c].empty() && cursors_[c] != head_) {
+          BulkPopWaiter& w = bulk_pop_waiters_[c].front();
+          drain_into(w);
+          progress = true;
+          if (w.done == w.n) {
+            BulkPopWaiter fin = w;
+            bulk_pop_waiters_[c].pop_front();
+            --parked_;
+            *fin.moved = fin.n;
+            *fin.status = ChanStatus::ok;
+            exec_->make_ready(fin.h, fin.max_stamp);
+          } else {
+            break;  // ring drained; wait for more data
+          }
+        }
+      }
+      while (!push_waiters_.empty() && !ring_full()) {
+        PushWaiter w = push_waiters_.front();
+        push_waiters_.pop_front();
+        --parked_;
+        raw_write(w.value, 1);
+        *w.status = ChanStatus::ok;
+        exec_->make_ready(w.h, now_or_zero());
+        progress = true;
+      }
+      while (!bulk_push_waiters_.empty() && !ring_full()) {
+        BulkPushWaiter& w = bulk_push_waiters_.front();
+        const std::size_t k = std::min(w.n - w.done, free_slots());
+        raw_write(w.src + w.done, k);
+        w.done += k;
+        progress = true;
+        if (w.done == w.n) {
+          BulkPushWaiter fin = w;
+          bulk_push_waiters_.pop_front();
+          --parked_;
+          *fin.moved = fin.n;
+          *fin.status = ChanStatus::ok;
+          exec_->make_ready(fin.h, now_or_zero());
+        } else {
+          break;  // ring full; wait for space
+        }
+      }
     }
   }
 
   std::size_t capacity_;
   std::vector<T> slots_;
-  std::vector<std::uint64_t> stamps_;  // virtual availability times (sim)
+  std::vector<std::uint64_t> stamps_;  // allocated only with SimHooks
   std::uint64_t head_ = 0;
   std::vector<std::uint64_t> cursors_;
+  /// Cached minimum over active consumer cursors (== head_ when none).
+  /// Only a pop by the lagging consumer or a consumer retiring can change
+  /// it; both trigger recompute_min_cursor().
+  std::uint64_t min_cursor_ = 0;
   std::vector<std::uint8_t> consumer_active_;
   std::vector<std::deque<PopWaiter>> pop_waiters_;
+  std::vector<std::deque<BulkPopWaiter>> bulk_pop_waiters_;
   std::deque<PushWaiter> push_waiters_;
+  std::deque<BulkPushWaiter> bulk_push_waiters_;
+  std::size_t parked_ = 0;  ///< total waiters across all four queues
   Executor* exec_;
   SimHooks* sim_ = nullptr;
 };
@@ -368,7 +672,14 @@ class ThreadedChannel final : public TypedChannel<T> {
     slots_[head_ % capacity_] = v;
     ++head_;
     ++this->pushed_;
-    not_empty_.notify_all();
+    // One new element: with a single consumer endpoint only one waiter can
+    // use it, so a single wake suffices. Broadcast channels must wake every
+    // consumer -- each of them may read this element.
+    if (this->consumers_total_ <= 1) {
+      not_empty_.notify_one();
+    } else {
+      not_empty_.notify_all();
+    }
     return true;
   }
 
@@ -381,7 +692,11 @@ class ThreadedChannel final : public TypedChannel<T> {
     out = slots_[cursors_[c] % capacity_];
     ++cursors_[c];
     ++this->popped_[c];
-    not_full_.notify_all();
+    // A pop frees at most one ring slot (none unless this consumer was the
+    // laggard), and only producers wait on not_full_: one wake suffices. A
+    // woken producer that finds the ring still full simply re-checks its
+    // predicate and sleeps again.
+    not_full_.notify_one();
     return true;
   }
 
@@ -392,6 +707,7 @@ class ThreadedChannel final : public TypedChannel<T> {
 
   void producer_done() override {
     std::lock_guard lk{m_};
+    // Close can release every blocked consumer at once: broadcast it.
     if (--this->producers_open_ == 0) not_empty_.notify_all();
   }
   void consumer_done(int consumer) override {
@@ -400,6 +716,7 @@ class ThreadedChannel final : public TypedChannel<T> {
     if (consumer_active_[c] != 0) {
       consumer_active_[c] = 0;
       --this->consumers_open_;
+      // Retiring the laggard can free many slots at once: broadcast.
       not_full_.notify_all();
     }
   }
@@ -430,7 +747,8 @@ class ThreadedChannel final : public TypedChannel<T> {
 
 /// Sticky single-value channel for AIE runtime parameters: a read returns
 /// the most recent value without consuming it; a write overwrites. Reads
-/// block only until the first value arrives.
+/// block only until the first value arrives. Bulk operations are rejected
+/// (a runtime parameter is not a stream; see TypedChannel's defaults).
 template <class T>
 class RtpChannel final : public TypedChannel<T> {
   using typename TypedChannel<T>::PushWaiter;
@@ -438,7 +756,10 @@ class RtpChannel final : public TypedChannel<T> {
 
  public:
   RtpChannel(int consumers, ExecMode mode, Executor* exec)
-      : TypedChannel<T>(consumers), mode_(mode), exec_(exec) {
+      : TypedChannel<T>(consumers),
+        mode_(mode),
+        consumer_active_(static_cast<std::size_t>(std::max(consumers, 1)), 1),
+        exec_(exec) {
     this->popped_.assign(static_cast<std::size_t>(std::max(consumers, 1)), 0);
     this->consumers_open_ = consumers;
   }
@@ -516,7 +837,17 @@ class RtpChannel final : public TypedChannel<T> {
       pop_waiters_.clear();
     }
   }
-  void consumer_done(int) override { --this->consumers_open_; }
+  void consumer_done(int consumer) override {
+    // Idempotent, like the ring channels: the runtime may report the same
+    // endpoint done through several paths (rtp sink attachment + task
+    // teardown), and a repeated decrement would drive consumers_open_
+    // negative.
+    const auto c =
+        consumer >= 0 ? static_cast<std::size_t>(consumer) : std::size_t{0};
+    if (c >= consumer_active_.size() || consumer_active_[c] == 0) return;
+    consumer_active_[c] = 0;
+    --this->consumers_open_;
+  }
 
   /// Final value, for runtime-parameter sinks.
   [[nodiscard]] bool latest(T& out) const {
@@ -530,6 +861,7 @@ class RtpChannel final : public TypedChannel<T> {
   T value_{};
   bool has_value_ = false;
   std::deque<PopWaiter> pop_waiters_;
+  std::vector<std::uint8_t> consumer_active_;
   Executor* exec_;
   std::mutex m_;
   std::condition_variable cv_;

@@ -5,11 +5,22 @@
 // are non-type template parameters; they take part in connection merging at
 // graph-construction (compile) time. At run time a port is bound to one
 // broadcast-channel endpoint and accessed with `co_await port.get()` /
-// `co_await port.put(v)`.
+// `co_await port.put(v)`, or in whole windows with
+// `co_await port.get_n(span)` / `co_await port.put_n(span)`.
+//
+// Fast path: in the cooperative modes (coop, sim) a streaming port knows
+// its channel is the `final` CoopChannel<T>, so the awaiters call its
+// methods through a concrete pointer -- every channel operation in the
+// simulation hot loop binds statically and inlines into the coroutine
+// frame. The virtual TypedChannel interface remains in use only for the
+// threaded backend and for runtime-parameter (RTP) channels.
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <cstdint>
+#include <span>
+#include <stdexcept>
 #include <utility>
 
 #include "channel.hpp"
@@ -26,13 +37,25 @@ struct PortBinding {
   int consumer = -1;  ///< broadcast endpoint for read ports
   ExecMode mode = ExecMode::coop;
   SimHooks* sim = nullptr;
+  bool rtp = false;  ///< channel is a sticky runtime-parameter channel
 };
 
 namespace detail {
 
+/// Concrete CoopChannel<T>* when the binding is a cooperative-mode
+/// streaming channel, nullptr otherwise (threaded mode or RTP channel).
+template <class T>
+[[nodiscard]] inline CoopChannel<T>* coop_fast_path(const PortBinding& b) {
+  if (b.channel == nullptr || b.mode == ExecMode::threaded || b.rtp) {
+    return nullptr;
+  }
+  return static_cast<CoopChannel<T>*>(b.channel);
+}
+
 template <class T>
 struct [[nodiscard]] ReadAwaiter {
   TypedChannel<T>* ch;
+  CoopChannel<T>* coop;  ///< non-null => devirtualized cooperative path
   int consumer;
   ExecMode mode;
   SimHooks* sim;
@@ -41,6 +64,10 @@ struct [[nodiscard]] ReadAwaiter {
   ChanStatus st = ChanStatus::blocked;
 
   bool await_ready() {
+    if (coop != nullptr) {
+      st = coop->try_pop(consumer, value);  // static, inlinable
+      return st != ChanStatus::blocked;
+    }
     if (mode == ExecMode::threaded) {
       st = ch->blocking_pop(consumer, value) ? ChanStatus::ok
                                              : ChanStatus::closed;
@@ -50,6 +77,10 @@ struct [[nodiscard]] ReadAwaiter {
     return st != ChanStatus::blocked;
   }
   void await_suspend(std::coroutine_handle<> h) {
+    if (coop != nullptr) {
+      coop->add_pop_waiter({&value, &st, h, consumer});
+      return;
+    }
     ch->add_pop_waiter({&value, &st, h, consumer});
   }
   T await_resume() {
@@ -64,6 +95,7 @@ struct [[nodiscard]] ReadAwaiter {
 template <class T>
 struct [[nodiscard]] WriteAwaiter {
   TypedChannel<T>* ch;
+  CoopChannel<T>* coop;
   ExecMode mode;
   SimHooks* sim;
   PortSettings settings;
@@ -71,6 +103,10 @@ struct [[nodiscard]] WriteAwaiter {
   ChanStatus st = ChanStatus::blocked;
 
   bool await_ready() {
+    if (coop != nullptr) {
+      st = coop->try_push(value);
+      return st != ChanStatus::blocked;
+    }
     if (mode == ExecMode::threaded) {
       st = ch->blocking_push(value) ? ChanStatus::ok : ChanStatus::closed;
       return true;
@@ -79,6 +115,10 @@ struct [[nodiscard]] WriteAwaiter {
     return st != ChanStatus::blocked;
   }
   void await_suspend(std::coroutine_handle<> h) {
+    if (coop != nullptr) {
+      coop->add_push_waiter({&value, &st, h});
+      return;
+    }
     ch->add_push_waiter({&value, &st, h});
   }
   void await_resume() {
@@ -88,6 +128,114 @@ struct [[nodiscard]] WriteAwaiter {
     }
   }
 };
+
+/// Bulk read: fills `dst[0..n)` with up to `n` stream elements, suspending
+/// at most once. Resumes with the number of elements transferred; a short
+/// count means the stream closed mid-batch (the next get/get_n raises
+/// StreamClosed). Observably equivalent to n scalar get() calls.
+template <class T>
+struct [[nodiscard]] BulkReadAwaiter {
+  TypedChannel<T>* ch;
+  CoopChannel<T>* coop;
+  int consumer;
+  ExecMode mode;
+  SimHooks* sim;
+  PortSettings settings;
+  T* dst;
+  std::size_t n;
+  std::size_t got = 0;
+  ChanStatus st = ChanStatus::blocked;
+
+  bool await_ready() {
+    if (coop != nullptr) {
+      got = coop->try_pop_n(consumer, dst, n, st);
+      return st != ChanStatus::blocked;
+    }
+    if (mode == ExecMode::threaded) {
+      while (got < n && ch->blocking_pop(consumer, dst[got])) ++got;
+      st = got == n ? ChanStatus::ok : ChanStatus::closed;
+      return true;
+    }
+    got = ch->try_pop_n(consumer, dst, n, st);
+    return st != ChanStatus::blocked;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    typename TypedChannel<T>::BulkPopWaiter w{
+        dst, n, got, &got, &st, h, consumer, /*max_stamp=*/0};
+    if (coop != nullptr) {
+      coop->add_bulk_pop_waiter(w);
+      return;
+    }
+    ch->add_bulk_pop_waiter(w);
+  }
+  std::size_t await_resume() {
+    if (got == 0 && st == ChanStatus::closed) throw StreamClosed{};
+    if (sim != nullptr) {
+      for (std::size_t i = 0; i < got; ++i) {
+        sim->charge_port_access(settings, sizeof(T), /*is_read=*/true, ch);
+      }
+    }
+    return got;
+  }
+};
+
+/// Bulk write: moves `src[0..n)` into the channel, suspending at most once
+/// (the parked waiter streams through the ring incrementally, so `n` may
+/// exceed the channel capacity). Raises StreamClosed when every downstream
+/// consumer is gone. Observably equivalent to n scalar put() calls.
+template <class T>
+struct [[nodiscard]] BulkWriteAwaiter {
+  TypedChannel<T>* ch;
+  CoopChannel<T>* coop;
+  ExecMode mode;
+  SimHooks* sim;
+  PortSettings settings;
+  const T* src;
+  std::size_t n;
+  std::size_t done = 0;
+  ChanStatus st = ChanStatus::blocked;
+
+  bool await_ready() {
+    if (coop != nullptr) {
+      done = coop->try_push_n(src, n, st);
+      return st != ChanStatus::blocked;
+    }
+    if (mode == ExecMode::threaded) {
+      while (done < n) {
+        if (!ch->blocking_push(src[done])) {
+          st = ChanStatus::closed;
+          return true;
+        }
+        ++done;
+      }
+      st = ChanStatus::ok;
+      return true;
+    }
+    done = ch->try_push_n(src, n, st);
+    return st != ChanStatus::blocked;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    typename TypedChannel<T>::BulkPushWaiter w{src, n, done, &done, &st, h};
+    if (coop != nullptr) {
+      coop->add_bulk_push_waiter(w);
+      return;
+    }
+    ch->add_bulk_push_waiter(w);
+  }
+  void await_resume() {
+    if (st == ChanStatus::closed) throw StreamClosed{};
+    if (sim != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        sim->charge_port_access(settings, sizeof(T), /*is_read=*/false, ch);
+      }
+    }
+  }
+};
+
+[[noreturn]] inline void reject_rtp_bulk() {
+  throw std::logic_error{
+      "bulk port ops (get_n/put_n) are not available on an RTP port"};
+}
 
 }  // namespace detail
 
@@ -107,14 +255,24 @@ class KernelReadPort {
   KernelReadPort() = default;
   explicit KernelReadPort(const PortBinding& b)
       : ch_(static_cast<TypedChannel<T>*>(b.channel)),
+        coop_(detail::coop_fast_path<T>(b)),
         consumer_(b.consumer),
         mode_(b.mode),
-        sim_(b.sim) {}
+        sim_(b.sim),
+        rtp_(b.rtp) {}
 
   /// Awaitable that yields the next stream element; raises StreamClosed
   /// (terminating the kernel) once the stream is exhausted for good.
   [[nodiscard]] detail::ReadAwaiter<T> get() const {
-    return {ch_, consumer_, mode_, sim_, S};
+    return {ch_, coop_, consumer_, mode_, sim_, S};
+  }
+
+  /// Awaitable that fills `out` with up to `out.size()` elements in one
+  /// suspension and yields the count transferred; a short count means the
+  /// stream closed mid-batch. Not available on RTP ports.
+  [[nodiscard]] detail::BulkReadAwaiter<T> get_n(std::span<T> out) const {
+    if (rtp_) detail::reject_rtp_bulk();
+    return {ch_, coop_, consumer_, mode_, sim_, S, out.data(), out.size()};
   }
 
   [[nodiscard]] TypedChannel<T>* channel() const { return ch_; }
@@ -122,9 +280,11 @@ class KernelReadPort {
 
  private:
   TypedChannel<T>* ch_ = nullptr;
+  CoopChannel<T>* coop_ = nullptr;
   int consumer_ = -1;
   ExecMode mode_ = ExecMode::coop;
   SimHooks* sim_ = nullptr;
+  bool rtp_ = false;
 };
 
 /// Streaming output of a compute kernel.
@@ -138,21 +298,34 @@ class KernelWritePort {
   KernelWritePort() = default;
   explicit KernelWritePort(const PortBinding& b)
       : ch_(static_cast<TypedChannel<T>*>(b.channel)),
+        coop_(detail::coop_fast_path<T>(b)),
         mode_(b.mode),
-        sim_(b.sim) {}
+        sim_(b.sim),
+        rtp_(b.rtp) {}
 
   /// Awaitable that writes one element, suspending while the channel is
   /// full; raises StreamClosed when every downstream consumer has finished.
   [[nodiscard]] detail::WriteAwaiter<T> put(T v) const {
-    return {ch_, mode_, sim_, S, std::move(v)};
+    return {ch_, coop_, mode_, sim_, S, std::move(v)};
+  }
+
+  /// Awaitable that writes all of `in` in one suspension (the transfer
+  /// streams through the ring, so `in.size()` may exceed the channel
+  /// capacity). Not available on RTP ports.
+  [[nodiscard]] detail::BulkWriteAwaiter<T> put_n(
+      std::span<const T> in) const {
+    if (rtp_) detail::reject_rtp_bulk();
+    return {ch_, coop_, mode_, sim_, S, in.data(), in.size()};
   }
 
   [[nodiscard]] TypedChannel<T>* channel() const { return ch_; }
 
  private:
   TypedChannel<T>* ch_ = nullptr;
+  CoopChannel<T>* coop_ = nullptr;
   ExecMode mode_ = ExecMode::coop;
   SimHooks* sim_ = nullptr;
+  bool rtp_ = false;
 };
 
 /// Introspection over port parameter types of a kernel signature.

@@ -137,8 +137,10 @@ class RuntimeContext {
       for (int p = 0; p < k.nports; ++p) {
         const FlatPort& fp =
             g.ports[static_cast<std::size_t>(k.first_port + p)];
+        const FlatEdge& fe = g.edges[static_cast<std::size_t>(fp.edge)];
         ChannelBase* ch = channels_[static_cast<std::size_t>(fp.edge)].get();
-        bindings.push_back(PortBinding{ch, fp.endpoint, mode_, sim_});
+        bindings.push_back(
+            PortBinding{ch, fp.endpoint, mode_, sim_, fe.settings.rtp});
         if (fp.is_read) {
           rec.in_endpoints.emplace_back(ch, fp.endpoint);
         } else {
@@ -163,7 +165,7 @@ class RuntimeContext {
                          dma::Transform<T> dma_transform = {}) {
     const FlatGlobal& in = global_input(input_idx, type_id<T>());
     auto* ch = channel_as<T>(in.edge);
-    PortBinding b{ch, -1, mode_, sim_};
+    PortBinding b{ch, -1, mode_, sim_, edge_is_rtp(in.edge)};
     TaskRecord rec;
     rec.name = "source#" + std::to_string(input_idx);
     rec.out_channels.push_back(ch);
@@ -178,7 +180,7 @@ class RuntimeContext {
                        dma::Transform<T> dma_transform = {}) {
     const FlatGlobal& go = global_output(output_idx, type_id<T>());
     auto* ch = channel_as<T>(go.edge);
-    PortBinding b{ch, go.endpoint, mode_, sim_};
+    PortBinding b{ch, go.endpoint, mode_, sim_, edge_is_rtp(go.edge)};
     TaskRecord rec;
     rec.name = "sink#" + std::to_string(output_idx);
     rec.in_endpoints.emplace_back(ch, go.endpoint);
@@ -192,7 +194,7 @@ class RuntimeContext {
     const FlatGlobal& in = global_input(input_idx, type_id<T>());
     require_rtp(in.edge, "runtime-parameter source");
     auto* ch = channel_as<T>(in.edge);
-    PortBinding b{ch, -1, mode_, sim_};
+    PortBinding b{ch, -1, mode_, sim_, /*rtp=*/true};
     TaskRecord rec;
     rec.name = "rtp-source#" + std::to_string(input_idx);
     rec.out_channels.push_back(ch);
@@ -324,6 +326,9 @@ class RuntimeContext {
           std::string{"graph "} + what + " element type mismatch: graph " +
           "expects " + std::string{e.vtable().type_name}};
     }
+  }
+  [[nodiscard]] bool edge_is_rtp(int edge) const {
+    return graph_.edges[static_cast<std::size_t>(edge)].settings.rtp;
   }
   void require_rtp(int edge, const char* what) {
     if (!graph_.edges[static_cast<std::size_t>(edge)].settings.rtp) {

@@ -29,8 +29,10 @@ class Executor {
   virtual ~Executor() = default;
   /// Marks `h` runnable. `not_before` is a virtual-time lower bound in
   /// cycles, used by the cycle-approximate backend; the plain cooperative
-  /// scheduler ignores it. Channels complete an operation exactly once per
-  /// suspension, so `h` is never enqueued twice.
+  /// scheduler ignores it. Channels complete an operation -- scalar or
+  /// bulk; a parked bulk waiter may drain incrementally over several
+  /// channel events first -- exactly once per suspension, so `h` is never
+  /// enqueued twice.
   virtual void make_ready(std::coroutine_handle<> h,
                           std::uint64_t not_before) = 0;
 };

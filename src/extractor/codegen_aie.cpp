@@ -525,6 +525,15 @@ class KernelReadPort {
     return rtp_value_;
   }
 
+  // Bulk read (cgsim get_n): fills the span-like container element by
+  // element. Templated so the header needs no <span> in the adf
+  // environment; on hardware the whole batch lives in one window.
+  template <class Span>
+  unsigned get_n(Span out) {
+    for (auto& v : out) v = get();
+    return static_cast<unsigned>(out.size());
+  }
+
   struct Awaitable { T value; T await_resume() { return value; } };
   Awaitable operator co_await() = delete;  // co_await was removed
 
@@ -545,6 +554,13 @@ class KernelWritePort {
     if (window_) { window_writeincr(window_, v); return; }
     if (stream_) { writeincr(stream_, v); return; }
     *rtp_out_ = v;
+  }
+
+  // Bulk write (cgsim put_n): drains the span-like container element by
+  // element; see KernelReadPort::get_n.
+  template <class Span>
+  void put_n(Span in) {
+    for (const auto& v : in) put(v);
   }
 
  private:

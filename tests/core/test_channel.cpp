@@ -2,7 +2,10 @@
 // per-consumer complete copies, per-producer ordering, closure behaviour.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <coroutine>
+#include <cstddef>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -234,6 +237,193 @@ TEST(RtpChannel, ClosedWithoutValueReportsClosed) {
   ch.producer_done();
   int v = 0;
   EXPECT_EQ(ch.try_pop(0, v), ChanStatus::closed);
+}
+
+TEST(RtpChannel, ConsumerDoneIsIdempotent) {
+  StubExec ex;
+  RtpChannel<int> ch{2, ExecMode::coop, &ex};
+  ch.set_producers(1);
+  EXPECT_EQ(ch.consumers_open(), 2);
+  ch.consumer_done(0);
+  EXPECT_EQ(ch.consumers_open(), 1);
+  // Repeated reports for the same endpoint (rtp sink attachment + task
+  // teardown) must not decrement again.
+  ch.consumer_done(0);
+  ch.consumer_done(0);
+  EXPECT_EQ(ch.consumers_open(), 1);
+  ch.consumer_done(1);
+  ch.consumer_done(1);
+  EXPECT_EQ(ch.consumers_open(), 0);
+}
+
+// --- bulk operations ---
+
+TEST(CoopChannelBulk, PushPopRoundTrip) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 8, &ex};
+  ch.set_producers(1);
+  const std::array<int, 5> src{1, 2, 3, 4, 5};
+  ChanStatus st{};
+  EXPECT_EQ(ch.try_push_n(src.data(), src.size(), st), 5u);
+  EXPECT_EQ(st, ChanStatus::ok);
+  std::array<int, 5> dst{};
+  EXPECT_EQ(ch.try_pop_n(0, dst.data(), dst.size(), st), 5u);
+  EXPECT_EQ(st, ChanStatus::ok);
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(ch.total_pushed(), 5u);
+  EXPECT_EQ(ch.popped(0), 5u);
+}
+
+TEST(CoopChannelBulk, WrapAroundCopies) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 8, &ex};
+  ch.set_producers(1);
+  // Advance head and cursor past the middle of the ring so the next bulk
+  // transfer is split at the wrap point.
+  ChanStatus st{};
+  std::array<int, 6> pre{10, 11, 12, 13, 14, 15};
+  ASSERT_EQ(ch.try_push_n(pre.data(), pre.size(), st), 6u);
+  std::array<int, 6> drain{};
+  ASSERT_EQ(ch.try_pop_n(0, drain.data(), drain.size(), st), 6u);
+  // head == cursor == 6; an 8-element batch spans slots 6,7,0..5.
+  std::array<int, 8> src{0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_EQ(ch.try_push_n(src.data(), src.size(), st), 8u);
+  EXPECT_EQ(st, ChanStatus::ok);
+  std::array<int, 8> dst{};
+  ASSERT_EQ(ch.try_pop_n(0, dst.data(), dst.size(), st), 8u);
+  EXPECT_EQ(st, ChanStatus::ok);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(CoopChannelBulk, PartialPopReportsBlockedThenClosed) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 8, &ex};
+  ch.set_producers(1);
+  ChanStatus st{};
+  const std::array<int, 3> src{1, 2, 3};
+  ASSERT_EQ(ch.try_push_n(src.data(), src.size(), st), 3u);
+  std::array<int, 5> dst{};
+  // More requested than buffered while the producer is still open.
+  EXPECT_EQ(ch.try_pop_n(0, dst.data(), dst.size(), st), 3u);
+  EXPECT_EQ(st, ChanStatus::blocked);
+  ch.producer_done();
+  EXPECT_EQ(ch.try_pop_n(0, dst.data(), dst.size(), st), 0u);
+  EXPECT_EQ(st, ChanStatus::closed);
+}
+
+TEST(CoopChannelBulk, ParkedPopCompletesPartiallyAtClose) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 8, &ex};
+  ch.set_producers(1);
+  std::array<int, 4> dst{};
+  std::size_t moved = 0;
+  ChanStatus st = ChanStatus::blocked;
+  ch.add_bulk_pop_waiter({dst.data(), dst.size(), 0, &moved, &st,
+                          std::coroutine_handle<>{}, 0, 0});
+  EXPECT_EQ(st, ChanStatus::blocked);  // parked: nothing buffered yet
+  ASSERT_EQ(ch.try_push(1), ChanStatus::ok);
+  ASSERT_EQ(ch.try_push(2), ChanStatus::ok);
+  EXPECT_EQ(st, ChanStatus::blocked);  // still short of 4
+  ch.producer_done();
+  EXPECT_EQ(st, ChanStatus::closed);  // completed with the partial batch
+  EXPECT_EQ(moved, 2u);
+  EXPECT_EQ(dst[0], 1);
+  EXPECT_EQ(dst[1], 2);
+  ASSERT_EQ(ex.wakes.size(), 1u);
+}
+
+TEST(CoopChannelBulk, PushBlockedByLaggingBroadcastConsumer) {
+  StubExec ex;
+  CoopChannel<int> ch{2, 4, &ex};
+  ch.set_producers(1);
+  ChanStatus st{};
+  const std::array<int, 4> first{0, 1, 2, 3};
+  ASSERT_EQ(ch.try_push_n(first.data(), first.size(), st), 4u);
+  // Fast consumer drains; consumer 1 still gates the ring.
+  std::array<int, 4> dst{};
+  ASSERT_EQ(ch.try_pop_n(0, dst.data(), dst.size(), st), 4u);
+  const std::array<int, 2> more{4, 5};
+  EXPECT_EQ(ch.try_push_n(more.data(), more.size(), st), 0u);
+  EXPECT_EQ(st, ChanStatus::blocked);
+  // The laggard advances two elements; exactly that much space opens up.
+  ASSERT_EQ(ch.try_pop_n(1, dst.data(), 2, st), 2u);
+  EXPECT_EQ(ch.try_push_n(more.data(), more.size(), st), 2u);
+  EXPECT_EQ(st, ChanStatus::ok);
+  // Both consumers still see the complete stream.
+  ASSERT_EQ(ch.try_pop_n(0, dst.data(), 2, st), 2u);
+  EXPECT_EQ(dst[0], 4);
+  EXPECT_EQ(dst[1], 5);
+  ASSERT_EQ(ch.try_pop_n(1, dst.data(), 4, st), 4u);
+  EXPECT_EQ(dst[0], 2);
+  EXPECT_EQ(dst[3], 5);
+}
+
+TEST(CoopChannelBulk, ParkedPushStreamsThroughSmallRing) {
+  StubExec ex;
+  CoopChannel<int> ch{1, 2, &ex};
+  ch.set_producers(1);
+  // A batch larger than the ring capacity: the waiter parks and streams
+  // through the ring as the consumer drains it.
+  const std::array<int, 6> src{1, 2, 3, 4, 5, 6};
+  std::size_t moved = 0;
+  ChanStatus st = ChanStatus::blocked;
+  ch.add_bulk_push_waiter(
+      {src.data(), src.size(), 0, &moved, &st, std::coroutine_handle<>{}});
+  EXPECT_EQ(st, ChanStatus::blocked);  // 2 in the ring, 4 still pending
+  std::vector<int> got;
+  int v = 0;
+  while (ch.try_pop(0, v) == ChanStatus::ok) got.push_back(v);
+  EXPECT_EQ(st, ChanStatus::ok);
+  EXPECT_EQ(moved, 6u);
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4, 5, 6}));
+  ASSERT_EQ(ex.wakes.size(), 1u);  // exactly one wake per suspension
+}
+
+TEST(CoopChannelBulk, ZeroConsumersAcceptsOversizedBatch) {
+  StubExec ex;
+  CoopChannel<int> ch{0, 2, &ex};
+  ch.set_producers(1);
+  std::array<int, 7> src{};
+  ChanStatus st{};
+  EXPECT_EQ(ch.try_push_n(src.data(), src.size(), st), 7u);
+  EXPECT_EQ(st, ChanStatus::ok);
+  EXPECT_EQ(ch.total_pushed(), 7u);
+}
+
+TEST(ThreadedChannel, BulkOpsAreRejected) {
+  ThreadedChannel<int> ch{1, 2};
+  int v = 0;
+  ChanStatus st{};
+  EXPECT_THROW(ch.try_push_n(&v, 1, st), std::logic_error);
+  EXPECT_THROW(ch.try_pop_n(0, &v, 1, st), std::logic_error);
+}
+
+TEST(RtpChannel, BulkOpsAreRejected) {
+  StubExec ex;
+  RtpChannel<int> ch{1, ExecMode::coop, &ex};
+  int v = 0;
+  ChanStatus st{};
+  EXPECT_THROW(ch.try_push_n(&v, 1, st), std::logic_error);
+  EXPECT_THROW(ch.try_pop_n(0, &v, 1, st), std::logic_error);
+  std::size_t moved = 0;
+  EXPECT_THROW(ch.add_bulk_push_waiter(
+                   {&v, 1, 0, &moved, &st, std::coroutine_handle<>{}}),
+               std::logic_error);
+  EXPECT_THROW(ch.add_bulk_pop_waiter(
+                   {&v, 1, 0, &moved, &st, std::coroutine_handle<>{}, 0, 0}),
+               std::logic_error);
+}
+
+TEST(RtpPort, BulkPortOpsAreRejected) {
+  StubExec ex;
+  RtpChannel<int> ch{1, ExecMode::coop, &ex};
+  ch.set_producers(1);
+  PortBinding b{&ch, 0, ExecMode::coop, nullptr, /*rtp=*/true};
+  KernelReadPort<int> in{b};
+  KernelWritePort<int> out{b};
+  std::array<int, 2> buf{};
+  EXPECT_THROW(in.get_n(std::span<int>{buf}), std::logic_error);
+  EXPECT_THROW(out.put_n(std::span<const int>{buf}), std::logic_error);
 }
 
 // --- vtable factory ---

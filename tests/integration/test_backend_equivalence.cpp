@@ -92,6 +92,78 @@ TEST(BackendEquivalence, FarrowTwoKernels) {
   EXPECT_EQ(coop, sim);
 }
 
+// The bulk-enabled kernels batch 64 packets (bilinear) / 2 windows (iir,
+// farrow) per suspension; stream lengths that are larger than, and not a
+// multiple of, the batch exercise the partial-transfer-at-close path on
+// every backend.
+
+TEST(BackendEquivalence, BilinearManyPacketsPartialBatch) {
+  std::mt19937 rng{89};
+  std::uniform_real_distribution<float> pix{0, 255};
+  std::uniform_real_distribution<float> frac{0, 1};
+  std::vector<apps::bilinear::Packet> in(200);  // 3 full batches + 8
+  for (auto& p : in) {
+    for (unsigned i = 0; i < apps::bilinear::kLanes; ++i) {
+      p.p00.set(i, pix(rng));
+      p.p01.set(i, pix(rng));
+      p.p10.set(i, pix(rng));
+      p.p11.set(i, pix(rng));
+      p.fx.set(i, frac(rng));
+      p.fy.set(i, frac(rng));
+    }
+  }
+  std::vector<apps::bilinear::V> coop, threaded, sim;
+  apps::bilinear::graph(in, coop);
+  x86sim::simulate(apps::bilinear::graph.view(), 1, in, threaded);
+  aiesim::simulate(apps::bilinear::graph.view(), aiesim::SimConfig{}, in,
+                   sim);
+  EXPECT_EQ(coop.size(), in.size());
+  EXPECT_EQ(coop, threaded);
+  EXPECT_EQ(coop, sim);
+}
+
+TEST(BackendEquivalence, IirOddBlockCount) {
+  std::mt19937 rng{97};
+  std::uniform_real_distribution<float> d{-1, 1};
+  std::vector<apps::iir::Block> in(5);  // 2 window pairs + a partial batch
+  for (auto& b : in) {
+    for (auto& s : b.samples) s = d(rng);
+  }
+  std::vector<apps::iir::Block> coop, threaded, sim;
+  apps::iir::graph(in, 2.0f, coop);
+  x86sim::simulate(apps::iir::graph.view(), 1, in, 2.0f, threaded);
+  aiesim::simulate(apps::iir::graph.view(), aiesim::SimConfig{}, in, 2.0f,
+                   sim);
+  EXPECT_EQ(coop.size(), in.size());
+  EXPECT_EQ(coop, threaded);
+  EXPECT_EQ(coop, sim);
+}
+
+TEST(BackendEquivalence, FarrowOddBlockCount) {
+  std::mt19937 rng{101};
+  std::uniform_int_distribution<int> dx{-20000, 20000};
+  std::uniform_int_distribution<int> dmu{0, (1 << 14) - 1};
+  constexpr int kBlocks = 5;
+  std::vector<apps::farrow::SampleBlock> in(kBlocks);
+  std::vector<apps::farrow::MuBlock> mu(kBlocks);
+  for (int b = 0; b < kBlocks; ++b) {
+    for (unsigned i = 0; i < apps::farrow::kBlockSamples; ++i) {
+      in[static_cast<std::size_t>(b)].s[i] =
+          static_cast<std::int16_t>(dx(rng));
+      mu[static_cast<std::size_t>(b)].mu[i] =
+          static_cast<std::int16_t>(dmu(rng));
+    }
+  }
+  std::vector<apps::farrow::SampleBlock> coop, threaded, sim;
+  apps::farrow::graph(in, mu, coop);
+  x86sim::simulate(apps::farrow::graph.view(), 1, in, mu, threaded);
+  aiesim::simulate(apps::farrow::graph.view(), aiesim::SimConfig{}, in, mu,
+                   sim);
+  EXPECT_EQ(coop.size(), in.size());
+  EXPECT_EQ(coop, threaded);
+  EXPECT_EQ(coop, sim);
+}
+
 TEST(BackendEquivalence, RepetitionsAgreeAcrossBackends) {
   std::vector<apps::bitonic::Block> in(4);
   for (unsigned i = 0; i < 16; ++i) in[0].set(i, static_cast<float>(16 - i));
