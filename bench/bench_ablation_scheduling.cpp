@@ -1,10 +1,28 @@
 // bench_ablation_scheduling -- end-to-end ablation of the execution
-// strategy (cooperative single-thread vs one OS thread per kernel) and of
-// the channel capacity, on a two-kernel pipeline with configurable work
-// per element. This isolates the paper's Table 2 effect: cooperative
-// scheduling wins when synchronization is frequent relative to compute.
+// strategy (cooperative single-thread vs sharded multi-core cooperative vs
+// one OS thread per kernel) and of the channel capacity, on pipelines with
+// configurable work per element. This isolates the paper's Table 2 effect:
+// cooperative scheduling wins when synchronization is frequent relative to
+// compute, and coop_mt recovers multi-core scaling on wide graphs without
+// giving up the cooperative fast path inside each shard.
+//
+// Besides the google-benchmark suites, the binary runs a fixed ablation
+// (coop vs coop_mt at 2 and 4 workers on a four-component heavy graph) and
+// writes the results to a machine-readable JSON file:
+//
+//   bench_ablation_scheduling [BENCH_sched.json [items-per-pipeline]]
+//
+// On hosts with >= 4 hardware threads the exit code is non-zero when
+// coop_mt at 4 workers fails to reach >= 2x over single-threaded coop; on
+// smaller hosts the speedup is recorded but not enforced.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/cgsim.hpp"
@@ -115,6 +133,120 @@ void BM_CapacityDefault_Coop(benchmark::State& state) {
 }
 BENCHMARK(BM_CapacityDefault_Coop);
 
+// ---------------------------------------------------------------------------
+// Sharded execution (coop_mt) on a wide multi-component graph.
+// ---------------------------------------------------------------------------
+
+// Four independent two-stage heavy pipelines: the shape the partitioner
+// splits into four shards with zero cross-shard edges, so coop_mt speedup
+// here measures pure multi-core scaling of the cooperative scheduler.
+constexpr auto wide_graph = make_compute_graph_v<[](
+    IoConnector<int> a, IoConnector<int> b, IoConnector<int> c,
+    IoConnector<int> d) {
+  IoConnector<int> a1, a2, b1, b2, c1, c2, d1, d2;
+  sched_heavy(a, a1);
+  sched_heavy(a1, a2);
+  sched_heavy(b, b1);
+  sched_heavy(b1, b2);
+  sched_heavy(c, c1);
+  sched_heavy(c1, c2);
+  sched_heavy(d, d1);
+  sched_heavy(d1, d2);
+  return std::make_tuple(a2, b2, c2, d2);
+}>;
+
+double run_wide(ExecMode mode, int workers, int items) {
+  std::vector<int> a(static_cast<std::size_t>(items), 3);
+  std::vector<int> b = a, c = a, d = a;
+  std::vector<int> oa, ob, oc, od;
+  const auto t0 = std::chrono::steady_clock::now();
+  run_graph(wide_graph.view(),
+            RunOptions{.mode = mode, .repetitions = 1, .workers = workers},
+            a, b, c, d, oa, ob, oc, od);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(oa.size() + ob.size() + oc.size() + od.size());
+  return s;
+}
+
+void BM_WideGraph_Coop(benchmark::State& state) {
+  for (auto _ : state) run_wide(ExecMode::coop, 0, 500);
+  state.SetItemsProcessed(state.iterations() * 4 * 500);
+}
+BENCHMARK(BM_WideGraph_Coop);
+
+void BM_WideGraph_CoopMt(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) run_wide(ExecMode::coop_mt, workers, 500);
+  state.SetItemsProcessed(state.iterations() * 4 * 500);
+}
+BENCHMARK(BM_WideGraph_CoopMt)->Arg(2)->Arg(4)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Fixed ablation with JSON output (tracked across PRs).
+// ---------------------------------------------------------------------------
+
+int run_ablation(const std::string& json_path, int items) {
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // Warm-up: fault in code paths and spin up the frequency governor.
+  run_wide(ExecMode::coop, 0, items / 8 + 1);
+  run_wide(ExecMode::coop_mt, 4, items / 8 + 1);
+
+  const double coop_s = run_wide(ExecMode::coop, 0, items);
+  const double mt2_s = run_wide(ExecMode::coop_mt, 2, items);
+  const double mt4_s = run_wide(ExecMode::coop_mt, 4, items);
+  const double speedup2 = coop_s / mt2_s;
+  const double speedup4 = coop_s / mt4_s;
+  const bool gate_active = hw >= 4;
+  const bool gate_ok = !gate_active || speedup4 >= 2.0;
+
+  std::printf("\n-- scheduling ablation (4 pipelines x %d items, %u hw "
+              "threads) --\n",
+              items, hw);
+  std::printf("coop (1 thread):      %9.4f s\n", coop_s);
+  std::printf("coop_mt (2 workers):  %9.4f s  (%.2fx)\n", mt2_s, speedup2);
+  std::printf("coop_mt (4 workers):  %9.4f s  (%.2fx)\n", mt4_s, speedup4);
+  std::printf("4-worker gate (>= 2.0x, enforced when hw >= 4): %s\n",
+              gate_active ? (gate_ok ? "PASS" : "FAIL")
+                          : "skipped (host too small)");
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_ablation_scheduling\",\n"
+                 "  \"pipelines\": 4,\n"
+                 "  \"items_per_pipeline\": %d,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"coop_s\": %.6f,\n"
+                 "  \"coop_mt2_s\": %.6f,\n"
+                 "  \"coop_mt4_s\": %.6f,\n"
+                 "  \"speedup_mt2\": %.3f,\n"
+                 "  \"speedup_mt4\": %.3f,\n"
+                 "  \"gate_enforced\": %s,\n"
+                 "  \"gate_ok\": %s\n"
+                 "}\n",
+                 items, hw, coop_s, mt2_s, mt4_s, speedup2, speedup4,
+                 gate_active ? "true" : "false", gate_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return gate_ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_sched.json";
+  int items = 2000;  // heavy spin: ~seconds of single-core work
+  if (argc > 2) items = std::max(8, std::atoi(argv[2]));
+  return run_ablation(json_path, items);
+}

@@ -10,11 +10,19 @@
 // examples, cgsim ahead on the fine-grained bitonic example, aiesim orders
 // of magnitude slower.
 //
-//   $ ./bench_table2 [scale-divisor]
+// A fourth column runs the sharded multi-core cooperative backend
+// (ExecMode::coop_mt); on a single-core host it matches cgsim within
+// scheduling noise, on multi-core hosts wide graphs scale. The measured
+// rows are also written to a machine-readable JSON file (default
+// BENCH_table2.json) so successive PRs can track the trajectory.
+//
+//   $ ./bench_table2 [scale-divisor [json-path]]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <random>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "aiesim/engine.hpp"
@@ -38,6 +46,7 @@ struct Row {
   const char* name;
   int paper_reps;
   double cgsim_s;
+  double cgsim_mt_s;  ///< sharded multi-core cooperative backend
   double x86sim_s;
   double aiesim_s;
   double paper_cgsim_s;
@@ -54,7 +63,7 @@ Row run_example(const char* name, int paper_reps, const Graph& graph,
                 double paper_aie) {
   const int reps = std::max(1, paper_reps / g_divisor);
   const int aie_reps = std::max(1, reps / g_aiesim_divisor);
-  Row row{name, paper_reps, 0, 0, 0, paper_cg, paper_x86, paper_aie};
+  Row row{name, paper_reps, 0, 0, 0, 0, paper_cg, paper_x86, paper_aie};
   const double scale = static_cast<double>(paper_reps) / reps;
   const double aie_scale = static_cast<double>(paper_reps) / aie_reps;
 
@@ -64,6 +73,13 @@ Row run_example(const char* name, int paper_reps, const Graph& graph,
       graph.run(cgsim::RunOptions{cgsim::ExecMode::coop, reps}, io...);
     });
     row.cgsim_s = seconds_since(t0) * scale;
+  }
+  {
+    auto t0 = std::chrono::steady_clock::now();
+    make_io([&](auto&&... io) {
+      graph.run(cgsim::RunOptions{cgsim::ExecMode::coop_mt, reps}, io...);
+    });
+    row.cgsim_mt_s = seconds_since(t0) * scale;
   }
   {
     auto t0 = std::chrono::steady_clock::now();
@@ -89,6 +105,7 @@ Row run_example(const char* name, int paper_reps, const Graph& graph,
 
 int main(int argc, char** argv) {
   if (argc > 1) g_divisor = std::max(1, std::atoi(argv[1]));
+  const std::string json_path = argc > 2 ? argv[2] : "BENCH_table2.json";
 
   // Base workloads sized like the paper's per-repetition inputs.
   std::mt19937 rng{7};
@@ -160,17 +177,19 @@ int main(int argc, char** argv) {
       "has 1 CPU core: the paper's farrow case (x86sim < cgsim via 2 cores)\n"
       "cannot reproduce its sign here; see EXPERIMENTS.md.\n\n",
       g_divisor);
-  std::printf("%-10s %6s | %10s %10s %12s | %8s %8s %10s\n", "Graph", "Reps",
-              "cgsim(s)", "x86sim(s)", "aiesim(s)", "p.cgsim", "p.x86",
-              "p.aiesim");
-  std::printf("%.*s\n", 96,
+  std::printf("%-10s %6s | %10s %11s %10s %12s | %8s %8s %10s\n", "Graph",
+              "Reps", "cgsim(s)", "coop_mt(s)", "x86sim(s)", "aiesim(s)",
+              "p.cgsim", "p.x86", "p.aiesim");
+  std::printf("%.*s\n", 108,
               "-----------------------------------------------------------"
-              "-------------------------------------");
+              "-------------------------------------------------");
   bool shape = true;
   for (const Row& r : rows) {
-    std::printf("%-10s %6d | %10.2f %10.2f %12.2f | %8.2f %8.2f %10.2f\n",
-                r.name, r.paper_reps, r.cgsim_s, r.x86sim_s, r.aiesim_s,
-                r.paper_cgsim_s, r.paper_x86sim_s, r.paper_aiesim_s);
+    std::printf("%-10s %6d | %10.2f %11.2f %10.2f %12.2f | %8.2f %8.2f "
+                "%10.2f\n",
+                r.name, r.paper_reps, r.cgsim_s, r.cgsim_mt_s, r.x86sim_s,
+                r.aiesim_s, r.paper_cgsim_s, r.paper_x86sim_s,
+                r.paper_aiesim_s);
     if (r.aiesim_s < 10.0 * r.cgsim_s) shape = false;  // aiesim >> others
   }
   // cgsim must beat x86sim on the sync-heavy bitonic example.
@@ -178,5 +197,32 @@ int main(int argc, char** argv) {
   std::printf("\nshape check (cgsim < x86sim on bitonic; aiesim >> both): "
               "%s\n",
               shape ? "PASS" : "FAIL");
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_table2\",\n"
+                 "  \"scale_divisor\": %d,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"shape_ok\": %s,\n"
+                 "  \"rows\": [\n",
+                 g_divisor, std::thread::hardware_concurrency(),
+                 shape ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"graph\": \"%s\", \"paper_reps\": %d, "
+                   "\"cgsim_s\": %.4f, \"coop_mt_s\": %.4f, "
+                   "\"x86sim_s\": %.4f, \"aiesim_s\": %.4f}%s\n",
+                   r.name, r.paper_reps, r.cgsim_s, r.cgsim_mt_s, r.x86sim_s,
+                   r.aiesim_s, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
   return shape ? 0 : 1;
 }

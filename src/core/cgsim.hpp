@@ -38,6 +38,7 @@
 #include "graph_dot.hpp"   // IWYU pragma: export
 #include "graph_view.hpp"  // IWYU pragma: export
 #include "kernel.hpp"      // IWYU pragma: export
+#include "partition.hpp"   // IWYU pragma: export
 #include "port_config.hpp" // IWYU pragma: export
 #include "ports.hpp"       // IWYU pragma: export
 #include "runtime.hpp"     // IWYU pragma: export

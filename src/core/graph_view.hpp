@@ -80,12 +80,15 @@ struct RunResult {
   bool deadlocked = false;            ///< quiescence with unfinished kernels
   std::vector<std::string> blocked_kernels;
   std::uint64_t virtual_cycles = 0;   ///< cycle-approximate backend only
+  int shards_used = 0;                ///< coop_mt only: worker shards run
 };
 
 /// Options for a graph run.
 struct RunOptions {
   ExecMode mode = ExecMode::coop;
   int repetitions = 1;  ///< how many times sources replay their data
+  /// coop_mt only: worker-shard count ceiling; 0 = hardware concurrency.
+  int workers = 0;
 };
 
 }  // namespace cgsim

@@ -1,0 +1,268 @@
+// cgsim -- compute-graph partitioning for sharded cooperative simulation
+// (ExecMode::coop_mt).
+//
+// The flattened graph is split into shards, each run by its own
+// cooperative scheduler on a dedicated worker thread. The partitioner
+// works in two stages:
+//
+//   1. Connected components. Kernels that share an edge are grouped with a
+//      union-find; disjoint subgraphs (the common case for replicated
+//      pipelines / multi-channel DSP graphs) parallelize with zero
+//      cross-shard traffic.
+//   2. Greedy edge-cut split. When there are fewer components than
+//      requested shards and a component is oversized, it is bisected along
+//      a BFS frontier (a cheap edge-cut heuristic: BFS layers cut few
+//      edges on pipeline-shaped graphs). Runtime-parameter (RTP) edges are
+//      contracted first and never cut -- the sticky RTP channel is
+//      single-threaded by construction.
+//
+// Every edge is then classified: `edge_cross[e]` marks edges whose kernel
+// endpoints span shards (backed by the lock-light ShardChannel at run
+// time); `edge_home[e]` names the shard that owns the edge's single-
+// threaded state and hosts any global source/sink task attached to it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph_view.hpp"
+
+namespace cgsim {
+
+/// Shard assignment of one flattened graph.
+struct Partition {
+  int n_shards = 1;
+  std::vector<int> kernel_shard;        ///< per kernel: owning shard
+  std::vector<int> edge_home;           ///< per edge: owning shard
+  std::vector<std::uint8_t> edge_cross; ///< per edge: endpoints span shards
+  int n_cross_edges = 0;
+  int n_components = 0;  ///< connected components before any split
+};
+
+namespace detail {
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace detail
+
+/// Partitions `g` into at most `max_shards` shards. `max_shards < 1` is
+/// treated as 1; the result never has more shards than kernels (a graph
+/// with no kernels gets one shard).
+[[nodiscard]] inline Partition partition_graph(const GraphView& g,
+                                               int max_shards) {
+  const std::size_t nk = g.kernels.size();
+  const std::size_t ne = g.edges.size();
+  Partition p;
+  p.kernel_shard.assign(nk, 0);
+  p.edge_home.assign(ne, 0);
+  p.edge_cross.assign(ne, 0);
+  if (nk == 0) {
+    p.n_components = ne == 0 ? 0 : 1;
+    return p;
+  }
+  const int want =
+      std::clamp(max_shards, 1, static_cast<int>(nk));
+
+  // Kernel endpoints per edge, with read/write direction.
+  struct Endpoint {
+    int kernel;
+    bool is_read;
+  };
+  std::vector<std::vector<Endpoint>> edge_kernels(ne);
+  for (std::size_t ki = 0; ki < nk; ++ki) {
+    const FlatKernel& k = g.kernels[ki];
+    for (int pi = 0; pi < k.nports; ++pi) {
+      const FlatPort& fp = g.ports[static_cast<std::size_t>(k.first_port + pi)];
+      edge_kernels[static_cast<std::size_t>(fp.edge)].push_back(
+          {static_cast<int>(ki), fp.is_read});
+    }
+  }
+
+  // Stage 1: connected components; RTP edges additionally contract their
+  // endpoints into atomic groups that any later split must keep together.
+  detail::UnionFind comp(nk);
+  detail::UnionFind rtp(nk);
+  for (std::size_t e = 0; e < ne; ++e) {
+    const auto& eps = edge_kernels[e];
+    for (std::size_t i = 1; i < eps.size(); ++i) {
+      comp.unite(static_cast<std::size_t>(eps[0].kernel),
+                 static_cast<std::size_t>(eps[i].kernel));
+      if (g.edges[e].settings.rtp) {
+        rtp.unite(static_cast<std::size_t>(eps[0].kernel),
+                  static_cast<std::size_t>(eps[i].kernel));
+      }
+    }
+  }
+
+  // Blocks: the unit of shard assignment. Initially one block per
+  // component; oversized blocks may be split below.
+  std::vector<int> block_of(nk, -1);
+  std::vector<std::vector<int>> blocks;
+  for (std::size_t k = 0; k < nk; ++k) {
+    const std::size_t root = comp.find(k);
+    if (block_of[root] < 0) {
+      block_of[root] = static_cast<int>(blocks.size());
+      blocks.emplace_back();
+    }
+    block_of[k] = block_of[root];
+    blocks[static_cast<std::size_t>(block_of[root])].push_back(
+        static_cast<int>(k));
+  }
+  p.n_components = static_cast<int>(blocks.size());
+
+  // Kernel adjacency over non-RTP edges, for the BFS split. RTP-grouped
+  // kernels are traversed as one supernode by seeding the whole group.
+  std::vector<std::vector<int>> adj(nk);
+  for (std::size_t e = 0; e < ne; ++e) {
+    if (g.edges[e].settings.rtp) continue;
+    const auto& eps = edge_kernels[e];
+    for (std::size_t i = 1; i < eps.size(); ++i) {
+      adj[static_cast<std::size_t>(eps[0].kernel)].push_back(eps[i].kernel);
+      adj[static_cast<std::size_t>(eps[i].kernel)].push_back(eps[0].kernel);
+    }
+  }
+  // Members of each RTP group, looked up by any member.
+  std::vector<std::vector<int>> rtp_group(nk);
+  for (std::size_t k = 0; k < nk; ++k) {
+    rtp_group[rtp.find(k)].push_back(static_cast<int>(k));
+  }
+
+  // Stage 2: while there are spare shards, bisect the largest splittable
+  // block along a BFS frontier over RTP groups.
+  auto block_size_cmp = [&](int a, int b) {
+    return blocks[static_cast<std::size_t>(a)].size() <
+           blocks[static_cast<std::size_t>(b)].size();
+  };
+  std::vector<std::uint8_t> unsplittable(blocks.size(), 0);
+  while (static_cast<int>(blocks.size()) < want) {
+    int big = -1;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (unsplittable[b] || blocks[b].size() < 2) continue;
+      if (big < 0 || block_size_cmp(big, static_cast<int>(b))) {
+        big = static_cast<int>(b);
+      }
+    }
+    if (big < 0) break;  // nothing left to split
+    auto& members = blocks[static_cast<std::size_t>(big)];
+    const std::size_t half = (members.size() + 1) / 2;
+    // BFS from the first member; pull whole RTP groups per visit.
+    std::vector<std::uint8_t> in_block(nk, 0);
+    for (int k : members) in_block[static_cast<std::size_t>(k)] = 1;
+    std::vector<std::uint8_t> taken(nk, 0);
+    std::vector<int> queue;
+    std::vector<int> part_a;
+    auto take_group = [&](int k) {
+      for (int m : rtp_group[rtp.find(static_cast<std::size_t>(k))]) {
+        if (taken[static_cast<std::size_t>(m)]) continue;
+        taken[static_cast<std::size_t>(m)] = 1;
+        part_a.push_back(m);
+        queue.push_back(m);
+      }
+    };
+    take_group(members.front());
+    std::size_t qi = 0;
+    while (part_a.size() < half) {
+      if (qi == queue.size()) {
+        // Disconnected remainder inside the block (possible only via
+        // global-port-only links): seed the next untaken member.
+        int next = -1;
+        for (int k : members) {
+          if (!taken[static_cast<std::size_t>(k)]) {
+            next = k;
+            break;
+          }
+        }
+        if (next < 0) break;
+        take_group(next);
+        continue;
+      }
+      const int k = queue[qi++];
+      for (int nb : adj[static_cast<std::size_t>(k)]) {
+        if (!in_block[static_cast<std::size_t>(nb)] ||
+            taken[static_cast<std::size_t>(nb)]) {
+          continue;
+        }
+        take_group(nb);
+        if (part_a.size() >= half) break;
+      }
+    }
+    if (part_a.empty() || part_a.size() == members.size()) {
+      unsplittable[static_cast<std::size_t>(big)] = 1;
+      continue;
+    }
+    std::vector<int> part_b;
+    for (int k : members) {
+      if (!taken[static_cast<std::size_t>(k)]) part_b.push_back(k);
+    }
+    members = std::move(part_a);
+    blocks.push_back(std::move(part_b));
+  }
+
+  // Assign blocks to shards, largest first onto the least-loaded shard.
+  const int n_shards =
+      std::min(want, static_cast<int>(blocks.size()));
+  std::vector<int> order(blocks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return block_size_cmp(b, a); });
+  std::vector<std::size_t> load(static_cast<std::size_t>(n_shards), 0);
+  for (int b : order) {
+    const auto s = static_cast<std::size_t>(std::min_element(load.begin(),
+                                                             load.end()) -
+                                            load.begin());
+    load[s] += blocks[static_cast<std::size_t>(b)].size();
+    for (int k : blocks[static_cast<std::size_t>(b)]) {
+      p.kernel_shard[static_cast<std::size_t>(k)] = static_cast<int>(s);
+    }
+  }
+  p.n_shards = n_shards;
+
+  // Edge classification. The home shard prefers the first producer kernel
+  // (its pushes then stay shard-local on intra-shard edges); an edge with
+  // no kernel endpoints (global passthrough) lives on shard 0.
+  for (std::size_t e = 0; e < ne; ++e) {
+    const auto& eps = edge_kernels[e];
+    if (eps.empty()) continue;
+    int home = -1;
+    bool cross = false;
+    for (const auto& ep : eps) {
+      const int s = p.kernel_shard[static_cast<std::size_t>(ep.kernel)];
+      if (home < 0) {
+        home = s;
+      } else if (s != home) {
+        cross = true;
+      }
+      if (!ep.is_read) home = s;  // last writer wins: producer-side home
+    }
+    for (const auto& ep : eps) {
+      if (!ep.is_read) {
+        home = p.kernel_shard[static_cast<std::size_t>(ep.kernel)];
+        break;
+      }
+    }
+    p.edge_home[e] = home;
+    p.edge_cross[e] = cross ? 1 : 0;
+    if (cross) ++p.n_cross_edges;
+  }
+  return p;
+}
+
+}  // namespace cgsim

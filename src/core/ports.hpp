@@ -37,16 +37,20 @@ struct PortBinding {
   int consumer = -1;  ///< broadcast endpoint for read ports
   ExecMode mode = ExecMode::coop;
   SimHooks* sim = nullptr;
-  bool rtp = false;  ///< channel is a sticky runtime-parameter channel
+  bool rtp = false;    ///< channel is a sticky runtime-parameter channel
+  bool cross = false;  ///< coop_mt cross-shard edge (ShardChannel backend)
 };
 
 namespace detail {
 
 /// Concrete CoopChannel<T>* when the binding is a cooperative-mode
-/// streaming channel, nullptr otherwise (threaded mode or RTP channel).
+/// streaming channel, nullptr otherwise (threaded mode, RTP channel, or a
+/// coop_mt cross-shard edge, whose ShardChannel goes through the virtual
+/// interface).
 template <class T>
 [[nodiscard]] inline CoopChannel<T>* coop_fast_path(const PortBinding& b) {
-  if (b.channel == nullptr || b.mode == ExecMode::threaded || b.rtp) {
+  if (b.channel == nullptr || b.mode == ExecMode::threaded || b.rtp ||
+      b.cross) {
     return nullptr;
   }
   return static_cast<CoopChannel<T>*>(b.channel);

@@ -7,9 +7,13 @@
 // instance. Global inputs/outputs are attached as data source/sink
 // coroutines reading/writing ordinary C++ containers (Section 3.7).
 //
-// Two execution strategies live here:
+// Three execution strategies live here:
 //   * run_coop():     cooperative single-threaded scheduling (cgsim proper)
 //   * run_threaded(): one OS thread per kernel (the x86sim execution model)
+//   * run_coop_mt():  sharded cooperative scheduling on a worker pool; the
+//                     graph is partitioned (partition.hpp), intra-shard
+//                     edges keep the single-threaded CoopChannel fast path,
+//                     cross-shard edges get the lock-light ShardChannel.
 // The cycle-approximate backend drives the same context with its own
 // executor (see src/aiesim/).
 #pragma once
@@ -30,6 +34,7 @@
 #include "flatten.hpp"
 #include "graph_view.hpp"
 #include "kernel.hpp"
+#include "partition.hpp"
 #include "ports.hpp"
 #include "scheduler.hpp"
 #include "task.hpp"
@@ -98,28 +103,60 @@ class RuntimeContext {
     std::vector<std::pair<ChannelBase*, int>> in_endpoints;
     Realm realm = Realm::noextract;
     int kernel_index = -1;  ///< -1 for source/sink tasks
+    int shard = 0;          ///< coop_mt home shard
     bool finished = false;
   };
 
   /// Deserializes `g`. When `exec` is null the context's own FIFO scheduler
   /// is used (cooperative mode); the cycle-approximate backend passes its
-  /// event-queue executor and SimHooks instead.
+  /// event-queue executor and SimHooks instead. `workers` applies to
+  /// ExecMode::coop_mt only (0 = hardware concurrency).
   explicit RuntimeContext(const GraphView& g, ExecMode mode = ExecMode::coop,
-                          Executor* exec = nullptr, SimHooks* sim = nullptr)
+                          Executor* exec = nullptr, SimHooks* sim = nullptr,
+                          int workers = 0)
       : graph_(g), mode_(mode), sim_(sim) {
     exec_ = exec != nullptr ? exec : &sched_;
+    if (mode_ == ExecMode::coop_mt) {
+      int w = workers > 0
+                  ? workers
+                  : static_cast<int>(std::thread::hardware_concurrency());
+      if (w < 1) w = 1;
+      partition_ = partition_graph(g, w);
+      pool_ = std::make_unique<ShardPool>(partition_.n_shards);
+    }
     // Recreate all channels from the serialized edge descriptors. Ping-pong
     // window connections are double buffers on hardware: unless the user
     // overrode the capacity, model exactly two windows in flight.
     channels_.reserve(g.edges.size());
-    for (const FlatEdge& e : g.edges) {
+    for (std::size_t ei = 0; ei < g.edges.size(); ++ei) {
+      const FlatEdge& e = g.edges[ei];
       int capacity = e.capacity;
       if (e.settings.buffer == BufferMode::pingpong &&
           capacity == kDefaultChannelCapacity) {
         capacity = 2;
       }
-      ChannelBase* ch = e.vtable().create(mode_, e.n_consumers, capacity,
-                                          e.settings.rtp, exec_);
+      ChannelBase* ch = nullptr;
+      if (pool_ != nullptr) {
+        if (partition_.edge_cross[ei] != 0) {
+          // The partitioner contracts RTP edges, so a cross-shard RTP edge
+          // means the partition and the graph disagree.
+          if (e.settings.rtp) {
+            throw std::logic_error{
+                "coop_mt partition cut a runtime-parameter edge"};
+          }
+          ch = e.vtable().create_shard(e.n_consumers, capacity,
+                                       &pool_->router());
+        } else {
+          // Intra-shard edges are single-threaded by construction and keep
+          // the cooperative ring, homed on the owning shard's executor.
+          ch = e.vtable().create(ExecMode::coop, e.n_consumers, capacity,
+                                 e.settings.rtp,
+                                 &pool_->shard(partition_.edge_home[ei]));
+        }
+      } else {
+        ch = e.vtable().create(mode_, e.n_consumers, capacity, e.settings.rtp,
+                               exec_);
+      }
       ch->set_producers(e.n_producers);
       if (sim_ != nullptr) ch->attach_sim_hooks(sim_);
       channels_.emplace_back(ch);
@@ -139,13 +176,17 @@ class RuntimeContext {
             g.ports[static_cast<std::size_t>(k.first_port + p)];
         const FlatEdge& fe = g.edges[static_cast<std::size_t>(fp.edge)];
         ChannelBase* ch = channels_[static_cast<std::size_t>(fp.edge)].get();
-        bindings.push_back(
-            PortBinding{ch, fp.endpoint, mode_, sim_, fe.settings.rtp});
+        bindings.push_back(PortBinding{ch, fp.endpoint, mode_, sim_,
+                                       fe.settings.rtp,
+                                       edge_is_cross(fp.edge)});
         if (fp.is_read) {
           rec.in_endpoints.emplace_back(ch, fp.endpoint);
         } else {
           rec.out_channels.push_back(ch);
         }
+      }
+      if (pool_ != nullptr) {
+        rec.shard = partition_.kernel_shard[ki];
       }
       rec.task = k.thunk(KernelBinding{bindings.data(), bindings.size()});
       tasks_.push_back(std::move(rec));
@@ -165,9 +206,11 @@ class RuntimeContext {
                          dma::Transform<T> dma_transform = {}) {
     const FlatGlobal& in = global_input(input_idx, type_id<T>());
     auto* ch = channel_as<T>(in.edge);
-    PortBinding b{ch, -1, mode_, sim_, edge_is_rtp(in.edge)};
+    PortBinding b{ch,   -1, mode_, sim_, edge_is_rtp(in.edge),
+                  edge_is_cross(in.edge)};
     TaskRecord rec;
     rec.name = "source#" + std::to_string(input_idx);
+    rec.shard = shard_for_edge(in.edge);
     rec.out_channels.push_back(ch);
     rec.task = detail::stream_source<T>(KernelWritePort<T>{b}, data,
                                         repetitions,
@@ -180,9 +223,11 @@ class RuntimeContext {
                        dma::Transform<T> dma_transform = {}) {
     const FlatGlobal& go = global_output(output_idx, type_id<T>());
     auto* ch = channel_as<T>(go.edge);
-    PortBinding b{ch, go.endpoint, mode_, sim_, edge_is_rtp(go.edge)};
+    PortBinding b{ch,   go.endpoint, mode_, sim_, edge_is_rtp(go.edge),
+                  edge_is_cross(go.edge)};
     TaskRecord rec;
     rec.name = "sink#" + std::to_string(output_idx);
+    rec.shard = shard_for_edge(go.edge);
     rec.in_endpoints.emplace_back(ch, go.endpoint);
     rec.task = detail::stream_sink<T>(KernelReadPort<T>{b}, &out,
                                       std::move(dma_transform));
@@ -197,6 +242,7 @@ class RuntimeContext {
     PortBinding b{ch, -1, mode_, sim_, /*rtp=*/true};
     TaskRecord rec;
     rec.name = "rtp-source#" + std::to_string(input_idx);
+    rec.shard = shard_for_edge(in.edge);
     rec.out_channels.push_back(ch);
     rec.task = detail::rtp_source<T>(KernelWritePort<T>{b}, std::move(value));
     tasks_.push_back(std::move(rec));
@@ -218,11 +264,30 @@ class RuntimeContext {
 
   /// Cooperative single-threaded execution (paper Section 3.8).
   RunResult run_coop() {
+    if (pool_ != nullptr) {
+      throw std::logic_error{
+          "context built for ExecMode::coop_mt; call run_coop_mt()"};
+    }
     start_all();
     RunResult r{};
     r.resumes = sched_.run([this](std::coroutine_handle<> h) {
       on_task_finished(h);
     });
+    return finish(r);
+  }
+
+  /// Sharded cooperative execution: one worker thread per graph shard,
+  /// cross-shard wakes through the routing executor, two-phase quiescence.
+  RunResult run_coop_mt() {
+    if (pool_ == nullptr) {
+      throw std::logic_error{
+          "run_coop_mt() requires a context built with ExecMode::coop_mt"};
+    }
+    start_all();
+    RunResult r{};
+    r.resumes = pool_->run(
+        [this](std::coroutine_handle<> h) { on_task_finished(h); });
+    r.shards_used = pool_->n_shards();
     return finish(r);
   }
 
@@ -244,11 +309,17 @@ class RuntimeContext {
   }
 
   /// Registers every task with the executor in suspended state; used by
-  /// run_coop() and by the cycle-approximate engine.
+  /// run_coop(), run_coop_mt() and the cycle-approximate engine. In coop_mt
+  /// this also builds the cross-shard route table, so it must complete
+  /// before the worker pool starts.
   void start_all() {
     for (TaskRecord& rec : tasks_) {
       by_handle_[rec.task.handle().address()] = &rec;
-      exec_->make_ready(rec.task.handle(), 0);
+      if (pool_ != nullptr) {
+        pool_->register_task(rec.task.handle(), rec.shard);
+      } else {
+        exec_->make_ready(rec.task.handle(), 0);
+      }
     }
   }
 
@@ -261,6 +332,8 @@ class RuntimeContext {
   [[nodiscard]] std::vector<TaskRecord>& tasks() { return tasks_; }
   [[nodiscard]] const GraphView& graph() const { return graph_; }
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  /// coop_mt only: the shard assignment computed at construction.
+  [[nodiscard]] const Partition& partition() const { return partition_; }
   [[nodiscard]] ChannelBase* channel(int edge) {
     return channels_[static_cast<std::size_t>(edge)].get();
   }
@@ -330,6 +403,18 @@ class RuntimeContext {
   [[nodiscard]] bool edge_is_rtp(int edge) const {
     return graph_.edges[static_cast<std::size_t>(edge)].settings.rtp;
   }
+  [[nodiscard]] bool edge_is_cross(int edge) const {
+    return pool_ != nullptr &&
+           partition_.edge_cross[static_cast<std::size_t>(edge)] != 0;
+  }
+  /// Home shard for a source/sink task attached to `edge`: the edge's
+  /// owning shard, so every endpoint of an intra-shard channel runs on the
+  /// thread that owns the channel's single-threaded state.
+  [[nodiscard]] int shard_for_edge(int edge) const {
+    return pool_ != nullptr
+               ? partition_.edge_home[static_cast<std::size_t>(edge)]
+               : 0;
+  }
   void require_rtp(int edge, const char* what) {
     if (!graph_.edges[static_cast<std::size_t>(edge)].settings.rtp) {
       throw TypeMismatchError{
@@ -347,8 +432,11 @@ class RuntimeContext {
   SimHooks* sim_;
   Executor* exec_;
   Scheduler sched_;
-  // Channels are declared before tasks so tasks (which reference channels)
+  Partition partition_;
+  // The pool outlives channels (which hold shard-executor pointers), and
+  // channels are declared before tasks so tasks (which reference channels)
   // are destroyed first.
+  std::unique_ptr<ShardPool> pool_;
   std::vector<std::unique_ptr<ChannelBase>> channels_;
   std::vector<TaskRecord> tasks_;
   std::unordered_map<void*, TaskRecord*> by_handle_;
@@ -409,11 +497,12 @@ RunResult run_graph(const GraphView& g, const RunOptions& opts,
         "ExecMode::sim requires the cycle-approximate engine; use "
         "aiesim::simulate()"};
   }
-  RuntimeContext ctx{g, opts.mode};
+  RuntimeContext ctx{g, opts.mode, nullptr, nullptr, opts.workers};
   std::size_t pos = 0;
   (detail::attach_io(ctx, g, opts, pos++, std::forward<Args>(args)), ...);
-  return opts.mode == ExecMode::threaded ? ctx.run_threaded()
-                                         : ctx.run_coop();
+  if (opts.mode == ExecMode::threaded) return ctx.run_threaded();
+  if (opts.mode == ExecMode::coop_mt) return ctx.run_coop_mt();
+  return ctx.run_coop();
 }
 
 }  // namespace cgsim

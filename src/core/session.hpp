@@ -31,7 +31,9 @@ namespace cgsim {
 ///   s.finish();   // end-of-stream: lets while(true) kernels terminate
 class InteractiveSession {
  public:
-  explicit InteractiveSession(const GraphView& g) : ctx_(g), graph_(g) {
+  explicit InteractiveSession(const GraphView& g,
+                              ExecMode mode = ExecMode::coop)
+      : ctx_(g, require_coop(mode)), graph_(g) {
     // The host itself occupies the producer slot the flattened graph
     // reserves for each input's data source, and the consumer endpoint of
     // each output's sink; no source/sink coroutines are attached.
@@ -98,6 +100,18 @@ class InteractiveSession {
   [[nodiscard]] std::uint64_t resumes() const { return resumes_; }
 
  private:
+  /// A session runs the graph on the caller's thread between host pushes:
+  /// the thread-per-kernel and worker-pool backends have no meaningful
+  /// paused state to hand back, so only the cooperative mode is legal.
+  static ExecMode require_coop(ExecMode mode) {
+    if (mode != ExecMode::coop) {
+      throw std::invalid_argument{
+          "InteractiveSession requires ExecMode::coop; threaded and coop_mt "
+          "backends cannot pause on the caller's thread"};
+    }
+    return mode;
+  }
+
   /// Runs the scheduler to quiescence (cheap when nothing is runnable).
   void pump() {
     resumes_ += ctx_.scheduler().run(

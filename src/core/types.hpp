@@ -18,6 +18,7 @@ enum class ExecMode : std::uint8_t {
   coop,      ///< cooperative coroutine scheduler on one thread (cgsim default)
   threaded,  ///< one OS thread per kernel (x86sim-style functional simulation)
   sim,       ///< cycle-approximate virtual-time simulation (aiesim-style)
+  coop_mt,   ///< sharded cooperative schedulers on a fixed worker pool
 };
 
 /// Target hardware realm of a kernel (paper Section 4.3). The paper's
@@ -119,6 +120,10 @@ struct ChannelVTable {
   // sticky runtime-parameter channel instead of a FIFO.
   ChannelBase* (*create)(ExecMode mode, int consumers, int capacity, bool rtp,
                          Executor* exec);
+  // Creates the lock-light cross-shard channel backing an edge whose
+  // endpoints land on different shards of a coop_mt run. `exec` must be a
+  // thread-safe executor that routes each coroutine to its home shard.
+  ChannelBase* (*create_shard)(int consumers, int capacity, Executor* exec);
   std::string_view type_name;
   std::size_t elem_size;
   std::size_t elem_align;

@@ -1,0 +1,194 @@
+// Graph partitioning for sharded cooperative execution: connected
+// components, greedy bisection of oversized components, RTP-edge
+// contraction, and the edge home/cross classification the runtime builds
+// its channels from.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cgsim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+COMPUTE_KERNEL(aie, pt_stage,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+inline constexpr PortSettings pt_rtp{.rtp = true};
+
+COMPUTE_KERNEL(aie, pt_scaled,
+               KernelReadPort<int> in,
+               KernelReadPort<int, pt_rtp> factor,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() * co_await factor.get());
+}
+
+COMPUTE_KERNEL(aie, pt_rtp_relay,
+               KernelReadPort<int> in,
+               KernelWritePort<int, pt_rtp> factor) {
+  while (true) co_await factor.put(co_await in.get());
+}
+
+// Four disjoint two-stage pipelines: the canonical multi-component case.
+constexpr auto four_pipes = make_compute_graph_v<[](
+    IoConnector<int> a, IoConnector<int> b, IoConnector<int> c,
+    IoConnector<int> d) {
+  IoConnector<int> a1, a2, b1, b2, c1, c2, d1, d2;
+  pt_stage(a, a1);
+  pt_stage(a1, a2);
+  pt_stage(b, b1);
+  pt_stage(b1, b2);
+  pt_stage(c, c1);
+  pt_stage(c1, c2);
+  pt_stage(d, d1);
+  pt_stage(d1, d2);
+  return std::make_tuple(a2, b2, c2, d2);
+}>;
+
+// One six-stage chain: splitting it requires cutting edges.
+constexpr auto chain6 = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> s1, s2, s3, s4, s5, s6;
+  pt_stage(a, s1);
+  pt_stage(s1, s2);
+  pt_stage(s2, s3);
+  pt_stage(s3, s4);
+  pt_stage(s4, s5);
+  pt_stage(s5, s6);
+  return std::make_tuple(s6);
+}>;
+
+// An RTP edge inside a chain: the relay feeds pt_scaled's factor port.
+constexpr auto rtp_chain = make_compute_graph_v<[](IoConnector<int> a,
+                                                   IoConnector<int> f) {
+  IoConnector<int> s1, s2, factor, s3;
+  pt_stage(a, s1);
+  pt_rtp_relay(f, factor);
+  pt_scaled(s1, factor, s2);
+  pt_stage(s2, s3);
+  return std::make_tuple(s3);
+}>;
+
+/// Recomputes, from the flattened view, whether the kernel endpoints of
+/// `edge` span more than one shard under `p`.
+bool edge_spans_shards(const GraphView& g, const Partition& p, int edge) {
+  int seen = -1;
+  for (std::size_t ki = 0; ki < g.kernels.size(); ++ki) {
+    const FlatKernel& k = g.kernels[ki];
+    for (int pi = 0; pi < k.nports; ++pi) {
+      if (g.ports[static_cast<std::size_t>(k.first_port + pi)].edge != edge) {
+        continue;
+      }
+      const int s = p.kernel_shard[ki];
+      if (seen < 0) {
+        seen = s;
+      } else if (s != seen) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+TEST(Partition, SingleShardHasNoCrossEdges) {
+  const GraphView g = chain6.view();
+  const Partition p = partition_graph(g, 1);
+  EXPECT_EQ(p.n_shards, 1);
+  EXPECT_EQ(p.n_cross_edges, 0);
+  for (int s : p.kernel_shard) EXPECT_EQ(s, 0);
+}
+
+TEST(Partition, DisjointComponentsSplitWithoutCuts) {
+  const GraphView g = four_pipes.view();
+  const Partition p = partition_graph(g, 4);
+  EXPECT_EQ(p.n_components, 4);
+  EXPECT_EQ(p.n_shards, 4);
+  EXPECT_EQ(p.n_cross_edges, 0);
+  // Connected kernels stay together; all four shards are used.
+  std::vector<int> used(4, 0);
+  for (int s : p.kernel_shard) used[static_cast<std::size_t>(s)] = 1;
+  EXPECT_EQ(used, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(Partition, FewerShardsThanComponentsBalancesLoad) {
+  const GraphView g = four_pipes.view();
+  const Partition p = partition_graph(g, 2);
+  EXPECT_EQ(p.n_shards, 2);
+  EXPECT_EQ(p.n_cross_edges, 0);
+  std::vector<int> load(2, 0);
+  for (int s : p.kernel_shard) ++load[static_cast<std::size_t>(s)];
+  EXPECT_EQ(load[0], 4);  // 8 kernels, two components per shard
+  EXPECT_EQ(load[1], 4);
+}
+
+TEST(Partition, OversizedComponentIsBisected) {
+  const GraphView g = chain6.view();
+  const Partition p = partition_graph(g, 2);
+  EXPECT_EQ(p.n_components, 1);
+  EXPECT_EQ(p.n_shards, 2);
+  EXPECT_GE(p.n_cross_edges, 1);
+  std::vector<int> load(2, 0);
+  for (int s : p.kernel_shard) ++load[static_cast<std::size_t>(s)];
+  EXPECT_EQ(load[0] + load[1], 6);
+  EXPECT_GT(load[0], 0);
+  EXPECT_GT(load[1], 0);
+}
+
+TEST(Partition, CrossFlagsMatchShardAssignment) {
+  const GraphView g = chain6.view();
+  const Partition p = partition_graph(g, 3);
+  int cross = 0;
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    EXPECT_EQ(p.edge_cross[e] != 0,
+              edge_spans_shards(g, p, static_cast<int>(e)))
+        << "edge " << e;
+    cross += p.edge_cross[e];
+  }
+  EXPECT_EQ(cross, p.n_cross_edges);
+}
+
+TEST(Partition, EdgeHomeIsAnEndpointShard) {
+  const GraphView g = four_pipes.view();
+  const Partition p = partition_graph(g, 4);
+  for (std::size_t ki = 0; ki < g.kernels.size(); ++ki) {
+    const FlatKernel& k = g.kernels[ki];
+    for (int pi = 0; pi < k.nports; ++pi) {
+      const FlatPort& fp = g.ports[static_cast<std::size_t>(k.first_port + pi)];
+      const std::size_t e = static_cast<std::size_t>(fp.edge);
+      if (p.edge_cross[e] == 0) {
+        // Every endpoint of an intra-shard edge lives on the home shard.
+        EXPECT_EQ(p.edge_home[e], p.kernel_shard[ki]);
+      }
+    }
+  }
+}
+
+TEST(Partition, RtpEdgesAreNeverCut) {
+  const GraphView g = rtp_chain.view();
+  // Even asking for one shard per kernel must keep the RTP edge whole.
+  const Partition p = partition_graph(g, static_cast<int>(g.kernels.size()));
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    if (g.edges[e].settings.rtp) {
+      EXPECT_EQ(p.edge_cross[e], 0) << "RTP edge " << e << " was cut";
+    }
+  }
+}
+
+TEST(Partition, ShardCountClampedToKernelCount) {
+  const GraphView g = chain6.view();
+  const Partition p = partition_graph(g, 64);
+  EXPECT_LE(p.n_shards, 6);
+  EXPECT_GE(p.n_shards, 1);
+}
+
+TEST(Partition, NonPositiveMaxShardsMeansOne) {
+  const GraphView g = four_pipes.view();
+  const Partition p = partition_graph(g, 0);
+  EXPECT_EQ(p.n_shards, 1);
+  EXPECT_EQ(p.n_cross_edges, 0);
+}
+
+}  // namespace

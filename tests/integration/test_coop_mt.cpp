@@ -1,0 +1,300 @@
+// Sharded cooperative execution (ExecMode::coop_mt): bit-identical outputs
+// against the single-threaded cooperative and the thread-per-kernel
+// backends on every ported app, cross-shard close/partial-batch behaviour,
+// and repeated-run determinism.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "apps/bilinear.hpp"
+#include "apps/bitonic.hpp"
+#include "apps/farrow.hpp"
+#include "apps/fft.hpp"
+#include "apps/fir.hpp"
+#include "apps/gemm.hpp"
+#include "apps/iir.hpp"
+#include "core/cgsim.hpp"
+#include "x86sim/x86sim.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+RunOptions mt(int workers) {
+  return RunOptions{.mode = ExecMode::coop_mt, .repetitions = 1,
+                    .workers = workers};
+}
+
+// --- all-app backend equivalence: coop vs coop_mt vs threaded -------------
+
+TEST(CoopMt, BitonicMatchesCoopAndThreaded) {
+  std::mt19937 rng{71};
+  std::uniform_real_distribution<float> d{-100, 100};
+  std::vector<apps::bitonic::Block> in(64);
+  for (auto& b : in) {
+    for (unsigned i = 0; i < 16; ++i) b.set(i, d(rng));
+  }
+  std::vector<apps::bitonic::Block> coop, mt2, mt4, threaded;
+  apps::bitonic::graph(in, coop);
+  apps::bitonic::graph.run(mt(2), in, mt2);
+  apps::bitonic::graph.run(mt(4), in, mt4);
+  x86sim::simulate(apps::bitonic::graph.view(), 1, in, threaded);
+  EXPECT_EQ(coop, mt2);
+  EXPECT_EQ(coop, mt4);
+  EXPECT_EQ(coop, threaded);
+}
+
+TEST(CoopMt, BilinearMatchesCoopAndThreaded) {
+  std::mt19937 rng{73};
+  std::uniform_real_distribution<float> pix{0, 255};
+  std::uniform_real_distribution<float> frac{0, 1};
+  std::vector<apps::bilinear::Packet> in(200);  // partial final batch
+  for (auto& p : in) {
+    for (unsigned i = 0; i < apps::bilinear::kLanes; ++i) {
+      p.p00.set(i, pix(rng));
+      p.p01.set(i, pix(rng));
+      p.p10.set(i, pix(rng));
+      p.p11.set(i, pix(rng));
+      p.fx.set(i, frac(rng));
+      p.fy.set(i, frac(rng));
+    }
+  }
+  std::vector<apps::bilinear::V> coop, mt2, threaded;
+  apps::bilinear::graph(in, coop);
+  apps::bilinear::graph.run(mt(2), in, mt2);
+  x86sim::simulate(apps::bilinear::graph.view(), 1, in, threaded);
+  EXPECT_EQ(coop, mt2);
+  EXPECT_EQ(coop, threaded);
+}
+
+TEST(CoopMt, IirWithRtpMatchesCoopAndThreaded) {
+  std::mt19937 rng{79};
+  std::uniform_real_distribution<float> d{-1, 1};
+  std::vector<apps::iir::Block> in(5);
+  for (auto& b : in) {
+    for (auto& s : b.samples) s = d(rng);
+  }
+  std::vector<apps::iir::Block> coop, mt4, threaded;
+  apps::iir::graph(in, 2.0f, coop);
+  apps::iir::graph.run(mt(4), in, 2.0f, mt4);
+  x86sim::simulate(apps::iir::graph.view(), 1, in, 2.0f, threaded);
+  EXPECT_EQ(coop, mt4);
+  EXPECT_EQ(coop, threaded);
+}
+
+TEST(CoopMt, FarrowMatchesCoopAndThreaded) {
+  std::mt19937 rng{83};
+  std::uniform_int_distribution<int> dx{-20000, 20000};
+  std::uniform_int_distribution<int> dmu{0, (1 << 14) - 1};
+  constexpr int kBlocks = 5;
+  std::vector<apps::farrow::SampleBlock> in(kBlocks);
+  std::vector<apps::farrow::MuBlock> mu(kBlocks);
+  for (int b = 0; b < kBlocks; ++b) {
+    for (unsigned i = 0; i < apps::farrow::kBlockSamples; ++i) {
+      in[static_cast<std::size_t>(b)].s[i] =
+          static_cast<std::int16_t>(dx(rng));
+      mu[static_cast<std::size_t>(b)].mu[i] =
+          static_cast<std::int16_t>(dmu(rng));
+    }
+  }
+  std::vector<apps::farrow::SampleBlock> coop, mt2, threaded;
+  apps::farrow::graph(in, mu, coop);
+  apps::farrow::graph.run(mt(2), in, mu, mt2);
+  x86sim::simulate(apps::farrow::graph.view(), 1, in, mu, threaded);
+  EXPECT_EQ(coop, mt2);
+  EXPECT_EQ(coop, threaded);
+}
+
+TEST(CoopMt, FirMatchesCoop) {
+  std::mt19937 rng{89};
+  std::uniform_int_distribution<int> d{-1000, 1000};
+  std::vector<apps::fir::Block> in(8);
+  for (auto& b : in) {
+    for (auto& s : b.s) s = static_cast<std::int16_t>(d(rng));
+  }
+  std::vector<apps::fir::Block> coop, mt2;
+  apps::fir::graph(in, coop);
+  apps::fir::graph.run(mt(2), in, mt2);
+  EXPECT_EQ(coop, mt2);
+}
+
+TEST(CoopMt, FftMatchesCoop) {
+  std::mt19937 rng{97};
+  std::uniform_real_distribution<float> d{-1, 1};
+  std::vector<apps::fft::Frame> in(6);
+  for (auto& f : in) {
+    for (unsigned i = 0; i < apps::fft::kN; ++i) {
+      f.re.set(i, d(rng));
+      f.im.set(i, d(rng));
+    }
+  }
+  std::vector<apps::fft::Frame> coop, mt2;
+  apps::fft::graph(in, coop);
+  apps::fft::graph.run(mt(2), in, mt2);
+  EXPECT_EQ(coop, mt2);
+}
+
+TEST(CoopMt, GemmThreeKernelsMatchesCoopAndThreaded) {
+  std::mt19937 rng{101};
+  std::uniform_real_distribution<float> d{-5, 5};
+  std::vector<apps::gemm::TilePair> h0(4), h1(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (auto& v : h0[i].a.m) v = d(rng);
+    for (auto& v : h0[i].b.m) v = d(rng);
+    for (auto& v : h1[i].a.m) v = d(rng);
+    for (auto& v : h1[i].b.m) v = d(rng);
+  }
+  std::vector<apps::gemm::Tile> coop, mt2, mt4, threaded;
+  apps::gemm::graph(h0, h1, coop);
+  apps::gemm::graph.run(mt(2), h0, h1, mt2);
+  apps::gemm::graph.run(mt(4), h0, h1, mt4);
+  x86sim::simulate(apps::gemm::graph.view(), 1, h0, h1, threaded);
+  EXPECT_EQ(coop, mt2);
+  EXPECT_EQ(coop, mt4);
+  EXPECT_EQ(coop, threaded);
+}
+
+// --- cross-shard channel behaviour through the runtime --------------------
+
+COMPUTE_KERNEL(aie, mt_double,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() * 2);
+}
+
+COMPUTE_KERNEL(aie, mt_add_one,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+// Bulk kernel: 7-element windows force partial batches over the
+// cross-shard edge whenever the stream length is not a multiple of 7.
+COMPUTE_KERNEL(aie, mt_bulk_negate,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  std::array<int, 7> buf{};
+  while (true) {
+    const std::size_t n = co_await in.get_n(std::span{buf});
+    for (std::size_t i = 0; i < n; ++i) buf[i] = -buf[i];
+    co_await out.put_n(std::span<const int>{buf.data(), n});
+    if (n < buf.size()) co_return;  // stream closed mid-batch
+  }
+}
+
+// Two-stage chain: at 2 workers the partitioner must cut its middle edge.
+constexpr auto mt_chain = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b, c;
+  mt_double(a, b);
+  mt_add_one(b, c);
+  return std::make_tuple(c);
+}>;
+
+constexpr auto mt_bulk_chain = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b, c;
+  mt_bulk_negate(a, b);
+  mt_bulk_negate(b, c);
+  return std::make_tuple(c);
+}>;
+
+// Four disjoint pipelines: the multi-component case coop_mt is built for.
+constexpr auto mt_wide = make_compute_graph_v<[](
+    IoConnector<int> a, IoConnector<int> b, IoConnector<int> c,
+    IoConnector<int> d) {
+  IoConnector<int> a1, b1, c1, d1;
+  mt_double(a, a1);
+  mt_double(b, b1);
+  mt_double(c, c1);
+  mt_double(d, d1);
+  return std::make_tuple(a1, b1, c1, d1);
+}>;
+
+TEST(CoopMt, CrossShardChainMatchesCoop) {
+  std::vector<int> in(1000);
+  for (int i = 0; i < 1000; ++i) in[static_cast<std::size_t>(i)] = i;
+  std::vector<int> coop, shards;
+  mt_chain(in, coop);
+  const RunResult r = mt_chain.run(mt(2), in, shards);
+  EXPECT_EQ(r.shards_used, 2);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(coop, shards);
+}
+
+TEST(CoopMt, CrossShardCloseDeliversPartialBatch) {
+  std::vector<int> in(23);  // 3 full windows + 2: closes mid-batch twice
+  for (int i = 0; i < 23; ++i) in[static_cast<std::size_t>(i)] = i + 1;
+  std::vector<int> coop, shards;
+  mt_bulk_chain(in, coop);
+  const RunResult r = mt_bulk_chain.run(mt(2), in, shards);
+  ASSERT_EQ(coop.size(), in.size());
+  EXPECT_EQ(r.shards_used, 2);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(coop, shards);  // double negation: back to the input values
+}
+
+TEST(CoopMt, WideGraphUsesAllShardsWithoutCrossEdges) {
+  std::vector<int> a(100, 1), b(100, 2), c(100, 3), d(100, 4);
+  std::vector<int> oa, ob, oc, od;
+  const RunResult r = mt_wide.run(mt(4), a, b, c, d, oa, ob, oc, od);
+  EXPECT_EQ(r.shards_used, 4);
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(oa, std::vector<int>(100, 2));
+  EXPECT_EQ(ob, std::vector<int>(100, 4));
+  EXPECT_EQ(oc, std::vector<int>(100, 6));
+  EXPECT_EQ(od, std::vector<int>(100, 8));
+}
+
+TEST(CoopMt, RepeatedRunsAreDeterministic) {
+  std::vector<int> in(500);
+  for (int i = 0; i < 500; ++i) in[static_cast<std::size_t>(i)] = i * 3;
+  std::vector<int> reference;
+  mt_chain(in, reference);
+  for (int rep = 0; rep < 5; ++rep) {
+    std::vector<int> out;
+    mt_chain.run(mt(3), in, out);
+    ASSERT_EQ(out, reference) << "run " << rep << " diverged";
+  }
+}
+
+TEST(CoopMt, MoreWorkersThanKernelsClampsShards) {
+  std::vector<int> in{1, 2, 3};
+  std::vector<int> out;
+  const RunResult r = mt_chain.run(mt(16), in, out);
+  EXPECT_LE(r.shards_used, 2);  // two kernels (+ source/sink on their homes)
+  EXPECT_EQ(out, (std::vector<int>{3, 5, 7}));
+}
+
+TEST(CoopMt, RepetitionsReplayTheSource) {
+  std::vector<int> in{1, 2};
+  std::vector<int> out;
+  mt_chain.run(RunOptions{.mode = ExecMode::coop_mt, .repetitions = 3,
+                          .workers = 2},
+               in, out);
+  EXPECT_EQ(out, (std::vector<int>{3, 5, 3, 5, 3, 5}));
+}
+
+TEST(CoopMt, InteractiveSessionRejectsNonCoopModes) {
+  EXPECT_THROW(
+      (InteractiveSession{mt_chain.view(), ExecMode::coop_mt}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (InteractiveSession{mt_chain.view(), ExecMode::threaded}),
+      std::invalid_argument);
+  // The default stays the cooperative backend and keeps working.
+  InteractiveSession s{mt_chain.view()};
+  ASSERT_TRUE(s.push<int>(0, 10));
+  s.finish();
+  const auto v = s.poll<int>(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 21);
+}
+
+TEST(CoopMt, RunCoopOnMtContextThrows) {
+  RuntimeContext ctx{mt_chain.view(), ExecMode::coop_mt, nullptr, nullptr, 2};
+  EXPECT_THROW((void)ctx.run_coop(), std::logic_error);
+}
+
+}  // namespace
