@@ -1,0 +1,381 @@
+// bench_ablation_simd -- ablation of the AIE emulation execution backend
+// (scalar per-lane loops vs the vector-extension SIMD backend, see
+// src/aie/simd.hpp) crossed with instrumentation (no counter attached vs a
+// per-activation ScopedCounterBatch), on the inner loops of the four paper
+// app kernels: bilinear interpolate, bitonic sort16, the Farrow
+// branch-filter + combine pair, and the IIR feed-forward taps.
+//
+// Besides the google-benchmark suites, the binary runs the fixed 4x4
+// ablation and writes the results to a machine-readable JSON file so
+// successive PRs can track the trajectory:
+//
+//   bench_ablation_simd [BENCH_simd.json [iters [min_speedup]]]
+//
+// Exit code is non-zero when the uninstrumented SIMD-over-scalar geomean
+// across the four kernels falls below `min_speedup` (default 3.0; the
+// bench_smoke ctest entry relaxes the bar for its tiny workload), or when
+// any kernel's outputs differ between backends (they must be bit-exact).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "aie/aie.hpp"
+#include "apps/bilinear.hpp"
+#include "apps/bitonic.hpp"
+#include "apps/farrow.hpp"
+#include "apps/iir.hpp"
+
+namespace {
+
+using Scalar = aie::simd::scalar_backend;
+using Native = aie::simd::native_backend;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// FNV-1a over raw bytes: cheap, order-sensitive digest for the bit-exact
+/// cross-backend output comparison.
+std::uint64_t fnv1a(const void* p, std::size_t n, std::uint64_t h) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= b[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// One measured kernel run: seconds for `iters` blocks plus an output
+/// digest. `counter` != nullptr attaches a per-block ScopedCounterBatch,
+/// mirroring the per-activation instrumentation of the simulation engine.
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t digest = 0;
+};
+
+// ---- bilinear: 64 packets (one kernel activation's batch) per block ----
+
+template <class B>
+RunResult run_bilinear(std::size_t iters, aie::OpCounter* counter,
+                       bool want_digest) {
+  constexpr std::size_t kBatch = 64;
+  std::array<apps::bilinear::Packet, kBatch> q{};
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    for (unsigned l = 0; l < apps::bilinear::kLanes; ++l) {
+      const float base = static_cast<float>(i * 8 + l);
+      q[i].p00.set(l, base);
+      q[i].p01.set(l, base + 1.5f);
+      q[i].p10.set(l, base - 0.25f);
+      q[i].p11.set(l, base + 3.0f);
+      q[i].fx.set(l, static_cast<float>((i + l) % 7) / 7.0f);
+      q[i].fy.set(l, static_cast<float>((i + 3 * l) % 5) / 5.0f);
+    }
+  }
+  RunResult res;
+  // Escape the inputs: paired with the memory clobber in the in-loop
+  // DoNotOptimize, this stops the compiler from hoisting the (otherwise
+  // loop-invariant) kernel computation out of the timed loop.
+  benchmark::DoNotOptimize(q.data());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < iters; ++it) {
+    aie::ScopedCounterBatch scoped{counter};
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      auto r = apps::bilinear::interpolate<B>(q[i]);
+      if (want_digest) {
+        res.digest =
+            fnv1a(r.data().data(), sizeof(float) * r.size(), res.digest);
+      } else {
+        benchmark::DoNotOptimize(r);
+      }
+    }
+  }
+  res.seconds = seconds_since(t0);
+  return res;
+}
+
+// ---- bitonic: 64 sorts of 16 floats per block ----
+
+template <class B>
+RunResult run_bitonic(std::size_t iters, aie::OpCounter* counter,
+                      bool want_digest) {
+  constexpr std::size_t kBatch = 64;
+  std::array<apps::bitonic::Block, kBatch> blocks{};
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    for (unsigned l = 0; l < 16; ++l) {
+      blocks[i].set(l, static_cast<float>((l * 2654435761u + i * 97) % 1024) -
+                           512.0f);
+    }
+  }
+  RunResult res;
+  // Escape the inputs: paired with the memory clobber in the in-loop
+  // DoNotOptimize, this stops the compiler from hoisting the (otherwise
+  // loop-invariant) kernel computation out of the timed loop.
+  benchmark::DoNotOptimize(blocks.data());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < iters; ++it) {
+    aie::ScopedCounterBatch scoped{counter};
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      auto r = apps::bitonic::sort16<B>(blocks[i]);
+      if (want_digest) {
+        res.digest =
+            fnv1a(r.data().data(), sizeof(float) * r.size(), res.digest);
+      } else {
+        benchmark::DoNotOptimize(r);
+      }
+    }
+  }
+  res.seconds = seconds_since(t0);
+  return res;
+}
+
+// ---- farrow: one 2048-sample window (branch filters + combine) ----
+
+template <class B>
+RunResult run_farrow(std::size_t iters, aie::OpCounter* counter,
+                     bool want_digest) {
+  apps::farrow::SampleBlock in{};
+  apps::farrow::MuBlock mu{};
+  for (unsigned i = 0; i < apps::farrow::kBlockSamples; ++i) {
+    in.s[i] = static_cast<std::int16_t>((i * 193) % 4001 - 2000);
+    mu.mu[i] = static_cast<std::int16_t>((i * 37) % 16384);
+  }
+  RunResult res;
+  apps::farrow::BranchState st{};
+  // Escape the inputs: paired with the memory clobber in the in-loop
+  // DoNotOptimize, this stops the compiler from hoisting the (otherwise
+  // loop-invariant) kernel computation out of the timed loop.
+  benchmark::DoNotOptimize(in.s.data());
+  benchmark::DoNotOptimize(mu.mu.data());
+  benchmark::DoNotOptimize(&st);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < iters; ++it) {
+    aie::ScopedCounterBatch scoped{counter};
+    const auto br = apps::farrow::branch_filters<B>(in, st);
+    auto out = apps::farrow::combine<B>(br, mu);
+    if (want_digest) {
+      res.digest = fnv1a(out.s.data(), sizeof(out.s), res.digest);
+    } else {
+      benchmark::DoNotOptimize(out);
+    }
+  }
+  res.seconds = seconds_since(t0);
+  return res;
+}
+
+// ---- iir: one 2048-sample window of feed-forward taps ----
+
+template <class B>
+RunResult run_iir(std::size_t iters, aie::OpCounter* counter,
+                  bool want_digest) {
+  apps::iir::Block in{};
+  for (unsigned i = 0; i < apps::iir::kBlockSamples; ++i) {
+    in.samples[i] = std::sin(0.01f * static_cast<float>(i)) * 100.0f;
+  }
+  RunResult res;
+  apps::iir::State st{};
+  // Escape the inputs: paired with the memory clobber in the in-loop
+  // DoNotOptimize, this stops the compiler from hoisting the (otherwise
+  // loop-invariant) kernel computation out of the timed loop.
+  benchmark::DoNotOptimize(in.samples.data());
+  benchmark::DoNotOptimize(&st);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t it = 0; it < iters; ++it) {
+    aie::ScopedCounterBatch scoped{counter};
+    auto fir = apps::iir::feed_forward<B>(in, st, apps::iir::kDefaultCoeffs);
+    if (want_digest) {
+      res.digest = fnv1a(fir.data(), sizeof(float) * fir.size(), res.digest);
+    } else {
+      benchmark::DoNotOptimize(fir);
+    }
+  }
+  res.seconds = seconds_since(t0);
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// google-benchmark suites (filterable; the smoke test runs one of these).
+// ---------------------------------------------------------------------------
+
+void BM_BilinearScalar(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_bilinear<Scalar>(1, nullptr, false).seconds);
+  }
+}
+BENCHMARK(BM_BilinearScalar);
+
+void BM_BilinearNative(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_bilinear<Native>(1, nullptr, false).seconds);
+  }
+}
+BENCHMARK(BM_BilinearNative);
+
+void BM_FarrowScalar(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_farrow<Scalar>(1, nullptr, false).seconds);
+  }
+}
+BENCHMARK(BM_FarrowScalar);
+
+void BM_FarrowNative(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_farrow<Native>(1, nullptr, false).seconds);
+  }
+}
+BENCHMARK(BM_FarrowNative);
+
+// ---------------------------------------------------------------------------
+// Fixed ablation with JSON output (tracked across PRs).
+// ---------------------------------------------------------------------------
+
+struct KernelRow {
+  const char* name;
+  RunResult (*scalar_run)(std::size_t, aie::OpCounter*, bool);
+  RunResult (*native_run)(std::size_t, aie::OpCounter*, bool);
+  double scalar_uninst = 0, native_uninst = 0;
+  double scalar_inst = 0, native_inst = 0;
+  std::uint64_t scalar_ops = 0, native_ops = 0;
+};
+
+int run_ablation(const std::string& json_path, std::size_t iters,
+                 double min_speedup) {
+  std::array<KernelRow, 4> rows{{
+      {"bilinear", &run_bilinear<Scalar>, &run_bilinear<Native>},
+      {"bitonic", &run_bitonic<Scalar>, &run_bitonic<Native>},
+      {"farrow", &run_farrow<Scalar>, &run_farrow<Native>},
+      {"iir", &run_iir<Scalar>, &run_iir<Native>},
+  }};
+
+  int failures = 0;
+  for (auto& row : rows) {
+    // Warm-up + bit-exactness / op-count-identity check in one pass.
+    aie::OpCounter cs{}, cn{};
+    const auto ws = row.scalar_run(iters / 8 + 1, &cs, true);
+    const auto wn = row.native_run(iters / 8 + 1, &cn, true);
+    if (ws.digest != wn.digest) {
+      std::fprintf(stderr, "FAIL: %s outputs differ between backends\n",
+                   row.name);
+      ++failures;
+    }
+    if (!(cs.counts == cn.counts)) {
+      std::fprintf(stderr, "FAIL: %s OpCounts differ between backends\n",
+                   row.name);
+      ++failures;
+    }
+    row.scalar_ops = cs.counts.total();
+    row.native_ops = cn.counts.total();
+
+    // Best-of-R timing: single-core CI containers are noisy, and a single
+    // sample per configuration can swing a ratio by 2x. The minimum over a
+    // few repeats estimates the undisturbed cost of each configuration.
+    constexpr int kRepeats = 5;
+    const auto best =
+        [iters](RunResult (*fn)(std::size_t, aie::OpCounter*, bool),
+                aie::OpCounter* c) {
+          double m = fn(iters, c, false).seconds;
+          for (int r = 1; r < kRepeats; ++r)
+            m = std::min(m, fn(iters, c, false).seconds);
+          return m;
+        };
+    row.scalar_uninst = best(row.scalar_run, nullptr);
+    row.native_uninst = best(row.native_run, nullptr);
+    aie::OpCounter tmp{};
+    row.scalar_inst = best(row.scalar_run, &tmp);
+    row.native_inst = best(row.native_run, &tmp);
+  }
+
+  double log_sum_uninst = 0, log_sum_inst = 0;
+  std::printf("\n-- SIMD backend ablation (%zu blocks/kernel) --\n", iters);
+  std::printf("%-10s %12s %12s %9s %9s %10s\n", "kernel", "scalar_s",
+              "native_s", "speedup", "inst_spd", "inst_ovhd");
+  for (const auto& row : rows) {
+    const double spd_uninst = row.scalar_uninst / row.native_uninst;
+    const double spd_inst = row.scalar_inst / row.native_inst;
+    const double ovhd = row.native_inst / row.native_uninst - 1.0;
+    log_sum_uninst += std::log(spd_uninst);
+    log_sum_inst += std::log(spd_inst);
+    std::printf("%-10s %12.6f %12.6f %8.2fx %8.2fx %9.1f%%\n", row.name,
+                row.scalar_uninst, row.native_uninst, spd_uninst, spd_inst,
+                100.0 * ovhd);
+  }
+  const double geomean_uninst = std::exp(log_sum_uninst / rows.size());
+  const double geomean_inst = std::exp(log_sum_inst / rows.size());
+  std::printf("geomean speedup: %.2fx uninstrumented (required >= %.2fx), "
+              "%.2fx instrumented\n",
+              geomean_uninst, min_speedup, geomean_inst);
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"bench_ablation_simd\",\n"
+                 "  \"default_backend\": \"%s\",\n"
+                 "  \"iters\": %zu,\n"
+                 "  \"rows\": [\n",
+                 aie::simd::backend::name, iters);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& row = rows[i];
+      std::fprintf(
+          f,
+          "    {\"kernel\": \"%s\",\n"
+          "     \"scalar_uninstrumented_s\": %.6f,\n"
+          "     \"native_uninstrumented_s\": %.6f,\n"
+          "     \"scalar_instrumented_s\": %.6f,\n"
+          "     \"native_instrumented_s\": %.6f,\n"
+          "     \"speedup_uninstrumented\": %.3f,\n"
+          "     \"speedup_instrumented\": %.3f,\n"
+          "     \"instrumentation_overhead_native\": %.3f,\n"
+          "     \"ops_recorded\": %llu}%s\n",
+          row.name, row.scalar_uninst, row.native_uninst, row.scalar_inst,
+          row.native_inst, row.scalar_uninst / row.native_uninst,
+          row.scalar_inst / row.native_inst,
+          row.native_inst / row.native_uninst - 1.0,
+          static_cast<unsigned long long>(row.native_ops),
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"geomean_speedup_uninstrumented\": %.3f,\n"
+                 "  \"geomean_speedup_instrumented\": %.3f,\n"
+                 "  \"min_speedup_bar\": %.3f\n"
+                 "}\n",
+                 geomean_uninst, geomean_inst, min_speedup);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  if (geomean_uninst < min_speedup) {
+    std::printf("FAIL: geomean speedup %.2fx below the %.2fx bar\n",
+                geomean_uninst, min_speedup);
+    ++failures;
+  }
+  if (failures == 0) std::printf("PASS\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_simd.json";
+  std::size_t iters = 400;  // blocks per kernel+config: ~seconds total
+  if (argc > 2) iters = static_cast<std::size_t>(std::stoull(argv[2]));
+  if (iters == 0) iters = 1;
+  double min_speedup = 3.0;
+  if (argc > 3) min_speedup = std::stod(argv[3]);
+  return run_ablation(json_path, iters, min_speedup);
+}

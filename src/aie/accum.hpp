@@ -6,6 +6,10 @@
 // float lanes with the same rounding and saturation semantics the AIE uses
 // by default (round-to-nearest-even is configurable on hardware; we
 // implement round-half-up, aiecompiler's default for srs).
+//
+// The lane arithmetic executes on the selected SIMD backend (simd.hpp);
+// every operation optionally takes an explicit backend template parameter
+// for the equivalence tests and ablation benches.
 #pragma once
 
 #include <algorithm>
@@ -13,6 +17,7 @@
 #include <limits>
 
 #include "cycle_model.hpp"
+#include "simd.hpp"
 #include "vector.hpp"
 
 namespace aie {
@@ -33,7 +38,8 @@ struct acc_storage<accfloat_tag> {
 }  // namespace detail
 
 /// An accumulator register of N lanes; Tag selects the lane format.
-/// Mirrors aie::accum<acc48, Elems> from the AIE API.
+/// Mirrors aie::accum<acc48, Elems> from the AIE API. Lane storage is
+/// always value-initialized (see aie::vector).
 template <class Tag, unsigned N>
 class accum {
  public:
@@ -45,6 +51,11 @@ class accum {
   [[nodiscard]] static constexpr unsigned size() { return N; }
   [[nodiscard]] constexpr storage get(unsigned i) const { return lanes_[i]; }
   constexpr void set(unsigned i, storage v) { lanes_[i] = v; }
+
+  [[nodiscard]] constexpr const std::array<storage, N>& data() const {
+    return lanes_;
+  }
+  [[nodiscard]] constexpr std::array<storage, N>& data() { return lanes_; }
 
   [[nodiscard]] constexpr bool operator==(const accum&) const = default;
 
@@ -61,71 +72,55 @@ using accfloat = accum<accfloat_tag, N>;
 
 namespace detail {
 
-template <class T>
-[[nodiscard]] constexpr T saturate_i64(std::int64_t v) {
-  constexpr auto lo = static_cast<std::int64_t>(std::numeric_limits<T>::min());
-  constexpr auto hi = static_cast<std::int64_t>(std::numeric_limits<T>::max());
-  return static_cast<T>(std::clamp(v, lo, hi));
-}
-
-/// Arithmetic shift right with round-half-up, as AIE srs does by default.
-[[nodiscard]] constexpr std::int64_t shift_round(std::int64_t v, int shift) {
-  if (shift <= 0) return v << -shift;
-  const std::int64_t bias = std::int64_t{1} << (shift - 1);
-  return (v + bias) >> shift;
-}
+// Canonical srs helpers, shared with the SIMD backends (simd.hpp).
+using simd::detail::saturate_i64;
+using simd::detail::shift_round;
 
 }  // namespace detail
 
 /// Shift-round-saturate an accumulator back to a vector (AIE `srs`).
-template <class T, class Tag, unsigned N>
+template <class T, class B = simd::backend, class Tag, unsigned N>
 [[nodiscard]] inline vector<T, N> srs(const accum<Tag, N>& a, int shift) {
   record(OpClass::vector_shift);
   vector<T, N> r;
   if constexpr (std::is_same_v<Tag, accfloat_tag>) {
-    for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(a.get(i)));
+    B::template convert<T, float, N>(r.data().data(), a.data().data());
     (void)shift;
   } else {
-    for (unsigned i = 0; i < N; ++i) {
-      r.set(i, detail::saturate_i64<T>(detail::shift_round(a.get(i), shift)));
-    }
+    B::template srs<T, N>(r.data().data(), a.data().data(), shift);
   }
   return r;
 }
 
 /// Upshift a vector into an accumulator (AIE `ups`).
-template <class Tag = acc48_tag, class T, unsigned N>
+template <class Tag = acc48_tag, class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline accum<Tag, N> ups(const vector<T, N>& v, int shift) {
   record(OpClass::vector_shift);
   accum<Tag, N> a;
   if constexpr (std::is_same_v<Tag, accfloat_tag>) {
-    for (unsigned i = 0; i < N; ++i) {
-      a.set(i, static_cast<float>(v.get(i)));
-    }
+    B::template convert<float, T, N>(a.data().data(), v.data().data());
     (void)shift;
   } else {
-    for (unsigned i = 0; i < N; ++i) {
-      a.set(i, static_cast<std::int64_t>(v.get(i)) << shift);
-    }
+    B::template ups<T, N>(a.data().data(), v.data().data(), shift);
   }
   return a;
 }
 
 /// Converts a float vector to a float accumulator (identity lanes).
-template <unsigned N>
+template <class B = simd::backend, unsigned N>
 [[nodiscard]] inline accfloat<N> to_accum(const vector<float, N>& v) {
   record(OpClass::vector_alu);
   accfloat<N> a;
-  for (unsigned i = 0; i < N; ++i) a.set(i, v.get(i));
+  B::template convert<float, float, N>(a.data().data(), v.data().data());
   return a;
 }
 
 /// Extracts the lanes of a float accumulator as a vector.
-template <unsigned N>
+template <class B = simd::backend, unsigned N>
 [[nodiscard]] inline vector<float, N> to_vector(const accfloat<N>& a) {
   record(OpClass::vector_alu);
   vector<float, N> v;
-  for (unsigned i = 0; i < N; ++i) v.set(i, a.get(i));
+  B::template convert<float, float, N>(v.data().data(), a.data().data());
   return v;
 }
 

@@ -5,14 +5,25 @@
 // (farrow's fixed-point convolution), and compare/select/shuffle primitives
 // (bitonic sorting networks). Every operation records its VLIW issue-slot
 // class for the cycle-approximate simulator.
+//
+// Lane arithmetic executes on a SIMD backend (simd.hpp): the default
+// (`aie::simd::backend`, selected by the CGSIM_SIMD CMake option) maps each
+// emulated op onto host vector instructions; passing an explicit backend
+// template argument (`aie::add<aie::simd::scalar_backend>(a, b)`) pins an
+// individual call, which is how the equivalence tests and the SIMD ablation
+// bench compare backends within one binary. Instrumentation is recorded
+// once per emulated operation, before backend dispatch, so OpCounts are
+// byte-identical across backends.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <type_traits>
+#include <utility>
 
 #include "accum.hpp"
 #include "cycle_model.hpp"
+#include "simd.hpp"
 #include "vector.hpp"
 
 namespace aie {
@@ -28,136 +39,122 @@ using acc_elem_for =
 
 // ---------- element-wise vector arithmetic ----------
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> add(const vector<T, N>& a,
                                       const vector<T, N>& b) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(a.get(i) + b.get(i)));
+  B::template add<T, N>(r.data().data(), a.data().data(), b.data().data());
   return r;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> sub(const vector<T, N>& a,
                                       const vector<T, N>& b) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(a.get(i) - b.get(i)));
+  B::template sub<T, N>(r.data().data(), a.data().data(), b.data().data());
   return r;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> neg(const vector<T, N>& a) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, static_cast<T>(-a.get(i)));
+  B::template neg<T, N>(r.data().data(), a.data().data());
   return r;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> abs(const vector<T, N>& a) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) {
-    r.set(i, a.get(i) < T{} ? static_cast<T>(-a.get(i)) : a.get(i));
-  }
+  B::template abs_<T, N>(r.data().data(), a.data().data());
   return r;
 }
 
 /// Per-lane clamp into [lo, hi] (AIE `aie::max(aie::min(...))` idiom).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> clamp(const vector<T, N>& a, T lo, T hi) {
   record(OpClass::vector_alu, 2);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) {
-    r.set(i, std::clamp(a.get(i), lo, hi));
-  }
+  B::template clamp<T, N>(r.data().data(), a.data().data(), lo, hi);
   return r;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> min(const vector<T, N>& a,
                                       const vector<T, N>& b) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, std::min(a.get(i), b.get(i)));
+  B::template min_<T, N>(r.data().data(), a.data().data(), b.data().data());
   return r;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> max(const vector<T, N>& a,
                                       const vector<T, N>& b) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, std::max(a.get(i), b.get(i)));
+  B::template max_<T, N>(r.data().data(), a.data().data(), b.data().data());
   return r;
 }
 
 // ---------- multiply / multiply-accumulate ----------
 
 /// Lane-wise multiply into an accumulator (AIE `aie::mul`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mul(
     const vector<T, N>& a, const vector<T, N>& b) {
   record(OpClass::vector_mac);
   accum<detail::acc_tag_for<T>, N> acc;
-  for (unsigned i = 0; i < N; ++i) {
-    acc.set(i, static_cast<detail::acc_elem_for<T>>(a.get(i)) *
-                   static_cast<detail::acc_elem_for<T>>(b.get(i)));
-  }
+  B::template mul<detail::acc_elem_for<T>, T, N>(
+      acc.data().data(), a.data().data(), b.data().data());
   return acc;
 }
 
 /// Lane-wise multiply-accumulate (AIE `aie::mac`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mac(
     const accum<detail::acc_tag_for<T>, N>& acc, const vector<T, N>& a,
     const vector<T, N>& b) {
   record(OpClass::vector_mac);
   accum<detail::acc_tag_for<T>, N> r = acc;
-  for (unsigned i = 0; i < N; ++i) {
-    r.set(i, r.get(i) + static_cast<detail::acc_elem_for<T>>(a.get(i)) *
-                            static_cast<detail::acc_elem_for<T>>(b.get(i)));
-  }
+  B::template mac<detail::acc_elem_for<T>, T, N>(
+      r.data().data(), a.data().data(), b.data().data());
   return r;
 }
 
 /// Lane-wise multiply-subtract (AIE `aie::msc`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline accum<detail::acc_tag_for<T>, N> msc(
     const accum<detail::acc_tag_for<T>, N>& acc, const vector<T, N>& a,
     const vector<T, N>& b) {
   record(OpClass::vector_mac);
   accum<detail::acc_tag_for<T>, N> r = acc;
-  for (unsigned i = 0; i < N; ++i) {
-    r.set(i, r.get(i) - static_cast<detail::acc_elem_for<T>>(a.get(i)) *
-                            static_cast<detail::acc_elem_for<T>>(b.get(i)));
-  }
+  B::template msc<detail::acc_elem_for<T>, T, N>(
+      r.data().data(), a.data().data(), b.data().data());
   return r;
 }
 
 /// Multiply by a broadcast scalar (AIE `aie::mul(vec, scalar)`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mul(
     const vector<T, N>& a, T s) {
   record(OpClass::vector_mac);
   accum<detail::acc_tag_for<T>, N> acc;
-  for (unsigned i = 0; i < N; ++i) {
-    acc.set(i, static_cast<detail::acc_elem_for<T>>(a.get(i)) *
-                   static_cast<detail::acc_elem_for<T>>(s));
-  }
+  B::template mul_s<detail::acc_elem_for<T>, T, N>(acc.data().data(),
+                                                   a.data().data(), s);
   return acc;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline accum<detail::acc_tag_for<T>, N> mac(
     const accum<detail::acc_tag_for<T>, N>& acc, const vector<T, N>& a, T s) {
   record(OpClass::vector_mac);
   accum<detail::acc_tag_for<T>, N> r = acc;
-  for (unsigned i = 0; i < N; ++i) {
-    r.set(i, r.get(i) + static_cast<detail::acc_elem_for<T>>(a.get(i)) *
-                            static_cast<detail::acc_elem_for<T>>(s));
-  }
+  B::template mac_s<detail::acc_elem_for<T>, T, N>(r.data().data(),
+                                                   a.data().data(), s);
   return r;
 }
 
@@ -167,8 +164,14 @@ template <class T, unsigned N>
 /// lane L computes sum_{p<Points} coeff[cstart + p*CoeffStep] *
 /// data[dstart + L*DataStepY + p*DataStepX]. This is the workhorse of
 /// hand-optimized AIE FIR/Farrow kernels.
+///
+/// When successive lanes read contiguous data (DataStepY == 1) and no index
+/// wraps, each tap executes as one broadcast-MAC over the whole lane vector
+/// (`Points` vector MACs total); otherwise the generic per-lane form runs.
+/// Both paths accumulate taps in the same order, so results are bit-exact
+/// across paths and backends.
 template <unsigned Lanes, unsigned Points, int CoeffStep = 1,
-          int DataStepX = 1, int DataStepY = 1>
+          int DataStepX = 1, int DataStepY = 1, class B = simd::backend>
 struct sliding_mul_ops {
   template <class C, unsigned NC, class D, unsigned ND>
   [[nodiscard]] static accum<detail::acc_tag_for<D>, Lanes> mul(
@@ -176,7 +179,7 @@ struct sliding_mul_ops {
       unsigned dstart) {
     record(OpClass::vector_mac, Points);  // Points MACs issue back-to-back
     accum<detail::acc_tag_for<D>, Lanes> acc;
-    accumulate(acc, coeff, cstart, data, dstart, /*negate=*/false);
+    accumulate(acc, coeff, cstart, data, dstart);
     return acc;
   }
 
@@ -185,17 +188,41 @@ struct sliding_mul_ops {
       accum<detail::acc_tag_for<D>, Lanes> acc, const vector<C, NC>& coeff,
       unsigned cstart, const vector<D, ND>& data, unsigned dstart) {
     record(OpClass::vector_mac, Points);
-    accumulate(acc, coeff, cstart, data, dstart, /*negate=*/false);
+    accumulate(acc, coeff, cstart, data, dstart);
     return acc;
   }
 
  private:
+  /// True when every data access of this call lands in [0, ND) without the
+  /// generic path's modulo wrap, so lanes can load contiguously.
+  template <unsigned ND>
+  [[nodiscard]] static bool contiguous_in_bounds(unsigned dstart) {
+    if constexpr (DataStepY != 1) return (void)dstart, false;
+    const int base = static_cast<int>(dstart);
+    const int span = static_cast<int>(Points - 1) * DataStepX;
+    const int lo = base + std::min(0, span);
+    const int hi = base + std::max(0, span) + static_cast<int>(Lanes) - 1;
+    return lo >= 0 && hi < static_cast<int>(ND);
+  }
+
   template <class C, unsigned NC, class D, unsigned ND>
   static void accumulate(accum<detail::acc_tag_for<D>, Lanes>& acc,
                          const vector<C, NC>& coeff, unsigned cstart,
-                         const vector<D, ND>& data, unsigned dstart,
-                         bool negate) {
+                         const vector<D, ND>& data, unsigned dstart) {
     using A = detail::acc_elem_for<D>;
+    if (contiguous_in_bounds<ND>(dstart)) {
+      for (unsigned p = 0; p < Points; ++p) {
+        const auto ci =
+            static_cast<unsigned>(static_cast<int>(cstart) +
+                                  static_cast<int>(p) * CoeffStep) % NC;
+        const int di0 = static_cast<int>(dstart) +
+                        static_cast<int>(p) * DataStepX;
+        B::template mac_bcast<A, D, Lanes>(
+            acc.data().data(), data.data().data() + di0,
+            static_cast<A>(coeff.get(ci)));
+      }
+      return;
+    }
     for (unsigned lane = 0; lane < Lanes; ++lane) {
       A sum = acc.get(lane);
       for (unsigned p = 0; p < Points; ++p) {
@@ -207,9 +234,7 @@ struct sliding_mul_ops {
                             static_cast<int>(lane) * DataStepY +
                             static_cast<int>(p) * DataStepX) %
                         ND;
-        const A prod =
-            static_cast<A>(coeff.get(ci)) * static_cast<A>(data.get(di));
-        sum = negate ? sum - prod : sum + prod;
+        sum = sum + static_cast<A>(coeff.get(ci)) * static_cast<A>(data.get(di));
       }
       acc.set(lane, sum);
     }
@@ -220,7 +245,7 @@ struct sliding_mul_ops {
 /// coefficient symmetry c[p] == c[Points-1-p] by pre-adding the mirrored
 /// data samples, halving the MAC count -- the standard trick in
 /// hand-optimized symmetric FIR kernels.
-template <unsigned Lanes, unsigned Points>
+template <unsigned Lanes, unsigned Points, class B = simd::backend>
 struct sliding_mul_sym_ops {
   static_assert(Points % 2 == 0, "symmetric form implemented for even taps");
 
@@ -232,6 +257,18 @@ struct sliding_mul_sym_ops {
     record(OpClass::vector_alu, Points / 2);  // the pre-adds
     using A = detail::acc_elem_for<D>;
     accum<detail::acc_tag_for<D>, Lanes> acc;
+    // Contiguous fast path: lanes read data[dstart + lane + p] and the
+    // mirrored data[dstart + lane + Points-1-p]; all accesses stay in
+    // bounds when the widest one does.
+    if (dstart + Points - 1 + Lanes - 1 < ND) {
+      for (unsigned p = 0; p < Points / 2; ++p) {
+        B::template mac_bcast_pair<A, D, Lanes>(
+            acc.data().data(), data.data().data() + dstart + p,
+            data.data().data() + dstart + Points - 1 - p,
+            static_cast<A>(coeff.get((cstart + p) % NC)));
+      }
+      return acc;
+    }
     for (unsigned lane = 0; lane < Lanes; ++lane) {
       A sum{};
       for (unsigned p = 0; p < Points / 2; ++p) {
@@ -249,158 +286,146 @@ struct sliding_mul_sym_ops {
 
 // ---------- compares, select, shuffles (sorting networks) ----------
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline mask<N> lt(const vector<T, N>& a, const vector<T, N>& b) {
   record(OpClass::vector_alu);
   mask<N> m;
-  for (unsigned i = 0; i < N; ++i) m.set(i, a.get(i) < b.get(i));
+  B::template lt<T, N>(m.data().data(), a.data().data(), b.data().data());
   return m;
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline mask<N> ge(const vector<T, N>& a, const vector<T, N>& b) {
   record(OpClass::vector_alu);
   mask<N> m;
-  for (unsigned i = 0; i < N; ++i) m.set(i, a.get(i) >= b.get(i));
+  B::template ge<T, N>(m.data().data(), a.data().data(), b.data().data());
   return m;
 }
 
 /// Per-lane select: lane i is a[i] where m[i], else b[i] (AIE `select`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> select(const vector<T, N>& a,
                                          const vector<T, N>& b,
                                          const mask<N>& m) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, m.get(i) ? a.get(i) : b.get(i));
+  B::template select<T, N>(r.data().data(), a.data().data(), b.data().data(),
+                           m.data().data());
   return r;
 }
 
 /// Rotates lanes down by `n` (lane i <- lane (i+n) mod N).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> shuffle_down(const vector<T, N>& a,
                                                unsigned n) {
   record(OpClass::shuffle);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, a.get((i + n) % N));
+  B::template shuffle_down<T, N>(r.data().data(), a.data().data(), n);
   return r;
 }
 
 /// Rotates lanes up by `n` (lane i <- lane (i-n) mod N).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> shuffle_up(const vector<T, N>& a,
                                              unsigned n) {
   record(OpClass::shuffle);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, a.get((i + N - (n % N)) % N));
+  B::template shuffle_up<T, N>(r.data().data(), a.data().data(), n);
   return r;
 }
 
 /// Reverses lane order (AIE `aie::reverse`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> reverse(const vector<T, N>& a) {
   record(OpClass::shuffle);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, a.get(N - 1 - i));
+  B::template reverse<T, N>(r.data().data(), a.data().data());
   return r;
 }
 
 /// Exchanges lanes within blocks of 2*`stride`: lane i swaps with lane
 /// i XOR stride. This is the butterfly permutation bitonic networks use.
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> butterfly(const vector<T, N>& a,
                                             unsigned stride) {
   record(OpClass::shuffle);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, a.get(i ^ stride));
+  B::template butterfly<T, N>(r.data().data(), a.data().data(), stride);
   return r;
 }
 
 /// Gathers arbitrary lanes: r[i] = a[idx[i]] (AIE generalized shuffle).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N> permute(const vector<T, N>& a,
                                           const vector<std::int32_t, N>& idx) {
   record(OpClass::shuffle);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) {
-    r.set(i, a.get(static_cast<unsigned>(idx.get(i)) % N));
-  }
+  B::template permute<T, N>(r.data().data(), a.data().data(),
+                            idx.data().data());
   return r;
 }
 
 /// Interleaves even/odd lanes of two vectors (AIE `interleave_zip`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline std::pair<vector<T, N>, vector<T, N>> interleave_zip(
     const vector<T, N>& a, const vector<T, N>& b) {
   record(OpClass::shuffle, 2);
   vector<T, N> lo, hi;
-  for (unsigned i = 0; i < N / 2; ++i) {
-    lo.set(2 * i, a.get(i));
-    lo.set(2 * i + 1, b.get(i));
-    hi.set(2 * i, a.get(N / 2 + i));
-    hi.set(2 * i + 1, b.get(N / 2 + i));
-  }
+  B::template interleave_zip<T, N>(lo.data().data(), hi.data().data(),
+                                   a.data().data(), b.data().data());
   return {lo, hi};
 }
 
 /// De-interleaves lanes of two vectors (AIE `interleave_unzip`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline std::pair<vector<T, N>, vector<T, N>> interleave_unzip(
     const vector<T, N>& a, const vector<T, N>& b) {
   record(OpClass::shuffle, 2);
   vector<T, N> even, odd;
-  for (unsigned i = 0; i < N / 2; ++i) {
-    even.set(i, a.get(2 * i));
-    odd.set(i, a.get(2 * i + 1));
-    even.set(N / 2 + i, b.get(2 * i));
-    odd.set(N / 2 + i, b.get(2 * i + 1));
-  }
+  B::template interleave_unzip<T, N>(even.data().data(), odd.data().data(),
+                                     a.data().data(), b.data().data());
   return {even, odd};
 }
 
 /// Keeps the even-indexed lanes in the lower half (AIE `filter_even`);
 /// the upper half is zero.
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N / 2> filter_even(const vector<T, N>& a) {
   record(OpClass::shuffle);
   vector<T, N / 2> r;
-  for (unsigned i = 0; i < N / 2; ++i) r.set(i, a.get(2 * i));
+  B::template filter_even<T, N>(r.data().data(), a.data().data());
   return r;
 }
 
 /// Keeps the odd-indexed lanes (AIE `filter_odd`).
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline vector<T, N / 2> filter_odd(const vector<T, N>& a) {
   record(OpClass::shuffle);
   vector<T, N / 2> r;
-  for (unsigned i = 0; i < N / 2; ++i) r.set(i, a.get(2 * i + 1));
+  B::template filter_odd<T, N>(r.data().data(), a.data().data());
   return r;
 }
 
 // ---------- reductions ----------
+// Sequential on every backend: float reductions are order-sensitive, and a
+// single evaluation order is what keeps backends bit-exact (simd.hpp).
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline T reduce_add(const vector<T, N>& a) {
   record(OpClass::vector_alu, /*log-tree*/ 4);
-  T s{};
-  for (unsigned i = 0; i < N; ++i) s = static_cast<T>(s + a.get(i));
-  return s;
+  return B::template reduce_add<T, N>(a.data().data());
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline T reduce_min(const vector<T, N>& a) {
   record(OpClass::vector_alu, 4);
-  T s = a.get(0);
-  for (unsigned i = 1; i < N; ++i) s = std::min(s, a.get(i));
-  return s;
+  return B::template reduce_min<T, N>(a.data().data());
 }
 
-template <class T, unsigned N>
+template <class B = simd::backend, class T, unsigned N>
 [[nodiscard]] inline T reduce_max(const vector<T, N>& a) {
   record(OpClass::vector_alu, 4);
-  T s = a.get(0);
-  for (unsigned i = 1; i < N; ++i) s = std::max(s, a.get(i));
-  return s;
+  return B::template reduce_max<T, N>(a.data().data());
 }
 
 }  // namespace aie

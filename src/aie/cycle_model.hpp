@@ -10,6 +10,17 @@
 // Instrumentation is collected into whichever OpCounter is currently
 // *active* (a thread-local pointer). When none is active -- the common case
 // for functional simulation -- recording is a single predictable branch.
+// The hot path pays one record() per emulated *operation*, never per lane:
+// multi-issue ops pass their issue count as `n` instead of looping, and
+// kernels with per-element scalar work batch it into one call (see
+// src/apps/iir.hpp). Around a kernel activation the aiesim engine uses
+// ScopedCounterBatch, which caches the destination counter and accumulates
+// into a stack-local OpCounts, merging once per activation.
+//
+// Defining CGSIM_AIE_NO_INSTRUMENT (CMake option CGSIM_INSTRUMENT=OFF)
+// compiles recording out entirely for pure functional runs; the
+// cycle-approximate backend then sees all-zero counts, so only use it for
+// builds that never ask for timing.
 #pragma once
 
 #include <array>
@@ -60,6 +71,7 @@ struct OpCounts {
     for (std::size_t i = 0; i < kNumOpClasses; ++i) ops[i] += o.ops[i];
     return *this;
   }
+  [[nodiscard]] bool operator==(const OpCounts&) const = default;
   [[nodiscard]] std::uint64_t total() const {
     std::uint64_t t = 0;
     for (auto v : ops) t += v;
@@ -103,10 +115,36 @@ inline void set_active_counter(OpCounter* c) {
 }
 
 /// Records `n` operations of class `c` into the active counter, if any.
+#if defined(CGSIM_AIE_NO_INSTRUMENT)
+inline void record(OpClass, std::uint64_t = 1) {}
+#else
 inline void record(OpClass c, std::uint64_t n = 1) {
   if (OpCounter* cnt = detail::g_active_counter; cnt != nullptr) {
     cnt->counts.add(c, n);
   }
 }
+#endif
+
+/// Batched activation for one kernel activation window: caches the
+/// destination counter once, redirects all record() calls to a stack-local
+/// (cache-hot) OpCounts, and merges into the destination with a single
+/// add when the activation ends. Final counts are byte-identical to
+/// attaching the destination directly with ScopedCounter.
+class ScopedCounterBatch {
+ public:
+  // A null destination deactivates counting, matching ScopedCounter{nullptr}.
+  explicit ScopedCounterBatch(OpCounter* dest)
+      : dest_(dest), scoped_(dest != nullptr ? &local_ : nullptr) {}
+  ~ScopedCounterBatch() {
+    if (dest_ != nullptr) dest_->counts += local_.counts;
+  }
+  ScopedCounterBatch(const ScopedCounterBatch&) = delete;
+  ScopedCounterBatch& operator=(const ScopedCounterBatch&) = delete;
+
+ private:
+  OpCounter local_{};
+  OpCounter* dest_;
+  ScopedCounter scoped_;
+};
 
 }  // namespace aie

@@ -18,38 +18,43 @@ namespace aie::intrinsics {
 // ---- floating-point MAC family (v8float accumulators) ----
 
 /// acc = acc + a * b (lane-wise), AIE1 `fpmac`.
+template <class B = simd::backend>
 [[nodiscard]] inline accfloat<8> fpmac(const accfloat<8>& acc,
                                        const vector<float, 8>& a,
                                        const vector<float, 8>& b) {
-  return mac(acc, a, b);
+  return mac<B>(acc, a, b);
 }
 
 /// acc = a * b, AIE1 `fpmul`.
+template <class B = simd::backend>
 [[nodiscard]] inline accfloat<8> fpmul(const vector<float, 8>& a,
                                        const vector<float, 8>& b) {
-  return mul(a, b);
+  return mul<B>(a, b);
 }
 
 /// acc = acc - a * b, AIE1 `fpmsc`.
+template <class B = simd::backend>
 [[nodiscard]] inline accfloat<8> fpmsc(const accfloat<8>& acc,
                                        const vector<float, 8>& a,
                                        const vector<float, 8>& b) {
-  return msc(acc, a, b);
+  return msc<B>(acc, a, b);
 }
 
 // ---- int16 MAC family (acc48 accumulators) ----
 
 /// 16-lane int16 multiply into acc48, AIE1 `mul16` (unit-stride form).
+template <class B = simd::backend>
 [[nodiscard]] inline acc48<16> mul16(const vector<std::int16_t, 16>& a,
                                      const vector<std::int16_t, 16>& b) {
-  return mul(a, b);
+  return mul<B>(a, b);
 }
 
 /// 16-lane int16 MAC into acc48, AIE1 `mac16` (unit-stride form).
+template <class B = simd::backend>
 [[nodiscard]] inline acc48<16> mac16(const acc48<16>& acc,
                                      const vector<std::int16_t, 16>& a,
                                      const vector<std::int16_t, 16>& b) {
-  return mac(acc, a, b);
+  return mac<B>(acc, a, b);
 }
 
 // ---- vector register manipulation ----

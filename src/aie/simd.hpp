@@ -1,0 +1,776 @@
+// aie -- portable SIMD execution backends for the AIE emulation layer.
+//
+// The functional emulation in api.hpp/accum.hpp used to evaluate every
+// operation as an N-iteration per-lane loop. This header factors the lane
+// arithmetic into two interchangeable *backends* so the emulated intrinsics
+// execute as a handful of host vector instructions instead:
+//
+//   * `scalar_backend` -- the canonical per-lane loops. This is the
+//     bit-exact reference semantics of every operation, kept deliberately
+//     scalar (vectorization is disabled per-function on GCC) so the
+//     scalar-vs-SIMD ablation in bench_ablation_simd measures per-lane
+//     execution, not the autovectorizer.
+//   * `native_backend` -- the same operations on GCC/Clang vector
+//     extensions (`__attribute__((vector_size(...)))`): one emulated AIE
+//     vector op maps onto one or two host SIMD instructions. On compilers
+//     without vector extensions it degrades to `scalar_backend`.
+//
+// Both backends are always compiled, so equivalence tests and ablation
+// benches can compare them within one binary. The *default* backend used
+// by the aie:: API (`aie::simd::backend`) is selected at configure time
+// with the CGSIM_SIMD CMake option (native | scalar); `scalar` defines
+// CGSIM_SIMD_FORCE_SCALAR.
+//
+// Backends are pure lane arithmetic: they never touch instrumentation.
+// OpCounts recording stays in the api layer and is therefore byte-identical
+// across backends by construction (asserted by tests/aie/test_simd_backend).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+namespace aie::simd {
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CGSIM_SIMD_HAVE_NATIVE 1
+#else
+#define CGSIM_SIMD_HAVE_NATIVE 0
+#endif
+
+// Pins the scalar backend's loops to per-lane code on GCC so that a
+// "scalar" measurement means scalar execution (see header comment). This
+// does not change results, only codegen.
+#if defined(__GNUC__) && !defined(__clang__)
+#define CGSIM_SIMD_SCALAR_LOOP \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define CGSIM_SIMD_SCALAR_LOOP
+#endif
+
+namespace detail {
+
+/// Signed integer type with the same width as a vector lane of sizeof
+/// `Bytes` -- the element type vector comparisons and shuffle masks use.
+template <unsigned Bytes>
+struct int_of;
+template <>
+struct int_of<1> {
+  using type = std::int8_t;
+};
+template <>
+struct int_of<2> {
+  using type = std::int16_t;
+};
+template <>
+struct int_of<4> {
+  using type = std::int32_t;
+};
+template <>
+struct int_of<8> {
+  using type = std::int64_t;
+};
+template <unsigned Bytes>
+using int_of_t = typename int_of<Bytes>::type;
+
+/// Saturates an int64 accumulator lane into T's range (AIE srs clamp).
+template <class T>
+[[nodiscard]] constexpr T saturate_i64(std::int64_t v) {
+  constexpr auto lo = static_cast<std::int64_t>(std::numeric_limits<T>::min());
+  constexpr auto hi = static_cast<std::int64_t>(std::numeric_limits<T>::max());
+  return static_cast<T>(std::clamp(v, lo, hi));
+}
+
+/// Arithmetic shift right with round-half-up, as AIE srs does by default.
+[[nodiscard]] constexpr std::int64_t shift_round(std::int64_t v, int shift) {
+  if (shift <= 0) return v << -shift;
+  const std::int64_t bias = std::int64_t{1} << (shift - 1);
+  return (v + bias) >> shift;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// scalar_backend: canonical per-lane loops (the reference semantics).
+// ---------------------------------------------------------------------------
+
+struct scalar_backend {
+  static constexpr const char* name = "scalar";
+  static constexpr bool vectorized = false;
+
+  // ---- element-wise arithmetic ----
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void add(T* r, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] + b[i]);
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void sub(T* r, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] - b[i]);
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void neg(T* r, const T* a) {
+    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<T>(-a[i]);
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void abs_(T* r, const T* a) {
+    for (unsigned i = 0; i < N; ++i) {
+      r[i] = a[i] < T{} ? static_cast<T>(-a[i]) : a[i];
+    }
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void min_(T* r, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) r[i] = std::min(a[i], b[i]);
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void max_(T* r, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) r[i] = std::max(a[i], b[i]);
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void clamp(T* r, const T* a, T lo, T hi) {
+    for (unsigned i = 0; i < N; ++i) r[i] = std::clamp(a[i], lo, hi);
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void broadcast(T* r, T v) {
+    for (unsigned i = 0; i < N; ++i) r[i] = v;
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void iota(T* r, T start, T step) {
+    T v = start;
+    for (unsigned i = 0; i < N; ++i, v = static_cast<T>(v + step)) r[i] = v;
+  }
+
+  // ---- multiply / multiply-accumulate into A-typed accumulator lanes ----
+
+  template <class A, class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mul(A* acc, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = static_cast<A>(a[i]) * static_cast<A>(b[i]);
+    }
+  }
+
+  template <class A, class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mac(A* acc, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = acc[i] + static_cast<A>(a[i]) * static_cast<A>(b[i]);
+    }
+  }
+
+  template <class A, class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void msc(A* acc, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = acc[i] - static_cast<A>(a[i]) * static_cast<A>(b[i]);
+    }
+  }
+
+  template <class A, class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mul_s(A* acc, const T* a, T s) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = static_cast<A>(a[i]) * static_cast<A>(s);
+    }
+  }
+
+  template <class A, class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mac_s(A* acc, const T* a, T s) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = acc[i] + static_cast<A>(a[i]) * static_cast<A>(s);
+    }
+  }
+
+  /// acc[l] += c * data[l] over `N` contiguous data lanes -- the inner step
+  /// of the contiguous sliding-multiply fast path.
+  template <class A, class D, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mac_bcast(A* acc, const D* data, A c) {
+    for (unsigned i = 0; i < N; ++i) acc[i] = acc[i] + c * static_cast<A>(data[i]);
+  }
+
+  /// acc[l] += c * (d1[l] + d2[l]) -- the pre-add step of the symmetric
+  /// sliding multiply (both data windows contiguous).
+  template <class A, class D, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mac_bcast_pair(A* acc, const D* d1,
+                                                    const D* d2, A c) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = acc[i] + c * (static_cast<A>(d1[i]) + static_cast<A>(d2[i]));
+    }
+  }
+
+  // ---- accumulator <-> vector moves (srs / ups) ----
+
+  /// Shift-round-saturate int64 accumulator lanes down to T.
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void srs(T* r, const std::int64_t* acc,
+                                         int shift) {
+    for (unsigned i = 0; i < N; ++i) {
+      r[i] = detail::saturate_i64<T>(detail::shift_round(acc[i], shift));
+    }
+  }
+
+  /// Upshift T lanes into int64 accumulator lanes.
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void ups(std::int64_t* acc, const T* v,
+                                         int shift) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = static_cast<std::int64_t>(v[i]) << shift;
+    }
+  }
+
+  /// Lane-wise static_cast between accumulator and vector element types
+  /// (the float accfloat<->vector moves and srs on float accumulators).
+  template <class Dst, class Src, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void convert(Dst* r, const Src* a) {
+    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<Dst>(a[i]);
+  }
+
+  // ---- compares and select ----
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void lt(bool* m, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) m[i] = a[i] < b[i];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void ge(bool* m, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) m[i] = a[i] >= b[i];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void select(T* r, const T* a, const T* b,
+                                            const bool* m) {
+    for (unsigned i = 0; i < N; ++i) r[i] = m[i] ? a[i] : b[i];
+  }
+
+  // ---- lane permutations ----
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void shuffle_down(T* r, const T* a,
+                                                  unsigned n) {
+    for (unsigned i = 0; i < N; ++i) r[i] = a[(i + n) % N];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void shuffle_up(T* r, const T* a, unsigned n) {
+    for (unsigned i = 0; i < N; ++i) r[i] = a[(i + N - (n % N)) % N];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void reverse(T* r, const T* a) {
+    for (unsigned i = 0; i < N; ++i) r[i] = a[N - 1 - i];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void butterfly(T* r, const T* a,
+                                               unsigned stride) {
+    for (unsigned i = 0; i < N; ++i) r[i] = a[(i ^ stride) % N];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void permute(T* r, const T* a,
+                                             const std::int32_t* idx) {
+    for (unsigned i = 0; i < N; ++i) {
+      r[i] = a[static_cast<unsigned>(idx[i]) % N];
+    }
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void interleave_zip(T* lo, T* hi, const T* a,
+                                                    const T* b) {
+    for (unsigned i = 0; i < N / 2; ++i) {
+      lo[2 * i] = a[i];
+      lo[2 * i + 1] = b[i];
+      hi[2 * i] = a[N / 2 + i];
+      hi[2 * i + 1] = b[N / 2 + i];
+    }
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void interleave_unzip(T* even, T* odd,
+                                                      const T* a, const T* b) {
+    for (unsigned i = 0; i < N / 2; ++i) {
+      even[i] = a[2 * i];
+      odd[i] = a[2 * i + 1];
+      even[N / 2 + i] = b[2 * i];
+      odd[N / 2 + i] = b[2 * i + 1];
+    }
+  }
+
+  /// r (N/2 lanes) <- even-indexed lanes of a (N lanes).
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void filter_even(T* r, const T* a) {
+    for (unsigned i = 0; i < N / 2; ++i) r[i] = a[2 * i];
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void filter_odd(T* r, const T* a) {
+    for (unsigned i = 0; i < N / 2; ++i) r[i] = a[2 * i + 1];
+  }
+
+  // ---- reductions ----
+  // Sequential on both backends: float reductions are order-sensitive, and
+  // keeping one evaluation order is what makes the backends bit-exact.
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static T reduce_add(const T* a) {
+    T s{};
+    for (unsigned i = 0; i < N; ++i) s = static_cast<T>(s + a[i]);
+    return s;
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static T reduce_min(const T* a) {
+    T s = a[0];
+    for (unsigned i = 1; i < N; ++i) s = std::min(s, a[i]);
+    return s;
+  }
+
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static T reduce_max(const T* a) {
+    T s = a[0];
+    for (unsigned i = 1; i < N; ++i) s = std::max(s, a[i]);
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// native_backend: the same operations on compiler vector extensions.
+// ---------------------------------------------------------------------------
+
+#if CGSIM_SIMD_HAVE_NATIVE
+
+struct native_backend {
+  static constexpr const char* name = "native";
+  static constexpr bool vectorized = true;
+
+ private:
+  template <class T, unsigned N>
+  struct vt {
+    typedef T type __attribute__((vector_size(sizeof(T) * N)));
+  };
+  /// Host vector register of N T lanes.
+  template <class T, unsigned N>
+  using v = typename vt<T, N>::type;
+  /// Same-shape signed integer vector (comparison results, shuffle masks).
+  template <class T, unsigned N>
+  using m = typename vt<detail::int_of_t<sizeof(T)>, N>::type;
+
+  template <class T, unsigned N>
+  static v<T, N> ld(const T* p) {
+    v<T, N> r;
+    std::memcpy(&r, p, sizeof r);
+    return r;
+  }
+  template <class T, unsigned N>
+  static void st(T* p, const v<T, N>& r) {
+    std::memcpy(p, &r, sizeof r);
+  }
+
+  /// {0, 1, ..., N-1} as a shuffle-mask vector for T-sized lanes.
+  template <class T, unsigned N>
+  static m<T, N> lane_iota() {
+    m<T, N> r{};
+    for (unsigned i = 0; i < N; ++i) {
+      r[i] = static_cast<detail::int_of_t<sizeof(T)>>(i);
+    }
+    return r;  // constant-folded at -O2
+  }
+
+  template <class T, unsigned N>
+  static v<T, N> splat(T x) {
+    v<T, N> r;
+    for (unsigned i = 0; i < N; ++i) r[i] = x;
+    return r;
+  }
+
+  // `__builtin_shuffle` (runtime mask) is a GCC extension; Clang only has
+  // the constant-index `__builtin_shufflevector`. Lane permutations fall
+  // back to plain loops on non-GCC compilers.
+#if defined(__GNUC__) && !defined(__clang__)
+  static constexpr bool kHaveDynShuffle = true;
+#else
+  static constexpr bool kHaveDynShuffle = false;
+#endif
+
+ public:
+  // ---- element-wise arithmetic ----
+
+  template <class T, unsigned N>
+  static void add(T* r, const T* a, const T* b) {
+    st<T, N>(r, ld<T, N>(a) + ld<T, N>(b));
+  }
+
+  template <class T, unsigned N>
+  static void sub(T* r, const T* a, const T* b) {
+    st<T, N>(r, ld<T, N>(a) - ld<T, N>(b));
+  }
+
+  template <class T, unsigned N>
+  static void neg(T* r, const T* a) {
+    st<T, N>(r, -ld<T, N>(a));
+  }
+
+  template <class T, unsigned N>
+  static void abs_(T* r, const T* a) {
+    const auto va = ld<T, N>(a);
+    // Mirrors the scalar `a < 0 ? -a : a` lane-wise (keeps -0.0f and NaN
+    // behaviour identical to the scalar backend).
+    st<T, N>(r, (va < splat<T, N>(T{})) ? -va : va);
+  }
+
+  template <class T, unsigned N>
+  static void min_(T* r, const T* a, const T* b) {
+    const auto va = ld<T, N>(a);
+    const auto vb = ld<T, N>(b);
+    st<T, N>(r, (vb < va) ? vb : va);  // == std::min per lane
+  }
+
+  template <class T, unsigned N>
+  static void max_(T* r, const T* a, const T* b) {
+    const auto va = ld<T, N>(a);
+    const auto vb = ld<T, N>(b);
+    st<T, N>(r, (va < vb) ? vb : va);  // == std::max per lane
+  }
+
+  template <class T, unsigned N>
+  static void clamp(T* r, const T* a, T lo, T hi) {
+    const auto va = ld<T, N>(a);
+    const auto vlo = splat<T, N>(lo);
+    const auto vhi = splat<T, N>(hi);
+    // std::clamp(v, lo, hi) == v < lo ? lo : (hi < v ? hi : v)
+    st<T, N>(r, (va < vlo) ? vlo : ((vhi < va) ? vhi : va));
+  }
+
+  template <class T, unsigned N>
+  static void broadcast(T* r, T x) {
+    st<T, N>(r, splat<T, N>(x));
+  }
+
+  template <class T, unsigned N>
+  static void iota(T* r, T start, T step) {
+    // Sequential adds, matching the scalar backend's float rounding.
+    scalar_backend::iota<T, N>(r, start, step);
+  }
+
+  // ---- multiply / multiply-accumulate ----
+
+ private:
+  /// Loads N T lanes widened to the accumulator element type A.
+  template <class A, class T, unsigned N>
+  static v<A, N> ldw(const T* p) {
+    if constexpr (std::is_same_v<A, T>) {
+      return ld<T, N>(p);
+    } else {
+      return __builtin_convertvector(ld<T, N>(p), v<A, N>);
+    }
+  }
+
+  /// True when T x T products provably fit in int32 lanes: then the
+  /// int64-accumulator multiply can run as a packed 32-bit multiply (the
+  /// host has no packed 64-bit multiply below AVX-512) and widen after.
+  /// Exact either way, so bit-identical to the full-width form.
+  template <class A, class T>
+  static constexpr bool kNarrowMul = std::is_integral_v<A> &&
+                                     std::is_integral_v<T> && sizeof(A) == 8 &&
+                                     sizeof(T) <= 2;
+
+  /// a[i] * b[i] widened into A lanes, via int32 lanes when exact.
+  template <class A, class T, unsigned N>
+  static v<A, N> wmul(const T* a, const T* b) {
+    if constexpr (kNarrowMul<A, T>) {
+      return __builtin_convertvector(
+          ldw<std::int32_t, T, N>(a) * ldw<std::int32_t, T, N>(b), v<A, N>);
+    } else {
+      return ldw<A, T, N>(a) * ldw<A, T, N>(b);
+    }
+  }
+
+ public:
+  template <class A, class T, unsigned N>
+  static void mul(A* acc, const T* a, const T* b) {
+    st<A, N>(acc, wmul<A, T, N>(a, b));
+  }
+
+  template <class A, class T, unsigned N>
+  static void mac(A* acc, const T* a, const T* b) {
+    st<A, N>(acc, ld<A, N>(acc) + wmul<A, T, N>(a, b));
+  }
+
+  template <class A, class T, unsigned N>
+  static void msc(A* acc, const T* a, const T* b) {
+    st<A, N>(acc, ld<A, N>(acc) - wmul<A, T, N>(a, b));
+  }
+
+  template <class A, class T, unsigned N>
+  static void mul_s(A* acc, const T* a, T s) {
+    st<A, N>(acc, ldw<A, T, N>(a) * splat<A, N>(static_cast<A>(s)));
+  }
+
+  template <class A, class T, unsigned N>
+  static void mac_s(A* acc, const T* a, T s) {
+    st<A, N>(acc,
+             ld<A, N>(acc) + ldw<A, T, N>(a) * splat<A, N>(static_cast<A>(s)));
+  }
+
+  template <class A, class D, unsigned N>
+  static void mac_bcast(A* acc, const D* data, A c) {
+    if constexpr (kNarrowMul<A, D>) {
+      // Coefficients come from a <=16-bit vector, but check anyway: the
+      // narrow path is exact only when c * data fits in int32 lanes.
+      if (c >= -32768 && c <= 32767) {
+        const auto p = splat<std::int32_t, N>(static_cast<std::int32_t>(c)) *
+                       ldw<std::int32_t, D, N>(data);
+        st<A, N>(acc, ld<A, N>(acc) + __builtin_convertvector(p, v<A, N>));
+        return;
+      }
+    }
+    st<A, N>(acc, ld<A, N>(acc) + splat<A, N>(c) * ldw<A, D, N>(data));
+  }
+
+  template <class A, class D, unsigned N>
+  static void mac_bcast_pair(A* acc, const D* d1, const D* d2, A c) {
+    if constexpr (kNarrowMul<A, D>) {
+      if (c >= -32768 && c <= 32767) {
+        // c*(d1+d2) == c*d1 + c*d2 exactly in int64; each product fits in
+        // an int32 lane, so two packed 32-bit multiplies replace the
+        // scalarized 64-bit one.
+        const auto vc = splat<std::int32_t, N>(static_cast<std::int32_t>(c));
+        const auto p1 = vc * ldw<std::int32_t, D, N>(d1);
+        const auto p2 = vc * ldw<std::int32_t, D, N>(d2);
+        st<A, N>(acc, ld<A, N>(acc) + __builtin_convertvector(p1, v<A, N>) +
+                          __builtin_convertvector(p2, v<A, N>));
+        return;
+      }
+    }
+    st<A, N>(acc, ld<A, N>(acc) +
+                      splat<A, N>(c) * (ldw<A, D, N>(d1) + ldw<A, D, N>(d2)));
+  }
+
+  // ---- accumulator <-> vector moves (srs / ups) ----
+
+  template <class T, unsigned N>
+  static void srs(T* r, const std::int64_t* acc, int shift) {
+    auto va = ld<std::int64_t, N>(acc);
+    if (shift <= 0) {
+      va <<= -shift;
+    } else {
+      va = (va + splat<std::int64_t, N>(std::int64_t{1} << (shift - 1))) >>
+           shift;
+    }
+    const auto vlo =
+        splat<std::int64_t, N>(std::numeric_limits<T>::min());
+    const auto vhi =
+        splat<std::int64_t, N>(std::numeric_limits<T>::max());
+    va = (va < vlo) ? vlo : ((vhi < va) ? vhi : va);
+    st<T, N>(r, __builtin_convertvector(va, v<T, N>));
+  }
+
+  template <class T, unsigned N>
+  static void ups(std::int64_t* acc, const T* p, int shift) {
+    st<std::int64_t, N>(acc, ldw<std::int64_t, T, N>(p) << shift);
+  }
+
+  template <class Dst, class Src, unsigned N>
+  static void convert(Dst* r, const Src* a) {
+    if constexpr (std::is_same_v<Dst, Src>) {
+      std::memcpy(r, a, N * sizeof(Dst));
+    } else {
+      st<Dst, N>(r, __builtin_convertvector(ld<Src, N>(a), v<Dst, N>));
+    }
+  }
+
+  // ---- compares and select ----
+
+ private:
+  /// Stores a lane-wise comparison result (0 / -1 lanes) as bools.
+  template <class T, unsigned N>
+  static void st_mask(bool* mp, const m<T, N>& cmp) {
+    static_assert(sizeof(bool) == 1);
+    using b8 = v<std::int8_t, N>;
+    const b8 narrow = __builtin_convertvector(cmp, b8) & splat<std::int8_t, N>(1);
+    std::memcpy(mp, &narrow, N);
+  }
+
+  /// Loads a bool mask as a 0 / nonzero T-sized integer vector.
+  template <class T, unsigned N>
+  static m<T, N> ld_mask(const bool* mp) {
+    static_assert(sizeof(bool) == 1);
+    v<std::int8_t, N> bytes;
+    std::memcpy(&bytes, mp, N);
+    return __builtin_convertvector(bytes, m<T, N>);
+  }
+
+ public:
+  template <class T, unsigned N>
+  static void lt(bool* mp, const T* a, const T* b) {
+    st_mask<T, N>(mp, ld<T, N>(a) < ld<T, N>(b));
+  }
+
+  template <class T, unsigned N>
+  static void ge(bool* mp, const T* a, const T* b) {
+    st_mask<T, N>(mp, ld<T, N>(a) >= ld<T, N>(b));
+  }
+
+  template <class T, unsigned N>
+  static void select(T* r, const T* a, const T* b, const bool* mp) {
+    st<T, N>(r, (ld_mask<T, N>(mp) != m<T, N>{}) ? ld<T, N>(a) : ld<T, N>(b));
+  }
+
+  // ---- lane permutations ----
+  // GCC's __builtin_shuffle reads mask lanes modulo N, matching the scalar
+  // backend's explicit `% N` for power-of-two N.
+
+  template <class T, unsigned N>
+  static void shuffle_down(T* r, const T* a, unsigned n) {
+    if constexpr (kHaveDynShuffle) {
+#if defined(__GNUC__) && !defined(__clang__)
+      const auto idx = lane_iota<T, N>() +
+                       splat<detail::int_of_t<sizeof(T)>, N>(
+                           static_cast<detail::int_of_t<sizeof(T)>>(n % N));
+      st<T, N>(r, __builtin_shuffle(ld<T, N>(a), idx));
+#endif
+    } else {
+      scalar_backend::shuffle_down<T, N>(r, a, n);
+    }
+  }
+
+  template <class T, unsigned N>
+  static void shuffle_up(T* r, const T* a, unsigned n) {
+    shuffle_down<T, N>(r, a, N - (n % N));
+  }
+
+  template <class T, unsigned N>
+  static void reverse(T* r, const T* a) {
+    if constexpr (kHaveDynShuffle) {
+#if defined(__GNUC__) && !defined(__clang__)
+      const auto idx =
+          splat<detail::int_of_t<sizeof(T)>, N>(
+              static_cast<detail::int_of_t<sizeof(T)>>(N - 1)) -
+          lane_iota<T, N>();
+      st<T, N>(r, __builtin_shuffle(ld<T, N>(a), idx));
+#endif
+    } else {
+      scalar_backend::reverse<T, N>(r, a);
+    }
+  }
+
+  template <class T, unsigned N>
+  static void butterfly(T* r, const T* a, unsigned stride) {
+    if constexpr (kHaveDynShuffle) {
+#if defined(__GNUC__) && !defined(__clang__)
+      const auto idx = lane_iota<T, N>() ^
+                       splat<detail::int_of_t<sizeof(T)>, N>(
+                           static_cast<detail::int_of_t<sizeof(T)>>(stride));
+      st<T, N>(r, __builtin_shuffle(ld<T, N>(a), idx));
+#endif
+    } else {
+      scalar_backend::butterfly<T, N>(r, a, stride);
+    }
+  }
+
+  template <class T, unsigned N>
+  static void permute(T* r, const T* a, const std::int32_t* idx) {
+    if constexpr (kHaveDynShuffle && N <= 65536) {
+#if defined(__GNUC__) && !defined(__clang__)
+      // Truncating/extending int32 indices to lane-sized ones preserves the
+      // value modulo N for power-of-two N <= 2^16 -- same lane selection as
+      // the scalar `static_cast<unsigned>(idx) % N`.
+      const auto mi = __builtin_convertvector(ld<std::int32_t, N>(idx),
+                                              m<T, N>);
+      st<T, N>(r, __builtin_shuffle(ld<T, N>(a), mi));
+#endif
+    } else {
+      scalar_backend::permute<T, N>(r, a, idx);
+    }
+  }
+
+  template <class T, unsigned N>
+  static void interleave_zip(T* lo, T* hi, const T* a, const T* b) {
+    if constexpr (kHaveDynShuffle) {
+#if defined(__GNUC__) && !defined(__clang__)
+      using I = detail::int_of_t<sizeof(T)>;
+      m<T, N> zlo{}, zhi{};
+      for (unsigned i = 0; i < N / 2; ++i) {
+        zlo[2 * i] = static_cast<I>(i);
+        zlo[2 * i + 1] = static_cast<I>(N + i);
+        zhi[2 * i] = static_cast<I>(N / 2 + i);
+        zhi[2 * i + 1] = static_cast<I>(N + N / 2 + i);
+      }  // constant-folded
+      const auto va = ld<T, N>(a);
+      const auto vb = ld<T, N>(b);
+      st<T, N>(lo, __builtin_shuffle(va, vb, zlo));
+      st<T, N>(hi, __builtin_shuffle(va, vb, zhi));
+#endif
+    } else {
+      scalar_backend::interleave_zip<T, N>(lo, hi, a, b);
+    }
+  }
+
+  template <class T, unsigned N>
+  static void interleave_unzip(T* even, T* odd, const T* a, const T* b) {
+    if constexpr (kHaveDynShuffle) {
+#if defined(__GNUC__) && !defined(__clang__)
+      using I = detail::int_of_t<sizeof(T)>;
+      m<T, N> ze{}, zo{};
+      for (unsigned i = 0; i < N; ++i) {
+        ze[i] = static_cast<I>(2 * i);
+        zo[i] = static_cast<I>(2 * i + 1);
+      }  // constant-folded
+      const auto va = ld<T, N>(a);
+      const auto vb = ld<T, N>(b);
+      st<T, N>(even, __builtin_shuffle(va, vb, ze));
+      st<T, N>(odd, __builtin_shuffle(va, vb, zo));
+#endif
+    } else {
+      scalar_backend::interleave_unzip<T, N>(even, odd, a, b);
+    }
+  }
+
+  template <class T, unsigned N>
+  static void filter_even(T* r, const T* a) {
+    scalar_backend::filter_even<T, N>(r, a);  // N/2-lane strided copy
+  }
+
+  template <class T, unsigned N>
+  static void filter_odd(T* r, const T* a) {
+    scalar_backend::filter_odd<T, N>(r, a);
+  }
+
+  // ---- reductions (sequential; see scalar_backend note) ----
+
+  template <class T, unsigned N>
+  static T reduce_add(const T* a) {
+    return scalar_backend::reduce_add<T, N>(a);
+  }
+  template <class T, unsigned N>
+  static T reduce_min(const T* a) {
+    return scalar_backend::reduce_min<T, N>(a);
+  }
+  template <class T, unsigned N>
+  static T reduce_max(const T* a) {
+    return scalar_backend::reduce_max<T, N>(a);
+  }
+};
+
+#else  // !CGSIM_SIMD_HAVE_NATIVE
+
+using native_backend = scalar_backend;
+
+#endif
+
+// The default backend the aie:: API dispatches to; the CGSIM_SIMD CMake
+// option (native | scalar) controls CGSIM_SIMD_FORCE_SCALAR.
+#if defined(CGSIM_SIMD_FORCE_SCALAR)
+using backend = scalar_backend;
+#else
+using backend = native_backend;
+#endif
+
+}  // namespace aie::simd

@@ -14,11 +14,17 @@
 #include <type_traits>
 
 #include "cycle_model.hpp"
+#include "simd.hpp"
 
 namespace aie {
 
 /// A fixed-width SIMD register of N lanes of element type T.
 /// Mirrors aie::vector<T, Elems> from the AIE API (UG1079).
+///
+/// Lane storage is always value-initialized: a default-constructed vector
+/// is all-zero, and an initializer list shorter than N leaves the trailing
+/// lanes zero. Functional results therefore never depend on stack garbage
+/// (and are identical across the SIMD and scalar execution backends).
 template <class T, unsigned N>
 class vector {
   static_assert(N > 0 && (N & (N - 1)) == 0, "lane count must be a power of two");
@@ -48,14 +54,14 @@ class vector {
   [[nodiscard]] constexpr std::array<T, N>& data() { return lanes_; }
 
   /// Extracts sub-vector `part` of `N / Parts` lanes (AIE `extract`).
+  /// A contiguous lane slice: one block copy regardless of backend.
   template <unsigned Parts>
   [[nodiscard]] vector<T, N / Parts> extract(unsigned part) const {
     static_assert(Parts > 0 && N % Parts == 0);
     record(OpClass::shuffle);
     vector<T, N / Parts> r;
-    for (unsigned i = 0; i < N / Parts; ++i) {
-      r.set(i, lanes_[part * (N / Parts) + i]);
-    }
+    std::memcpy(r.data().data(), lanes_.data() + part * (N / Parts),
+                (N / Parts) * sizeof(T));
     return r;
   }
 
@@ -64,15 +70,15 @@ class vector {
   vector& insert(unsigned part, const vector<T, M>& sub) {
     static_assert(M <= N && N % M == 0);
     record(OpClass::shuffle);
-    for (unsigned i = 0; i < M; ++i) lanes_[part * M + i] = sub.get(i);
+    std::memcpy(lanes_.data() + part * M, sub.data().data(), M * sizeof(T));
     return *this;
   }
 
   /// Widens into the lower half of a 2N vector (upper lanes zero).
   [[nodiscard]] vector<T, 2 * N> grow() const {
     record(OpClass::shuffle);
-    vector<T, 2 * N> r;
-    for (unsigned i = 0; i < N; ++i) r.set(i, lanes_[i]);
+    vector<T, 2 * N> r;  // value-initialized: upper lanes stay zero
+    std::memcpy(r.data().data(), lanes_.data(), N * sizeof(T));
     return r;
   }
 
@@ -119,21 +125,20 @@ template <class T, unsigned N>
 }
 
 /// Splats `v` across all lanes -- AIE `aie::broadcast<T, N>(v)`.
-template <class T, unsigned N>
+template <class T, unsigned N, class B = simd::backend>
 [[nodiscard]] inline vector<T, N> broadcast(T v) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  for (unsigned i = 0; i < N; ++i) r.set(i, v);
+  B::template broadcast<T, N>(r.data().data(), v);
   return r;
 }
 
 /// Lane iota {0, 1, ...} scaled by `step` -- AIE `aie::iota`.
-template <class T, unsigned N>
+template <class T, unsigned N, class B = simd::backend>
 [[nodiscard]] inline vector<T, N> iota(T start = T{0}, T step = T{1}) {
   record(OpClass::vector_alu);
   vector<T, N> r;
-  T v = start;
-  for (unsigned i = 0; i < N; ++i, v = static_cast<T>(v + step)) r.set(i, v);
+  B::template iota<T, N>(r.data().data(), start, step);
   return r;
 }
 
@@ -143,6 +148,11 @@ class mask {
  public:
   [[nodiscard]] constexpr bool get(unsigned i) const { return bits_[i]; }
   constexpr void set(unsigned i, bool v) { bits_[i] = v; }
+
+  [[nodiscard]] constexpr const std::array<bool, N>& data() const {
+    return bits_;
+  }
+  [[nodiscard]] constexpr std::array<bool, N>& data() { return bits_; }
   [[nodiscard]] constexpr unsigned count() const {
     unsigned c = 0;
     for (bool b : bits_) c += b ? 1u : 0u;

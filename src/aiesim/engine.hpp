@@ -165,7 +165,9 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       port_pending_ = 0;
       s.counter.reset();
       {
-        aie::ScopedCounter scoped{&s.counter};
+        // Batched: records accumulate into a stack-local OpCounts and merge
+        // into the tile counter once per activation (same final counts).
+        aie::ScopedCounterBatch scoped{&s.counter};
         ev.h.resume();
       }
       ++r.resumes;

@@ -31,21 +31,24 @@ struct Packet {
 };
 
 /// Vectorized bilinear evaluation -- mirrors the MAC schedule of the
-/// hand-optimized AMD kernel (two lerps in x, one lerp in y).
+/// hand-optimized AMD kernel (two lerps in x, one lerp in y). The SIMD
+/// execution backend is a template parameter so the ablation bench can pin
+/// it; results are bit-identical across backends.
+template <class B = aie::simd::backend>
 inline V interpolate(const Packet& q) {
-  const V one = aie::broadcast<float, kLanes>(1.0f);
-  const V gx = aie::sub(one, q.fx);
-  const V gy = aie::sub(one, q.fy);
+  const V one = aie::broadcast<float, kLanes, B>(1.0f);
+  const V gx = aie::sub<B>(one, q.fx);
+  const V gy = aie::sub<B>(one, q.fy);
   // top = p00*(1-fx) + p01*fx
-  auto top = aie::mul(q.p00, gx);
-  top = aie::mac(top, q.p01, q.fx);
+  auto top = aie::mul<B>(q.p00, gx);
+  top = aie::mac<B>(top, q.p01, q.fx);
   // bot = p10*(1-fx) + p11*fx
-  auto bot = aie::mul(q.p10, gx);
-  bot = aie::mac(bot, q.p11, q.fx);
+  auto bot = aie::mul<B>(q.p10, gx);
+  bot = aie::mac<B>(bot, q.p11, q.fx);
   // out = top*(1-fy) + bot*fy
-  auto out = aie::mul(aie::to_vector(top), gy);
-  out = aie::mac(out, aie::to_vector(bot), q.fy);
-  return aie::to_vector(out);
+  auto out = aie::mul<B>(aie::to_vector<B>(top), gy);
+  out = aie::mac<B>(out, aie::to_vector<B>(bot), q.fy);
+  return aie::to_vector<B>(out);
 }
 
 COMPUTE_KERNEL(aie, bilinear_kernel,

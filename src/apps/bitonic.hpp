@@ -42,20 +42,42 @@ aie::mask<N> to_mask(const std::array<bool, N>& bits) {
 
 }  // namespace detail
 
+namespace detail {
+
+/// One compare-exchange stage: butterfly stride plus its select mask. The
+/// masks depend only on (k, j) -- compile-time constants in the
+/// hand-optimized kernel -- so the whole network is tabulated once and the
+/// hot loop executes nothing but butterfly/min/max/select.
+struct Stage {
+  unsigned j;
+  aie::mask<16> take;
+};
+
+inline const std::array<Stage, 10>& stages16() {
+  static const std::array<Stage, 10> table = [] {
+    std::array<Stage, 10> s{};
+    unsigned n = 0;
+    for (unsigned k = 2; k <= 16; k <<= 1)
+      for (unsigned j = k >> 1; j >= 1; j >>= 1)
+        s[n++] = Stage{j, to_mask<16>(stage_take_min<16>(k, j))};
+    return s;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
 /// Sorts the 16 lanes of `v` ascending with a bitonic network
 /// (10 compare-exchange stages, each one butterfly + min + max + select).
+/// Backend-templated so the SIMD ablation bench can pin the execution
+/// backend; results are bit-identical across backends.
+template <class B = aie::simd::backend>
 inline Block sort16(Block v) {
-  for (unsigned k = 2; k <= 16; k <<= 1) {
-    for (unsigned j = k >> 1; j >= 1; j >>= 1) {
-      const Block partner = aie::butterfly(v, j);
-      const Block lo = aie::min(v, partner);
-      const Block hi = aie::max(v, partner);
-      static constexpr unsigned N = 16;
-      // Masks depend only on (k, j); they are compile-time constants in the
-      // hand-optimized kernel as well.
-      const auto take = detail::stage_take_min<N>(k, j);
-      v = aie::select(lo, hi, detail::to_mask<N>(take));
-    }
+  for (const auto& [j, take] : detail::stages16()) {
+    const Block partner = aie::butterfly<B>(v, j);
+    const Block lo = aie::min<B>(v, partner);
+    const Block hi = aie::max<B>(v, partner);
+    v = aie::select<B>(lo, hi, take);
   }
   return v;
 }

@@ -16,6 +16,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -60,29 +61,36 @@ struct BranchState {
 };
 
 /// Kernel-1 math: four 8-tap FIRs with 8-lane sliding MACs (Q14 -> Q14).
+/// Backend-templated so the SIMD ablation bench can pin the execution
+/// backend; results are bit-identical across backends.
+template <class B = aie::simd::backend>
 inline BranchBlock branch_filters(const SampleBlock& in, BranchState& st) {
   BranchBlock out;
   // History-extended sample buffer so lane n sees samples [n-7 .. n];
   // one trailing pad element keeps the 16-lane vector loads in bounds.
-  std::array<std::int16_t, kBlockSamples + kTaps> x{};
+  std::array<std::int16_t, kBlockSamples + kTaps + kLanes> x;
   for (unsigned i = 0; i < kTaps - 1; ++i) x[i] = st.tail[i];
-  for (unsigned i = 0; i < kBlockSamples; ++i) x[kTaps - 1 + i] = in.s[i];
+  std::memcpy(&x[kTaps - 1], in.s.data(), sizeof(in.s));
+  for (unsigned i = kBlockSamples + kTaps - 1; i < x.size(); ++i) x[i] = 0;
 
   std::array<std::array<std::int16_t, kBlockSamples>*, 4> dst{
       &out.b0, &out.b1, &out.b2, &out.b3};
-  std::array<aie::vector<std::int16_t, kTaps>, 4> coeff;
-  for (unsigned k = 0; k < 4; ++k) {
-    for (unsigned j = 0; j < kTaps; ++j) coeff[k].set(j, kCoeffs[k][j]);
-  }
+  // Coefficient vectors depend only on kCoeffs: built once, not per window.
+  static const std::array<aie::vector<std::int16_t, kTaps>, 4> coeff = [] {
+    std::array<aie::vector<std::int16_t, kTaps>, 4> c{};
+    for (unsigned k = 0; k < 4; ++k)
+      for (unsigned j = 0; j < kTaps; ++j) c[k].set(j, kCoeffs[k][j]);
+    return c;
+  }();
 
   for (unsigned i = 0; i < kBlockSamples; i += kLanes) {
-    // 15 consecutive samples cover 8 lanes x 8 taps.
-    const auto data = aie::load_v<16>(&x[i]);
+    // kLanes+kTaps-1 consecutive samples cover all lanes; loaded as 2*kLanes.
+    const auto data = aie::load_v<2 * kLanes>(&x[i]);
     for (unsigned k = 0; k < 4; ++k) {
-      auto acc = aie::sliding_mul_ops<kLanes, kTaps>::mul(coeff[k], 0u, data,
-                                                          0u);
+      auto acc = aie::sliding_mul_ops<kLanes, kTaps, 1, 1, 1, B>::mul(
+          coeff[k], 0u, data, 0u);
       aie::store_v(&(*dst[k])[i],
-                   aie::srs<std::int16_t>(acc, kQ));
+                   aie::srs<std::int16_t, B>(acc, kQ));
     }
   }
   for (unsigned i = 0; i < kTaps - 1; ++i) {
@@ -92,6 +100,7 @@ inline BranchBlock branch_filters(const SampleBlock& in, BranchState& st) {
 }
 
 /// Kernel-2 math: Horner combine with per-sample Q14 fractional delay.
+template <class B = aie::simd::backend>
 inline SampleBlock combine(const BranchBlock& br, const MuBlock& mu) {
   SampleBlock out;
   for (unsigned i = 0; i < kBlockSamples; i += kLanes) {
@@ -101,10 +110,12 @@ inline SampleBlock combine(const BranchBlock& br, const MuBlock& mu) {
     const auto v1 = aie::load_v<kLanes>(&br.b1[i]);
     const auto v0 = aie::load_v<kLanes>(&br.b0[i]);
     // h = b3*mu + b2   (Q14*Q14 -> srs -> Q14)
-    auto h = aie::srs<std::int16_t>(
-        aie::mac(aie::ups(v2, kQ), v3, m), kQ);
-    h = aie::srs<std::int16_t>(aie::mac(aie::ups(v1, kQ), h, m), kQ);
-    h = aie::srs<std::int16_t>(aie::mac(aie::ups(v0, kQ), h, m), kQ);
+    auto h = aie::srs<std::int16_t, B>(
+        aie::mac<B>(aie::ups<aie::acc48_tag, B>(v2, kQ), v3, m), kQ);
+    h = aie::srs<std::int16_t, B>(
+        aie::mac<B>(aie::ups<aie::acc48_tag, B>(v1, kQ), h, m), kQ);
+    h = aie::srs<std::int16_t, B>(
+        aie::mac<B>(aie::ups<aie::acc48_tag, B>(v0, kQ), h, m), kQ);
     aie::store_v(&out.s[i], h);
   }
   return out;
