@@ -19,7 +19,6 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,6 +27,7 @@
 #include "aie/cycle_model.hpp"
 #include "core/cgsim.hpp"
 #include "cost_model.hpp"
+#include "event_queue.hpp"
 #include "placement.hpp"
 #include "trace.hpp"
 
@@ -156,9 +156,8 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   /// Runs to quiescence. The context must already be bound and started.
   cgsim::RunResult run() {
     cgsim::RunResult r{};
-    while (!queue_.empty()) {
-      const Event ev = queue_.top();
-      queue_.pop();
+    Event ev;
+    while (queue_.pop(ev)) {
       TaskState& s = state_for(ev.h);
       segment_base_ = std::max(s.clock, ev.time);
       current_ = &s;
@@ -208,16 +207,6 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   [[nodiscard]] std::uint64_t step_checksum() const { return checksum_; }
 
  private:
-  struct Event {
-    std::uint64_t time;
-    std::uint64_t seq;  // FIFO among simultaneous events
-    std::coroutine_handle<> h;
-  };
-  struct EventAfter {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
-    }
-  };
   struct TaskState {
     std::uint64_t clock = 0;
     aie::OpCounter counter{};
@@ -279,7 +268,7 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
 
   SimConfig cfg_;
   cgsim::RuntimeContext* ctx_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, EventAfter> queue_;
+  PriorityEventQueue queue_;
   std::unordered_map<void*, TaskState> states_;
   std::unordered_set<const cgsim::ChannelBase*> global_out_;
   std::unordered_set<const cgsim::ChannelBase*> global_;
