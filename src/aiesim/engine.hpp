@@ -7,7 +7,7 @@
 // are converted to cycles with the VLIW cost model after each activation
 // segment, stream/window accesses are charged at the access point, and
 // cross-kernel data dependencies propagate time through per-item
-// virtual-time stamps in the channels. A priority queue orders kernel
+// virtual-time stamps in the channels. An event queue orders kernel
 // activations by tile time, exactly like an event-driven RTL simulator.
 //
 // Detail levels:
@@ -15,10 +15,26 @@
 //   * DetailLevel::cycle -- additionally steps per-tile pipeline state for
 //     every simulated cycle, reproducing the characteristic wall-clock cost
 //     of cycle-approximate simulation (paper Table 2's aiesim column).
+//
+// Engine variants (bit-identical observable results; checked in-tree by
+// tests/aiesim/test_engine.cpp and gated by bench_ablation_aiesim):
+//   * EngineVariant::fast -- timing-wheel event queue, tasks and channels
+//     resolved to dense integer ids at bind so the hot path indexes flat
+//     arrays (task states, per-edge global/output flags, hop costs, a lazy
+//     port-cost cache) instead of hashing pointers, block-stepped micro
+//     model (SIMD busy spans, GF(2) LFSR jump-ahead across stalls),
+//     buffered trace records.
+//   * EngineVariant::reference -- the original structures: binary-heap
+//     queue, unordered_map/set lookups keyed on pointers, one micro-model
+//     loop iteration per cycle, string trace records. Retained as the
+//     baseline the fast path is verified and benchmarked against.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <coroutine>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,6 +44,7 @@
 #include "core/cgsim.hpp"
 #include "cost_model.hpp"
 #include "event_queue.hpp"
+#include "micro_model.hpp"
 #include "placement.hpp"
 #include "trace.hpp"
 
@@ -38,6 +55,15 @@ enum class DetailLevel : std::uint8_t {
   cycle,  ///< plus per-cycle tile pipeline stepping
 };
 
+enum class EngineVariant : std::uint8_t {
+  fast,       ///< timing wheel + dense id tables + block-stepped micro model
+  reference,  ///< original heap + hash lookups + per-cycle loop
+};
+
+[[nodiscard]] constexpr const char* to_string(EngineVariant v) {
+  return v == EngineVariant::fast ? "fast" : "reference";
+}
+
 /// Configuration of one cycle-approximate simulation run.
 struct SimConfig {
   CostModel cost{};
@@ -45,6 +71,7 @@ struct SimConfig {
   /// hand-optimized native stream access (paper Section 5.2).
   bool generated_io = false;
   DetailLevel detail = DetailLevel::event;
+  EngineVariant engine = EngineVariant::fast;
   double aie_mhz = 1250.0;  ///< paper Section 5.2 configuration
   double pl_mhz = 625.0;
   int repetitions = 1;  ///< input replay count (paper Table 2)
@@ -78,6 +105,7 @@ struct SimResult {
   Trace trace{};
   std::uint64_t output_items = 0;
   std::vector<TileStats> tiles;      ///< one entry per kernel
+  std::uint64_t step_checksum = 0;   ///< micro-model checksum (cycle detail)
 
   /// Steady-state nanoseconds between output iterations.
   [[nodiscard]] double ns_per_iteration(double aie_mhz,
@@ -89,32 +117,24 @@ struct SimResult {
 /// The virtual-time executor + accounting hooks.
 class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
  public:
-  explicit SimEngine(const SimConfig& cfg) : cfg_(cfg) {}
+  explicit SimEngine(const SimConfig& cfg)
+      : cfg_(cfg), fast_(cfg.engine == EngineVariant::fast) {}
 
-  /// Collects per-task metadata and the set of global-output channels;
-  /// call after all sources/sinks are attached.
+  /// Collects per-task metadata and resolves channels/tasks to dense ids;
+  /// call after all sources/sinks are attached. Names are backfilled into
+  /// any task states created before the context was attached, so traces
+  /// and tile stats never show anonymous tasks.
   void bind(cgsim::RuntimeContext& ctx) {
     ctx_ = &ctx;
     const cgsim::GraphView& g = ctx.graph();
-    for (const cgsim::FlatGlobal& out : g.outputs) {
-      global_out_.insert(ctx.channel(out.edge));
-    }
-    for (const cgsim::FlatGlobal& in : g.inputs) {
-      global_.insert(ctx.channel(in.edge));
-    }
-    for (const cgsim::FlatGlobal& out : g.outputs) {
-      global_.insert(ctx.channel(out.edge));
-    }
     // Kernel-to-tile placement: intra-array streams pay per-hop switch
     // latency proportional to the Manhattan distance between tiles.
     placement_ =
         Placement::explicit_by_name(g, cfg_.placement, cfg_.array_columns);
-    for (std::size_t e = 0; e < g.edges.size(); ++e) {
-      const int hops = placement_.edge_hops(g, static_cast<int>(e));
-      if (hops > 0) {
-        hop_cost_[ctx.channel(static_cast<int>(e))] =
-            static_cast<std::uint64_t>(hops * cfg_.cost.hop_cycles + 0.5);
-      }
+    if (fast_) {
+      bind_fast(ctx, g);
+    } else {
+      bind_reference(ctx, g);
     }
   }
 
@@ -123,7 +143,12 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
                   std::uint64_t not_before) override {
     TaskState& s = state_for(h);
     const std::uint64_t t = std::max(s.clock, not_before);
-    queue_.push(Event{t, seq_++, h});
+    const Event ev{t, seq_++, h};
+    if (fast_) {
+      wheel_.push(ev);
+    } else {
+      heap_.push(ev);
+    }
   }
 
   // --- SimHooks ---
@@ -137,13 +162,51 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
                           std::size_t elem_bytes, bool is_read,
                           const cgsim::ChannelBase* ch) override {
     if (current_ == nullptr) return;
-    const bool global_io = global_.contains(ch);
     const bool generated = cfg_.generated_io && current_->is_kernel;
+    if (fast_) {
+      const int e = ch->edge_id();
+      if (e < 0 || static_cast<std::size_t>(e) >= edge_flags_.size()) {
+        // Channel from outside the bound graph: no global/hop metadata.
+        port_pending_ += cfg_.cost.port_cycles(s, elem_bytes, false,
+                                               generated);
+        return;
+      }
+      const std::uint8_t flags = edge_flags_[static_cast<std::size_t>(e)];
+      // The element width is a property of the edge, but the two sides of
+      // an edge may access it through ports with different settings (a
+      // stream_source writes with default settings into a window-read
+      // kernel port), so the cost is cached per (edge, side, generated)
+      // and the cache entry remembers the cost-relevant settings fields it
+      // was computed from -- a key mismatch (possible when a broadcast
+      // edge mixes kernel and sink readers) recomputes and overwrites.
+      const std::uint32_t key = cost_key(s);
+      EdgeCost& cached =
+          edge_cost_[static_cast<std::size_t>(e) * 4 + (is_read ? 2 : 0) +
+                     (generated ? 1 : 0)];
+      if (cached.key != key) {
+        cached.key = key;
+        cached.cycles = cfg_.cost.port_cycles(
+            s, elem_bytes, (flags & kEdgeGlobal) != 0, generated);
+      }
+      port_pending_ += cached.cycles;
+      if (is_read) {
+        // Stream-switch routing latency, charged once per element on the
+        // consuming side (0 for co-located or global endpoints).
+        port_pending_ += edge_hop_[static_cast<std::size_t>(e)];
+      }
+      if (!is_read && current_->is_kernel && (flags & kEdgeGlobalOut) != 0) {
+        if (current_->trace_name == Trace::kNoName) {
+          current_->trace_name = trace_.intern(current_->name);
+        }
+        trace_.record(now(), current_->trace_name, ++current_->iterations);
+        ++output_items_;
+      }
+      return;
+    }
+    const bool global_io = global_.contains(ch);
     port_pending_ +=
         cfg_.cost.port_cycles(s, elem_bytes, global_io, generated);
     if (is_read) {
-      // Charge stream-switch routing latency once per element, on the
-      // consuming side.
       const auto hop = hop_cost_.find(ch);
       if (hop != hop_cost_.end()) port_pending_ += hop->second;
     }
@@ -157,7 +220,8 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   cgsim::RunResult run() {
     cgsim::RunResult r{};
     Event ev;
-    while (queue_.pop(ev)) {
+    const bool cycle_detail = cfg_.detail == DetailLevel::cycle;
+    while (fast_ ? wheel_.pop(ev) : heap_.pop(ev)) {
       TaskState& s = state_for(ev.h);
       segment_base_ = std::max(s.clock, ev.time);
       current_ = &s;
@@ -173,8 +237,18 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       const std::uint64_t end = segment_base_ +
                                 cfg_.cost.compute_cycles(s.counter.counts) +
                                 port_pending_;
-      if (cfg_.detail == DetailLevel::cycle && end > s.clock) {
-        step_cycles(end - s.clock);
+      if (cycle_detail) {
+        // Stall cycles (tile waiting on data) advance only the LFSR time
+        // base; busy cycles do the full micro-model update.
+        const std::uint64_t stall = segment_base_ - s.clock;
+        const std::uint64_t busy = end - segment_base_;
+        if (fast_) {
+          if (stall != 0) micro_fast_.step_stall(stall);
+          if (busy != 0) micro_fast_.step_busy(busy);
+        } else {
+          if (stall != 0) micro_ref_.step_stall(stall);
+          if (busy != 0) micro_ref_.step_busy(busy);
+        }
       }
       s.busy_cycles += end - segment_base_;
       ++s.activations;
@@ -185,26 +259,52 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       if (ev.h.done()) ctx_->on_task_finished(ev.h);
     }
     r.virtual_cycles = makespan_;
+    assert(state_tables_stable() &&
+           "task state tables grew after bind-time reserve");
     return r;
   }
 
   [[nodiscard]] const Trace& trace() const { return trace_; }
   [[nodiscard]] const Placement& placement() const { return placement_; }
-  /// Per-kernel tile statistics, in no particular order.
+
+  /// Per-kernel tile statistics, ordered by kernel name (deterministic
+  /// across engine variants).
   [[nodiscard]] std::vector<TileStats> tile_stats() const {
     std::vector<TileStats> out;
-    for (const auto& [addr, s] : states_) {
-      if (!s.is_kernel) continue;
+    const auto add = [&out](const TaskState& s) {
+      if (!s.is_kernel) return;
       out.push_back(TileStats{s.name, s.busy_cycles, s.clock,
                               s.activations, s.total_ops});
+    };
+    if (fast_) {
+      for (const TaskState& s : states_) add(s);
+      for (const TaskState& s : overflow_states_) add(s);
+    } else {
+      for (const auto& [addr, s] : ref_states_) add(s);
     }
+    std::sort(out.begin(), out.end(),
+              [](const TileStats& a, const TileStats& b) {
+                return a.kernel < b.kernel;
+              });
     return out;
   }
+
   [[nodiscard]] std::uint64_t makespan() const { return makespan_; }
   [[nodiscard]] std::uint64_t output_items() const { return output_items_; }
+
   /// Checksum of the per-cycle pipeline stepping; consuming it keeps the
   /// cycle-detail work observable.
-  [[nodiscard]] std::uint64_t step_checksum() const { return checksum_; }
+  [[nodiscard]] std::uint64_t step_checksum() const {
+    return fast_ ? micro_fast_.checksum() : micro_ref_.checksum();
+  }
+  /// Full micro-model state, for bit-exactness comparison across variants.
+  [[nodiscard]] MicroSnapshot micro_snapshot() const {
+    return fast_ ? micro_fast_.snapshot() : micro_ref_.snapshot();
+  }
+  /// False if a task state had to be allocated after bind() reserved the
+  /// dense tables (instrumented builds assert on this at end of run).
+  [[nodiscard]] bool state_tables_stable() const { return !tables_grew_; }
+  [[nodiscard]] EngineVariant variant() const { return cfg_.engine; }
 
  private:
   struct TaskState {
@@ -213,67 +313,224 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
     std::uint64_t iterations = 0;
     std::string name;
     bool is_kernel = false;
+    std::uint32_t trace_name = Trace::kNoName;
     std::uint64_t busy_cycles = 0;
     std::uint64_t activations = 0;
     aie::OpCounts total_ops{};
   };
 
-  TaskState& state_for(std::coroutine_handle<> h) {
-    auto [it, inserted] = states_.try_emplace(h.address());
-    if (inserted && ctx_ != nullptr) {
-      if (const auto* rec = ctx_->record_for(h)) {
-        it->second.name = rec->name;
-        it->second.is_kernel = rec->kernel_index >= 0;
+  /// Open-addressing map from coroutine frame address to its dense task
+  /// state -- one multiply-shift hash and a short probe instead of
+  /// std::unordered_map's bucket chase on the resume path.
+  class HandleIndex {
+   public:
+    void reserve(std::size_t n) { rehash(2 * (n + size_) + 8); }
+
+    [[nodiscard]] TaskState* find(void* key) const {
+      if (cap_ == 0) return nullptr;
+      std::size_t i = hash(key) & (cap_ - 1);
+      while (keys_[i] != nullptr) {
+        if (keys_[i] == key) return vals_[i];
+        i = (i + 1) & (cap_ - 1);
+      }
+      return nullptr;
+    }
+
+    void insert(void* key, TaskState* val) {
+      if (2 * (size_ + 1) > cap_) rehash(cap_ == 0 ? 16 : cap_ * 2);
+      std::size_t i = hash(key) & (cap_ - 1);
+      while (keys_[i] != nullptr) i = (i + 1) & (cap_ - 1);
+      keys_[i] = key;
+      vals_[i] = val;
+      ++size_;
+    }
+
+   private:
+    static std::size_t hash(void* p) {
+      auto x = reinterpret_cast<std::uintptr_t>(p);
+      x ^= x >> 33;
+      x *= 0xFF51AFD7ED558CCDull;
+      x ^= x >> 33;
+      return static_cast<std::size_t>(x);
+    }
+
+    void rehash(std::size_t want) {
+      std::size_t cap = 16;
+      while (cap < want) cap *= 2;
+      if (cap <= cap_) return;
+      std::vector<void*> keys(cap, nullptr);
+      std::vector<TaskState*> vals(cap);
+      for (std::size_t i = 0; i < cap_; ++i) {
+        if (keys_[i] == nullptr) continue;
+        std::size_t j = hash(keys_[i]) & (cap - 1);
+        while (keys[j] != nullptr) j = (j + 1) & (cap - 1);
+        keys[j] = keys_[i];
+        vals[j] = vals_[i];
+      }
+      keys_ = std::move(keys);
+      vals_ = std::move(vals);
+      cap_ = cap;
+    }
+
+    std::vector<void*> keys_;
+    std::vector<TaskState*> vals_;
+    std::size_t cap_ = 0;
+    std::size_t size_ = 0;
+  };
+
+  void bind_fast(cgsim::RuntimeContext& ctx, const cgsim::GraphView& g) {
+    edge_flags_.assign(g.edges.size(), 0);
+    edge_hop_.assign(g.edges.size(), 0);
+    edge_cost_.assign(g.edges.size() * 4, EdgeCost{});
+    for (const cgsim::FlatGlobal& in : g.inputs) {
+      edge_flags_[static_cast<std::size_t>(in.edge)] |= kEdgeGlobal;
+    }
+    for (const cgsim::FlatGlobal& out : g.outputs) {
+      edge_flags_[static_cast<std::size_t>(out.edge)] |=
+          kEdgeGlobal | kEdgeGlobalOut;
+    }
+    const std::vector<int> hops = placement_.all_edge_hops(g);
+    for (std::size_t e = 0; e < hops.size(); ++e) {
+      if (hops[e] > 0) {
+        edge_hop_[e] =
+            static_cast<std::uint64_t>(hops[e] * cfg_.cost.hop_cycles + 0.5);
       }
     }
-    return it->second;
+    // Dense task states in task-id order, sized once: pointers into
+    // states_ stay valid for the whole run (emplace_back stays within the
+    // reserved capacity, and post-bind discoveries go to overflow_states_).
+    auto& tasks = ctx.tasks();
+    states_.reserve(states_.size() + tasks.size());
+    hindex_.reserve(tasks.size());
+    trace_.reserve(tasks.size(), 4096);
+    for (auto& rec : tasks) {
+      void* addr = rec.task.handle().address();
+      if (addr == nullptr) continue;
+      TaskState* s = hindex_.find(addr);
+      if (s == nullptr) {
+        states_.emplace_back();
+        s = &states_.back();
+        hindex_.insert(addr, s);
+      }
+      // Backfill: the state may predate the context (engine driven
+      // manually before bind); it must not stay anonymous.
+      s->name = rec.name;
+      s->is_kernel = rec.kernel_index >= 0;
+      s->trace_name = trace_.intern(rec.name);
+    }
+    bound_ = true;
   }
 
-  /// Per-cycle tile bookkeeping for DetailLevel::cycle: steps a tile
-  /// micro-model one cycle at a time -- VLIW pipeline stages, the vector
-  /// register scoreboard, stream FIFO occupancies and memory-bank
-  /// arbitration. Updating this state for every simulated cycle is what
-  /// makes real cycle-approximate simulators (aiesim) orders of magnitude
-  /// slower than functional simulation (paper Table 2).
-  void step_cycles(std::uint64_t n) {
-    std::uint64_t lfsr = lfsr_;
-    std::uint64_t sum = checksum_;
-    for (std::uint64_t i = 0; i < n; ++i) {
-      lfsr = (lfsr >> 1) ^ ((~(lfsr & 1) + 1) & 0xD800000000000000ull);
-      // Advance the 8-stage VLIW pipeline (issue -> writeback).
-      for (int s = 7; s > 0; --s) {
-        pipe_[s] = pipe_[s - 1] + (lfsr >> s & 1);
-      }
-      pipe_[0] = lfsr & 0xFF;
-      // Age the 32-entry vector register scoreboard; retire ready entries.
-      for (auto& r : scoreboard_) {
-        r = r > 0 ? r - 1 : (lfsr >> 17) & 0x7;
-        sum += r;
-      }
-      // Stream FIFO occupancies (2 in + 2 out x 16-deep model).
-      for (auto& f : fifo_) {
-        f = (f + ((lfsr >> 5) & 3)) & 0xF;
-        sum += f;
-      }
-      // Memory-bank arbitration round-robin state (8 banks).
-      for (auto& b : banks_) {
-        b = (b + 1) & 7;
-        sum ^= b;
-      }
-      sum += pipe_[7];
+  void bind_reference(cgsim::RuntimeContext& ctx, const cgsim::GraphView& g) {
+    for (const cgsim::FlatGlobal& out : g.outputs) {
+      global_out_.insert(ctx.channel(out.edge));
     }
-    lfsr_ = lfsr;
-    checksum_ = sum;
+    for (const cgsim::FlatGlobal& in : g.inputs) {
+      global_.insert(ctx.channel(in.edge));
+    }
+    for (const cgsim::FlatGlobal& out : g.outputs) {
+      global_.insert(ctx.channel(out.edge));
+    }
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      const int hops = placement_.edge_hops(g, static_cast<int>(e));
+      if (hops > 0) {
+        hop_cost_[ctx.channel(static_cast<int>(e))] =
+            static_cast<std::uint64_t>(hops * cfg_.cost.hop_cycles + 0.5);
+      }
+    }
+    // Backfill names into states created before the context existed.
+    for (auto& [addr, s] : ref_states_) {
+      if (!s.name.empty()) continue;
+      if (const auto* rec = ctx.record_for(
+              std::coroutine_handle<>::from_address(addr))) {
+        s.name = rec->name;
+        s.is_kernel = rec->kernel_index >= 0;
+      }
+    }
+    bound_ = true;
+  }
+
+  TaskState& state_for(std::coroutine_handle<> h) {
+    if (!fast_) {
+      auto [it, inserted] = ref_states_.try_emplace(h.address());
+      if (inserted && ctx_ != nullptr) {
+        if (const auto* rec = ctx_->record_for(h)) {
+          it->second.name = rec->name;
+          it->second.is_kernel = rec->kernel_index >= 0;
+        }
+      }
+      return it->second;
+    }
+    void* addr = h.address();
+    if (addr == cached_addr_) return *cached_state_;
+    TaskState* s = hindex_.find(addr);
+    if (s == nullptr) {
+      // Task unknown at bind time: park it off the dense table so existing
+      // TaskState pointers stay valid.
+      if (bound_) tables_grew_ = true;
+      overflow_states_.emplace_back();
+      s = &overflow_states_.back();
+      if (ctx_ != nullptr) {
+        if (const auto* rec = ctx_->record_for(h)) {
+          s->name = rec->name;
+          s->is_kernel = rec->kernel_index >= 0;
+          s->trace_name = trace_.intern(rec->name);
+        }
+      }
+      hindex_.insert(addr, s);
+    }
+    cached_addr_ = addr;
+    cached_state_ = s;
+    return *s;
+  }
+
+  static constexpr std::uint8_t kEdgeGlobal = 1;     ///< global in or out
+  static constexpr std::uint8_t kEdgeGlobalOut = 2;  ///< global output
+
+  /// Memoized port-access cost plus the settings fields it was derived
+  /// from (everything CostModel::port_cycles reads besides the per-edge
+  /// constants).
+  struct EdgeCost {
+    std::uint32_t key = ~std::uint32_t{0};
+    std::uint64_t cycles = 0;
+  };
+
+  [[nodiscard]] static std::uint32_t cost_key(const cgsim::PortSettings& s) {
+    const bool window = s.buffer == cgsim::BufferMode::window ||
+                        s.buffer == cgsim::BufferMode::pingpong;
+    const bool gmio = s.io == cgsim::IoKind::gmio;
+    return (window ? 1u : 0u) | (gmio ? 2u : 0u) |
+           (static_cast<std::uint32_t>(s.beat_bits) << 2);
   }
 
   SimConfig cfg_;
+  bool fast_;
   cgsim::RuntimeContext* ctx_ = nullptr;
-  PriorityEventQueue queue_;
-  std::unordered_map<void*, TaskState> states_;
+
+  // Event queues (one active per variant).
+  TimingWheelQueue wheel_;
+  PriorityEventQueue heap_;
+
+  // Fast variant: dense tables resolved at bind.
+  std::vector<TaskState> states_;          ///< task-id order, fixed capacity
+  std::deque<TaskState> overflow_states_;  ///< post-bind discoveries
+  HandleIndex hindex_;
+  void* cached_addr_ = nullptr;  ///< consecutive events mostly hit one task
+  TaskState* cached_state_ = nullptr;
+  std::vector<std::uint8_t> edge_flags_;
+  std::vector<std::uint64_t> edge_hop_;  ///< routing cycles per element
+  /// [edge * 4 + is_read * 2 + generated] memoized port costs.
+  std::vector<EdgeCost> edge_cost_;
+  bool bound_ = false;
+  bool tables_grew_ = false;
+
+  // Reference variant: original pointer-hashed lookups.
+  std::unordered_map<void*, TaskState> ref_states_;
   std::unordered_set<const cgsim::ChannelBase*> global_out_;
   std::unordered_set<const cgsim::ChannelBase*> global_;
-  Placement placement_;
   std::unordered_map<const cgsim::ChannelBase*, std::uint64_t> hop_cost_;
+
+  Placement placement_;
   TaskState* current_ = nullptr;
   std::uint64_t segment_base_ = 0;
   std::uint64_t port_pending_ = 0;
@@ -281,12 +538,8 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   std::uint64_t makespan_ = 0;
   std::uint64_t output_items_ = 0;
   Trace trace_;
-  std::uint64_t lfsr_ = 0x9E3779B97F4A7C15ull;
-  std::uint64_t pipe_[8]{};
-  std::uint64_t scoreboard_[32]{};
-  std::uint64_t fifo_[64]{};
-  std::uint64_t banks_[8]{};
-  std::uint64_t checksum_ = 0;
+  TileMicroRef micro_ref_;
+  TileMicroFast micro_fast_;
 };
 
 /// Cycle-approximate simulation of a compute graph with positional data
@@ -310,6 +563,7 @@ SimResult simulate(const cgsim::GraphView& g, const SimConfig& cfg,
   res.trace = engine.trace();
   res.output_items = engine.output_items();
   res.tiles = engine.tile_stats();
+  res.step_checksum = engine.step_checksum();
   return res;
 }
 

@@ -93,6 +93,33 @@ class Placement {
     return hops;
   }
 
+  /// Hops for every edge in one pass over the port table. Equivalent to
+  /// calling edge_hops() per edge, which rescans all kernel ports each
+  /// time; setup-time callers building dense per-edge tables use this.
+  [[nodiscard]] std::vector<int> all_edge_hops(
+      const cgsim::GraphView& g) const {
+    std::vector<std::vector<std::size_t>> producers(g.edges.size());
+    std::vector<std::vector<std::size_t>> consumers(g.edges.size());
+    for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+      const cgsim::FlatKernel& fk = g.kernels[k];
+      for (int pi = 0; pi < fk.nports; ++pi) {
+        const cgsim::FlatPort& fp =
+            g.ports[static_cast<std::size_t>(fk.first_port + pi)];
+        const auto e = static_cast<std::size_t>(fp.edge);
+        (fp.is_read ? consumers : producers)[e].push_back(k);
+      }
+    }
+    std::vector<int> hops(g.edges.size(), 0);
+    for (std::size_t e = 0; e < g.edges.size(); ++e) {
+      for (std::size_t p : producers[e]) {
+        for (std::size_t c : consumers[e]) {
+          hops[e] = std::max(hops[e], manhattan(of(p), of(c)));
+        }
+      }
+    }
+    return hops;
+  }
+
  private:
   std::vector<TileCoord> coords_;
 };

@@ -93,6 +93,12 @@ class ChannelBase {
   void set_debug_name(std::string name) { debug_name_ = std::move(name); }
   [[nodiscard]] const std::string& debug_name() const { return debug_name_; }
 
+  /// Dense id of the graph edge this channel was deserialized from (set by
+  /// RuntimeContext; -1 for standalone channels). Backends use it to index
+  /// flat per-edge tables instead of hashing channel pointers.
+  void set_edge_id(int id) { edge_id_ = id; }
+  [[nodiscard]] int edge_id() const { return edge_id_; }
+
   /// One producer endpoint finished; closing the last one releases blocked
   /// consumers with ChanStatus::closed once the buffer drains.
   virtual void producer_done() = 0;
@@ -122,6 +128,7 @@ class ChannelBase {
   std::uint64_t pushed_ = 0;
   std::vector<std::uint64_t> popped_;
   std::string debug_name_;
+  int edge_id_ = -1;
 };
 
 /// Typed channel operations. `consumer` identifies the broadcast endpoint.

@@ -103,6 +103,7 @@ class RuntimeContext {
     std::vector<std::pair<ChannelBase*, int>> in_endpoints;
     Realm realm = Realm::noextract;
     int kernel_index = -1;  ///< -1 for source/sink tasks
+    int task_index = -1;    ///< dense id over all tasks (kernels + I/O)
     int shard = 0;          ///< coop_mt home shard
     bool finished = false;
   };
@@ -158,6 +159,7 @@ class RuntimeContext {
                                exec_);
       }
       ch->set_producers(e.n_producers);
+      ch->set_edge_id(static_cast<int>(ei));
       if (sim_ != nullptr) ch->attach_sim_hooks(sim_);
       channels_.emplace_back(ch);
     }
@@ -189,7 +191,7 @@ class RuntimeContext {
         rec.shard = partition_.kernel_shard[ki];
       }
       rec.task = k.thunk(KernelBinding{bindings.data(), bindings.size()});
-      tasks_.push_back(std::move(rec));
+      push_task(std::move(rec));
     }
   }
 
@@ -215,7 +217,7 @@ class RuntimeContext {
     rec.task = detail::stream_source<T>(KernelWritePort<T>{b}, data,
                                         repetitions,
                                         std::move(dma_transform));
-    tasks_.push_back(std::move(rec));
+    push_task(std::move(rec));
   }
 
   template <class T>
@@ -231,7 +233,7 @@ class RuntimeContext {
     rec.in_endpoints.emplace_back(ch, go.endpoint);
     rec.task = detail::stream_sink<T>(KernelReadPort<T>{b}, &out,
                                       std::move(dma_transform));
-    tasks_.push_back(std::move(rec));
+    push_task(std::move(rec));
   }
 
   template <class T>
@@ -245,7 +247,7 @@ class RuntimeContext {
     rec.shard = shard_for_edge(in.edge);
     rec.out_channels.push_back(ch);
     rec.task = detail::rtp_source<T>(KernelWritePort<T>{b}, std::move(value));
-    tasks_.push_back(std::move(rec));
+    push_task(std::move(rec));
   }
 
   /// A runtime-parameter sink has no coroutine: the final value is copied
@@ -330,6 +332,11 @@ class RuntimeContext {
   }
 
   [[nodiscard]] std::vector<TaskRecord>& tasks() { return tasks_; }
+  /// Registers a task record under the next dense task id.
+  void push_task(TaskRecord&& rec) {
+    rec.task_index = static_cast<int>(tasks_.size());
+    tasks_.push_back(std::move(rec));
+  }
   [[nodiscard]] const GraphView& graph() const { return graph_; }
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
   /// coop_mt only: the shard assignment computed at construction.

@@ -16,6 +16,7 @@ namespace {
 
 using aiesim::Event;
 using aiesim::PriorityEventQueue;
+using aiesim::TimingWheelQueue;
 
 // Coroutine handles are only compared by address in these tests; the queue
 // never resumes them, so tagging events with small fake frames is safe.
@@ -120,6 +121,114 @@ TEST(PriorityEventQueue, FuzzGlobalTimeSeqOrder) {
       // guarantees by construction for adjacent pops.
       if (a.time == b.time) EXPECT_LT(a.seq, b.seq);
     }
+  }
+}
+
+// --- TimingWheelQueue: the engine's replacement structure --------------
+
+TEST(TimingWheelQueue, PopsAscendingTime) {
+  TimingWheelQueue q;
+  q.push(Event{30, 0, handle_tag(0)});
+  q.push(Event{10, 1, handle_tag(1)});
+  q.push(Event{20, 2, handle_tag(2)});
+  Event e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, 10u);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, 20u);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, 30u);
+  EXPECT_FALSE(q.pop(e));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimingWheelQueue, SameCycleEventsPopInSeqOrder) {
+  TimingWheelQueue q;
+  q.push(Event{100, 0, handle_tag(0)});
+  q.push(Event{50, 1, handle_tag(1)});
+  q.push(Event{100, 2, handle_tag(2)});
+  q.push(Event{100, 3, handle_tag(3)});
+  q.push(Event{50, 4, handle_tag(4)});
+  Event e;
+  std::vector<std::uint64_t> seqs;
+  while (q.pop(e)) seqs.push_back(e.seq);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 4, 0, 2, 3}));
+}
+
+TEST(TimingWheelQueue, SpansAllLevelsAndOverflow) {
+  // One event per wheel level plus one beyond the 2^30-cycle horizon, plus
+  // a past-dated wake after the floor has advanced.
+  TimingWheelQueue q;
+  std::uint64_t seq = 0;
+  const std::uint64_t times[] = {3,        70,        5000,
+                                 300000,   20000000,  (1ull << 30) + 12345};
+  for (std::uint64_t t : times) q.push(Event{t, seq++, handle_tag(seq)});
+  Event e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, 3u);
+  // Wake dated before the current floor (already popped past it).
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, 70u);
+  q.push(Event{50, seq++, handle_tag(seq)});
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, 50u);  // past event drains before the wheel
+  std::vector<std::uint64_t> rest;
+  while (q.pop(e)) rest.push_back(e.time);
+  EXPECT_EQ(rest, (std::vector<std::uint64_t>{5000, 300000, 20000000,
+                                              (1ull << 30) + 12345}));
+}
+
+// The wheel must reproduce the reference heap's pop sequence *exactly*
+// (same time and same seq at every step) under a randomized schedule
+// shaped like the engine's: same-cycle bursts, level-0..high-level gaps,
+// past wakes, and occasional beyond-horizon pushes.
+TEST(TimingWheelQueue, FuzzMatchesPriorityQueuePopForPop) {
+  std::mt19937_64 rng{0xB0C4E7u};
+  for (int round = 0; round < 40; ++round) {
+    PriorityEventQueue ref;
+    TimingWheelQueue wheel;
+    std::uint64_t seq = 0;
+    std::uint64_t now = 0;
+    const int ops = 600;
+    for (int i = 0; i < ops; ++i) {
+      const bool do_push = ref.empty() || (rng() % 3) != 0;
+      if (do_push) {
+        std::uint64_t t = now;
+        switch (rng() % 6) {
+          case 0: t = now + (rng() % 4); break;              // near / tie
+          case 1: t = now + (rng() % 64); break;             // level 0
+          case 2: t = now + (rng() % 5000); break;           // mid levels
+          case 3: t = now + (rng() % 3000000); break;        // high levels
+          case 4:
+            t = now > 500 ? now - (rng() % 500) : 0;         // past wake
+            break;
+          case 5:
+            t = now + (1ull << 30) + (rng() % 1000);         // overflow
+            break;
+        }
+        const Event e{t, seq++, handle_tag(seq)};
+        ref.push(e);
+        wheel.push(e);
+      } else {
+        Event a;
+        Event b;
+        ASSERT_TRUE(ref.pop(a));
+        ASSERT_TRUE(wheel.pop(b));
+        ASSERT_EQ(a.time, b.time);
+        ASSERT_EQ(a.seq, b.seq);
+        now = std::max(now, a.time);
+      }
+      ASSERT_EQ(ref.size(), wheel.size());
+    }
+    Event a;
+    Event b;
+    while (ref.pop(a)) {
+      ASSERT_TRUE(wheel.pop(b));
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+    }
+    EXPECT_FALSE(wheel.pop(b));
+    EXPECT_TRUE(wheel.empty());
   }
 }
 
