@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <cstdlib>
 #include <random>
 #include <string>
@@ -207,12 +208,16 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"bench_ablation_aiesim\",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"gate_enforced\": %s,\n"
                  "  \"simd_backend\": \"%s\",\n"
                  "  \"scale_divisor\": %d,\n"
                  "  \"min_geomean\": %.2f,\n"
                  "  \"geomean_speedup\": %.3f,\n"
                  "  \"bit_identical\": %s,\n"
                  "  \"rows\": [\n",
+                 std::thread::hardware_concurrency(),
+                 min_geomean >= 3.0 ? "true" : "false",
                  aie::simd::backend::name, g_divisor, min_geomean, geomean,
                  all_identical ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {

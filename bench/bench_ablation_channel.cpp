@@ -262,6 +262,8 @@ int run_ablation(const std::string& json_path, std::size_t total) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"bench_ablation_channel\",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"gate_enforced\": true,\n"
                  "  \"window\": %zu,\n"
                  "  \"total_elements\": %zu,\n"
                  "  \"scalar_devirt_elems_per_s\": %.0f,\n"
@@ -270,6 +272,7 @@ int run_ablation(const std::string& json_path, std::size_t total) {
                  "  \"bulk_speedup_vs_scalar\": %.3f,\n"
                  "  \"devirt_speedup_vs_virtual\": %.3f\n"
                  "}\n",
+                 std::thread::hardware_concurrency(),
                  kWindow, total, scalar_eps, virtual_eps, bulk_eps,
                  bulk_speedup, devirt_speedup);
     std::fclose(f);

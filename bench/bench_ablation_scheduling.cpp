@@ -218,7 +218,7 @@ int run_ablation(const std::string& json_path, int items) {
                  "  \"bench\": \"bench_ablation_scheduling\",\n"
                  "  \"pipelines\": 4,\n"
                  "  \"items_per_pipeline\": %d,\n"
-                 "  \"hardware_threads\": %u,\n"
+                 "  \"hw_threads\": %u,\n"
                  "  \"coop_s\": %.6f,\n"
                  "  \"coop_mt2_s\": %.6f,\n"
                  "  \"coop_mt4_s\": %.6f,\n"

@@ -23,6 +23,7 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <thread>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -317,9 +318,13 @@ int run_ablation(const std::string& json_path, std::size_t iters,
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"bench_ablation_simd\",\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"gate_enforced\": %s,\n"
                  "  \"default_backend\": \"%s\",\n"
                  "  \"iters\": %zu,\n"
                  "  \"rows\": [\n",
+                 std::thread::hardware_concurrency(),
+                 min_speedup >= 3.0 ? "true" : "false",
                  aie::simd::backend::name, iters);
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& row = rows[i];

@@ -191,6 +191,12 @@ int main(int argc, char** argv) {
               "-----------------------------------------------------------"
               "-------------------------------------------------");
   bool shape = true;
+  // The aiesim>>cgsim shape gates only engage on rows measured with >=2
+  // repetitions (see below); record whether every row met that bar.
+  bool gate_enforced = true;
+  for (const Row& r : rows) {
+    if (r.reps < 2) gate_enforced = false;
+  }
   for (const Row& r : rows) {
     std::printf("%-10s %6d | %10.2f %11.2f %10.2f %12.2f | %8.2f %8.2f "
                 "%10.2f\n",
@@ -216,11 +222,13 @@ int main(int argc, char** argv) {
                  "  \"simd_backend\": \"%s\",\n"
                  "  \"aiesim_engine\": \"%s\",\n"
                  "  \"scale_divisor\": %d,\n"
-                 "  \"hardware_threads\": %u,\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"gate_enforced\": %s,\n"
                  "  \"shape_ok\": %s,\n"
                  "  \"rows\": [\n",
                  aie::simd::backend::name, aiesim::to_string(g_aiesim_engine),
                  g_divisor, std::thread::hardware_concurrency(),
+                 gate_enforced ? "true" : "false",
                  shape ? "true" : "false");
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];

@@ -1,0 +1,361 @@
+// aiesim -- ahead-of-time graph compilation for the cycle-approximate
+// engine.
+//
+// Binding a graph to a SimEngine derives a set of static tables from the
+// flattened graph, the cost model and the placement: per-edge global/output
+// flags, per-edge routing-hop cycles, and the per-(edge, side, generated)
+// port-access costs the hot path reads on every element. None of that
+// depends on run-time data, so it is hoisted here into a CompiledGraph
+// artifact built once and reused:
+//   * SimEngine::bind() copies the tables instead of recomputing them,
+//     which removes the placement scan, the hop matrix and every first-
+//     touch cost computation from the per-run setup path;
+//   * a process-wide CompiledGraphCache memoizes artifacts keyed on the
+//     *complete serialized input* of compile() -- graph topology and
+//     settings, cost-model constants, placement directives -- so repeated
+//     simulations of the same configuration (parameter sweeps, warm-up +
+//     measure loops, test suites) compile exactly once;
+//   * the artifact also carries the kernel/edge adjacency lists the
+//     incremental re-simulation layer (resim.hpp) uses to compute affected
+//     cones, so cone analysis never rescans the port table.
+//
+// The cache key is an exact-match byte serialization, not a hash: two
+// configurations collide only if every field compile() reads is identical,
+// in which case sharing the artifact is correct by construction. Keys
+// contain no pointers, so equal graphs rebuilt at different addresses
+// still share one entry; the cache is in-process only and never persisted.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph_view.hpp"
+#include "cost_model.hpp"
+#include "placement.hpp"
+
+namespace aiesim {
+
+/// Memoized port-access cost plus every cost-relevant input it was derived
+/// from (everything CostModel::port_cycles reads besides the per-edge
+/// constants), compared field-by-field so distinct settings can never
+/// alias to one memo entry. Compiled entries are seeded from the edge's
+/// merged settings; a port accessing the edge with different settings
+/// fails the field comparison and recomputes at run time.
+struct EdgeCost {
+  bool valid = false;
+  bool window = false;
+  bool gmio = false;
+  int beat_bits = 0;
+  std::size_t elem_bytes = 0;
+  std::uint64_t cycles = 0;
+};
+
+/// Per-edge flag bits shared by the engine and the compiler.
+inline constexpr std::uint8_t kEdgeGlobal = 1;     ///< global in or out
+inline constexpr std::uint8_t kEdgeGlobalOut = 2;  ///< global output
+
+/// The ahead-of-time-compiled form of (graph, cost model, placement):
+/// every static table the engine's fast path indexes, plus the adjacency
+/// the incremental re-simulation layer traverses. Immutable after
+/// compile(); safely shared across engines.
+struct CompiledGraph {
+  std::string key;  ///< canonical serialized input (cache identity)
+
+  CostModel cost{};
+  bool generated_io = false;
+  int array_columns = 8;
+
+  Placement placement;
+  std::vector<std::uint8_t> edge_flags;  ///< kEdgeGlobal / kEdgeGlobalOut
+  std::vector<std::uint64_t> edge_hop;   ///< routing cycles per element
+  /// [edge * 4 + is_read * 2 + generated] port costs, pre-seeded from the
+  /// edge's merged settings (see EdgeCost).
+  std::vector<EdgeCost> edge_cost;
+
+  // Kernel/edge adjacency (kernel and edge indices of the flattened
+  // graph). Source/sink tasks are not kernels and do not appear here;
+  // edges touching them simply have fewer kernel endpoints.
+  std::vector<std::vector<int>> kernel_in_edges;
+  std::vector<std::vector<int>> kernel_out_edges;
+  std::vector<std::vector<int>> edge_producer_kernels;
+  std::vector<std::vector<int>> edge_consumer_kernels;
+
+  std::size_t n_kernels = 0;
+  std::size_t n_edges = 0;
+};
+
+namespace detail {
+
+/// Append-only byte serializer for cache keys: fixed-width fields are
+/// appended by value, strings with a length prefix, so no two distinct
+/// field sequences serialize to the same bytes.
+class KeyWriter {
+ public:
+  template <class T>
+  void put(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* b = reinterpret_cast<const char*>(&v);
+    out_.append(b, sizeof(T));
+  }
+  void put_str(std::string_view s) {
+    put(s.size());
+    out_.append(s.data(), s.size());
+  }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+inline void key_settings(KeyWriter& w, const cgsim::PortSettings& s) {
+  w.put(s.beat_bits);
+  w.put(s.rtp);
+  w.put(static_cast<std::uint8_t>(s.buffer));
+  w.put(s.window_size);
+  w.put(static_cast<std::uint8_t>(s.io));
+}
+
+}  // namespace detail
+
+/// Canonical serialization of every input compile() reads. Exact-match
+/// identity: graphs that serialize equally compile to identical tables.
+[[nodiscard]] inline std::string compiled_graph_key(
+    const cgsim::GraphView& g, const CostModel& cost, bool generated_io,
+    const std::map<std::string, TileCoord>& placement, int array_columns) {
+  detail::KeyWriter w;
+  w.put(cost.vector_slots);
+  w.put(cost.shuffle_slots);
+  w.put(cost.load_slots);
+  w.put(cost.store_slots);
+  w.put(cost.scalar_slots);
+  w.put(cost.activation_ramp);
+  w.put(cost.stream_beat_bits);
+  w.put(cost.plio_clock_ratio);
+  w.put(cost.stream_access_overhead);
+  w.put(cost.generated_beat_factor);
+  w.put(cost.window_sync_cycles);
+  w.put(cost.window_bytes_per_cycle);
+  w.put(cost.hop_cycles);
+  w.put(cost.gmio_setup_cycles);
+  w.put(cost.gmio_bytes_per_cycle);
+  w.put(generated_io);
+  w.put(array_columns);
+  w.put(placement.size());
+  for (const auto& [name, coord] : placement) {  // std::map: sorted, canonical
+    w.put_str(name);
+    w.put(coord.col);
+    w.put(coord.row);
+  }
+  w.put(g.kernels.size());
+  for (const cgsim::FlatKernel& k : g.kernels) {
+    w.put_str(k.name);
+    w.put(k.first_port);
+    w.put(k.nports);
+  }
+  w.put(g.ports.size());
+  for (const cgsim::FlatPort& p : g.ports) {
+    w.put(p.is_read);
+    w.put(p.edge);
+    w.put(p.endpoint);
+    detail::key_settings(w, p.settings);
+  }
+  w.put(g.edges.size());
+  for (const cgsim::FlatEdge& e : g.edges) {
+    detail::key_settings(w, e.settings);
+    w.put(e.capacity);
+    w.put(e.n_producers);
+    w.put(e.n_consumers);
+    w.put(e.vtable().elem_size);
+  }
+  w.put(g.inputs.size());
+  for (const cgsim::FlatGlobal& in : g.inputs) {
+    w.put(in.edge);
+    w.put(in.endpoint);
+  }
+  w.put(g.outputs.size());
+  for (const cgsim::FlatGlobal& out : g.outputs) {
+    w.put(out.edge);
+    w.put(out.endpoint);
+  }
+  return w.take();
+}
+
+/// Builds the compiled artifact for (graph, cost model, placement). Pure:
+/// reads only its arguments, touches no channels or contexts.
+[[nodiscard]] inline std::shared_ptr<const CompiledGraph> compile_graph(
+    const cgsim::GraphView& g, const CostModel& cost, bool generated_io,
+    const std::map<std::string, TileCoord>& placement, int array_columns) {
+  auto cg = std::make_shared<CompiledGraph>();
+  cg->key = compiled_graph_key(g, cost, generated_io, placement,
+                               array_columns);
+  cg->cost = cost;
+  cg->generated_io = generated_io;
+  cg->array_columns = array_columns;
+  cg->n_kernels = g.kernels.size();
+  cg->n_edges = g.edges.size();
+  cg->placement = Placement::explicit_by_name(g, placement, array_columns);
+
+  cg->edge_flags.assign(g.edges.size(), 0);
+  for (const cgsim::FlatGlobal& in : g.inputs) {
+    cg->edge_flags[static_cast<std::size_t>(in.edge)] |= kEdgeGlobal;
+  }
+  for (const cgsim::FlatGlobal& out : g.outputs) {
+    cg->edge_flags[static_cast<std::size_t>(out.edge)] |=
+        kEdgeGlobal | kEdgeGlobalOut;
+  }
+
+  cg->edge_hop.assign(g.edges.size(), 0);
+  const std::vector<int> hops = cg->placement.all_edge_hops(g);
+  for (std::size_t e = 0; e < hops.size(); ++e) {
+    if (hops[e] > 0) {
+      cg->edge_hop[e] =
+          static_cast<std::uint64_t>(hops[e] * cost.hop_cycles + 0.5);
+    }
+  }
+
+  // Pre-seed the per-(edge, side, generated) cost memo from the edge's
+  // merged settings and element width -- for graphs whose ports inherit
+  // the edge settings (the common case) the run never computes a port
+  // cost; divergent per-port settings fail EdgeCost's field comparison
+  // and recompute exactly as before.
+  cg->edge_cost.assign(g.edges.size() * 4, EdgeCost{});
+  for (std::size_t e = 0; e < g.edges.size(); ++e) {
+    const cgsim::FlatEdge& fe = g.edges[e];
+    const cgsim::PortSettings& s = fe.settings;
+    const bool global_io = (cg->edge_flags[e] & kEdgeGlobal) != 0;
+    const bool window = s.buffer == cgsim::BufferMode::window ||
+                        s.buffer == cgsim::BufferMode::pingpong;
+    const bool gmio = s.io == cgsim::IoKind::gmio;
+    const std::size_t elem = fe.vtable().elem_size;
+    for (int side = 0; side < 4; ++side) {
+      EdgeCost& c = cg->edge_cost[e * 4 + static_cast<std::size_t>(side)];
+      c.valid = true;
+      c.window = window;
+      c.gmio = gmio;
+      c.beat_bits = s.beat_bits;
+      c.elem_bytes = elem;
+      c.cycles = cost.port_cycles(s, elem, global_io, (side & 1) != 0);
+    }
+  }
+
+  cg->kernel_in_edges.resize(g.kernels.size());
+  cg->kernel_out_edges.resize(g.kernels.size());
+  cg->edge_producer_kernels.resize(g.edges.size());
+  cg->edge_consumer_kernels.resize(g.edges.size());
+  for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+    const cgsim::FlatKernel& fk = g.kernels[k];
+    for (int pi = 0; pi < fk.nports; ++pi) {
+      const cgsim::FlatPort& fp =
+          g.ports[static_cast<std::size_t>(fk.first_port + pi)];
+      const auto e = static_cast<std::size_t>(fp.edge);
+      if (fp.is_read) {
+        cg->kernel_in_edges[k].push_back(fp.edge);
+        cg->edge_consumer_kernels[e].push_back(static_cast<int>(k));
+      } else {
+        cg->kernel_out_edges[k].push_back(fp.edge);
+        cg->edge_producer_kernels[e].push_back(static_cast<int>(k));
+      }
+    }
+  }
+  return cg;
+}
+
+/// Process-wide LRU cache of compiled artifacts, keyed on the canonical
+/// serialization. Thread-safe; entries are shared_ptr<const>, so an
+/// eviction never invalidates an artifact still in use by an engine.
+class CompiledGraphCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+  };
+
+  static CompiledGraphCache& instance() {
+    static CompiledGraphCache cache;
+    return cache;
+  }
+
+  /// Looks the configuration up, compiling and inserting on miss.
+  [[nodiscard]] std::shared_ptr<const CompiledGraph> get_or_compile(
+      const cgsim::GraphView& g, const CostModel& cost, bool generated_io,
+      const std::map<std::string, TileCoord>& placement,
+      int array_columns) {
+    std::string key =
+        compiled_graph_key(g, cost, generated_io, placement, array_columns);
+    {
+      std::lock_guard lock{mu_};
+      auto it = map_.find(key);
+      if (it != map_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+        return it->second.value;
+      }
+      ++misses_;
+    }
+    // Compile outside the lock: compilation is pure and keyed exactly, so
+    // two threads racing the same key build identical artifacts and the
+    // loser's insert is a no-op.
+    auto cg = compile_graph(g, cost, generated_io, placement, array_columns);
+    std::lock_guard lock{mu_};
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second.value;
+    lru_.push_front(key);
+    map_.emplace(std::move(key), Entry{cg, lru_.begin()});
+    while (map_.size() > capacity_) {
+      ++evictions_;
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return cg;
+  }
+
+  [[nodiscard]] Stats stats() const {
+    std::lock_guard lock{mu_};
+    return Stats{hits_, misses_, evictions_, map_.size()};
+  }
+
+  void clear() {
+    std::lock_guard lock{mu_};
+    map_.clear();
+    lru_.clear();
+    hits_ = misses_ = evictions_ = 0;
+  }
+
+  /// Maximum retained artifacts (drops LRU overflow immediately).
+  void set_capacity(std::size_t n) {
+    std::lock_guard lock{mu_};
+    capacity_ = n == 0 ? 1 : n;
+    while (map_.size() > capacity_) {
+      ++evictions_;
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const CompiledGraph> value;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  ///< most recent first
+  std::size_t capacity_ = 64;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace aiesim

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "aie/cycle_model.hpp"
+#include "compiled.hpp"
 #include "core/cgsim.hpp"
 #include "cost_model.hpp"
 #include "event_queue.hpp"
@@ -88,6 +89,7 @@ struct TileStats {
   std::uint64_t final_clock = 0;   ///< tile time at quiescence
   std::uint64_t activations = 0;   ///< scheduler segments executed
   aie::OpCounts ops{};             ///< accumulated instrumentation
+  std::uint64_t iterations = 0;    ///< global-output elements written
 
   /// Fraction of the makespan this tile spent busy.
   [[nodiscard]] double utilization(std::uint64_t makespan) const {
@@ -124,16 +126,33 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   /// call after all sources/sinks are attached. Names are backfilled into
   /// any task states created before the context was attached, so traces
   /// and tile stats never show anonymous tasks.
-  void bind(cgsim::RuntimeContext& ctx) {
+  ///
+  /// When `compiled` is non-null (and matches cfg_: same graph, cost model,
+  /// placement directives), the fast variant copies its precomputed tables
+  /// instead of deriving them -- the graph-compilation fast path. The
+  /// reference variant ignores it by design: it is the baseline the
+  /// compiled path is verified against.
+  void bind(cgsim::RuntimeContext& ctx,
+            const CompiledGraph* compiled = nullptr) {
     ctx_ = &ctx;
     const cgsim::GraphView& g = ctx.graph();
-    // Kernel-to-tile placement: intra-array streams pay per-hop switch
-    // latency proportional to the Manhattan distance between tiles.
-    placement_ =
-        Placement::explicit_by_name(g, cfg_.placement, cfg_.array_columns);
     if (fast_) {
-      bind_fast(ctx, g);
+      if (compiled != nullptr) {
+        placement_ = compiled->placement;
+        edge_flags_ = compiled->edge_flags;
+        edge_hop_ = compiled->edge_hop;
+        edge_cost_ = compiled->edge_cost;
+      } else {
+        // Kernel-to-tile placement: intra-array streams pay per-hop switch
+        // latency proportional to the Manhattan distance between tiles.
+        placement_ = Placement::explicit_by_name(g, cfg_.placement,
+                                                 cfg_.array_columns);
+        bind_fast_tables(g);
+      }
+      bind_fast_tasks(ctx);
     } else {
+      placement_ = Placement::explicit_by_name(g, cfg_.placement,
+                                               cfg_.array_columns);
       bind_reference(ctx, g);
     }
   }
@@ -176,15 +195,25 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       // an edge may access it through ports with different settings (a
       // stream_source writes with default settings into a window-read
       // kernel port), so the cost is cached per (edge, side, generated)
-      // and the cache entry remembers the cost-relevant settings fields it
-      // was computed from -- a key mismatch (possible when a broadcast
-      // edge mixes kernel and sink readers) recomputes and overwrites.
-      const std::uint32_t key = cost_key(s);
+      // and the cache entry remembers every cost-relevant input it was
+      // computed from, compared field-by-field -- a mismatch (possible
+      // when a broadcast edge mixes kernel and sink readers) recomputes
+      // and overwrites. A packed key would collide for beat widths whose
+      // low bits alias after shifting; the fields cannot.
+      const bool window = s.buffer == cgsim::BufferMode::window ||
+                          s.buffer == cgsim::BufferMode::pingpong;
+      const bool gmio = s.io == cgsim::IoKind::gmio;
       EdgeCost& cached =
           edge_cost_[static_cast<std::size_t>(e) * 4 + (is_read ? 2 : 0) +
                      (generated ? 1 : 0)];
-      if (cached.key != key) {
-        cached.key = key;
+      if (!cached.valid || cached.window != window || cached.gmio != gmio ||
+          cached.beat_bits != s.beat_bits ||
+          cached.elem_bytes != elem_bytes) {
+        cached.valid = true;
+        cached.window = window;
+        cached.gmio = gmio;
+        cached.beat_bits = s.beat_bits;
+        cached.elem_bytes = elem_bytes;
         cached.cycles = cfg_.cost.port_cycles(
             s, elem_bytes, (flags & kEdgeGlobal) != 0, generated);
       }
@@ -273,8 +302,8 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
     std::vector<TileStats> out;
     const auto add = [&out](const TaskState& s) {
       if (!s.is_kernel) return;
-      out.push_back(TileStats{s.name, s.busy_cycles, s.clock,
-                              s.activations, s.total_ops});
+      out.push_back(TileStats{s.name, s.busy_cycles, s.clock, s.activations,
+                              s.total_ops, s.iterations});
     };
     if (fast_) {
       for (const TaskState& s : states_) add(s);
@@ -289,6 +318,42 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
     return out;
   }
 
+  /// Per-kernel tile statistics indexed by flattened-graph kernel id;
+  /// kernels the engine never saw keep a default entry. The incremental
+  /// re-simulation layer splices baseline and partial-run stats by this
+  /// index.
+  [[nodiscard]] std::vector<TileStats> tile_stats_by_kernel(
+      std::size_t n_kernels) const {
+    std::vector<TileStats> out(n_kernels);
+    const auto add = [&out, n_kernels](const TaskState& s) {
+      if (s.kernel_index < 0 ||
+          static_cast<std::size_t>(s.kernel_index) >= n_kernels) {
+        return;
+      }
+      out[static_cast<std::size_t>(s.kernel_index)] =
+          TileStats{s.name, s.busy_cycles, s.clock, s.activations,
+                    s.total_ops, s.iterations};
+    };
+    if (fast_) {
+      for (const TaskState& s : states_) add(s);
+      for (const TaskState& s : overflow_states_) add(s);
+    } else {
+      for (const auto& [addr, s] : ref_states_) add(s);
+    }
+    return out;
+  }
+
+  /// Final tile clock of the task behind `h`; 0 when the engine never
+  /// scheduled it. Read-only: never creates a state.
+  [[nodiscard]] std::uint64_t task_clock(std::coroutine_handle<> h) const {
+    if (fast_) {
+      const TaskState* s = hindex_.find(h.address());
+      return s == nullptr ? 0 : s->clock;
+    }
+    const auto it = ref_states_.find(h.address());
+    return it == ref_states_.end() ? 0 : it->second.clock;
+  }
+
   [[nodiscard]] std::uint64_t makespan() const { return makespan_; }
   [[nodiscard]] std::uint64_t output_items() const { return output_items_; }
 
@@ -301,9 +366,24 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   [[nodiscard]] MicroSnapshot micro_snapshot() const {
     return fast_ ? micro_fast_.snapshot() : micro_ref_.snapshot();
   }
+  /// Resolves `h` to the address of its task state, creating the state if
+  /// unknown -- the same lookup the hot path uses. Exposed so tests can
+  /// pin that resolution (and the one-entry cache in front of it) survives
+  /// HandleIndex rehashes with state identity intact.
+  [[nodiscard]] const void* state_identity(std::coroutine_handle<> h) {
+    return &state_for(h);
+  }
+
   /// False if a task state had to be allocated after bind() reserved the
-  /// dense tables (instrumented builds assert on this at end of run).
-  [[nodiscard]] bool state_tables_stable() const { return !tables_grew_; }
+  /// dense tables, or if the one-entry state cache disagrees with the
+  /// handle index it mirrors (instrumented builds assert on this at end
+  /// of run).
+  [[nodiscard]] bool state_tables_stable() const {
+    if (tables_grew_) return false;
+    if (cached_addr_ == nullptr) return true;
+    return cache_generation_ == hindex_.generation() &&
+           hindex_.find(cached_addr_) == cached_state_;
+  }
   [[nodiscard]] EngineVariant variant() const { return cfg_.engine; }
 
  private:
@@ -313,6 +393,7 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
     std::uint64_t iterations = 0;
     std::string name;
     bool is_kernel = false;
+    int kernel_index = -1;  ///< flattened-graph kernel id (-1: source/sink)
     std::uint32_t trace_name = Trace::kNoName;
     std::uint64_t busy_cycles = 0;
     std::uint64_t activations = 0;
@@ -345,6 +426,11 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       ++size_;
     }
 
+    /// Bumped every time rehash() reallocates the key/value storage.
+    /// Callers that hold results of find() across inserts compare this to
+    /// detect that their pointers came from a dropped table generation.
+    [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
    private:
     static std::size_t hash(void* p) {
       auto x = reinterpret_cast<std::uintptr_t>(p);
@@ -370,15 +456,20 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       keys_ = std::move(keys);
       vals_ = std::move(vals);
       cap_ = cap;
+      ++generation_;
     }
 
     std::vector<void*> keys_;
     std::vector<TaskState*> vals_;
     std::size_t cap_ = 0;
     std::size_t size_ = 0;
+    std::uint64_t generation_ = 0;
   };
 
-  void bind_fast(cgsim::RuntimeContext& ctx, const cgsim::GraphView& g) {
+  /// Derives the static per-edge tables (flags, hop costs, cost memo) from
+  /// the graph and placement. compile_graph() produces the same tables
+  /// ahead of time; bind() copies those instead when given a CompiledGraph.
+  void bind_fast_tables(const cgsim::GraphView& g) {
     edge_flags_.assign(g.edges.size(), 0);
     edge_hop_.assign(g.edges.size(), 0);
     edge_cost_.assign(g.edges.size() * 4, EdgeCost{});
@@ -396,12 +487,19 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
             static_cast<std::uint64_t>(hops[e] * cfg_.cost.hop_cycles + 0.5);
       }
     }
+  }
+
+  /// Resolves the context's tasks to dense task states.
+  void bind_fast_tasks(cgsim::RuntimeContext& ctx) {
     // Dense task states in task-id order, sized once: pointers into
     // states_ stay valid for the whole run (emplace_back stays within the
     // reserved capacity, and post-bind discoveries go to overflow_states_).
     auto& tasks = ctx.tasks();
     states_.reserve(states_.size() + tasks.size());
     hindex_.reserve(tasks.size());
+    // reserve()/insert() below may rehash; drop any pre-bind cache entry.
+    cached_addr_ = nullptr;
+    cached_state_ = nullptr;
     trace_.reserve(tasks.size(), 4096);
     for (auto& rec : tasks) {
       void* addr = rec.task.handle().address();
@@ -416,6 +514,7 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
       // manually before bind); it must not stay anonymous.
       s->name = rec.name;
       s->is_kernel = rec.kernel_index >= 0;
+      s->kernel_index = rec.kernel_index;
       s->trace_name = trace_.intern(rec.name);
     }
     bound_ = true;
@@ -445,6 +544,7 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
               std::coroutine_handle<>::from_address(addr))) {
         s.name = rec->name;
         s.is_kernel = rec->kernel_index >= 0;
+        s.kernel_index = rec->kernel_index;
       }
     }
     bound_ = true;
@@ -457,12 +557,19 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
         if (const auto* rec = ctx_->record_for(h)) {
           it->second.name = rec->name;
           it->second.is_kernel = rec->kernel_index >= 0;
+          it->second.kernel_index = rec->kernel_index;
         }
       }
       return it->second;
     }
     void* addr = h.address();
-    if (addr == cached_addr_) return *cached_state_;
+    // The one-entry cache is only valid for the index generation it was
+    // filled under: an insert() can rehash (reallocate) the table storage,
+    // and a cache consulted across that boundary would answer from a
+    // dropped generation.
+    if (addr == cached_addr_ && cache_generation_ == hindex_.generation()) {
+      return *cached_state_;
+    }
     TaskState* s = hindex_.find(addr);
     if (s == nullptr) {
       // Task unknown at bind time: park it off the dense table so existing
@@ -474,6 +581,7 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
         if (const auto* rec = ctx_->record_for(h)) {
           s->name = rec->name;
           s->is_kernel = rec->kernel_index >= 0;
+          s->kernel_index = rec->kernel_index;
           s->trace_name = trace_.intern(rec->name);
         }
       }
@@ -481,27 +589,12 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
     }
     cached_addr_ = addr;
     cached_state_ = s;
+    cache_generation_ = hindex_.generation();
     return *s;
   }
 
-  static constexpr std::uint8_t kEdgeGlobal = 1;     ///< global in or out
-  static constexpr std::uint8_t kEdgeGlobalOut = 2;  ///< global output
-
-  /// Memoized port-access cost plus the settings fields it was derived
-  /// from (everything CostModel::port_cycles reads besides the per-edge
-  /// constants).
-  struct EdgeCost {
-    std::uint32_t key = ~std::uint32_t{0};
-    std::uint64_t cycles = 0;
-  };
-
-  [[nodiscard]] static std::uint32_t cost_key(const cgsim::PortSettings& s) {
-    const bool window = s.buffer == cgsim::BufferMode::window ||
-                        s.buffer == cgsim::BufferMode::pingpong;
-    const bool gmio = s.io == cgsim::IoKind::gmio;
-    return (window ? 1u : 0u) | (gmio ? 2u : 0u) |
-           (static_cast<std::uint32_t>(s.beat_bits) << 2);
-  }
+  // Edge flag bits and the EdgeCost memo struct live in compiled.hpp
+  // (shared with the ahead-of-time graph compiler).
 
   SimConfig cfg_;
   bool fast_;
@@ -517,6 +610,7 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
   HandleIndex hindex_;
   void* cached_addr_ = nullptr;  ///< consecutive events mostly hit one task
   TaskState* cached_state_ = nullptr;
+  std::uint64_t cache_generation_ = 0;  ///< hindex_ generation of the cache
   std::vector<std::uint8_t> edge_flags_;
   std::vector<std::uint64_t> edge_hop_;  ///< routing cycles per element
   /// [edge * 4 + is_read * 2 + generated] memoized port costs.
@@ -544,7 +638,9 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
 
 /// Cycle-approximate simulation of a compute graph with positional data
 /// sources and sinks, mirroring cgsim's invocation convention
-/// (paper Section 3.7).
+/// (paper Section 3.7). The fast engine variant binds through the
+/// process-wide compiled-graph cache, so repeated simulations of one
+/// configuration skip the per-run table derivation.
 template <class... Args>
 SimResult simulate(const cgsim::GraphView& g, const SimConfig& cfg,
                    Args&&... args) {
@@ -554,7 +650,12 @@ SimResult simulate(const cgsim::GraphView& g, const SimConfig& cfg,
   std::size_t pos = 0;
   (cgsim::detail::attach_io(ctx, g, opts, pos++, std::forward<Args>(args)),
    ...);
-  engine.bind(ctx);
+  std::shared_ptr<const CompiledGraph> compiled;
+  if (cfg.engine == EngineVariant::fast) {
+    compiled = CompiledGraphCache::instance().get_or_compile(
+        g, cfg.cost, cfg.generated_io, cfg.placement, cfg.array_columns);
+  }
+  engine.bind(ctx, compiled.get());
   ctx.start_all();
   SimResult res{};
   res.run = ctx.finish(engine.run());

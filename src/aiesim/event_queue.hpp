@@ -115,6 +115,16 @@ class TimingWheelQueue {
         // Level-0 slots at or after the floor position hold events of the
         // current 64-cycle window; the lowest set bit is the next cycle.
         const unsigned s = static_cast<unsigned>(std::countr_zero(hi0));
+        const std::uint64_t t0 = (floor_ & ~std::uint64_t{63}) + s;
+        if (!over_.empty() && over_min_ <= t0) {
+          // An overflow entry (always an older push than any same-time
+          // wheel entry) dates at or before the next slot: re-file it
+          // before popping, or the (time, seq) merge breaks -- and the
+          // floor could overrun over_min_, later underflowing the
+          // level-index computation in file_front().
+          refile_overflow();
+          continue;
+        }
         Slot& sl = level_[0][s];
         out = sl.v[sl.head++];
         floor_ = out.time;
@@ -156,18 +166,55 @@ class TimingWheelQueue {
     occ_[l] |= std::uint64_t{1} << s;
   }
 
-  /// Re-files `e` during a cascade: same-time events pushed directly to the
-  /// target level are newer (floor_ only grows, so later pushes of a given
-  /// time always file at the same or a lower level), so cascaded events
-  /// belong in front of them. Callers iterate sources in reverse so
-  /// front-insertion preserves the sources' own order.
+  /// Re-files `e` during a cascade or an overflow re-file. Among same-time
+  /// entries a slot must stay seq-ordered. Cascaded events are *usually*
+  /// the oldest of their cycle (floor_ only grows, so later pushes of a
+  /// given time file at the same or a lower level) and land at the front --
+  /// but an overflow re-file can drop an even older entry into a lower
+  /// level while its same-cycle peers still sit in a higher slot awaiting
+  /// cascade, so the insert position is found by seq among same-time
+  /// entries rather than assumed to be the front. Order against
+  /// different-time entries of a level>0 slot is immaterial: cascading
+  /// re-sorts by time. Callers iterate sources in reverse so insertion
+  /// preserves the sources' own order.
   void file_front(const Event& e) {
     const std::uint64_t d = e.time - floor_;
     const int l = d == 0 ? 0 : (std::bit_width(d) - 1) / 6;
     const unsigned s = static_cast<unsigned>((e.time >> (6 * l)) & 63);
     Slot& sl = level_[l][s];
-    sl.v.insert(sl.v.begin() + static_cast<std::ptrdiff_t>(sl.head), e);
+    // Same-time entries in a slot are seq-ascending (pushes append in seq
+    // order, and this insert keeps the invariant), so scanning backwards
+    // for the last same-time lower-seq entry yields the position.
+    std::size_t pos = sl.head;
+    for (std::size_t i = sl.v.size(); i-- > sl.head;) {
+      if (sl.v[i].time == e.time && sl.v[i].seq < e.seq) {
+        pos = i + 1;
+        break;
+      }
+    }
+    sl.v.insert(sl.v.begin() + static_cast<std::ptrdiff_t>(pos), e);
     occ_[l] |= std::uint64_t{1} << s;
+  }
+
+  /// Re-files every overflow event now within the wheel span. Iterated in
+  /// reverse so file_front() preserves the entries' own push order; the
+  /// remainder (still beyond the span) stays in `over_` with a fresh
+  /// minimum. Requires floor_ <= over_min_, which pop()'s pre-pop check
+  /// and advance()'s refile-before-advance ordering maintain.
+  void refile_overflow() {
+    std::vector<Event> keep;
+    over_min_ = ~std::uint64_t{0};
+    for (std::size_t i = over_.size(); i-- > 0;) {
+      const Event& e = over_[i];
+      if (e.time - floor_ < kSpan) {
+        file_front(e);
+      } else {
+        over_min_ = std::min(over_min_, e.time);
+        keep.push_back(e);
+      }
+    }
+    std::reverse(keep.begin(), keep.end());
+    over_ = std::move(keep);
   }
 
   /// The current level-0 window is exhausted: jump the floor to the next
@@ -208,27 +255,16 @@ class TimingWheelQueue {
       if (best_t == ~std::uint64_t{0}) {
         floor_ = over_min_;  // wheel empty: jump straight there
       }
-      std::vector<Event> keep;
-      over_min_ = ~std::uint64_t{0};
-      for (std::size_t i = over_.size(); i-- > 0;) {
-        const Event& e = over_[i];
-        if (e.time - floor_ < kSpan) {
-          file_front(e);
-        } else {
-          over_min_ = std::min(over_min_, e.time);
-          keep.push_back(e);
-        }
-      }
-      std::reverse(keep.begin(), keep.end());
-      over_ = std::move(keep);
+      refile_overflow();
       return;
     }
     floor_ = best_t;
     // Cascade tied levels lowest-first: a level-l slot's events re-file at
     // levels < l into slots strictly after the new floor's position, so a
     // higher tied level never refills a slot cascaded before it -- and for
-    // same-time events split across levels (the higher level always holds
-    // the older pushes), later front-inserts land ahead, keeping seq order.
+    // same-time events split across levels or re-filed from the overflow
+    // array, file_front's seq-aware insert keeps each slot's same-cycle
+    // entries in push order.
     for (int l = 1; l < kLevels; ++l) {
       if (cand[l] != best_t) continue;
       const auto s = static_cast<unsigned>((floor_ >> (6 * l)) & 63);

@@ -79,6 +79,12 @@ class Trace {
     return names_[id];
   }
 
+  [[nodiscard]] std::size_t name_count() const { return names_.size(); }
+
+  /// Record-level view (interned-id form) for layers that merge traces
+  /// without materializing strings; `i < size()`.
+  [[nodiscard]] const Record& record_at(std::size_t i) const { return at(i); }
+
   /// String-typed view, materialized on first use after recording.
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     if (!cache_valid_) {
@@ -114,28 +120,35 @@ class Trace {
     }
   }
 
-  /// FNV-1a digest over (cycles, kernel name characters, iteration) of
-  /// every record, in record order. Hashing the name *strings* (not the
-  /// intern ids) makes the digest independent of interning order, so the
-  /// fast variant (names interned at bind) and the reference variant
-  /// (names interned on first record) digest identically.
+  /// Digest of the trace as a *multiset* of records: each record is hashed
+  /// independently with FNV-1a over (cycles, kernel name characters,
+  /// iteration), and the per-record hashes are combined by wrapping
+  /// addition. Two independence properties follow:
+  ///  * intern-order independence -- the name *strings* are hashed, not the
+  ///    intern ids, so the fast variant (names interned at bind) and the
+  ///    reference variant (interned on first record) digest identically;
+  ///  * record-order independence -- addition commutes, so a trace spliced
+  ///    together from a partial re-simulation plus cached baseline records
+  ///    digests identically to the full run that produced the same events.
   [[nodiscard]] std::uint64_t digest() const {
-    std::uint64_t h = 14695981039346656037ull;
-    const auto mix = [&h](std::uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        h = (h ^ (v & 0xFF)) * 1099511628211ull;
-        v >>= 8;
-      }
-    };
+    std::uint64_t sum = 0;
     for (std::size_t i = 0; i < size_; ++i) {
       const Record& r = at(i);
+      std::uint64_t h = 14695981039346656037ull;
+      const auto mix = [&h](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b) {
+          h = (h ^ (v & 0xFF)) * 1099511628211ull;
+          v >>= 8;
+        }
+      };
       mix(r.cycles);
       for (const char c : names_[r.name]) {
         h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
       }
       mix(r.iteration);
+      sum += h;
     }
-    return h;
+    return sum;
   }
 
  private:

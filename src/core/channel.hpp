@@ -117,10 +117,34 @@ class ChannelBase {
     return popped_.empty() ? 0 : popped_[static_cast<std::size_t>(consumer)];
   }
 
+  /// How many push operations had to park on a full ring so far. The
+  /// incremental re-simulation layer uses this as its exactness guard: an
+  /// edge whose producers never felt backpressure can be replayed from a
+  /// recording without re-running them.
+  [[nodiscard]] virtual std::uint64_t push_parks() const { return 0; }
+
+  /// Returns the channel to its freshly-constructed state (buffers empty,
+  /// endpoints reopened, statistics zeroed) while keeping its allocations,
+  /// so the same graph instance can be run again without rebuilding
+  /// channels. Only the single-threaded backends support this; the
+  /// threaded/shard backends throw.
+  virtual void reset_for_rerun() {
+    throw std::logic_error{
+        "reset_for_rerun is not supported by this channel backend"};
+  }
+
   /// Attaches virtual-time hooks (cycle-approximate backend only).
   virtual void attach_sim_hooks(SimHooks*) {}
 
  protected:
+  /// Shared half of reset_for_rerun() for the backends that support it.
+  void reset_base_for_rerun() {
+    producers_open_ = producers_total_;
+    consumers_open_ = consumers_total_;
+    pushed_ = 0;
+    std::fill(popped_.begin(), popped_.end(), 0);
+  }
+
   int consumers_total_ = 0;
   int producers_total_ = 0;
   int producers_open_ = 0;
@@ -282,6 +306,7 @@ class CoopChannel final : public TypedChannel<T> {
     }
     push_waiters_.push_back(w);
     ++parked_;
+    ++push_parks_;
   }
 
   void add_pop_waiter(PopWaiter w) override {
@@ -391,6 +416,7 @@ class CoopChannel final : public TypedChannel<T> {
     } else {
       bulk_push_waiters_.push_back(w);
       ++parked_;
+      ++push_parks_;
     }
     service_waiters();
   }
@@ -471,6 +497,45 @@ class CoopChannel final : public TypedChannel<T> {
     if (stamps_.size() != capacity_) stamps_.assign(capacity_, 0);
   }
 
+  [[nodiscard]] std::uint64_t push_parks() const override {
+    return push_parks_;
+  }
+
+  void reset_for_rerun() override {
+    this->reset_base_for_rerun();
+    head_ = 0;
+    std::fill(cursors_.begin(), cursors_.end(), 0);
+    min_cursor_ = 0;
+    std::fill(consumer_active_.begin(), consumer_active_.end(), 1);
+    for (auto& q : pop_waiters_) q.clear();
+    for (auto& q : bulk_pop_waiters_) q.clear();
+    push_waiters_.clear();
+    bulk_push_waiters_.clear();
+    parked_ = 0;
+    push_parks_ = 0;
+    tap_ = nullptr;  // recordings are re-attached per run by their owner
+    has_forced_stamp_ = false;
+    // stamps_ need no clearing: a stamp is only read for ring positions
+    // between a consumer cursor and head_, which a push wrote first.
+  }
+
+  /// Directs all future pushes into `tap` (see EdgeTap). Pass nullptr to
+  /// stop recording. Requires a trivially-copyable element type.
+  void set_tap(EdgeTap* tap) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    tap_ = tap;
+  }
+
+  /// Overrides the virtual-time stamp of subsequent pushes (replay of a
+  /// recorded edge). Stays in effect until cleared, which also covers a
+  /// parked replay push completed later from service_waiters() -- sound
+  /// because a replay task is the edge's only producer.
+  void set_forced_stamp(std::uint64_t t) {
+    forced_stamp_ = t;
+    has_forced_stamp_ = true;
+  }
+  void clear_forced_stamp() { has_forced_stamp_ = false; }
+
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t occupancy(int consumer) const {
     return static_cast<std::size_t>(
@@ -522,9 +587,19 @@ class CoopChannel final : public TypedChannel<T> {
       std::copy_n(src + first, k - first, slots_.begin());
     }
     if (sim_ != nullptr) {
-      const std::uint64_t t = sim_->now();
+      // A replay task re-pushing a recorded element carries the recording's
+      // stamp instead of its own (zero-cost) clock.
+      const std::uint64_t t =
+          has_forced_stamp_ ? forced_stamp_ : sim_->now();
       for (std::size_t i = 0; i < k; ++i) {
         stamps_[static_cast<std::size_t>((head_ + i) % capacity_)] = t;
+      }
+      if constexpr (std::is_trivially_copyable_v<T>) {
+        if (tap_ != nullptr) {
+          const auto* bytes = reinterpret_cast<const std::byte*>(src);
+          tap_->data.insert(tap_->data.end(), bytes, bytes + k * sizeof(T));
+          tap_->stamps.insert(tap_->stamps.end(), k, t);
+        }
       }
     }
     head_ += k;
@@ -650,6 +725,10 @@ class CoopChannel final : public TypedChannel<T> {
   std::deque<PushWaiter> push_waiters_;
   std::deque<BulkPushWaiter> bulk_push_waiters_;
   std::size_t parked_ = 0;  ///< total waiters across all four queues
+  std::uint64_t push_parks_ = 0;  ///< pushes that ever hit a full ring
+  EdgeTap* tap_ = nullptr;        ///< recording target (sim runs only)
+  std::uint64_t forced_stamp_ = 0;
+  bool has_forced_stamp_ = false;
   Executor* exec_;
   SimHooks* sim_ = nullptr;
 };
@@ -1337,6 +1416,14 @@ class RtpChannel final : public TypedChannel<T> {
     --this->consumers_open_;
   }
 
+  void reset_for_rerun() override {
+    this->reset_base_for_rerun();
+    value_ = T{};
+    has_value_ = false;
+    pop_waiters_.clear();
+    std::fill(consumer_active_.begin(), consumer_active_.end(), 1);
+  }
+
   /// Final value, for runtime-parameter sinks.
   [[nodiscard]] bool latest(T& out) const {
     if (!has_value_) return false;
@@ -1380,9 +1467,95 @@ ChannelBase* create_shard_channel(int consumers, int capacity,
 }
 
 template <class T>
+bool attach_tap_impl(ChannelBase* ch, EdgeTap* tap) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    auto* coop = dynamic_cast<CoopChannel<T>*>(ch);
+    if (coop == nullptr) return false;  // RTP / threaded / shard backend
+    coop->set_tap(tap);
+    return true;
+  } else {
+    (void)ch;
+    (void)tap;
+    return false;  // elements cannot be stored as raw bytes
+  }
+}
+
+/// Suspends until the simulation clock of the awaiting task reaches `when`
+/// (the executor advances a task's clock to at least `not_before` on wake).
+struct WaitUntil {
+  Executor* exec;
+  std::uint64_t when;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    exec->make_ready(h, when);
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Push of one replayed element, bypassing the port layer so no access
+/// cost is charged (the original producer already paid it in the recorded
+/// stamps). Counts a park when the ring is full -- the signal that the
+/// replayed timeline diverged from the recording.
+template <class T>
+struct ReplayPush {
+  CoopChannel<T>* ch;
+  const T* value;
+  std::uint64_t* blocked;
+  ChanStatus status = ChanStatus::ok;
+
+  [[nodiscard]] bool await_ready() {
+    status = ch->try_push(*value);
+    return status != ChanStatus::blocked;
+  }
+  void await_suspend(std::coroutine_handle<> h) {
+    ++*blocked;
+    ch->add_push_waiter({value, &status, h});
+  }
+  [[nodiscard]] ChanStatus await_resume() const { return status; }
+};
+
+/// Stands in for every original producer of a recorded edge: re-pushes the
+/// recording element by element, pacing itself to each element's stamp.
+/// The task charges no instrumented ops and no port costs, so its clock
+/// lands exactly on the stamps and a consumer's wake times match the
+/// baseline run bit for bit.
+template <class T>
+KernelTask replay_source(CoopChannel<T>* ch, const EdgeTap* tap,
+                         Executor* exec, std::uint64_t* blocked) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const std::size_t n = tap->count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t stamp = tap->stamps[i];
+    co_await WaitUntil{exec, stamp};
+    T v;
+    std::memcpy(&v, tap->data.data() + i * sizeof(T), sizeof(T));
+    ch->set_forced_stamp(stamp);
+    const ChanStatus st = co_await ReplayPush<T>{ch, &v, blocked};
+    ch->clear_forced_stamp();
+    if (st != ChanStatus::ok) break;  // all consumers retired early
+  }
+}
+
+template <class T>
+KernelTask make_replay_impl(ChannelBase* ch, const EdgeTap* tap,
+                            Executor* exec, std::uint64_t* blocked) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    // The caller attached a tap to this channel earlier, which proves it is
+    // the cooperative ring backend.
+    return replay_source<T>(static_cast<CoopChannel<T>*>(ch), tap, exec,
+                            blocked);
+  } else {
+    throw std::logic_error{
+        "replay requested for a non-trivially-copyable element type"};
+  }
+}
+
+template <class T>
 inline constexpr ChannelVTable channel_vtable_v{
-    &create_channel<T>, &create_shard_channel<T>,
-    detail::pretty_type_name<T>(), sizeof(T), alignof(T)};
+    &create_channel<T>,      &create_shard_channel<T>,
+    detail::pretty_type_name<T>(), sizeof(T),
+    alignof(T),              &attach_tap_impl<T>,
+    &make_replay_impl<T>};
 }  // namespace detail
 
 template <class T>

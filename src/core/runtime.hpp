@@ -106,6 +106,7 @@ class RuntimeContext {
     int task_index = -1;    ///< dense id over all tasks (kernels + I/O)
     int shard = 0;          ///< coop_mt home shard
     bool finished = false;
+    bool started = true;  ///< false: excluded from this run (resim skip set)
   };
 
   /// Deserializes `g`. When `exec` is null the context's own FIFO scheduler
@@ -163,10 +164,30 @@ class RuntimeContext {
       if (sim_ != nullptr) ch->attach_sim_hooks(sim_);
       channels_.emplace_back(ch);
     }
-    // Recreate all kernels through their serialized thunks.
+    build_kernels();
+  }
+
+  /// (Re)creates all graph kernels through their serialized thunks. Called
+  /// by the constructor and by reset_for_rerun(). With a `mask`, kernels
+  /// whose entry is 0 get a placeholder record (started=false, no coroutine
+  /// frame, no port bindings) -- the incremental re-simulation layer
+  /// excludes them from the run anyway, so building their frames only to
+  /// destroy them unresumed would be pure overhead. Task indices are
+  /// unaffected: every kernel still occupies its slot in tasks().
+  void build_kernels(const std::vector<char>* mask = nullptr) {
+    const GraphView& g = graph_;
     tasks_.reserve(g.kernels.size());
     for (std::size_t ki = 0; ki < g.kernels.size(); ++ki) {
       const FlatKernel& k = g.kernels[ki];
+      if (mask != nullptr && (*mask)[ki] == 0) {
+        TaskRecord skip;
+        skip.name = std::string{k.name};
+        skip.realm = k.realm;
+        skip.kernel_index = static_cast<int>(ki);
+        skip.started = false;
+        push_task(std::move(skip));
+        continue;
+      }
       std::vector<PortBinding> bindings;
       bindings.reserve(static_cast<std::size_t>(k.nports));
       TaskRecord rec;
@@ -193,6 +214,26 @@ class RuntimeContext {
       rec.task = k.thunk(KernelBinding{bindings.data(), bindings.size()});
       push_task(std::move(rec));
     }
+  }
+
+  /// Rewinds the context for another run over the same channels: destroys
+  /// all task coroutines (including attached sources/sinks), resets every
+  /// channel to its freshly-constructed state, and rebuilds the graph
+  /// kernels. Channel addresses are preserved, so engines that cached
+  /// channel pointers stay valid; the caller re-attaches I/O and calls
+  /// start_all(). Cooperative single-threaded modes only. `kernel_mask`
+  /// (optional, one entry per kernel) elides frame construction for
+  /// kernels excluded from the upcoming run -- see build_kernels().
+  void reset_for_rerun(const std::vector<char>* kernel_mask = nullptr) {
+    if (pool_ != nullptr || mode_ == ExecMode::threaded) {
+      throw std::logic_error{
+          "reset_for_rerun supports single-threaded cooperative modes only"};
+    }
+    tasks_.clear();
+    by_handle_.clear();
+    finalizers_.clear();
+    for (auto& ch : channels_) ch->reset_for_rerun();
+    build_kernels(kernel_mask);
   }
 
   RuntimeContext(const RuntimeContext&) = delete;
@@ -316,6 +357,7 @@ class RuntimeContext {
   /// before the worker pool starts.
   void start_all() {
     for (TaskRecord& rec : tasks_) {
+      if (!rec.started) continue;
       by_handle_[rec.task.handle().address()] = &rec;
       if (pool_ != nullptr) {
         pool_->register_task(rec.task.handle(), rec.shard);
@@ -323,6 +365,14 @@ class RuntimeContext {
         exec_->make_ready(rec.task.handle(), 0);
       }
     }
+  }
+
+  /// Registers a single task with the executor; used by engines that start
+  /// a task added after start_all() (e.g. a replay source).
+  void start_one(TaskRecord& rec) {
+    rec.started = true;
+    by_handle_[rec.task.handle().address()] = &rec;
+    exec_->make_ready(rec.task.handle(), 0);
   }
 
   /// Closure bookkeeping shared by all execution strategies.
@@ -353,6 +403,7 @@ class RuntimeContext {
   /// error, if any. Exposed for custom engines.
   RunResult finish(RunResult r) {
     for (TaskRecord& rec : tasks_) {
+      if (!rec.started) continue;  // resim skip set: never ran by design
       if (rec.task.done()) {
         ++r.kernels_completed;
       } else {

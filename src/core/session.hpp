@@ -88,6 +88,18 @@ class InteractiveSession {
     pump();
   }
 
+  /// Rewinds the session to its freshly-constructed state for another
+  /// streaming pass over the same graph instance: kernels are rebuilt,
+  /// channels emptied and reopened, and the session accepts pushes again.
+  /// Far cheaper than constructing a new session (no graph deserialization,
+  /// no channel allocation).
+  void resimulate() {
+    ctx_.reset_for_rerun();
+    finished_ = false;
+    ctx_.start_all();
+    pump();
+  }
+
   /// True when every kernel has terminated (only meaningful after
   /// finish()).
   [[nodiscard]] bool drained() {

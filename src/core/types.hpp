@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace cgsim {
 
@@ -109,6 +110,24 @@ template <class T>
 
 class ChannelBase;
 class Executor;
+class KernelTask;
+
+/// Byte-level recording of all traffic on one edge during a simulation run:
+/// every element pushed, in push order, with its virtual-time stamp. The
+/// incremental re-simulation layer records these on the boundary edges of a
+/// baseline run and replays them into a later run so everything upstream of
+/// the boundary can be skipped. Only trivially-copyable element types can
+/// be tapped (elements are stored as raw bytes).
+struct EdgeTap {
+  std::vector<std::byte> data;          ///< size() == count * elem_size
+  std::vector<std::uint64_t> stamps;    ///< one per element, push order
+
+  [[nodiscard]] std::size_t count() const { return stamps.size(); }
+  void clear() {
+    data.clear();
+    stamps.clear();
+  }
+};
 
 /// Per-element-type operations the runtime needs to build channels for an
 /// edge whose element type was erased during flattening. One instance per
@@ -127,6 +146,20 @@ struct ChannelVTable {
   std::string_view type_name;
   std::size_t elem_size;
   std::size_t elem_align;
+  // Attaches `tap` to record every future push on `ch`. Returns false (and
+  // attaches nothing) when the channel cannot be tapped: not a cooperative
+  // ring (RTP/threaded/shard backends) or a non-trivially-copyable element
+  // type.
+  bool (*attach_tap)(ChannelBase* ch, EdgeTap* tap);
+  // Builds a replay coroutine that re-pushes `tap`'s recording into `ch` at
+  // the recorded virtual-time stamps, standing in for every original
+  // producer of the edge. `blocked` is incremented whenever a replay push
+  // has to park (ring full) -- a nonzero count means the re-simulated
+  // consumers exerted backpressure the recording never saw, so the caller
+  // must discard the incremental run. Requires a tappable channel (see
+  // attach_tap); `tap`, `exec` and `blocked` must outlive the coroutine.
+  KernelTask (*make_replay)(ChannelBase* ch, const EdgeTap* tap,
+                            Executor* exec, std::uint64_t* blocked);
 };
 
 // Defined in channel.hpp; the address is taken at compile time inside

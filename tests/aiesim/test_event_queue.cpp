@@ -178,6 +178,70 @@ TEST(TimingWheelQueue, SpansAllLevelsAndOverflow) {
                                               (1ull << 30) + 12345}));
 }
 
+// Regression: an overflow entry whose time falls inside the *current*
+// level-0 window. Walk the floor to just below an overflow event's time
+// (advance() never re-files because every intermediate stop bids below
+// over_min_), then push a same-time event, which lands directly in a
+// level-0 slot. The level-0 fast path used to pop that newer push without
+// consulting the overflow array -- breaking (time, seq) FIFO against the
+// older overflow entry -- and the floor could then overrun over_min_,
+// underflowing the level-index computation on the eventual re-file.
+TEST(TimingWheelQueue, OverflowTiesWithSameCycleWheelSlot) {
+  const std::uint64_t kSpan = 1ull << 30;
+  const std::uint64_t T = kSpan + 100;  // T % 64 == 36: mid-window
+  TimingWheelQueue q;
+  q.push(Event{T, 0, handle_tag(0)});      // beyond horizon -> overflow
+  q.push(Event{200, 1, handle_tag(1)});
+  Event e;
+  ASSERT_TRUE(q.pop(e));                   // floor -> 200
+  EXPECT_EQ(e.time, 200u);
+  q.push(Event{T - 2, 2, handle_tag(2)});  // now within span -> wheel
+  ASSERT_TRUE(q.pop(e));                   // floor -> T - 2
+  EXPECT_EQ(e.time, T - 2);
+  EXPECT_EQ(e.seq, 2u);
+  // Same-cycle tie against the overflow entry, filed straight to level 0.
+  q.push(Event{T, 3, handle_tag(3)});
+  q.push(Event{T + 1, 4, handle_tag(4)});
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, T);
+  EXPECT_EQ(e.seq, 0u);  // the overflow entry is the older push
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, T);
+  EXPECT_EQ(e.seq, 3u);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, T + 1);
+  EXPECT_EQ(e.seq, 4u);
+  EXPECT_FALSE(q.pop(e));
+  EXPECT_TRUE(q.empty());
+}
+
+// Regression: an overflow entry older than a same-time event filed
+// *directly* into a high wheel level (pushed once the floor had advanced
+// to within the span). The overflow re-file can land the older entry at a
+// lower level while the direct entry is still cascading down from above;
+// file_front's seq-aware insert must merge them in push order, not let
+// the cascade jump its (newer) events in front.
+TEST(TimingWheelQueue, OverflowOlderThanDirectWheelEntrySameCycle) {
+  const std::uint64_t kSpan = 1ull << 30;
+  const std::uint64_t T = kSpan + 100;
+  TimingWheelQueue q;
+  q.push(Event{T, 0, handle_tag(0)});    // d >= span -> overflow
+  q.push(Event{200, 1, handle_tag(1)});
+  Event e;
+  ASSERT_TRUE(q.pop(e));                 // floor -> 200; T now within span
+  EXPECT_EQ(e.time, 200u);
+  q.push(Event{T, 2, handle_tag(2)});    // same time, direct to level 4
+  q.push(Event{T, 3, handle_tag(3)});
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time, T);
+  EXPECT_EQ(e.seq, 0u);  // the overflow entry is the oldest push
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.seq, 2u);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.seq, 3u);
+  EXPECT_FALSE(q.pop(e));
+}
+
 // The wheel must reproduce the reference heap's pop sequence *exactly*
 // (same time and same seq at every step) under a randomized schedule
 // shaped like the engine's: same-cycle bursts, level-0..high-level gaps,
@@ -189,12 +253,13 @@ TEST(TimingWheelQueue, FuzzMatchesPriorityQueuePopForPop) {
     TimingWheelQueue wheel;
     std::uint64_t seq = 0;
     std::uint64_t now = 0;
+    std::vector<std::uint64_t> seen;  // replay pool: forces exact ties
     const int ops = 600;
     for (int i = 0; i < ops; ++i) {
       const bool do_push = ref.empty() || (rng() % 3) != 0;
       if (do_push) {
         std::uint64_t t = now;
-        switch (rng() % 6) {
+        switch (rng() % 7) {
           case 0: t = now + (rng() % 4); break;              // near / tie
           case 1: t = now + (rng() % 64); break;             // level 0
           case 2: t = now + (rng() % 5000); break;           // mid levels
@@ -205,7 +270,13 @@ TEST(TimingWheelQueue, FuzzMatchesPriorityQueuePopForPop) {
           case 5:
             t = now + (1ull << 30) + (rng() % 1000);         // overflow
             break;
+          case 6:
+            // Replay an earlier push time verbatim: exact same-cycle
+            // collisions with pending past / wheel / overflow entries.
+            if (!seen.empty()) t = seen[rng() % seen.size()];
+            break;
         }
+        seen.push_back(t);
         const Event e{t, seq++, handle_tag(seq)};
         ref.push(e);
         wheel.push(e);
