@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/cgsim.hpp"
+#include "bench_common.hpp"
 
 namespace {
 
@@ -297,7 +298,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_channel.json";
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
+  const std::string json_path = benchutil::join_out(
+      out_dir, argc > 1 ? argv[1] : "BENCH_channel.json");
   std::size_t total = 8u << 20;  // 8M elements: ~10ms/path, stable ratios
   if (argc > 2) total = static_cast<std::size_t>(std::stoull(argv[2]));
   if (total < kWindow) total = kWindow;

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "aiesim/compiled.hpp"
+#include "bench_common.hpp"
 #include "aiesim/engine.hpp"
 #include "aiesim/resim.hpp"
 #include "core/cgsim.hpp"
@@ -269,8 +270,10 @@ Row bench_rtp_sweep(int depth, int sweep_points) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
   const int iters = argc > 1 ? std::max(1, std::atoi(argv[1])) : 40;
-  const std::string json_path = argc > 2 ? argv[2] : "BENCH_resim.json";
+  const std::string json_path = benchutil::join_out(
+      out_dir, argc > 2 ? argv[2] : "BENCH_resim.json");
   const double min_warm = argc > 3 ? std::atof(argv[3]) : 3.0;
   const double min_resim = argc > 4 ? std::atof(argv[4]) : 10.0;
   // The acceptance thresholds are 3x / 10x; a run with relaxed bars (the

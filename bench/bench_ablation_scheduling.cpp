@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/cgsim.hpp"
 #include "x86sim/x86sim.hpp"
 
@@ -155,18 +156,23 @@ constexpr auto wide_graph = make_compute_graph_v<[](
   return std::make_tuple(a2, b2, c2, d2);
 }>;
 
-double run_wide(ExecMode mode, int workers, int items) {
+double run_wide(ExecMode mode, int workers, int items, bool steal = false,
+                RunResult* result_out = nullptr) {
   std::vector<int> a(static_cast<std::size_t>(items), 3);
   std::vector<int> b = a, c = a, d = a;
   std::vector<int> oa, ob, oc, od;
   const auto t0 = std::chrono::steady_clock::now();
-  run_graph(wide_graph.view(),
-            RunOptions{.mode = mode, .repetitions = 1, .workers = workers},
-            a, b, c, d, oa, ob, oc, od);
+  RunResult r = run_graph(wide_graph.view(),
+                          RunOptions{.mode = mode,
+                                     .repetitions = 1,
+                                     .workers = workers,
+                                     .steal = steal},
+                          a, b, c, d, oa, ob, oc, od);
   const double s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   benchmark::DoNotOptimize(oa.size() + ob.size() + oc.size() + od.size());
+  if (result_out != nullptr) *result_out = std::move(r);
   return s;
 }
 
@@ -187,6 +193,36 @@ BENCHMARK(BM_WideGraph_CoopMt)->Arg(2)->Arg(4)->UseRealTime();
 // Fixed ablation with JSON output (tracked across PRs).
 // ---------------------------------------------------------------------------
 
+/// max/mean busy seconds over the workers of one run: the load-imbalance
+/// signal. A perfectly balanced run has max ~= mean; a 4-worker run whose
+/// max is ~4x its mean degenerated to one loaded worker.
+void busy_stats(const RunResult& r, double& max_s, double& mean_s) {
+  max_s = 0.0;
+  mean_s = 0.0;
+  if (r.worker_loads.empty()) return;
+  for (const WorkerLoad& w : r.worker_loads) {
+    max_s = std::max(max_s, w.busy_s);
+    mean_s += w.busy_s;
+  }
+  mean_s /= static_cast<double>(r.worker_loads.size());
+}
+
+void print_json_loads(std::FILE* f, const char* key, const RunResult& r) {
+  std::fprintf(f, "  \"%s\": [", key);
+  for (std::size_t i = 0; i < r.worker_loads.size(); ++i) {
+    const WorkerLoad& w = r.worker_loads[i];
+    std::fprintf(f,
+                 "%s{\"resumes\": %llu, \"steals\": %llu, "
+                 "\"steal_attempts\": %llu, \"busy_s\": %.6f}",
+                 i == 0 ? "" : ", ",
+                 static_cast<unsigned long long>(w.resumes),
+                 static_cast<unsigned long long>(w.steals),
+                 static_cast<unsigned long long>(w.steal_attempts),
+                 w.busy_s);
+  }
+  std::fprintf(f, "],\n");
+}
+
 int run_ablation(const std::string& json_path, int items) {
   const unsigned hw = std::thread::hardware_concurrency();
 
@@ -194,23 +230,44 @@ int run_ablation(const std::string& json_path, int items) {
   run_wide(ExecMode::coop, 0, items / 8 + 1);
   run_wide(ExecMode::coop_mt, 4, items / 8 + 1);
 
+  RunResult mt4_r{}, steal4_r{};
   const double coop_s = run_wide(ExecMode::coop, 0, items);
   const double mt2_s = run_wide(ExecMode::coop_mt, 2, items);
-  const double mt4_s = run_wide(ExecMode::coop_mt, 4, items);
+  const double mt4_s = run_wide(ExecMode::coop_mt, 4, items, false, &mt4_r);
+  const double steal4_s =
+      run_wide(ExecMode::coop_mt, 4, items, true, &steal4_r);
   const double speedup2 = coop_s / mt2_s;
   const double speedup4 = coop_s / mt4_s;
+  const double speedup4_steal = coop_s / steal4_s;
   const bool gate_active = hw >= 4;
   const bool gate_ok = !gate_active || speedup4 >= 2.0;
+
+  double mt4_busy_max = 0, mt4_busy_mean = 0;
+  double steal4_busy_max = 0, steal4_busy_mean = 0;
+  busy_stats(mt4_r, mt4_busy_max, mt4_busy_mean);
+  busy_stats(steal4_r, steal4_busy_max, steal4_busy_mean);
 
   std::printf("\n-- scheduling ablation (4 pipelines x %d items, %u hw "
               "threads) --\n",
               items, hw);
   std::printf("coop (1 thread):      %9.4f s\n", coop_s);
   std::printf("coop_mt (2 workers):  %9.4f s  (%.2fx)\n", mt2_s, speedup2);
-  std::printf("coop_mt (4 workers):  %9.4f s  (%.2fx)\n", mt4_s, speedup4);
-  std::printf("4-worker gate (>= 2.0x, enforced when hw >= 4): %s\n",
-              gate_active ? (gate_ok ? "PASS" : "FAIL")
-                          : "skipped (host too small)");
+  std::printf("coop_mt (4 workers):  %9.4f s  (%.2fx)  busy max/mean "
+              "%.4f/%.4f s\n",
+              mt4_s, speedup4, mt4_busy_max, mt4_busy_mean);
+  std::printf("coop_mt+steal (4 w):  %9.4f s  (%.2fx)  %llu steals over "
+              "%d shards, busy max/mean %.4f/%.4f s\n",
+              steal4_s, speedup4_steal,
+              static_cast<unsigned long long>(steal4_r.steals),
+              steal4_r.shards_used, steal4_busy_max, steal4_busy_mean);
+  if (gate_active) {
+    std::printf("4-worker gate (>= 2.0x, enforced when hw >= 4): %s\n",
+                gate_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("4-worker gate (>= 2.0x, enforced when hw >= 4): skipped "
+                "(hw_threads=%u < 4)\n",
+                hw);
+  }
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
     std::fprintf(f,
@@ -222,12 +279,27 @@ int run_ablation(const std::string& json_path, int items) {
                  "  \"coop_s\": %.6f,\n"
                  "  \"coop_mt2_s\": %.6f,\n"
                  "  \"coop_mt4_s\": %.6f,\n"
+                 "  \"coop_mt4_steal_s\": %.6f,\n"
                  "  \"speedup_mt2\": %.3f,\n"
                  "  \"speedup_mt4\": %.3f,\n"
+                 "  \"speedup_mt4_steal\": %.3f,\n"
+                 "  \"steal4_shards\": %d,\n"
+                 "  \"steal4_steals\": %llu,\n"
+                 "  \"mt4_busy_max_s\": %.6f,\n"
+                 "  \"mt4_busy_mean_s\": %.6f,\n"
+                 "  \"steal4_busy_max_s\": %.6f,\n"
+                 "  \"steal4_busy_mean_s\": %.6f,\n",
+                 items, hw, coop_s, mt2_s, mt4_s, steal4_s, speedup2,
+                 speedup4, speedup4_steal, steal4_r.shards_used,
+                 static_cast<unsigned long long>(steal4_r.steals),
+                 mt4_busy_max, mt4_busy_mean, steal4_busy_max,
+                 steal4_busy_mean);
+    print_json_loads(f, "mt4_loads", mt4_r);
+    print_json_loads(f, "steal4_loads", steal4_r);
+    std::fprintf(f,
                  "  \"gate_enforced\": %s,\n"
                  "  \"gate_ok\": %s\n"
                  "}\n",
-                 items, hw, coop_s, mt2_s, mt4_s, speedup2, speedup4,
                  gate_active ? "true" : "false", gate_ok ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
@@ -245,7 +317,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_sched.json";
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
+  const std::string json_path = benchutil::join_out(
+      out_dir, argc > 1 ? argv[1] : "BENCH_sched.json");
   int items = 2000;  // heavy spin: ~seconds of single-core work
   if (argc > 2) items = std::max(8, std::atoi(argv[2]));
   return run_ablation(json_path, items);

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "aie/aie.hpp"
+#include "bench_common.hpp"
 #include "apps/bilinear.hpp"
 #include "apps/bitonic.hpp"
 #include "apps/farrow.hpp"
@@ -376,7 +377,9 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  const std::string json_path = argc > 1 ? argv[1] : "BENCH_simd.json";
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
+  const std::string json_path = benchutil::join_out(
+      out_dir, argc > 1 ? argv[1] : "BENCH_simd.json");
   std::size_t iters = 400;  // blocks per kernel+config: ~seconds total
   if (argc > 2) iters = static_cast<std::size_t>(std::stoull(argv[2]));
   if (iters == 0) iters = 1;

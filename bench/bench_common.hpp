@@ -1,0 +1,48 @@
+// Shared argv helpers for the cgsim bench binaries.
+//
+// Every bench_* that emits a BENCH_*.json accepts a uniform
+//
+//   --out <dir>     (or --out=<dir>; default ".")
+//
+// naming the directory the JSON lands in, so CI can collect canonical
+// copies instead of fishing them out of build/. The flag is stripped from
+// argv before the positional arguments are parsed, which keeps the
+// existing positional invocations (ctest smokes, scripts) working
+// unchanged. Call strip_out_dir() after benchmark::Initialize so
+// --benchmark_* flags are consumed first.
+#pragma once
+
+#include <string>
+
+namespace benchutil {
+
+/// Removes "--out <dir>" / "--out=<dir>" from argv (compacting it in
+/// place) and returns the directory, "." when absent.
+inline std::string strip_out_dir(int& argc, char** argv) {
+  std::string dir = ".";
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    const std::string a = argv[r];
+    if (a == "--out" && r + 1 < argc) {
+      dir = argv[++r];
+      continue;
+    }
+    if (a.rfind("--out=", 0) == 0) {
+      dir = a.substr(6);
+      continue;
+    }
+    argv[w++] = argv[r];
+  }
+  argc = w;
+  return dir.empty() ? std::string{"."} : dir;
+}
+
+/// Joins the output directory with a JSON filename; absolute filenames
+/// win over the directory so explicit positional paths keep working.
+inline std::string join_out(const std::string& dir, const std::string& file) {
+  if (!file.empty() && file.front() == '/') return file;
+  if (dir == ".") return file;
+  return dir + "/" + file;
+}
+
+}  // namespace benchutil

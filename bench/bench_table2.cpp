@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "aiesim/engine.hpp"
+#include "bench_common.hpp"
 #include "apps/bilinear.hpp"
 #include "apps/bitonic.hpp"
 #include "apps/farrow.hpp"
@@ -110,8 +111,10 @@ Row run_example(const char* name, int paper_reps, const Graph& graph,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
   if (argc > 1) g_divisor = std::max(1, std::atoi(argv[1]));
-  const std::string json_path = argc > 2 ? argv[2] : "BENCH_table2.json";
+  const std::string json_path = benchutil::join_out(
+      out_dir, argc > 2 ? argv[2] : "BENCH_table2.json");
 
   // Base workloads sized like the paper's per-repetition inputs.
   std::mt19937 rng{7};

@@ -47,6 +47,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -55,6 +56,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -89,6 +91,7 @@ class ResimSession {
   /// place (warm rerun). The result becomes the baseline for resimulate().
   template <class... Args>
   SimResult run(Args&&... args) {
+    EntryGuard guard{*this};
     check_arity(sizeof...(args));
     return full_run(std::forward<Args>(args)...);
   }
@@ -107,6 +110,7 @@ class ResimSession {
   template <class... Args>
   SimResult resimulate(const std::vector<std::size_t>& dirty_inputs,
                        Args&&... args) {
+    EntryGuard guard{*this};
     check_arity(sizeof...(args));
     for (std::size_t idx : dirty_inputs) {
       if (idx >= graph_.inputs.size()) {
@@ -177,6 +181,7 @@ class ResimSession {
   /// simulate(). The result becomes the new baseline.
   template <class... Args>
   SimResult resimulate_with_cost(const CostModel& cost, Args&&... args) {
+    EntryGuard guard{*this};
     check_arity(sizeof...(args));
     cfg_.cost = cost;
     compiled_ = CompiledGraphCache::instance().get_or_compile(
@@ -198,6 +203,34 @@ class ResimSession {
 
  private:
   enum class Phase { baseline, incremental };
+
+  /// Thread-affinity guard on the public entry points. A session is warm,
+  /// mutable state (engine, channels, taps): it may move between threads
+  /// across calls, but two threads must never be inside it at once. Sweep
+  /// workers are expected to *check sessions out* of a cgsim::SessionPool
+  /// rather than share one; this guard turns an accidental share into a
+  /// deterministic std::logic_error instead of silent state corruption.
+  class EntryGuard {
+   public:
+    explicit EntryGuard(ResimSession& s) : s_(s) {
+      std::thread::id expected{};
+      if (!s_.active_thread_.compare_exchange_strong(
+              expected, std::this_thread::get_id(),
+              std::memory_order_acq_rel)) {
+        throw std::logic_error{
+            "ResimSession entered concurrently from two threads; check "
+            "sessions out of a pool instead of sharing one"};
+      }
+    }
+    EntryGuard(const EntryGuard&) = delete;
+    EntryGuard& operator=(const EntryGuard&) = delete;
+    ~EntryGuard() {
+      s_.active_thread_.store(std::thread::id{}, std::memory_order_release);
+    }
+
+   private:
+    ResimSession& s_;
+  };
 
   void check_arity(std::size_t n_args) const {
     if (n_args != graph_.inputs.size() + graph_.outputs.size()) {
@@ -578,6 +611,9 @@ class ResimSession {
   std::uint64_t replay_blocked_ = 0;
   bool last_was_incremental_ = false;
   std::size_t last_cone_size_ = 0;
+
+  // Thread currently inside a public entry point (default id = none).
+  std::atomic<std::thread::id> active_thread_{};
 };
 
 }  // namespace aiesim

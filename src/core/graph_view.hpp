@@ -16,6 +16,7 @@
 
 #include "ct_graph.hpp"
 #include "port_config.hpp"
+#include "steal.hpp"
 #include "types.hpp"
 
 namespace cgsim {
@@ -81,6 +82,9 @@ struct RunResult {
   std::vector<std::string> blocked_kernels;
   std::uint64_t virtual_cycles = 0;   ///< cycle-approximate backend only
   int shards_used = 0;                ///< coop_mt only: worker shards run
+  std::uint64_t steals = 0;           ///< coop_mt + steal: shard migrations
+  /// coop_mt only: per-worker resume/steal/busy statistics of the run.
+  std::vector<WorkerLoad> worker_loads;
 };
 
 /// Options for a graph run.
@@ -89,6 +93,12 @@ struct RunOptions {
   int repetitions = 1;  ///< how many times sources replay their data
   /// coop_mt only: worker-shard count ceiling; 0 = hardware concurrency.
   int workers = 0;
+  /// coop_mt only: run M workers over an over-partitioned shard set with
+  /// Chase-Lev work stealing instead of one pinned worker per shard.
+  bool steal = false;
+  /// coop_mt + steal only: shard count override; 0 = ~4x the worker count
+  /// (clamped to the kernel count by the partitioner).
+  int shards = 0;
 };
 
 }  // namespace cgsim

@@ -214,6 +214,7 @@ class UnionFind {
     }
     members = std::move(part_a);
     blocks.push_back(std::move(part_b));
+    unsplittable.push_back(0);  // keep in lockstep with blocks
   }
 
   // Assign blocks to shards, largest first onto the least-loaded shard.

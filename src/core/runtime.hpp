@@ -111,11 +111,14 @@ class RuntimeContext {
 
   /// Deserializes `g`. When `exec` is null the context's own FIFO scheduler
   /// is used (cooperative mode); the cycle-approximate backend passes its
-  /// event-queue executor and SimHooks instead. `workers` applies to
-  /// ExecMode::coop_mt only (0 = hardware concurrency).
+  /// event-queue executor and SimHooks instead. `workers`, `steal` and
+  /// `shards` apply to ExecMode::coop_mt only (0 workers = hardware
+  /// concurrency). With `steal` the graph is over-partitioned (~4 shards
+  /// per worker, or exactly `shards` when nonzero) and executed by a
+  /// work-stealing pool; otherwise one worker is pinned per shard.
   explicit RuntimeContext(const GraphView& g, ExecMode mode = ExecMode::coop,
                           Executor* exec = nullptr, SimHooks* sim = nullptr,
-                          int workers = 0)
+                          int workers = 0, bool steal = false, int shards = 0)
       : graph_(g), mode_(mode), sim_(sim) {
     exec_ = exec != nullptr ? exec : &sched_;
     if (mode_ == ExecMode::coop_mt) {
@@ -123,8 +126,14 @@ class RuntimeContext {
                   ? workers
                   : static_cast<int>(std::thread::hardware_concurrency());
       if (w < 1) w = 1;
-      partition_ = partition_graph(g, w);
-      pool_ = std::make_unique<ShardPool>(partition_.n_shards);
+      if (steal) {
+        const int target = shards > 0 ? shards : w * 4;
+        partition_ = partition_graph(g, target);
+        pool_ = std::make_unique<StealingShardPool>(partition_.n_shards, w);
+      } else {
+        partition_ = partition_graph(g, w);
+        pool_ = std::make_unique<ShardPool>(partition_.n_shards);
+      }
     }
     // Recreate all channels from the serialized edge descriptors. Ping-pong
     // window connections are double buffers on hardware: unless the user
@@ -151,9 +160,9 @@ class RuntimeContext {
         } else {
           // Intra-shard edges are single-threaded by construction and keep
           // the cooperative ring, homed on the owning shard's executor.
-          ch = e.vtable().create(ExecMode::coop, e.n_consumers, capacity,
-                                 e.settings.rtp,
-                                 &pool_->shard(partition_.edge_home[ei]));
+          ch = e.vtable().create(
+              ExecMode::coop, e.n_consumers, capacity, e.settings.rtp,
+              &pool_->shard_exec(partition_.edge_home[ei]));
         }
       } else {
         ch = e.vtable().create(mode_, e.n_consumers, capacity, e.settings.rtp,
@@ -331,6 +340,8 @@ class RuntimeContext {
     r.resumes = pool_->run(
         [this](std::coroutine_handle<> h) { on_task_finished(h); });
     r.shards_used = pool_->n_shards();
+    r.steals = pool_->steals();
+    r.worker_loads = pool_->worker_loads();
     return finish(r);
   }
 
@@ -494,7 +505,7 @@ class RuntimeContext {
   // The pool outlives channels (which hold shard-executor pointers), and
   // channels are declared before tasks so tasks (which reference channels)
   // are destroyed first.
-  std::unique_ptr<ShardPool> pool_;
+  std::unique_ptr<ShardPoolBase> pool_;
   std::vector<std::unique_ptr<ChannelBase>> channels_;
   std::vector<TaskRecord> tasks_;
   std::unordered_map<void*, TaskRecord*> by_handle_;
@@ -555,7 +566,8 @@ RunResult run_graph(const GraphView& g, const RunOptions& opts,
         "ExecMode::sim requires the cycle-approximate engine; use "
         "aiesim::simulate()"};
   }
-  RuntimeContext ctx{g, opts.mode, nullptr, nullptr, opts.workers};
+  RuntimeContext ctx{g,            opts.mode,  nullptr,    nullptr,
+                     opts.workers, opts.steal, opts.shards};
   std::size_t pos = 0;
   (detail::attach_io(ctx, g, opts, pos++, std::forward<Args>(args)), ...);
   if (opts.mode == ExecMode::threaded) return ctx.run_threaded();

@@ -1,0 +1,127 @@
+// cgsim -- work-stealing primitives for sharded cooperative execution.
+//
+// StealDeque is a bounded Chase-Lev deque (Chase & Lev, SPAA'05, with the
+// C11 memory-order treatment of Lê et al., PPoPP'13): the owning worker
+// pushes/pops at the bottom, thieves steal from the top. Two deliberate
+// deviations from the textbook version:
+//
+//   * The buffer holds std::atomic<T> cells and never grows. cgsim's steal
+//     unit is a *shard*, and a shard is enqueued at most once at any moment
+//     (see StealingShardPool's shard state machine), so a capacity of
+//     next_pow2(n_shards) can never overflow. Bounding removes the
+//     grow-time ABA hazards of the classic algorithm, and atomic cells keep
+//     the code data-race-free for TSan without relying on fence semantics.
+//   * All cross-thread orderings use seq_cst operations on top_/bottom_
+//     instead of standalone std::atomic_thread_fence -- TSan models atomic
+//     operations precisely but historically under-models fences, and the
+//     deque is far from any performance-critical path (one operation per
+//     shard activation, not per task resume).
+//
+// The items must be trivially copyable (shard indices in practice).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace cgsim {
+
+/// Per-worker execution statistics for one coop_mt run, reported through
+/// RunResult so the scheduling ablation can diagnose load imbalance.
+struct WorkerLoad {
+  std::uint64_t resumes = 0;         ///< coroutine resumptions on this worker
+  std::uint64_t steals = 0;          ///< shards acquired from another deque
+  std::uint64_t steal_attempts = 0;  ///< steal probes, successful or not
+  double busy_s = 0.0;               ///< wall time minus time parked
+};
+
+/// Bounded single-owner / multi-thief deque. Owner calls push_bottom and
+/// pop_bottom; any other thread may call steal_top concurrently.
+template <class T>
+class StealDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "StealDeque items are copied through atomic cells");
+
+ public:
+  explicit StealDeque(std::size_t capacity_hint) {
+    std::size_t cap = 16;
+    while (cap < capacity_hint) cap <<= 1;
+    buf_ = std::make_unique<std::atomic<T>[]>(cap);
+    mask_ = static_cast<std::int64_t>(cap) - 1;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return static_cast<std::size_t>(mask_) + 1;
+  }
+
+  /// Approximate occupancy; exact only when called by the owner with no
+  /// concurrent thieves. Used for heuristics and tests.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  /// Owner only. Returns false when the deque is full (never happens when
+  /// capacity >= the number of distinct items in flight).
+  bool push_bottom(T v) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t > mask_) return false;  // full
+    buf_[b & mask_].store(v, std::memory_order_relaxed);
+    // Publish the cell before the new bottom; a thief acquiring bottom_
+    // (or winning the top_ CAS) observes the stored value.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  /// Owner only. LIFO pop from the bottom; loses to a thief only on the
+  /// last remaining element.
+  bool pop_bottom(T& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    T v = buf_[b & mask_].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Single element left: race the thieves for it via top_.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return false;
+    }
+    out = v;
+    return true;
+  }
+
+  /// Any thread. FIFO steal from the top. Returns false when empty or when
+  /// the CAS loses a race (callers treat both as "try elsewhere").
+  bool steal_top(T& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;  // empty
+    T v = buf_[t & mask_].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;  // lost to the owner or another thief
+    }
+    out = v;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T>[]> buf_;
+  std::int64_t mask_ = 0;
+  // top_ <= bottom_; thieves advance top_, the owner moves bottom_.
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace cgsim

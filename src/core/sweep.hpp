@@ -1,0 +1,452 @@
+// cgsim -- batch scenario-sweep engine.
+//
+// Design-space exploration runs thousands of *independent* simulations of
+// one graph (seed / RTP / placement / config variants). That workload is
+// embarrassingly parallel and saturates any core count regardless of how
+// well a single graph shards, so it gets its own engine:
+//
+//   * SweepRunner  -- persistent worker pool; a batch hands every worker a
+//                     job index stream (atomic counter) and each completed
+//                     job's result travels through a lock-free MPSC queue
+//                     to the caller thread, which aggregates in completion
+//                     order. Workers never touch each other's state.
+//   * Arena        -- bump allocator, one per worker slot. reset() rewinds
+//                     to empty but keeps the blocks, so steady-state sweep
+//                     iterations perform zero heap traffic for scratch
+//                     data (inputs, outputs, digests).
+//   * MpscQueue    -- Vyukov-style intrusive multi-producer/single-consumer
+//                     queue: producers exchange the head and link; the
+//                     consumer walks the tail. One CAS-free exchange per
+//                     push, no locks anywhere on the result path.
+//   * SessionPool  -- keyed checkout/return pool with RAII leases. Warm
+//                     simulation sessions (aiesim::ResimSession) are
+//                     reusable but strictly single-threaded, so sweep
+//                     workers *check them out* -- two workers can never
+//                     hold the same session, which is what the session's
+//                     thread-affinity guard enforces at runtime.
+//   * SweepReport  -- per-variant rows (cycles, digest, incremental flag)
+//                     plus order-independent summary statistics.
+//
+// The header is engine-agnostic: nothing here depends on aiesim. The
+// aiesim sweep driver (bench_ablation_sweep) composes these pieces with
+// CompiledGraphCache + ResimSession.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace cgsim {
+
+// ---------------------------------------------------------------------------
+// Arena: bump allocation, reset-not-free.
+// ---------------------------------------------------------------------------
+
+/// Monotonic bump allocator over geometrically grown blocks. reset()
+/// rewinds the cursor but keeps every block, so after the first few
+/// iterations a sweep worker's scratch allocations are pure pointer
+/// arithmetic. Not thread-safe: one Arena per in-flight run.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 1 << 16)
+      : next_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    assert((align & (align - 1)) == 0 && "alignment must be a power of two");
+    for (; block_ < blocks_.size(); ++block_, offset_ = 0) {
+      Block& b = blocks_[block_];
+      const std::size_t at = (offset_ + align - 1) & ~(align - 1);
+      if (at + bytes <= b.size) {
+        offset_ = at + bytes;
+        return b.data.get() + at;
+      }
+    }
+    // No existing block fits: grow geometrically (at least to `bytes`).
+    // Block storage from new[] is max-aligned, so offset 0 satisfies any
+    // fundamental alignment.
+    std::size_t sz = next_block_bytes_;
+    while (sz < bytes) sz *= 2;
+    next_block_bytes_ = sz * 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(sz), sz});
+    block_ = blocks_.size() - 1;
+    offset_ = bytes;
+    return blocks_.back().data.get();
+  }
+
+  template <class T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to empty; keeps every block for reuse.
+  void reset() {
+    block_ = 0;
+    offset_ = 0;
+    ++resets_;
+  }
+
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t blocks() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size;
+  };
+
+  std::vector<Block> blocks_;
+  std::size_t block_ = 0;   ///< block the cursor is in
+  std::size_t offset_ = 0;  ///< cursor within blocks_[block_]
+  std::size_t next_block_bytes_;
+  std::uint64_t resets_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// MpscQueue: lock-free multi-producer / single-consumer FIFO.
+// ---------------------------------------------------------------------------
+
+/// Vyukov-style intrusive MPSC queue. push() is wait-free for producers
+/// (one atomic exchange); try_pop() is the single consumer's. Per-producer
+/// FIFO order is preserved; cross-producer order is arrival order of the
+/// exchanges.
+template <class T>
+class MpscQueue {
+ public:
+  MpscQueue() : stub_(new Node{}), head_(stub_), tail_(stub_) {}
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Any thread.
+  void push(T v) {
+    Node* n = new Node{};
+    n->value = std::move(v);
+    // Publish the node, then link the previous head to it. Between the
+    // exchange and the store the chain is momentarily broken; the consumer
+    // simply sees "empty" at the break point and retries later.
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Consumer thread only.
+  bool try_pop(T& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+  /// Consumer-side emptiness hint (exact only if producers are quiet).
+  [[nodiscard]] bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* stub_;
+  alignas(64) std::atomic<Node*> head_;  // producers' end
+  alignas(64) Node* tail_;               // consumer's end
+};
+
+// ---------------------------------------------------------------------------
+// SessionPool: keyed exclusive checkout of warm sessions.
+// ---------------------------------------------------------------------------
+
+/// Pool of reusable single-threaded sessions, keyed by scenario class
+/// (e.g. "baseline established with base inputs" vs "full-run lane").
+/// checkout() hands out an exclusive lease -- the session leaves the pool
+/// entirely while leased, so two workers can never share one. The lease
+/// returns the session on destruction.
+template <class Key, class Session>
+class SessionPool {
+ public:
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(SessionPool* pool, Key key, std::unique_ptr<Session> s)
+        : pool_(pool), key_(std::move(key)), s_(std::move(s)) {}
+    Lease(Lease&& o) noexcept
+        : pool_(o.pool_),
+          key_(std::move(o.key_)),
+          s_(std::move(o.s_)),
+          fresh_(o.fresh_) {
+      o.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& o) noexcept {
+      release();
+      pool_ = o.pool_;
+      key_ = std::move(o.key_);
+      s_ = std::move(o.s_);
+      fresh_ = o.fresh_;
+      o.pool_ = nullptr;
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] Session& operator*() { return *s_; }
+    [[nodiscard]] Session* operator->() { return s_.get(); }
+    [[nodiscard]] Session* get() { return s_.get(); }
+    [[nodiscard]] bool fresh() const { return fresh_; }
+    void mark_warm() { fresh_ = false; }
+
+   private:
+    friend class SessionPool;
+    void release() {
+      if (pool_ != nullptr && s_ != nullptr) {
+        pool_->put_back(key_, std::move(s_));
+      }
+      pool_ = nullptr;
+    }
+    SessionPool* pool_ = nullptr;
+    Key key_{};
+    std::unique_ptr<Session> s_;
+    bool fresh_ = true;
+  };
+
+  /// Checks out an idle session for `key`, or builds one via `make()`
+  /// (called outside the pool lock -- construction may simulate).
+  /// Lease::fresh() tells the caller whether the session still needs its
+  /// baseline established.
+  template <class Make>
+  [[nodiscard]] Lease checkout(const Key& key, Make&& make) {
+    {
+      std::lock_guard lk{m_};
+      auto it = idle_.find(key);
+      if (it != idle_.end()) {
+        std::unique_ptr<Session> s = std::move(it->second);
+        idle_.erase(it);
+        Lease l{this, key, std::move(s)};
+        l.mark_warm();
+        ++reused_;
+        return l;
+      }
+    }
+    ++created_;
+    return Lease{this, key, make()};
+  }
+
+  [[nodiscard]] std::size_t idle_count() const {
+    std::lock_guard lk{m_};
+    return idle_.size();
+  }
+  [[nodiscard]] std::uint64_t created() const { return created_.load(); }
+  [[nodiscard]] std::uint64_t reused() const { return reused_.load(); }
+
+ private:
+  void put_back(const Key& key, std::unique_ptr<Session> s) {
+    std::lock_guard lk{m_};
+    idle_.emplace(key, std::move(s));
+  }
+
+  mutable std::mutex m_;
+  std::multimap<Key, std::unique_ptr<Session>> idle_;
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> reused_{0};
+};
+
+// ---------------------------------------------------------------------------
+// SweepRunner: persistent worker pool + MPSC aggregation.
+// ---------------------------------------------------------------------------
+
+/// Persistent pool of sweep workers. Each worker owns a slot with an Arena
+/// that is reset (not freed) between jobs; batches are distributed by an
+/// atomic job counter, so a slow variant never blocks the others. Results
+/// funnel through a lock-free MPSC queue to the calling thread, which runs
+/// the collector in completion order.
+class SweepRunner {
+ public:
+  struct WorkerSlot {
+    int worker = 0;
+    Arena arena;
+    std::uint64_t jobs = 0;
+    double busy_s = 0.0;
+  };
+
+  explicit SweepRunner(int n_workers) {
+    if (n_workers < 1) n_workers = 1;
+    slots_.reserve(static_cast<std::size_t>(n_workers));
+    for (int i = 0; i < n_workers; ++i) {
+      slots_.push_back(std::make_unique<WorkerSlot>());
+      slots_.back()->worker = i;
+    }
+    threads_.reserve(static_cast<std::size_t>(n_workers));
+    for (int i = 0; i < n_workers; ++i) {
+      threads_.emplace_back([this, i] { worker_main(*slots_[static_cast<std::size_t>(i)]); });
+    }
+  }
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  ~SweepRunner() {
+    {
+      std::lock_guard lk{m_};
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+  }  // jthreads join
+
+  [[nodiscard]] int workers() const {
+    return static_cast<int>(slots_.size());
+  }
+  [[nodiscard]] const WorkerSlot& slot(int i) const { return *slots_[static_cast<std::size_t>(i)]; }
+
+  /// Runs `n_jobs` invocations of `fn(job_index, slot)` across the pool
+  /// and calls `collect(job_index, result)` on *this* thread, in
+  /// completion order, until every job is accounted for. Blocks until the
+  /// batch is done; the pool survives for the next batch.
+  template <class Fn, class Collect>
+  void run_batch(std::size_t n_jobs, Fn&& fn, Collect&& collect) {
+    using R = std::invoke_result_t<Fn&, std::size_t, WorkerSlot&>;
+    static_assert(!std::is_void_v<R>,
+                  "sweep jobs must return a result for aggregation");
+    if (n_jobs == 0) return;
+    MpscQueue<std::pair<std::size_t, R>> results;
+    // The push is the closure's last touch of batch-local state AND of the
+    // worker's slot (stats update precedes it): a worker only reads job_
+    // between claiming an index (under m_) and pushing the result, so once
+    // the caller has popped every result no worker can still be inside the
+    // closure, job_ is safe to replace, and -- because the push/pop pair is
+    // a release/acquire edge -- the caller may read every slot's jobs /
+    // busy_s / arena without further synchronization. Job claims go
+    // through the pool mutex -- a sweep job is an entire simulation, so
+    // one uncontended lock per claim is noise; the per-result hot path
+    // (workers -> caller) stays lock-free through the MPSC queue.
+    job_ = [&](std::size_t i, WorkerSlot& slot) {
+      const auto t0 = std::chrono::steady_clock::now();
+      R r = fn(i, slot);
+      slot.busy_s += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+      ++slot.jobs;
+      results.push(std::pair<std::size_t, R>{i, std::move(r)});
+    };
+    {
+      std::lock_guard lk{m_};
+      total_ = n_jobs;
+      next_ = 0;
+    }
+    work_cv_.notify_all();
+
+    std::size_t collected = 0;
+    std::pair<std::size_t, R> item;
+    while (collected < n_jobs) {
+      if (results.try_pop(item)) {
+        collect(item.first, std::move(item.second));
+        ++collected;
+        continue;
+      }
+      // A notification can slip between the failed pop and the wait; the
+      // bounded timeout turns that lost wake into a 1ms hiccup at most.
+      std::unique_lock lk{done_m_};
+      done_cv_.wait_for(lk, std::chrono::milliseconds(1));
+    }
+  }
+
+ private:
+  void worker_main(WorkerSlot& slot) {
+    for (;;) {
+      std::size_t i;
+      {
+        std::unique_lock lk{m_};
+        work_cv_.wait(lk, [&] { return stop_ || next_ < total_; });
+        if (stop_) return;
+        i = next_++;
+      }
+      slot.arena.reset();
+      job_(i, slot);  // updates slot stats, then pushes the result
+      done_cv_.notify_one();
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::function<void(std::size_t, WorkerSlot&)> job_;
+  std::size_t total_ = 0;  // guarded by m_
+  std::size_t next_ = 0;   // guarded by m_; next_ == total_ means drained
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;  // guarded by m_
+  std::mutex done_m_;
+  std::condition_variable done_cv_;
+  std::vector<std::jthread> threads_;  // last member: joins before teardown
+};
+
+// ---------------------------------------------------------------------------
+// SweepReport.
+// ---------------------------------------------------------------------------
+
+/// Result row for one scenario variant.
+struct SweepVariantRow {
+  std::string name;
+  std::uint64_t cycles = 0;
+  std::uint64_t digest = 0;
+  bool incremental = false;  ///< served by cone-limited re-simulation
+  double seconds = 0.0;
+};
+
+/// Aggregated outcome of one sweep batch.
+struct SweepReport {
+  std::vector<SweepVariantRow> rows;
+  double wall_s = 0.0;
+  int workers = 1;
+
+  [[nodiscard]] double variants_per_sec() const {
+    return wall_s > 0.0 ? static_cast<double>(rows.size()) / wall_s : 0.0;
+  }
+  [[nodiscard]] std::uint64_t incremental_runs() const {
+    std::uint64_t n = 0;
+    for (const SweepVariantRow& r : rows) n += r.incremental ? 1 : 0;
+    return n;
+  }
+  /// Order-independent combination of the per-variant digests, so serial
+  /// and pooled sweeps of the same variant set compare equal regardless of
+  /// completion order.
+  [[nodiscard]] std::uint64_t combined_digest() const {
+    std::uint64_t x = 0, s = 0;
+    for (const SweepVariantRow& r : rows) {
+      x ^= r.digest;
+      s += r.digest * 0x9e3779b97f4a7c15ull;
+    }
+    return x ^ s;
+  }
+};
+
+}  // namespace cgsim

@@ -1,0 +1,328 @@
+// Work-stealing shard execution (RunOptions{.steal = true}): bit-identical
+// outputs against single-threaded coop and pinned-shard coop_mt across
+// worker/shard-count combinations, repeated-run determinism, randomized
+// DAG fuzzing, and the per-worker load accounting invariants.
+//
+// The soundness claim under test: shard-granularity stealing migrates a
+// whole shard (its executor queue, inbox and channels) between workers,
+// and the kernels are deterministic Kahn processes -- so the outputs must
+// be byte-identical no matter which worker ran which shard when.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "apps/bitonic.hpp"
+#include "apps/gemm.hpp"
+#include "apps/iir.hpp"
+#include "core/cgsim.hpp"
+#include "core/dynamic_graph.hpp"
+
+namespace {
+
+using namespace cgsim;
+
+RunOptions steal_opts(int workers, int shards = 0) {
+  return RunOptions{.mode = ExecMode::coop_mt, .repetitions = 1,
+                    .workers = workers, .steal = true, .shards = shards};
+}
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t h = 1469598103934665603ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <class T>
+std::uint64_t digest(const std::vector<T>& v) {
+  return fnv1a_bytes(v.data(), v.size() * sizeof(T));
+}
+
+// --- kernels / graphs ------------------------------------------------------
+
+COMPUTE_KERNEL(aie, st_double,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() * 2);
+}
+
+COMPUTE_KERNEL(aie, st_add_one,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+constexpr auto st_chain = make_compute_graph_v<[](IoConnector<int> a) {
+  IoConnector<int> b, c;
+  st_double(a, b);
+  st_add_one(b, c);
+  return std::make_tuple(c);
+}>;
+
+constexpr auto st_wide = make_compute_graph_v<[](
+    IoConnector<int> a, IoConnector<int> b, IoConnector<int> c,
+    IoConnector<int> d) {
+  IoConnector<int> a1, b1, c1, d1;
+  st_double(a, a1);
+  st_double(b, b1);
+  st_double(c, c1);
+  st_double(d, d1);
+  return std::make_tuple(a1, b1, c1, d1);
+}>;
+
+// --- equivalence: steal on/off x workers x shard counts --------------------
+
+TEST(Steal, ChainMatchesCoopAcrossWorkerAndShardCounts) {
+  std::vector<int> in(800);
+  for (int i = 0; i < 800; ++i) in[static_cast<std::size_t>(i)] = i - 400;
+  std::vector<int> reference;
+  st_chain(in, reference);
+  for (const int workers : {1, 2, 4}) {
+    for (const int shards : {0, 4 * workers}) {
+      std::vector<int> out;
+      const RunResult r = st_chain.run(steal_opts(workers, shards), in, out);
+      EXPECT_FALSE(r.deadlocked) << workers << "w/" << shards << "s";
+      EXPECT_EQ(out, reference) << workers << "w/" << shards << "s";
+    }
+  }
+}
+
+TEST(Steal, WideGraphMatchesPinnedShardExecution) {
+  std::vector<int> a(300, 1), b(300, 2), c(300, 3), d(300, 4);
+  std::vector<int> pa, pb, pc, pd;  // pinned (steal off)
+  st_wide.run(RunOptions{.mode = ExecMode::coop_mt, .repetitions = 1,
+                         .workers = 4},
+              a, b, c, d, pa, pb, pc, pd);
+  for (const int workers : {1, 2, 4}) {
+    std::vector<int> sa, sb, sc, sd;
+    const RunResult r =
+        st_wide.run(steal_opts(workers), a, b, c, d, sa, sb, sc, sd);
+    EXPECT_FALSE(r.deadlocked);
+    // Over-partitioning is clamped to the kernel count.
+    EXPECT_GE(r.shards_used, workers == 1 ? 1 : 2);
+    EXPECT_EQ(sa, pa);
+    EXPECT_EQ(sb, pb);
+    EXPECT_EQ(sc, pc);
+    EXPECT_EQ(sd, pd);
+  }
+}
+
+TEST(Steal, AppsMatchCoopIncludingRtp) {
+  std::mt19937 rng{131};
+  std::uniform_real_distribution<float> d{-100, 100};
+  std::vector<apps::bitonic::Block> bin(48);
+  for (auto& blk : bin) {
+    for (unsigned i = 0; i < 16; ++i) blk.set(i, d(rng));
+  }
+  std::vector<apps::bitonic::Block> bref, bsteal;
+  apps::bitonic::graph(bin, bref);
+  apps::bitonic::graph.run(steal_opts(4), bin, bsteal);
+  EXPECT_EQ(bref, bsteal);
+
+  std::uniform_real_distribution<float> g{-5, 5};
+  std::vector<apps::gemm::TilePair> h0(4), h1(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (auto& v : h0[i].a.m) v = g(rng);
+    for (auto& v : h0[i].b.m) v = g(rng);
+    for (auto& v : h1[i].a.m) v = g(rng);
+    for (auto& v : h1[i].b.m) v = g(rng);
+  }
+  std::vector<apps::gemm::Tile> gref, gsteal;
+  apps::gemm::graph(h0, h1, gref);
+  apps::gemm::graph.run(steal_opts(2), h0, h1, gsteal);
+  EXPECT_EQ(gref, gsteal);
+
+  // RTP-bearing app: the runtime-parameter ring must survive shard
+  // migration between workers.
+  std::uniform_real_distribution<float> s{-1, 1};
+  std::vector<apps::iir::Block> iin(5);
+  for (auto& blk : iin) {
+    for (auto& v : blk.samples) v = s(rng);
+  }
+  std::vector<apps::iir::Block> iref, isteal;
+  apps::iir::graph(iin, 2.0f, iref);
+  apps::iir::graph.run(steal_opts(4), iin, 2.0f, isteal);
+  EXPECT_EQ(iref, isteal);
+}
+
+// --- determinism -----------------------------------------------------------
+
+TEST(Steal, RepeatedRunsAreDeterministic) {
+  std::vector<int> in(600);
+  for (int i = 0; i < 600; ++i) in[static_cast<std::size_t>(i)] = i * 7;
+  std::vector<int> reference;
+  st_chain(in, reference);
+  const std::uint64_t ref_digest = digest(reference);
+  for (int rep = 0; rep < 8; ++rep) {
+    std::vector<int> out;
+    const RunResult r = st_chain.run(steal_opts(3), in, out);
+    ASSERT_FALSE(r.deadlocked);
+    ASSERT_EQ(digest(out), ref_digest) << "run " << rep << " diverged";
+  }
+}
+
+// --- randomized-graph fuzz -------------------------------------------------
+
+COMPUTE_KERNEL(aie, st_dyn_inc,
+               KernelReadPort<int> in,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+COMPUTE_KERNEL(aie, st_dyn_add,
+               KernelReadPort<int> a,
+               KernelReadPort<int> b,
+               KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+
+COMPUTE_KERNEL(aie, st_dyn_split,
+               KernelReadPort<int> in,
+               KernelWritePort<int> lo,
+               KernelWritePort<int> hi) {
+  while (true) {
+    const int v = co_await in.get();
+    co_await lo.put(v - 1);
+    co_await hi.put(v + 1);
+  }
+}
+
+/// Random DAG over open edges: every kernel consumes previously produced
+/// edges and opens new ones, so the construction order is a topological
+/// order and the graph is acyclic by construction.
+void build_random_dag(rt::DynamicGraphBuilder& b, std::mt19937& rng,
+                      int n_inputs, int n_kernels) {
+  std::vector<int> open;
+  for (int i = 0; i < n_inputs; ++i) {
+    const int e = b.add_edge<int>();
+    b.add_input(e);
+    open.push_back(e);
+  }
+  std::uniform_int_distribution<int> op{0, 2};
+  for (int k = 0; k < n_kernels; ++k) {
+    std::shuffle(open.begin(), open.end(), rng);
+    switch (open.size() >= 2 ? op(rng) : 0) {
+      case 0: {  // inc: 1 -> 1
+        const int o = b.add_edge<int>();
+        b.add_kernel(st_dyn_inc, {open.back(), o});
+        open.back() = o;
+        break;
+      }
+      case 1: {  // add: 2 -> 1 (narrows the frontier)
+        const int o = b.add_edge<int>();
+        const int x = open.back();
+        open.pop_back();
+        b.add_kernel(st_dyn_add, {x, open.back(), o});
+        open.back() = o;
+        break;
+      }
+      default: {  // split: 1 -> 2 (widens the frontier)
+        const int lo = b.add_edge<int>();
+        const int hi = b.add_edge<int>();
+        b.add_kernel(st_dyn_split, {open.back(), lo, hi});
+        open.back() = lo;
+        open.push_back(hi);
+        break;
+      }
+    }
+  }
+  std::sort(open.begin(), open.end());  // canonical output order
+  for (const int e : open) b.add_output(e);
+}
+
+TEST(Steal, RandomizedDagsMatchCoop) {
+  for (const unsigned seed : {11u, 23u, 37u, 41u, 59u, 67u, 83u, 97u, 109u,
+                              127u}) {
+    std::mt19937 rng{seed};
+    rt::DynamicGraphBuilder b;
+    std::uniform_int_distribution<int> ni{2, 4}, nk{6, 18};
+    build_random_dag(b, rng, ni(rng), nk(rng));
+    const GraphView view = b.view();
+
+    // All global inputs/outputs are int streams; drive them generically.
+    std::vector<std::vector<int>> ins(view.inputs.size());
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+      ins[i].resize(64);
+      for (int j = 0; j < 64; ++j) {
+        ins[i][static_cast<std::size_t>(j)] =
+            static_cast<int>(i) * 1000 + j - 32;
+      }
+    }
+    const auto run_mode = [&](const RunOptions& o) {
+      std::vector<std::vector<int>> outs(view.outputs.size());
+      RuntimeContext ctx{view, o.mode, nullptr, nullptr, o.workers, o.steal,
+                         o.shards};
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        ctx.add_stream_source<int>(i, std::span<const int>{ins[i]});
+      }
+      for (std::size_t i = 0; i < outs.size(); ++i) {
+        ctx.add_stream_sink<int>(i, outs[i]);
+      }
+      const RunResult r =
+          o.mode == ExecMode::coop ? ctx.run_coop() : ctx.run_coop_mt();
+      EXPECT_FALSE(r.deadlocked) << "seed " << seed;
+      return outs;
+    };
+
+    const auto reference = run_mode(RunOptions{.mode = ExecMode::coop});
+    for (const int workers : {2, 4}) {
+      const auto stolen = run_mode(steal_opts(workers));
+      ASSERT_EQ(stolen, reference)
+          << "seed " << seed << ", " << workers << " workers";
+    }
+  }
+}
+
+// --- accounting invariants -------------------------------------------------
+
+TEST(Steal, WorkerLoadsSumToTotalResumes) {
+  std::vector<int> a(200, 1), b(200, 2), c(200, 3), d(200, 4);
+  std::vector<int> oa, ob, oc, od;
+  const RunResult r =
+      st_wide.run(steal_opts(4), a, b, c, d, oa, ob, oc, od);
+  ASSERT_FALSE(r.deadlocked);
+  ASSERT_FALSE(r.worker_loads.empty());
+  std::uint64_t sum = 0, attempts = 0;
+  for (const WorkerLoad& w : r.worker_loads) {
+    sum += w.resumes;
+    attempts += w.steal_attempts;
+    EXPECT_GE(w.steal_attempts, w.steals);
+  }
+  EXPECT_EQ(sum, r.resumes);
+  EXPECT_GE(attempts, r.steals);
+}
+
+TEST(Steal, PinnedModeReportsZeroSteals) {
+  std::vector<int> in(100);
+  for (int i = 0; i < 100; ++i) in[static_cast<std::size_t>(i)] = i;
+  std::vector<int> out;
+  const RunResult r = st_chain.run(
+      RunOptions{.mode = ExecMode::coop_mt, .repetitions = 1, .workers = 2},
+      in, out);
+  EXPECT_EQ(r.steals, 0u);
+  std::uint64_t sum = 0;
+  for (const WorkerLoad& w : r.worker_loads) sum += w.resumes;
+  EXPECT_EQ(sum, r.resumes);
+}
+
+TEST(Steal, ShardOverrideControlsPartitionCount) {
+  std::vector<int> a(50, 1), b(50, 2), c(50, 3), d(50, 4);
+  std::vector<int> oa, ob, oc, od;
+  // 2 workers, explicit 4 shards: more shards than workers is the whole
+  // point of stealing.
+  const RunResult r =
+      st_wide.run(steal_opts(2, 4), a, b, c, d, oa, ob, oc, od);
+  ASSERT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.shards_used, 4);
+  EXPECT_EQ(r.worker_loads.size(), 2u);
+  EXPECT_EQ(oa, std::vector<int>(50, 2));
+}
+
+}  // namespace
