@@ -24,12 +24,17 @@ namespace aie {
 
 struct acc48_tag {};   ///< 48-bit fixed-point accumulator lanes
 struct acc80_tag {};   ///< 80-bit fixed-point accumulator lanes
+struct acc32_tag {};   ///< 32-bit fixed-point accumulator lanes (AIE-ML MACs)
 struct accfloat_tag {};///< single-precision float accumulator lanes
 
 namespace detail {
 template <class Tag>
 struct acc_storage {
   using type = std::int64_t;
+};
+template <>
+struct acc_storage<acc32_tag> {
+  using type = std::int32_t;
 };
 template <>
 struct acc_storage<accfloat_tag> {
@@ -68,6 +73,8 @@ using acc48 = accum<acc48_tag, N>;
 template <unsigned N>
 using acc80 = accum<acc80_tag, N>;
 template <unsigned N>
+using acc32 = accum<acc32_tag, N>;
+template <unsigned N>
 using accfloat = accum<accfloat_tag, N>;
 
 namespace detail {
@@ -86,6 +93,8 @@ template <class T, class B = simd::backend, class Tag, unsigned N>
   if constexpr (std::is_same_v<Tag, accfloat_tag>) {
     B::template convert<T, float, N>(r.data().data(), a.data().data());
     (void)shift;
+  } else if constexpr (std::is_same_v<Tag, acc32_tag>) {
+    B::template srs32<T, N>(r.data().data(), a.data().data(), shift);
   } else {
     B::template srs<T, N>(r.data().data(), a.data().data(), shift);
   }
@@ -100,6 +109,8 @@ template <class Tag = acc48_tag, class B = simd::backend, class T, unsigned N>
   if constexpr (std::is_same_v<Tag, accfloat_tag>) {
     B::template convert<float, T, N>(a.data().data(), v.data().data());
     (void)shift;
+  } else if constexpr (std::is_same_v<Tag, acc32_tag>) {
+    B::template ups32<T, N>(a.data().data(), v.data().data(), shift);
   } else {
     B::template ups<T, N>(a.data().data(), v.data().data(), shift);
   }

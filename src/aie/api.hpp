@@ -158,6 +158,101 @@ template <class B = simd::backend, class T, unsigned N>
   return r;
 }
 
+// ---------- ML extensions: dot-product MACs, converts, fixed exp ----------
+
+/// 4-deep dot-product multiply into int32 accumulator lanes (the AIE-ML
+/// 8-bit MAC shape): result lane l = sum_{j<4} a[4l+j] * b[4l+j].
+template <class B = simd::backend, class T, unsigned N>
+[[nodiscard]] inline acc32<N / 4> mul_dot4(const vector<T, N>& a,
+                                           const vector<T, N>& b) {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 2 && N % 4 == 0);
+  record(OpClass::vector_mac);
+  acc32<N / 4> acc;
+  B::template mac_dot4<std::int32_t, T, N / 4>(
+      acc.data().data(), a.data().data(), b.data().data());
+  return acc;
+}
+
+/// 4-deep dot-product multiply-accumulate (AIE-ML `aie::mac` 8-bit mode).
+template <class B = simd::backend, class T, unsigned N>
+[[nodiscard]] inline acc32<N / 4> mac_dot4(const acc32<N / 4>& acc,
+                                           const vector<T, N>& a,
+                                           const vector<T, N>& b) {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 2 && N % 4 == 0);
+  record(OpClass::vector_mac);
+  acc32<N / 4> r = acc;
+  B::template mac_dot4<std::int32_t, T, N / 4>(
+      r.data().data(), a.data().data(), b.data().data());
+  return r;
+}
+
+/// Broadcast-scalar MAC into int32 accumulator lanes: acc[l] += s * a[l]
+/// (the conv2d tap step on AIE-ML's 32-bit accumulators).
+template <class B = simd::backend, class T, unsigned N>
+[[nodiscard]] inline acc32<N> mac(const acc32<N>& acc, const vector<T, N>& a,
+                                  std::int32_t s) {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 2);
+  record(OpClass::vector_mac);
+  acc32<N> r = acc;
+  B::template mac_bcast<std::int32_t, T, N>(r.data().data(), a.data().data(),
+                                            s);
+  return r;
+}
+
+/// Widening lane convert (AIE `aie::unpack`): int8 -> int16/int32, etc.
+template <class To, class B = simd::backend, class From, unsigned N>
+[[nodiscard]] inline vector<To, N> unpack(const vector<From, N>& a) {
+  static_assert(sizeof(To) >= sizeof(From));
+  record(OpClass::vector_alu);
+  vector<To, N> r;
+  B::template convert<To, From, N>(r.data().data(), a.data().data());
+  return r;
+}
+
+/// Narrowing lane convert with saturation (AIE `aie::pack` with the
+/// saturating mode): int32 -> int16/int8, int16 -> int8.
+template <class To, class B = simd::backend, class From, unsigned N>
+[[nodiscard]] inline vector<To, N> pack_sat(const vector<From, N>& a) {
+  record(OpClass::vector_shift);
+  vector<To, N> r;
+  B::template convert_sat<To, From, N>(r.data().data(), a.data().data());
+  return r;
+}
+
+/// Widens bf16 lanes to a float vector (bf16 load/convert emulation).
+template <class B = simd::backend, unsigned N>
+[[nodiscard]] inline vector<float, N> to_float(const vector<bf16, N>& a) {
+  record(OpClass::vector_alu);
+  vector<float, N> r;
+  // bf16 is layout-identical to its uint16 payload (single-member struct).
+  B::template bf16_to_f32<N>(
+      r.data().data(),
+      reinterpret_cast<const std::uint16_t*>(a.data().data()));
+  return r;
+}
+
+/// Narrows float lanes to bf16 (round-to-nearest-even, NaNs quieted).
+template <class B = simd::backend, unsigned N>
+[[nodiscard]] inline vector<bf16, N> to_bf16(const vector<float, N>& a) {
+  record(OpClass::vector_alu);
+  vector<bf16, N> r;
+  B::template f32_to_bf16<N>(
+      reinterpret_cast<std::uint16_t*>(r.data().data()), a.data().data());
+  return r;
+}
+
+/// Fixed-point negative exponential: r[i] = 2^(-u[i]/2^15) in Q15 (cubic
+/// polynomial, ~2e-4 relative error; negative inputs clamp to 0, i.e.
+/// result 1.0). The softmax exponential on integer lanes.
+template <class B = simd::backend, unsigned N>
+[[nodiscard]] inline vector<std::int32_t, N> exp2_neg_q15(
+    const vector<std::int32_t, N>& a) {
+  record(OpClass::vector_alu, /*range split + poly*/ 6);
+  vector<std::int32_t, N> r;
+  B::template exp2_neg_q15<N>(r.data().data(), a.data().data());
+  return r;
+}
+
 // ---------- sliding multiplies (FIR-style convolution) ----------
 
 /// Mirrors aie::sliding_mul_ops<Lanes, Points, CoeffStep, DataStepX, ...>:

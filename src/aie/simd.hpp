@@ -27,10 +27,12 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <limits>
 #include <type_traits>
+#include <utility>
 
 namespace aie::simd {
 
@@ -90,6 +92,69 @@ template <class T>
   return (v + bias) >> shift;
 }
 
+// Cubic coefficients of the Q15 2^y approximation on y in (0, 1]:
+// 2^y ~= 1 + y*(c1 + y*(c2 + y*c3)), max relative error ~2e-4. Every
+// intermediate product below stays under 2^31, so the evaluation is exact
+// int32 arithmetic (identical on both backends by construction).
+inline constexpr std::int32_t kExp2C1 = 22803;  // round(0.695802 * 2^15)
+inline constexpr std::int32_t kExp2C2 = 7354;   // round(0.224426 * 2^15)
+inline constexpr std::int32_t kExp2C3 = 2603;   // round(0.0794415 * 2^15)
+
+/// One lane of the fixed-point negative exponential: 2^(-u / 2^15) in Q15.
+/// Negative inputs clamp to 0 (result 32768 == 1.0); u >= 32 * 2^15
+/// underflows to 0. The canonical formula both backends follow.
+[[nodiscard]] constexpr std::int32_t exp2_neg_q15_lane(std::int32_t u) {
+  u = u < 0 ? 0 : u;
+  const std::int32_t n = u >> 15;
+  const std::int32_t f = u & 32767;
+  // 2^(-(n + f/2^15)) == 2^(1 - f/2^15) >> (n + 1); the f == 0 split keeps
+  // the poly argument in (0, 32768] and the result exact at integers.
+  const std::int32_t x = 32768 - f;
+  std::int32_t t = kExp2C3;
+  t = kExp2C2 + ((t * x) >> 15);
+  t = kExp2C1 + ((t * x) >> 15);
+  const std::int32_t p = 32768 + ((t * x) >> 15);
+  const std::int32_t sh0 = n > 31 ? 31 : n;          // shift counts clamp to
+  const std::int32_t sh1 = n > 30 ? 31 : n + 1;      // 31 (defined behaviour)
+  return f == 0 ? (32768 >> sh0) : (p >> sh1);
+}
+
+/// Wrapping lane arithmetic: signed overflow is UB, so integral lanes
+/// compute in unsigned (defined modular wrap) and cast back; the result is
+/// the two's-complement bit pattern both backends agree on. Float lanes
+/// pass through untouched.
+template <class T>
+[[nodiscard]] constexpr T lane_add(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(
+        static_cast<U>(static_cast<U>(a) + static_cast<U>(b)));
+  } else {
+    return a + b;
+  }
+}
+
+template <class T>
+[[nodiscard]] constexpr T lane_sub(T a, T b) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(
+        static_cast<U>(static_cast<U>(a) - static_cast<U>(b)));
+  } else {
+    return a - b;
+  }
+}
+
+template <class T>
+[[nodiscard]] constexpr T lane_neg(T a) {
+  if constexpr (std::is_integral_v<T>) {
+    using U = std::make_unsigned_t<T>;
+    return static_cast<T>(static_cast<U>(U{} - static_cast<U>(a)));
+  } else {
+    return -a;
+  }
+}
+
 }  // namespace detail
 
 // ---------------------------------------------------------------------------
@@ -104,23 +169,23 @@ struct scalar_backend {
 
   template <class T, unsigned N>
   CGSIM_SIMD_SCALAR_LOOP static void add(T* r, const T* a, const T* b) {
-    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] + b[i]);
+    for (unsigned i = 0; i < N; ++i) r[i] = detail::lane_add(a[i], b[i]);
   }
 
   template <class T, unsigned N>
   CGSIM_SIMD_SCALAR_LOOP static void sub(T* r, const T* a, const T* b) {
-    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<T>(a[i] - b[i]);
+    for (unsigned i = 0; i < N; ++i) r[i] = detail::lane_sub(a[i], b[i]);
   }
 
   template <class T, unsigned N>
   CGSIM_SIMD_SCALAR_LOOP static void neg(T* r, const T* a) {
-    for (unsigned i = 0; i < N; ++i) r[i] = static_cast<T>(-a[i]);
+    for (unsigned i = 0; i < N; ++i) r[i] = detail::lane_neg(a[i]);
   }
 
   template <class T, unsigned N>
   CGSIM_SIMD_SCALAR_LOOP static void abs_(T* r, const T* a) {
     for (unsigned i = 0; i < N; ++i) {
-      r[i] = a[i] < T{} ? static_cast<T>(-a[i]) : a[i];
+      r[i] = a[i] < T{} ? detail::lane_neg(a[i]) : a[i];
     }
   }
 
@@ -229,6 +294,90 @@ struct scalar_backend {
   template <class Dst, class Src, unsigned N>
   CGSIM_SIMD_SCALAR_LOOP static void convert(Dst* r, const Src* a) {
     for (unsigned i = 0; i < N; ++i) r[i] = static_cast<Dst>(a[i]);
+  }
+
+  // ---- ML extensions: dot-product MAC, 32-bit accumulators, converts ----
+
+  /// acc[l] += sum_{j<4} a[4l+j] * b[4l+j] -- the AIE-ML 8-bit MAC shape
+  /// (4-deep multiply groups reduced into one accumulator lane). The sum
+  /// evaluates exactly in int64 and truncates modulo the accumulator width
+  /// (well-defined in C++20), so int16 inputs whose 4-product sum exceeds
+  /// the int32 lane wrap instead of hitting signed-overflow UB; the native
+  /// backend's pair-sum reduction lands on the same modular value.
+  template <class A, class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void mac_dot4(A* acc, const T* a, const T* b) {
+    for (unsigned i = 0; i < N; ++i) {
+      const std::int64_t p0 = static_cast<std::int64_t>(a[4 * i + 0]) * b[4 * i + 0];
+      const std::int64_t p1 = static_cast<std::int64_t>(a[4 * i + 1]) * b[4 * i + 1];
+      const std::int64_t p2 = static_cast<std::int64_t>(a[4 * i + 2]) * b[4 * i + 2];
+      const std::int64_t p3 = static_cast<std::int64_t>(a[4 * i + 3]) * b[4 * i + 3];
+      acc[i] = static_cast<A>(acc[i] + ((p0 + p1) + (p2 + p3)));
+    }
+  }
+
+  /// srs from int32 accumulator lanes (acc32). Evaluated in int64 so the
+  /// rounding bias cannot overflow the lane, then the shared clamp.
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void srs32(T* r, const std::int32_t* acc,
+                                           int shift) {
+    for (unsigned i = 0; i < N; ++i) {
+      r[i] = detail::saturate_i64<T>(detail::shift_round(acc[i], shift));
+    }
+  }
+
+  /// Upshift T lanes into int32 accumulator lanes (acc32 ups).
+  template <class T, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void ups32(std::int32_t* acc, const T* v,
+                                           int shift) {
+    for (unsigned i = 0; i < N; ++i) {
+      acc[i] = static_cast<std::int32_t>(v[i]) << shift;
+    }
+  }
+
+  /// Narrowing lane convert with saturation (AIE pack-with-saturate).
+  template <class Dst, class Src, unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void convert_sat(Dst* r, const Src* a) {
+    static_assert(std::is_integral_v<Dst> && std::is_integral_v<Src> &&
+                  sizeof(Dst) < sizeof(Src));
+    constexpr auto lo = static_cast<Src>(std::numeric_limits<Dst>::min());
+    constexpr auto hi = static_cast<Src>(std::numeric_limits<Dst>::max());
+    for (unsigned i = 0; i < N; ++i) {
+      r[i] = static_cast<Dst>(std::clamp(a[i], lo, hi));
+    }
+  }
+
+  /// bf16 -> f32 widen: a bf16 pattern is the high half of the f32 bits.
+  template <unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void bf16_to_f32(float* r,
+                                                 const std::uint16_t* a) {
+    for (unsigned i = 0; i < N; ++i) {
+      const std::uint32_t u = static_cast<std::uint32_t>(a[i]) << 16;
+      std::memcpy(&r[i], &u, sizeof(float));
+    }
+  }
+
+  /// f32 -> bf16 narrow with round-to-nearest-even; NaNs quiet to a
+  /// canonical payload. Branchless select so every input (including NaN
+  /// payload bits) follows the identical formula on both backends.
+  template <unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void f32_to_bf16(std::uint16_t* r,
+                                                 const float* a) {
+    for (unsigned i = 0; i < N; ++i) {
+      std::uint32_t u;
+      std::memcpy(&u, &a[i], sizeof(float));
+      const bool nan = (u & 0x7fffffffu) > 0x7f800000u;
+      const std::uint32_t rne = (u + 0x7fffu + ((u >> 16) & 1u)) >> 16;
+      const std::uint32_t quiet = (u >> 16) | 0x0040u;
+      r[i] = static_cast<std::uint16_t>(nan ? quiet : rne);
+    }
+  }
+
+  /// Fixed-point negative exponential r[i] = 2^(-u[i]/2^15) in Q15 (the
+  /// softmax kernel's exp). All-int32 arithmetic; see detail::exp2_neg_q15_lane.
+  template <unsigned N>
+  CGSIM_SIMD_SCALAR_LOOP static void exp2_neg_q15(std::int32_t* r,
+                                                  const std::int32_t* u) {
+    for (unsigned i = 0; i < N; ++i) r[i] = detail::exp2_neg_q15_lane(u[i]);
   }
 
   // ---- compares and select ----
@@ -373,6 +522,34 @@ struct native_backend {
     std::memcpy(p, &r, sizeof r);
   }
 
+  /// Lane-type conversion. GCC lowers a direct `__builtin_convertvector`
+  /// between integer lanes whose widths differ by more than 2x to per-lane
+  /// scalar code (byte extracts + shifts); stepping through the
+  /// intermediate widths keeps every hop a packed convert. Value-identical
+  /// to the one-step convert: sign/zero extension composes hop by hop
+  /// (intermediate signedness follows the source), and integer narrowing
+  /// truncates modulo the destination width either way.
+  template <class A, class T, unsigned N>
+  static v<A, N> cvt(const v<T, N>& x) {
+    if constexpr (std::is_same_v<A, T>) {
+      return x;
+    } else if constexpr (std::is_integral_v<A> && std::is_integral_v<T> &&
+                         sizeof(A) > 2 * sizeof(T)) {
+      using MidS = detail::int_of_t<2 * sizeof(T)>;
+      using Mid = std::conditional_t<std::is_signed_v<T>, MidS,
+                                     std::make_unsigned_t<MidS>>;
+      return cvt<A, Mid, N>(__builtin_convertvector(x, v<Mid, N>));
+    } else if constexpr (std::is_integral_v<A> && std::is_integral_v<T> &&
+                         sizeof(T) > 2 * sizeof(A)) {
+      using MidS = detail::int_of_t<sizeof(T) / 2>;
+      using Mid = std::conditional_t<std::is_signed_v<A>, MidS,
+                                     std::make_unsigned_t<MidS>>;
+      return cvt<A, Mid, N>(__builtin_convertvector(x, v<Mid, N>));
+    } else {
+      return __builtin_convertvector(x, v<A, N>);
+    }
+  }
+
   /// {0, 1, ..., N-1} as a shuffle-mask vector for T-sized lanes.
   template <class T, unsigned N>
   static m<T, N> lane_iota() {
@@ -404,25 +581,42 @@ struct native_backend {
 
   template <class T, unsigned N>
   static void add(T* r, const T* a, const T* b) {
-    st<T, N>(r, ld<T, N>(a) + ld<T, N>(b));
+    if constexpr (std::is_integral_v<T>) {
+      st<T, N>(r, wrap_add<T, N>(ld<T, N>(a), ld<T, N>(b)));
+    } else {
+      st<T, N>(r, ld<T, N>(a) + ld<T, N>(b));
+    }
   }
 
   template <class T, unsigned N>
   static void sub(T* r, const T* a, const T* b) {
-    st<T, N>(r, ld<T, N>(a) - ld<T, N>(b));
+    if constexpr (std::is_integral_v<T>) {
+      st<T, N>(r, wrap_sub<T, N>(ld<T, N>(a), ld<T, N>(b)));
+    } else {
+      st<T, N>(r, ld<T, N>(a) - ld<T, N>(b));
+    }
   }
 
   template <class T, unsigned N>
   static void neg(T* r, const T* a) {
-    st<T, N>(r, -ld<T, N>(a));
+    if constexpr (std::is_integral_v<T>) {
+      st<T, N>(r, wrap_neg<T, N>(ld<T, N>(a)));
+    } else {
+      st<T, N>(r, -ld<T, N>(a));
+    }
   }
 
   template <class T, unsigned N>
   static void abs_(T* r, const T* a) {
     const auto va = ld<T, N>(a);
     // Mirrors the scalar `a < 0 ? -a : a` lane-wise (keeps -0.0f and NaN
-    // behaviour identical to the scalar backend).
-    st<T, N>(r, (va < splat<T, N>(T{})) ? -va : va);
+    // behaviour identical to the scalar backend); the integral negate wraps
+    // (abs(INT_MIN) == INT_MIN on both backends, not UB).
+    if constexpr (std::is_integral_v<T>) {
+      st<T, N>(r, (va < splat<T, N>(T{})) ? wrap_neg<T, N>(va) : va);
+    } else {
+      st<T, N>(r, (va < splat<T, N>(T{})) ? -va : va);
+    }
   }
 
   template <class T, unsigned N>
@@ -444,8 +638,11 @@ struct native_backend {
     const auto va = ld<T, N>(a);
     const auto vlo = splat<T, N>(lo);
     const auto vhi = splat<T, N>(hi);
-    // std::clamp(v, lo, hi) == v < lo ? lo : (hi < v ? hi : v)
-    st<T, N>(r, (va < vlo) ? vlo : ((vhi < va) ? vhi : va));
+    // Two canonical min/max ternaries, not one nested select: GCC folds
+    // each into MIN_EXPR/MAX_EXPR (packed at any vector width), while the
+    // nested form lowers to a lane select that scalarizes past ~2 registers.
+    const auto vmin = (vhi < va) ? vhi : va;
+    st<T, N>(r, (vmin < vlo) ? vlo : vmin);
   }
 
   template <class T, unsigned N>
@@ -465,11 +662,7 @@ struct native_backend {
   /// Loads N T lanes widened to the accumulator element type A.
   template <class A, class T, unsigned N>
   static v<A, N> ldw(const T* p) {
-    if constexpr (std::is_same_v<A, T>) {
-      return ld<T, N>(p);
-    } else {
-      return __builtin_convertvector(ld<T, N>(p), v<A, N>);
-    }
+    return cvt<A, T, N>(ld<T, N>(p));
   }
 
   /// True when T x T products provably fit in int32 lanes: then the
@@ -568,8 +761,13 @@ struct native_backend {
         splat<std::int64_t, N>(std::numeric_limits<T>::min());
     const auto vhi =
         splat<std::int64_t, N>(std::numeric_limits<T>::max());
-    va = (va < vlo) ? vlo : ((vhi < va) ? vhi : va);
-    st<T, N>(r, __builtin_convertvector(va, v<T, N>));
+    // Saturate with two canonical min/max ternaries: GCC folds each into a
+    // packed MIN_EXPR/MAX_EXPR at any width, where the equivalent nested
+    // select scalarizes to per-lane cmovs once the vector spans more than
+    // a couple of registers.
+    va = (va > vhi) ? vhi : va;
+    va = (va < vlo) ? vlo : va;
+    st<T, N>(r, cvt<T, std::int64_t, N>(va));
   }
 
   template <class T, unsigned N>
@@ -582,8 +780,214 @@ struct native_backend {
     if constexpr (std::is_same_v<Dst, Src>) {
       std::memcpy(r, a, N * sizeof(Dst));
     } else {
-      st<Dst, N>(r, __builtin_convertvector(ld<Src, N>(a), v<Dst, N>));
+      st<Dst, N>(r, cvt<Dst, Src, N>(ld<Src, N>(a)));
     }
+  }
+
+  // ---- ML extensions: dot-product MAC, 32-bit accumulators, converts ----
+
+ private:
+  /// Lane-wise wrapping add. Signed lane overflow is UB even in vector
+  /// extensions, so the add runs in unsigned lanes (defined wrap); the bit
+  /// pattern is what two's-complement wrapping produces.
+  template <class T, unsigned N>
+  static v<T, N> wrap_add(const v<T, N>& x, const v<T, N>& y) {
+    using U = std::make_unsigned_t<T>;
+    v<U, N> ux, uy;
+    std::memcpy(&ux, &x, sizeof(ux));
+    std::memcpy(&uy, &y, sizeof(uy));
+    ux += uy;
+    v<T, N> r;
+    std::memcpy(&r, &ux, sizeof(r));
+    return r;
+  }
+
+  /// Lane-wise wrapping subtract (same unsigned detour as wrap_add).
+  template <class T, unsigned N>
+  static v<T, N> wrap_sub(const v<T, N>& x, const v<T, N>& y) {
+    using U = std::make_unsigned_t<T>;
+    v<U, N> ux, uy;
+    std::memcpy(&ux, &x, sizeof(ux));
+    std::memcpy(&uy, &y, sizeof(uy));
+    ux -= uy;
+    v<T, N> r;
+    std::memcpy(&r, &ux, sizeof(r));
+    return r;
+  }
+
+  /// Lane-wise wrapping negate: -INT_MIN wraps to itself instead of UB.
+  template <class T, unsigned N>
+  static v<T, N> wrap_neg(const v<T, N>& x) {
+    using U = std::make_unsigned_t<T>;
+    v<U, N> ux;
+    std::memcpy(&ux, &x, sizeof(ux));
+    ux = v<U, N>{} - ux;
+    v<T, N> r;
+    std::memcpy(&r, &ux, sizeof(r));
+    return r;
+  }
+
+  /// Splits a 2N-lane vector into its even and odd lanes, each widened to
+  /// a double-width lane (sign-extended for signed T, zero-extended for
+  /// unsigned): reinterpret each pair as one wide lane (little-endian:
+  /// even lane = low half) and recover the halves with shifts. Every step
+  /// is lane-local, which matters because GCC lowers cross-lane shuffles
+  /// at these vector widths to scalar code.
+  template <class T, unsigned N>
+  static auto lane_split(const v<T, 2 * N>& x) {
+    using WS = detail::int_of_t<2 * sizeof(T)>;
+    using W = std::conditional_t<std::is_signed_v<T>, WS,
+                                 std::make_unsigned_t<WS>>;
+    using U = std::make_unsigned_t<WS>;
+    constexpr int half = 8 * sizeof(T);
+    v<U, N> u;
+    std::memcpy(&u, &x, sizeof(u));
+    const v<U, N> ulo = u << half;  // unsigned: left shift cannot be UB
+    v<W, N> lo, hi;
+    std::memcpy(&lo, &ulo, sizeof(lo));
+    std::memcpy(&hi, &u, sizeof(hi));
+    // For unsigned W, >> is logical: the even lanes zero-extend as needed.
+    return std::pair<v<W, N>, v<W, N>>{lo >> half, hi >> half};
+  }
+
+  /// Sums adjacent lane pairs of a 2N-lane vector into N double-width
+  /// lanes. Exact: the sum of two extended T values always fits W.
+  template <class W, class T, unsigned N>
+  static v<W, N> pair_sum_wide(const v<T, 2 * N>& x) {
+    const auto [even, odd] = lane_split<T, N>(x);
+    static_assert(std::is_same_v<decltype(even), const v<W, N>>);
+    return even + odd;
+  }
+
+  /// Sums adjacent lane pairs modulo 2^|T|: reinterpret as unsigned
+  /// double-width lanes, fold the high half onto the low half, truncate
+  /// back. Lane-local like pair_sum_wide, and congruent to the exact pair
+  /// sum modulo the lane width.
+  template <class T, unsigned N>
+  static v<T, N> pair_sum_mod(const v<T, 2 * N>& x) {
+    using U = std::make_unsigned_t<detail::int_of_t<2 * sizeof(T)>>;
+    v<U, N> u;
+    std::memcpy(&u, &x, sizeof(u));
+    u += u >> (8 * sizeof(T));
+    return cvt<T, U, N>(u);
+  }
+
+ public:
+  /// acc[l] += dot of the l-th 4-deep product group. Products are exact in
+  /// double-width lanes; the 4-group reduction folds adjacent pairs with
+  /// the lane-local reinterpret idiom above instead of cross-lane shuffles
+  /// (which GCC scalarizes at these widths). Each narrowing step truncates
+  /// modulo the accumulator width, so the result is congruent -- hence
+  /// bit-identical -- to the scalar backend's exact int64 sum truncated
+  /// once at the end.
+  template <class A, class T, unsigned N>
+  static void mac_dot4(A* acc, const T* a, const T* b) {
+    using P = detail::int_of_t<2 * sizeof(T)>;  // exact product lane type
+    if constexpr (std::endian::native != std::endian::little ||
+                  (sizeof(P) > sizeof(A))) {
+      scalar_backend::mac_dot4<A, T, N>(acc, a, b);
+    } else {
+      const v<P, 4 * N> p = cvt<P, T, 4 * N>(ld<T, 4 * N>(a)) *
+                            cvt<P, T, 4 * N>(ld<T, 4 * N>(b));
+      v<A, 2 * N> s2;
+      if constexpr (sizeof(P) < sizeof(A)) {
+        // Pair sums can exceed the product lane type: widen exactly.
+        s2 = pair_sum_wide<A, P, 2 * N>(p);
+      } else {
+        // Product lanes already match the accumulator width: fold mod 2^|A|.
+        s2 = pair_sum_mod<A, 2 * N>(p);
+      }
+      st<A, N>(acc, wrap_add<A, N>(ld<A, N>(acc), pair_sum_mod<A, N>(s2)));
+    }
+  }
+
+  template <class T, unsigned N>
+  static void srs32(T* r, const std::int32_t* acc, int shift) {
+    // Widen to int64 lanes so the rounding bias cannot overflow, then the
+    // int64 srs path (bit-identical to the scalar formula).
+    alignas(32) std::int64_t wide[N];
+    st<std::int64_t, N>(wide, __builtin_convertvector(
+                                  ld<std::int32_t, N>(acc), v<std::int64_t, N>));
+    srs<T, N>(r, wide, shift);
+  }
+
+  template <class T, unsigned N>
+  static void ups32(std::int32_t* acc, const T* p, int shift) {
+    st<std::int32_t, N>(acc, ldw<std::int32_t, T, N>(p) << shift);
+  }
+
+  template <class Dst, class Src, unsigned N>
+  static void convert_sat(Dst* r, const Src* a) {
+    static_assert(std::is_integral_v<Dst> && std::is_integral_v<Src> &&
+                  sizeof(Dst) < sizeof(Src));
+    const auto va = ld<Src, N>(a);
+    const auto vlo = splat<Src, N>(
+        static_cast<Src>(std::numeric_limits<Dst>::min()));
+    const auto vhi = splat<Src, N>(
+        static_cast<Src>(std::numeric_limits<Dst>::max()));
+    const auto cmin = (va > vhi) ? vhi : va;       // canonical min/max pair:
+    const auto c = (cmin < vlo) ? vlo : cmin;      // stays packed at any width
+    st<Dst, N>(r, cvt<Dst, Src, N>(c));
+  }
+
+  template <unsigned N>
+  static void bf16_to_f32(float* r, const std::uint16_t* a) {
+    const auto wide = __builtin_convertvector(ld<std::uint16_t, N>(a),
+                                              v<std::uint32_t, N>)
+                      << 16;
+    v<float, N> f;
+    std::memcpy(&f, &wide, sizeof f);
+    st<float, N>(r, f);
+  }
+
+  template <unsigned N>
+  static void f32_to_bf16(std::uint16_t* r, const float* a) {
+    const auto vf = ld<float, N>(a);
+    v<std::uint32_t, N> u;
+    std::memcpy(&u, &vf, sizeof u);
+    // Same branchless RNE + NaN-quieting formula as the scalar backend.
+    const auto nan = (u & splat<std::uint32_t, N>(0x7fffffffu)) >
+                     splat<std::uint32_t, N>(0x7f800000u);
+    const auto rne =
+        (u + splat<std::uint32_t, N>(0x7fffu) +
+         ((u >> 16) & splat<std::uint32_t, N>(1u))) >> 16;
+    const auto quiet = (u >> 16) | splat<std::uint32_t, N>(0x0040u);
+    st<std::uint16_t, N>(r, __builtin_convertvector(nan ? quiet : rne,
+                                                    v<std::uint16_t, N>));
+  }
+
+  template <unsigned N>
+  static void exp2_neg_q15(std::int32_t* r, const std::int32_t* up) {
+    // Slice to one-register-wide steps: the shift clamps and the f==0 blend
+    // only stay packed when the lane selects sit in a real machine vector
+    // mode; on wider generic vectors GCC scalarizes them per lane once the
+    // operands are register-resident (composed with surrounding vector code).
+    if constexpr (N > 16 && N % 16 == 0) {
+      for (unsigned i = 0; i < N; i += 16) exp2_neg_q15<16>(r + i, up + i);
+      return;
+    }
+    using V = v<std::int32_t, N>;
+    const auto sp = [](std::int32_t x) { return splat<std::int32_t, N>(x); };
+    V u = ld<std::int32_t, N>(up);
+    const V zero{};
+    u = (u < zero) ? zero : u;
+    const V n = u >> 15;
+    const V f = u & sp(32767);
+    const V x = sp(32768) - f;
+    V t = sp(detail::kExp2C3);
+    t = sp(detail::kExp2C2) + ((t * x) >> 15);
+    t = sp(detail::kExp2C1) + ((t * x) >> 15);
+    const V p = sp(32768) + ((t * x) >> 15);
+    // Canonical min ternaries and a bitwise mask blend: both stay packed at
+    // any vector width, where non-min/max lane selects scalarize once the
+    // operands live in registers across more than a couple of zmms.
+    const V sh0 = (n > sp(31)) ? sp(31) : n;
+    const V n1 = n + sp(1);
+    const V sh1 = (n1 > sp(31)) ? sp(31) : n1;
+    const V r0 = sp(32768) >> sh0;
+    const V r1 = p >> sh1;
+    const V m = f == zero;  // -1/0 lanes
+    st<std::int32_t, N>(r, (r0 & m) | (r1 & ~m));
   }
 
   // ---- compares and select ----
@@ -594,7 +998,8 @@ struct native_backend {
   static void st_mask(bool* mp, const m<T, N>& cmp) {
     static_assert(sizeof(bool) == 1);
     using b8 = v<std::int8_t, N>;
-    const b8 narrow = __builtin_convertvector(cmp, b8) & splat<std::int8_t, N>(1);
+    const b8 narrow = cvt<std::int8_t, detail::int_of_t<sizeof(T)>, N>(cmp) &
+                      splat<std::int8_t, N>(1);
     std::memcpy(mp, &narrow, N);
   }
 
@@ -604,7 +1009,7 @@ struct native_backend {
     static_assert(sizeof(bool) == 1);
     v<std::int8_t, N> bytes;
     std::memcpy(&bytes, mp, N);
-    return __builtin_convertvector(bytes, m<T, N>);
+    return cvt<detail::int_of_t<sizeof(T)>, std::int8_t, N>(bytes);
   }
 
  public:
@@ -682,8 +1087,8 @@ struct native_backend {
       // Truncating/extending int32 indices to lane-sized ones preserves the
       // value modulo N for power-of-two N <= 2^16 -- same lane selection as
       // the scalar `static_cast<unsigned>(idx) % N`.
-      const auto mi = __builtin_convertvector(ld<std::int32_t, N>(idx),
-                                              m<T, N>);
+      const auto mi = cvt<detail::int_of_t<sizeof(T)>, std::int32_t, N>(
+          ld<std::int32_t, N>(idx));
       st<T, N>(r, __builtin_shuffle(ld<T, N>(a), mi));
 #endif
     } else {
@@ -743,19 +1148,63 @@ struct native_backend {
     scalar_backend::filter_odd<T, N>(r, a);
   }
 
-  // ---- reductions (sequential; see scalar_backend note) ----
+  // ---- reductions ----
+  // Integer lane folds are associative (adds wrap modulo 2^|T|, min/max
+  // exactly), so a pairwise tree is bit-identical to the scalar backend's
+  // sequential fold and runs in log2(N) lane-local steps. FP addition is
+  // not associative, so float lanes keep the scalar sequential order.
 
+ private:
+  /// Pairwise tree fold: splits even/odd lanes into double-width vectors,
+  /// combines them with `op`, narrows back to T (modulo 2^|T| for adds,
+  /// exact for min/max), and recurses until one lane remains.
+  template <class T, unsigned N, class F>
+  static T fold_tree(const v<T, N>& x, F op) {
+    if constexpr (N == 1) {
+      return x[0];
+    } else {
+      using WS = detail::int_of_t<2 * sizeof(T)>;
+      using W = std::conditional_t<std::is_signed_v<T>, WS,
+                                   std::make_unsigned_t<WS>>;
+      const auto [even, odd] = lane_split<T, N / 2>(x);
+      return fold_tree<T, N / 2>(cvt<T, W, N / 2>(op(even, odd)), op);
+    }
+  }
+
+  /// Tree folds need: integer lanes narrow enough to widen, a power-of-two
+  /// lane count, and the little-endian pair reinterpretation.
+  template <class T, unsigned N>
+  static constexpr bool kTreeFold =
+      std::is_integral_v<T> && sizeof(T) <= 4 && N > 1 &&
+      (N & (N - 1)) == 0 && std::endian::native == std::endian::little;
+
+ public:
   template <class T, unsigned N>
   static T reduce_add(const T* a) {
-    return scalar_backend::reduce_add<T, N>(a);
+    if constexpr (kTreeFold<T, N>) {
+      return fold_tree<T, N>(ld<T, N>(a),
+                             [](auto e, auto o) { return e + o; });
+    } else {
+      return scalar_backend::reduce_add<T, N>(a);
+    }
   }
   template <class T, unsigned N>
   static T reduce_min(const T* a) {
-    return scalar_backend::reduce_min<T, N>(a);
+    if constexpr (kTreeFold<T, N>) {
+      return fold_tree<T, N>(ld<T, N>(a),
+                             [](auto e, auto o) { return (o < e) ? o : e; });
+    } else {
+      return scalar_backend::reduce_min<T, N>(a);
+    }
   }
   template <class T, unsigned N>
   static T reduce_max(const T* a) {
-    return scalar_backend::reduce_max<T, N>(a);
+    if constexpr (kTreeFold<T, N>) {
+      return fold_tree<T, N>(ld<T, N>(a),
+                             [](auto e, auto o) { return (o > e) ? o : e; });
+    } else {
+      return scalar_backend::reduce_max<T, N>(a);
+    }
   }
 };
 

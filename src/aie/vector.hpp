@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <initializer_list>
@@ -17,6 +18,32 @@
 #include "simd.hpp"
 
 namespace aie {
+
+/// Storage-only brain-float16 lane type (the AIE-ML ML datatype). A bf16
+/// pattern is the high half of an IEEE f32 pattern; arithmetic happens in
+/// float vectors/accumulators after an explicit widen (aie::to_float /
+/// aie::to_bf16), mirroring how AIE-ML kernels stage bf16 data through
+/// fp32 compute.
+struct bf16 {
+  std::uint16_t bits = 0;
+  constexpr bool operator==(const bf16&) const = default;
+};
+
+/// Scalar bf16 -> f32 widen (lane-level building block; the vector form
+/// aie::to_float records instrumentation, this does not).
+[[nodiscard]] constexpr float bf16_to_float(bf16 v) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(v.bits) << 16);
+}
+
+/// Scalar f32 -> bf16 narrow, round-to-nearest-even, NaNs quieted -- the
+/// same formula as the backends' vector op (simd.hpp f32_to_bf16).
+[[nodiscard]] constexpr bf16 float_to_bf16(float f) {
+  const auto u = std::bit_cast<std::uint32_t>(f);
+  const bool nan = (u & 0x7fffffffu) > 0x7f800000u;
+  const std::uint32_t rne = (u + 0x7fffu + ((u >> 16) & 1u)) >> 16;
+  const std::uint32_t quiet = (u >> 16) | 0x0040u;
+  return bf16{static_cast<std::uint16_t>(nan ? quiet : rne)};
+}
 
 /// A fixed-width SIMD register of N lanes of element type T.
 /// Mirrors aie::vector<T, Elems> from the AIE API (UG1079).
@@ -100,6 +127,8 @@ using v32int8 = vector<std::int8_t, 32>;
 using v4float = vector<float, 4>;
 using v8float = vector<float, 8>;
 using v16float = vector<float, 16>;
+using v16bfloat16 = vector<bf16, 16>;
+using v64int8 = vector<std::int8_t, 64>;
 
 /// Loads N lanes from (aligned) memory -- AIE `aie::load_v<N>(ptr)`.
 template <unsigned N, class T>

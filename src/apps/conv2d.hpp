@@ -1,0 +1,240 @@
+// apps -- int8 3x3 conv2d, im2col-free, with shift-register row buffering
+// (the AIE4ML-style NN convolution layer).
+//
+// Each of the kChannels input channels streams its image rows into one
+// kernel; the kernel keeps the last two rows in a line-buffer shift
+// register (no im2col materialization) and evaluates the 9 taps as
+// broadcast-scalar MACs into int32 accumulator lanes over zero-padded
+// rows. Channels chain cascade-style: every kernel MACs its channel's
+// contribution onto the int32 partial row streamed from the previous
+// channel, and the last kernel requantizes to int8 with the saturating
+// shift-round (srs). Per-channel 3x3 weights arrive as RTP structs.
+//
+// Valid vertically (H rows in -> H-2 rows out), zero-padded horizontally
+// (width preserved).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "aie/aie.hpp"
+#include "core/cgsim.hpp"
+
+namespace apps::conv2d {
+
+constexpr unsigned kW = 64;        ///< row width in pixels
+constexpr unsigned kChannels = 4;  ///< input channels (cascade depth)
+constexpr int kShift = 7;          ///< requantize shift of the output stage
+
+/// One int8 image row.
+struct Row {
+  std::array<std::int8_t, kW> px{};
+  bool operator==(const Row&) const = default;
+};
+
+/// One int32 partial row on the cascade.
+struct PartialRow {
+  std::array<std::int32_t, kW> px{};
+  bool operator==(const PartialRow&) const = default;
+};
+
+/// Per-channel 3x3 weights (row-major, 9 used; padded for alignment).
+struct Weights {
+  std::array<std::int8_t, 16> w{};
+  bool operator==(const Weights&) const = default;
+};
+
+/// A row with one zero pixel of horizontal padding on each side.
+using Padded = std::array<std::int8_t, kW + 2>;
+
+[[nodiscard]] inline Padded pad_row(const Row& r) {
+  Padded p{};
+  std::memcpy(&p[1], r.px.data(), kW);
+  return p;
+}
+
+/// 3x3 taps over three padded rows accumulated into int32 lanes on top of
+/// `base` (nullptr for the first cascade element). Tap order is fixed
+/// (dy-major), so results are bit-identical across backends.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline PartialRow conv_row(const Padded& r0, const Padded& r1,
+                                         const Padded& r2, const Weights& w,
+                                         const PartialRow* base) {
+  PartialRow out;
+  const Padded* rows[3] = {&r0, &r1, &r2};
+  // One accumulator spans the whole row: each tap is a single kW-lane
+  // broadcast MAC, so the 9-tap dependency chain is paid once per row
+  // instead of once per 16-lane step.
+  aie::acc32<kW> acc;
+  if (base != nullptr) {
+    acc = aie::ups<aie::acc32_tag, B>(aie::load_v<kW>(&base->px[0]), 0);
+  }
+  for (unsigned dy = 0; dy < 3; ++dy) {
+    for (unsigned dx = 0; dx < 3; ++dx) {
+      acc = aie::mac<B>(acc, aie::load_v<kW>(&(*rows[dy])[dx]),
+                        static_cast<std::int32_t>(w.w[dy * 3 + dx]));
+    }
+  }
+  aie::store_v(&out.px[0], aie::srs<std::int32_t, B>(acc, 0));
+  return out;
+}
+
+/// Requantizes a full int32 partial row down to int8 (srs semantics).
+template <class B = aie::simd::backend>
+[[nodiscard]] inline Row requant_row(const PartialRow& p, int shift) {
+  Row out;
+  const auto acc = aie::ups<aie::acc32_tag, B>(aie::load_v<kW>(&p.px[0]), 0);
+  aie::store_v(&out.px[0], aie::srs<std::int8_t, B>(acc, shift));
+  return out;
+}
+
+/// Line-buffer shift register: the two most recent padded rows.
+struct LineState {
+  Padded r0{}, r1{};
+  unsigned seen = 0;
+
+  /// Pushes a new padded row; returns true once a full 3-row window exists.
+  bool push(const Padded& next) {
+    const bool full = seen >= 2;
+    if (!full) {
+      (seen == 0 ? r0 : r1) = next;
+    }
+    ++seen;
+    return full;
+  }
+  void shift(const Padded& next) {
+    r0 = r1;
+    r1 = next;
+  }
+};
+
+// Ping-pong window I/O on the row streams: one row per window.
+inline constexpr cgsim::PortSettings kRowIo{
+    .beat_bits = 0,
+    .rtp = false,
+    .buffer = cgsim::BufferMode::pingpong,
+    .window_size = static_cast<int>(kW)};
+
+inline constexpr cgsim::PortSettings kWeightsRtp{.rtp = true};
+
+COMPUTE_KERNEL(aie, conv_head,
+               cgsim::KernelReadPort<Row, apps::conv2d::kRowIo> in,
+               cgsim::KernelReadPort<Weights, apps::conv2d::kWeightsRtp> wr,
+               cgsim::KernelWritePort<PartialRow> cas) {
+  apps::conv2d::LineState st{};
+  while (true) {
+    const apps::conv2d::Padded cur =
+        apps::conv2d::pad_row(co_await in.get());
+    const apps::conv2d::Weights w = co_await wr.get();
+    if (st.push(cur)) {
+      co_await cas.put(apps::conv2d::conv_row(st.r0, st.r1, cur, w, nullptr));
+      st.shift(cur);
+    }
+  }
+}
+
+COMPUTE_KERNEL(aie, conv_mid,
+               cgsim::KernelReadPort<Row, apps::conv2d::kRowIo> in,
+               cgsim::KernelReadPort<Weights, apps::conv2d::kWeightsRtp> wr,
+               cgsim::KernelReadPort<PartialRow> cin,
+               cgsim::KernelWritePort<PartialRow> cout) {
+  apps::conv2d::LineState st{};
+  while (true) {
+    const apps::conv2d::Padded cur =
+        apps::conv2d::pad_row(co_await in.get());
+    const apps::conv2d::Weights w = co_await wr.get();
+    if (st.push(cur)) {
+      const apps::conv2d::PartialRow base = co_await cin.get();
+      co_await cout.put(apps::conv2d::conv_row(st.r0, st.r1, cur, w, &base));
+      st.shift(cur);
+    }
+  }
+}
+
+COMPUTE_KERNEL(aie, conv_tail,
+               cgsim::KernelReadPort<Row, apps::conv2d::kRowIo> in,
+               cgsim::KernelReadPort<Weights, apps::conv2d::kWeightsRtp> wr,
+               cgsim::KernelReadPort<PartialRow> cin,
+               cgsim::KernelWritePort<Row, apps::conv2d::kRowIo> out) {
+  apps::conv2d::LineState st{};
+  while (true) {
+    const apps::conv2d::Padded cur =
+        apps::conv2d::pad_row(co_await in.get());
+    const apps::conv2d::Weights w = co_await wr.get();
+    if (st.push(cur)) {
+      const apps::conv2d::PartialRow base = co_await cin.get();
+      const apps::conv2d::PartialRow full =
+          apps::conv2d::conv_row(st.r0, st.r1, cur, w, &base);
+      co_await out.put(apps::conv2d::requant_row(full, apps::conv2d::kShift));
+      st.shift(cur);
+    }
+  }
+}
+
+/// Channel cascade: head -> 2 mid stages -> tail (4 kernels). Input i
+/// carries channel i's rows; weights arrive per channel as RTPs.
+inline constexpr auto graph = cgsim::make_compute_graph_v<[](
+    cgsim::IoConnector<Row> in0, cgsim::IoConnector<Row> in1,
+    cgsim::IoConnector<Row> in2, cgsim::IoConnector<Row> in3,
+    cgsim::IoConnector<Weights> w0, cgsim::IoConnector<Weights> w1,
+    cgsim::IoConnector<Weights> w2, cgsim::IoConnector<Weights> w3) {
+  in0.attr("plio_name", "ConvIn0");
+  cgsim::IoConnector<PartialRow> c0, c1, c2;
+  cgsim::IoConnector<Row> out;
+  conv_head(in0, w0, c0);
+  conv_mid(in1, w1, c0, c1);
+  conv_mid(in2, w2, c1, c2);
+  conv_tail(in3, w3, c2, out);
+  out.attr("plio_name", "ConvOut0");
+  return std::make_tuple(out);
+}>;
+
+/// Host-side driver: H rows per channel in, H-2 requantized rows out.
+inline std::vector<Row> run(
+    const std::array<std::vector<Row>, kChannels>& img,
+    const std::array<Weights, kChannels>& w) {
+  std::vector<Row> out;
+  graph(img[0], img[1], img[2], img[3], w[0], w[1], w[2], w[3], out);
+  return out;
+}
+
+/// Hand-written reference: plain integer loops, zero-padded horizontally,
+/// valid vertically, round-half-up shift + int8 clamp at the end.
+inline std::vector<Row> reference(
+    const std::array<std::vector<Row>, kChannels>& img,
+    const std::array<Weights, kChannels>& w) {
+  const std::size_t h = img[0].size();
+  std::vector<Row> out;
+  for (std::size_t y = 1; y + 1 < h; ++y) {
+    Row o;
+    for (unsigned x = 0; x < kW; ++x) {
+      std::int32_t acc = 0;
+      for (unsigned ch = 0; ch < kChannels; ++ch) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int xx = static_cast<int>(x) + dx;
+            const std::int32_t px =
+                (xx < 0 || xx >= static_cast<int>(kW))
+                    ? 0
+                    : img[ch][y + static_cast<std::size_t>(dy)]
+                          .px[static_cast<unsigned>(xx)];
+            acc += static_cast<std::int32_t>(
+                       w[ch].w[static_cast<unsigned>((dy + 1) * 3 + (dx + 1))]) *
+                   px;
+          }
+        }
+      }
+      const std::int64_t r =
+          (static_cast<std::int64_t>(acc) + (std::int64_t{1} << (kShift - 1))) >>
+          kShift;
+      o.px[x] = static_cast<std::int8_t>(std::clamp<std::int64_t>(r, -128, 127));
+    }
+    out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace apps::conv2d

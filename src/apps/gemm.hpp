@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "aie/aie.hpp"
+#include "apps/tile.hpp"
 #include "core/cgsim.hpp"
 
 namespace apps::gemm {
@@ -20,52 +21,20 @@ namespace apps::gemm {
 constexpr unsigned kTile = 16;
 constexpr unsigned kLanes = 8;
 
-/// One row-major 16x16 float tile (1 KiB).
-struct Tile {
-  std::array<float, kTile * kTile> m{};
-
-  [[nodiscard]] float at(unsigned r, unsigned c) const {
-    return m[r * kTile + c];
-  }
-  void set(unsigned r, unsigned c, float v) { m[r * kTile + c] = v; }
-  bool operator==(const Tile&) const = default;
-};
+/// One row-major 16x16 float tile (1 KiB) -- the shared tile abstraction
+/// (tile.hpp), also the base of the int8/bf16 ML GEMM.
+using Tile = apps::tile::Tile<float, kTile>;
 
 /// A paired (A, B) tile operand for one partial product.
-struct TilePair {
-  Tile a, b;
-  bool operator==(const TilePair&) const = default;
-};
+using TilePair = apps::tile::TilePair<float, kTile>;
 
-/// 16x16 tile product with 8-lane vector MACs: for each row of A, the
-/// scalar A(r,k) broadcasts against B's row k, accumulating C's row r in
-/// two 8-lane registers.
+/// 16x16 tile product with 8-lane vector MACs (shared micro-kernel).
 inline Tile multiply_tile(const Tile& a, const Tile& b) {
-  Tile c;
-  for (unsigned r = 0; r < kTile; ++r) {
-    auto acc_lo = aie::accfloat<kLanes>{};
-    auto acc_hi = aie::accfloat<kLanes>{};
-    for (unsigned k = 0; k < kTile; ++k) {
-      const float s = a.at(r, k);
-      const auto b_lo = aie::load_v<kLanes>(&b.m[k * kTile]);
-      const auto b_hi = aie::load_v<kLanes>(&b.m[k * kTile + kLanes]);
-      acc_lo = aie::mac(acc_lo, b_lo, s);
-      acc_hi = aie::mac(acc_hi, b_hi, s);
-    }
-    aie::store_v(&c.m[r * kTile], aie::to_vector(acc_lo));
-    aie::store_v(&c.m[r * kTile + kLanes], aie::to_vector(acc_hi));
-  }
-  return c;
+  return apps::tile::multiply_tile<kLanes>(a, b);
 }
 
 inline Tile add_tiles(const Tile& x, const Tile& y) {
-  Tile c;
-  for (unsigned i = 0; i < kTile * kTile; i += kLanes) {
-    const auto vx = aie::load_v<kLanes>(&x.m[i]);
-    const auto vy = aie::load_v<kLanes>(&y.m[i]);
-    aie::store_v(&c.m[i], aie::add(vx, vy));
-  }
-  return c;
+  return apps::tile::add_tiles<aie::simd::backend, kLanes>(x, y);
 }
 
 COMPUTE_KERNEL(aie, gemm_half,
@@ -102,17 +71,9 @@ inline constexpr auto graph = cgsim::make_compute_graph_v<[](
   return std::make_tuple(c);
 }>;
 
-/// Scalar reference: one 16x16 tile product.
+/// Scalar reference: one 16x16 tile product (shared reference helper).
 inline Tile reference_multiply(const Tile& a, const Tile& b) {
-  Tile c;
-  for (unsigned r = 0; r < kTile; ++r) {
-    for (unsigned col = 0; col < kTile; ++col) {
-      float s = 0;
-      for (unsigned k = 0; k < kTile; ++k) s += a.at(r, k) * b.at(k, col);
-      c.set(r, col, s);
-    }
-  }
-  return c;
+  return apps::tile::reference_multiply<float>(a, b);
 }
 
 /// Host-side driver: multiplies (rows x K) by (K x cols) matrices given as

@@ -1,0 +1,310 @@
+// apps -- tiled int8 GEMM with 32-bit accumulation and saturating
+// requantize (the AIE4ML-style NN linear layer).
+//
+// C = requant(A x B) over 16x16 int8 tiles. The micro-kernel runs on the
+// AIE-ML 8-bit dot-product MAC shape: packed operands feed `mac_dot4`,
+// which reduces 4-deep int8 multiply groups into 16 int32 accumulator
+// lanes. Operand packing happens in-kernel with constant-index permutes
+// (vectorized shuffles on the native backend):
+//
+//   * B packs per 4-row block: packed lane 4c+j  <- B[4kb+j][c], so each
+//     group of 4 consecutive lanes holds one output column's K-slice.
+//   * A's row r replicates as    lane 4c+j  <- A[r][4kb+j]  (the same 4
+//     values broadcast to every column group) -- the 4 int8 values are one
+//     int32 word, so the replication is a single 16-lane broadcast.
+//
+// The graph is a cascade-style split-K fan-in chain, AIE-ML's hardware
+// idiom: K splits across kCascade kernels, each MAC-ing its partial sum
+// onto the int32 partial streamed from the previous chain element; a
+// requantize kernel applies the saturating shift-round (srs) with the
+// shift exposed as a runtime parameter (RTP). Two parallel strips of the
+// chain give the partitioner a 10-kernel graph.
+//
+// The bf16 variant stages bf16 tiles through fp32 vector compute
+// (to_float / fma / to_bf16), mirroring AIE-ML's bf16 data path.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "aie/aie.hpp"
+#include "apps/tile.hpp"
+#include "core/cgsim.hpp"
+
+namespace apps::ml_gemm {
+
+constexpr unsigned kTile = 16;     ///< tile dimension (16x16)
+constexpr unsigned kLanes = 16;    ///< int32 accumulator lanes per tile row
+constexpr unsigned kGroup = 4;     ///< dot-product depth of the int8 MAC
+constexpr unsigned kCascade = 4;   ///< K-slices per cascade chain
+constexpr unsigned kStrips = 2;    ///< parallel cascade chains
+
+using Tile8 = apps::tile::Tile<std::int8_t, kTile>;
+using Tile32 = apps::tile::Tile<std::int32_t, kTile>;
+using TileBf = apps::tile::Tile<aie::bf16, kTile>;
+using TilePair8 = apps::tile::TilePair<std::int8_t, kTile>;
+
+namespace detail {
+
+/// Constant permute index vector for the in-kernel B packing: idx_b
+/// transposes one 4x16 row block of B into column-grouped lanes. Built
+/// once; the permute executes as a vector shuffle.
+[[nodiscard]] inline const aie::vector<std::int32_t, 64>& idx_b() {
+  static const auto idx = [] {
+    aie::vector<std::int32_t, 64> v;
+    for (unsigned l = 0; l < 64; ++l) {
+      v.set(l, static_cast<std::int32_t>(16 * (l & 3) + (l >> 2)));
+    }
+    return v;
+  }();
+  return idx;
+}
+
+}  // namespace detail
+
+/// int8 tile MAC: cin + a x b accumulated exactly in int32 lanes. Rows are
+/// processed kRowBlk at a time so each `mac_dot4` covers kRowBlk * kLanes
+/// accumulator lanes; the per-lane formulas are unchanged, so results stay
+/// bit-identical across backends and to the row-at-a-time evaluation.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline Tile32 mac_tile(const Tile32& cin, const Tile8& a,
+                                     const Tile8& b) {
+  constexpr unsigned kRowBlk = 4;                    // rows per mac_dot4
+  constexpr unsigned kRowElems = kLanes * kGroup;    // packed lanes per row
+  constexpr unsigned kBlkElems = kRowBlk * kRowElems;
+  Tile32 out;
+  // Pack B once per tile: one 64-lane permute per 4-row block, replicated
+  // across the row block (every row of A meets the same packed B).
+  std::array<aie::vector<std::int8_t, kBlkElems>, kCascade> bblk;
+  for (unsigned kb = 0; kb < kCascade; ++kb) {
+    const auto bp =
+        aie::permute<B>(aie::load_v<64>(&b.m[kb * 64]), detail::idx_b());
+    for (unsigned q = 0; q < kRowBlk; ++q) {
+      std::memcpy(bblk[kb].data().data() + q * kRowElems, bp.data().data(),
+                  kRowElems);
+    }
+  }
+  for (unsigned r = 0; r < kTile; r += kRowBlk) {
+    // kRowBlk rows of cin are contiguous: one wide ups covers the block.
+    auto acc = aie::ups<aie::acc32_tag, B>(
+        aie::load_v<kRowBlk * kLanes>(&cin.m[r * kTile]), 0);
+    for (unsigned kb = 0; kb < kCascade; ++kb) {
+      // Replicate each row's 4-wide K-slice across its 16 column groups.
+      // The 4 int8 values form one int32 word, so this is pure operand
+      // marshalling (a word broadcast per row); memcpy in and out
+      // round-trips the bytes, keeping the lane order endian-independent.
+      aie::vector<std::int8_t, kBlkElems> arep;
+      for (unsigned q = 0; q < kRowBlk; ++q) {
+        std::int32_t word;
+        std::memcpy(&word, &a.m[(r + q) * kTile + kGroup * kb],
+                    sizeof(word));
+        const auto wrep = aie::broadcast<std::int32_t, kLanes, B>(word);
+        std::memcpy(arep.data().data() + q * kRowElems, wrep.data().data(),
+                    kRowElems);
+      }
+      acc = aie::mac_dot4<B>(acc, arep, bblk[kb]);
+    }
+    aie::store_v(&out.m[r * kTile], aie::srs<std::int32_t, B>(acc, 0));
+  }
+  return out;
+}
+
+/// Saturating requantize: int32 partials shift-round down to int8 (srs
+/// round-half-up semantics), 16 lanes per row.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline Tile8 requantize(const Tile32& c, int shift) {
+  Tile8 out;
+  for (unsigned r = 0; r < kTile; ++r) {
+    const auto acc = aie::ups<aie::acc32_tag, B>(
+        aie::load_v<kLanes>(&c.m[r * kTile]), 0);
+    aie::store_v(&out.m[r * kTile], aie::srs<std::int8_t, B>(acc, shift));
+  }
+  return out;
+}
+
+/// bf16 tile product staged through fp32: widen B's rows, broadcast-MAC
+/// in float accumulators, narrow the result rows with round-to-nearest.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline TileBf multiply_tile_bf16(const TileBf& a,
+                                               const TileBf& b) {
+  TileBf c;
+  // One scalar widen per A element feeding the broadcast MACs.
+  aie::record(aie::OpClass::scalar, kTile * kTile);
+  for (unsigned r = 0; r < kTile; ++r) {
+    aie::accfloat<kLanes> acc{};
+    for (unsigned k = 0; k < kTile; ++k) {
+      const float s = aie::bf16_to_float(a.at(r, k));
+      const auto brow = aie::to_float<B>(aie::load_v<kLanes>(&b.m[k * kTile]));
+      acc = aie::mac<B>(acc, brow, s);
+    }
+    aie::store_v(&c.m[r * kTile], aie::to_bf16<B>(aie::to_vector<B>(acc)));
+  }
+  return c;
+}
+
+// Ping-pong window I/O on the tile streams: one tile per window.
+inline constexpr cgsim::PortSettings kTileIo{
+    .beat_bits = 0,
+    .rtp = false,
+    .buffer = cgsim::BufferMode::pingpong,
+    .window_size = static_cast<int>(kTile * kTile)};
+
+inline constexpr cgsim::PortSettings kShiftRtp{.rtp = true};
+
+COMPUTE_KERNEL(aie, mlg_head,
+               cgsim::KernelReadPort<TilePair8, apps::ml_gemm::kTileIo> ab,
+               cgsim::KernelWritePort<Tile32> cas) {
+  while (true) {
+    const apps::ml_gemm::TilePair8 p = co_await ab.get();
+    co_await cas.put(apps::ml_gemm::mac_tile(apps::ml_gemm::Tile32{}, p.a, p.b));
+  }
+}
+
+COMPUTE_KERNEL(aie, mlg_cas,
+               cgsim::KernelReadPort<TilePair8, apps::ml_gemm::kTileIo> ab,
+               cgsim::KernelReadPort<Tile32> cin,
+               cgsim::KernelWritePort<Tile32> cout) {
+  while (true) {
+    const apps::ml_gemm::TilePair8 p = co_await ab.get();
+    const apps::ml_gemm::Tile32 c = co_await cin.get();
+    co_await cout.put(apps::ml_gemm::mac_tile(c, p.a, p.b));
+  }
+}
+
+COMPUTE_KERNEL(aie, mlg_requant,
+               cgsim::KernelReadPort<Tile32> cin,
+               cgsim::KernelReadPort<int, apps::ml_gemm::kShiftRtp> shift,
+               cgsim::KernelWritePort<Tile8, apps::ml_gemm::kTileIo> out) {
+  while (true) {
+    const apps::ml_gemm::Tile32 c = co_await cin.get();
+    const int s = co_await shift.get();
+    co_await out.put(apps::ml_gemm::requantize(c, s));
+  }
+}
+
+/// Two parallel split-K cascade chains (strips), each: head -> 3 cascade
+/// stages -> requantize, 10 kernels total. Inputs s<strip>k<slice> carry
+/// the (A, B) pair of K-slice `slice`; `shift0/1` are the requantize RTPs.
+inline constexpr auto graph = cgsim::make_compute_graph_v<[](
+    cgsim::IoConnector<TilePair8> s0k0, cgsim::IoConnector<TilePair8> s0k1,
+    cgsim::IoConnector<TilePair8> s0k2, cgsim::IoConnector<TilePair8> s0k3,
+    cgsim::IoConnector<TilePair8> s1k0, cgsim::IoConnector<TilePair8> s1k1,
+    cgsim::IoConnector<TilePair8> s1k2, cgsim::IoConnector<TilePair8> s1k3,
+    cgsim::IoConnector<int> shift0, cgsim::IoConnector<int> shift1) {
+  s0k0.attr("plio_name", "MlGemmIn0");
+  s1k0.attr("plio_name", "MlGemmIn4");
+  cgsim::IoConnector<Tile32> c00, c01, c02, c03;
+  cgsim::IoConnector<Tile32> c10, c11, c12, c13;
+  cgsim::IoConnector<Tile8> out0, out1;
+  mlg_head(s0k0, c00);
+  mlg_cas(s0k1, c00, c01);
+  mlg_cas(s0k2, c01, c02);
+  mlg_cas(s0k3, c02, c03);
+  mlg_requant(c03, shift0, out0);
+  mlg_head(s1k0, c10);
+  mlg_cas(s1k1, c10, c11);
+  mlg_cas(s1k2, c11, c12);
+  mlg_cas(s1k3, c12, c13);
+  mlg_requant(c13, shift1, out1);
+  out0.attr("plio_name", "MlGemmOut0");
+  out1.attr("plio_name", "MlGemmOut1");
+  return std::make_tuple(out0, out1);
+}>;
+
+/// Host-side driver: C = requant(A x B) for A of Mt x kCascade tiles and
+/// B of kCascade x Nt tiles (K is fixed at the cascade depth, i.e. 64
+/// elements). Output tiles stream row-major, interleaved across the two
+/// strips by parity.
+inline std::vector<Tile8> multiply_tiled(
+    const std::vector<std::vector<Tile8>>& a_tiles,
+    const std::vector<std::vector<Tile8>>& b_tiles, int shift) {
+  const std::size_t cols = b_tiles[0].size();
+  std::array<std::vector<TilePair8>, kStrips * kCascade> feeds;
+  std::size_t total = 0;
+  for (const auto& arow : a_tiles) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t strip = total % kStrips;
+      ++total;
+      for (std::size_t k = 0; k < kCascade; ++k) {
+        feeds[strip * kCascade + k].push_back(
+            TilePair8{arow[k], b_tiles[k][c]});
+      }
+    }
+  }
+  std::vector<Tile8> out0, out1;
+  graph(feeds[0], feeds[1], feeds[2], feeds[3], feeds[4], feeds[5], feeds[6],
+        feeds[7], shift, shift, out0, out1);
+  std::vector<Tile8> out(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    out[i] = (i % 2 == 0) ? out0[i / 2] : out1[i / 2];
+  }
+  return out;
+}
+
+/// Hand-written reference requantize: round-half-up shift + int8 clamp,
+/// spelled out independently of the aie:: srs implementation.
+[[nodiscard]] inline std::int8_t reference_requant(std::int32_t v, int shift) {
+  std::int64_t r;
+  if (shift <= 0) {
+    r = static_cast<std::int64_t>(v) << -shift;
+  } else {
+    r = (static_cast<std::int64_t>(v) + (std::int64_t{1} << (shift - 1))) >>
+        shift;
+  }
+  return static_cast<std::int8_t>(
+      std::clamp<std::int64_t>(r, -128, 127));
+}
+
+/// Hand-written reference: exact int32 accumulation over the K tiles, then
+/// the saturating requantize. Mirrors multiply_tiled's output ordering.
+inline std::vector<Tile8> reference_multiply_tiled(
+    const std::vector<std::vector<Tile8>>& a_tiles,
+    const std::vector<std::vector<Tile8>>& b_tiles, int shift) {
+  const std::size_t cols = b_tiles[0].size();
+  std::vector<Tile8> out;
+  for (const auto& arow : a_tiles) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      Tile32 acc{};
+      for (std::size_t k = 0; k < kCascade; ++k) {
+        for (unsigned r = 0; r < kTile; ++r) {
+          for (unsigned col = 0; col < kTile; ++col) {
+            std::int32_t s = acc.at(r, col);
+            for (unsigned kk = 0; kk < kTile; ++kk) {
+              s += static_cast<std::int32_t>(arow[k].at(r, kk)) *
+                   static_cast<std::int32_t>(b_tiles[k][c].at(kk, col));
+            }
+            acc.set(r, col, s);
+          }
+        }
+      }
+      Tile8 t;
+      for (unsigned i = 0; i < kTile * kTile; ++i) {
+        t.m[i] = reference_requant(acc.m[i], shift);
+      }
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+/// Float reference for the bf16 tile product (inputs widened exactly;
+/// the tolerance to the bf16 kernel is the bf16 rounding step).
+[[nodiscard]] inline apps::tile::Tile<float, kTile> reference_multiply_bf16(
+    const TileBf& a, const TileBf& b) {
+  apps::tile::Tile<float, kTile> c;
+  for (unsigned r = 0; r < kTile; ++r) {
+    for (unsigned col = 0; col < kTile; ++col) {
+      float s = 0.0f;
+      for (unsigned k = 0; k < kTile; ++k) {
+        s += aie::bf16_to_float(a.at(r, k)) * aie::bf16_to_float(b.at(k, col));
+      }
+      c.set(r, col, s);
+    }
+  }
+  return c;
+}
+
+}  // namespace apps::ml_gemm

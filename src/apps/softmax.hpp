@@ -1,0 +1,229 @@
+// apps -- int8/bf16 softmax pipeline: max-reduce, fixed-point exp
+// approximation, normalize (the attention/classifier output stage of the
+// AIE4ML-style NN layer set).
+//
+// The int8 path is exact integer arithmetic end to end, so results are
+// bit-identical across execution backends and execution modes:
+//
+//   1. sm_max:  horizontal max-reduce over the 64 Q4 logits.
+//   2. sm_exp:  e_i = 2^(-(max - x_i) * K / 2^15) in Q15 via the
+//               fixed-point `exp2_neg_q15` (K = log2(e) * 2^15 / 2^4,
+//               folding the Q4 logit scale into the exponent), plus the
+//               horizontal sum-reduce of the 64 exponentials.
+//   3. sm_norm: p_i = e_i * (2^30 / sum) >> 23, saturating to Q7 int8.
+//
+// The bf16 variant widens to fp32 vectors, uses libm's exp (identical on
+// both backends), and narrows with round-to-nearest bf16 converts.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "aie/aie.hpp"
+#include "core/cgsim.hpp"
+
+namespace apps::softmax {
+
+constexpr unsigned kN = 64;      ///< logits per block
+constexpr unsigned kLanes = 16;  ///< vector lanes per step
+constexpr int kInQ = 4;          ///< input logits are Q4 fixed point
+/// round(log2(e) * 2^15 / 2^kInQ): Q4 logit deltas -> Q15 binary exponent.
+constexpr std::int32_t kLog2eQ = 2955;
+
+/// One block of 64 int8 Q4 logits (or Q7 probabilities on output).
+struct Block {
+  std::array<std::int8_t, kN> x{};
+  bool operator==(const Block&) const = default;
+};
+
+/// Stage 1 -> 2: the block plus its max logit.
+struct MaxBlock {
+  Block b;
+  std::int8_t max = 0;
+  bool operator==(const MaxBlock&) const = default;
+};
+
+/// Stage 2 -> 3: Q15 exponentials plus their sum.
+struct ExpBlock {
+  std::array<std::int32_t, kN> e{};
+  std::int32_t sum = 0;
+  bool operator==(const ExpBlock&) const = default;
+};
+
+/// Horizontal max over the block: one kN-lane tree reduce.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline std::int8_t block_max(const Block& b) {
+  return aie::reduce_max<B>(aie::load_v<kN>(&b.x[0]));
+}
+
+/// Q15 exponentials of -(max - x_i) * K plus their horizontal sum. Every
+/// stage runs at the full kN-lane block width, so each op amortizes over
+/// the whole block.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline ExpBlock block_exp(const Block& b, std::int8_t mx) {
+  ExpBlock r;
+  const auto vmax = aie::broadcast<std::int32_t, kN, B>(mx);
+  const auto d = aie::unpack<std::int32_t, B>(aie::load_v<kN>(&b.x[0]));
+  const auto nd = aie::sub<B>(vmax, d);  // >= 0 by construction
+  // nd * K <= 255 * 2966 fits int32 lanes exactly.
+  const auto u = aie::srs<std::int32_t, B>(aie::mul<B>(nd, kLog2eQ), 0);
+  const auto e = aie::exp2_neg_q15<B>(u);
+  aie::store_v(&r.e[0], e);
+  r.sum = aie::reduce_add<B>(e);
+  return r;
+}
+
+/// Normalize: p_i = e_i * (2^30 / sum) >> 23, saturating into Q7 int8.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline Block block_norm(const ExpBlock& eb) {
+  Block out;
+  const auto recip = static_cast<std::int32_t>(
+      (std::int64_t{1} << 30) / std::max(eb.sum, 1));
+  aie::record(aie::OpClass::scalar, 1);  // the reciprocal divide
+  const auto e = aie::load_v<kN>(&eb.e[0]);
+  const auto p = aie::mul<B>(e, recip);  // int64 accumulator, exact
+  aie::store_v(&out.x[0], aie::srs<std::int8_t, B>(p, 23));
+  return out;
+}
+
+/// Whole pipeline on one block (the bench/test kernel body).
+template <class B = aie::simd::backend>
+[[nodiscard]] inline Block softmax_block(const Block& b) {
+  return block_norm<B>(block_exp<B>(b, block_max<B>(b)));
+}
+
+/// bf16 softmax staged through fp32 vectors; exp on libm (deterministic,
+/// backend-independent), bf16 narrows with round-to-nearest.
+template <class B = aie::simd::backend>
+[[nodiscard]] inline std::array<aie::bf16, kN> softmax_bf16(
+    const std::array<aie::bf16, kN>& in) {
+  std::array<float, kN> f{};
+  for (unsigned i = 0; i < kN; i += kLanes) {
+    const auto v = aie::to_float<B>(aie::load_v<kLanes>(&in[i]));
+    aie::store_v(&f[i], v);
+  }
+  float mx = f[0];
+  for (unsigned i = 1; i < kN; ++i) mx = std::max(mx, f[i]);
+  aie::record(aie::OpClass::scalar, 2 * kN);  // max scan + exp evaluations
+  float sum = 0.0f;
+  std::array<float, kN> e{};
+  for (unsigned i = 0; i < kN; ++i) {
+    e[i] = std::exp(f[i] - mx);
+    sum += e[i];
+  }
+  const float inv = 1.0f / sum;
+  std::array<aie::bf16, kN> out{};
+  for (unsigned i = 0; i < kN; i += kLanes) {
+    const auto p = aie::mul<B>(aie::load_v<kLanes>(&e[i]), inv);
+    aie::store_v(&out[i], aie::to_bf16<B>(aie::to_vector<B>(p)));
+  }
+  return out;
+}
+
+// Ping-pong window I/O on the block streams: one block per window.
+inline constexpr cgsim::PortSettings kBlockIo{
+    .beat_bits = 0,
+    .rtp = false,
+    .buffer = cgsim::BufferMode::pingpong,
+    .window_size = static_cast<int>(kN)};
+
+COMPUTE_KERNEL(aie, sm_max,
+               cgsim::KernelReadPort<Block, apps::softmax::kBlockIo> in,
+               cgsim::KernelWritePort<MaxBlock> out) {
+  while (true) {
+    const apps::softmax::Block b = co_await in.get();
+    co_await out.put(
+        apps::softmax::MaxBlock{b, apps::softmax::block_max(b)});
+  }
+}
+
+COMPUTE_KERNEL(aie, sm_exp,
+               cgsim::KernelReadPort<MaxBlock> in,
+               cgsim::KernelWritePort<ExpBlock> out) {
+  while (true) {
+    const apps::softmax::MaxBlock mb = co_await in.get();
+    co_await out.put(apps::softmax::block_exp(mb.b, mb.max));
+  }
+}
+
+COMPUTE_KERNEL(aie, sm_norm,
+               cgsim::KernelReadPort<ExpBlock> in,
+               cgsim::KernelWritePort<Block, apps::softmax::kBlockIo> out) {
+  while (true) {
+    const apps::softmax::ExpBlock eb = co_await in.get();
+    co_await out.put(apps::softmax::block_norm(eb));
+  }
+}
+
+/// Three-kernel pipeline: max-reduce -> exp -> normalize.
+inline constexpr auto graph = cgsim::make_compute_graph_v<[](
+    cgsim::IoConnector<Block> in) {
+  in.attr("plio_name", "SoftmaxIn0");
+  cgsim::IoConnector<MaxBlock> mb;
+  cgsim::IoConnector<ExpBlock> eb;
+  cgsim::IoConnector<Block> out;
+  sm_max(in, mb);
+  sm_exp(mb, eb);
+  sm_norm(eb, out);
+  out.attr("plio_name", "SoftmaxOut0");
+  return std::make_tuple(out);
+}>;
+
+/// Hand-written integer reference: the same fixed-point pipeline spelled
+/// out in plain scalar C++ (poly coefficients restated independently).
+[[nodiscard]] inline std::int32_t reference_exp2_neg_q15(std::int32_t u) {
+  if (u < 0) u = 0;
+  const std::int32_t n = u >> 15;
+  const std::int32_t f = u & 32767;
+  if (f == 0) return 32768 >> std::min(n, 31);
+  const std::int32_t x = 32768 - f;
+  std::int32_t t = 2603;
+  t = 7354 + ((t * x) >> 15);
+  t = 22803 + ((t * x) >> 15);
+  const std::int32_t p = 32768 + ((t * x) >> 15);
+  return p >> std::min(n + 1, 31);
+}
+
+[[nodiscard]] inline Block reference_softmax(const Block& b) {
+  std::int8_t mx = b.x[0];
+  for (unsigned i = 1; i < kN; ++i) mx = std::max(mx, b.x[i]);
+  std::array<std::int32_t, kN> e{};
+  std::int32_t sum = 0;
+  for (unsigned i = 0; i < kN; ++i) {
+    const std::int32_t nd = static_cast<std::int32_t>(mx) - b.x[i];
+    e[i] = reference_exp2_neg_q15(nd * kLog2eQ);
+    sum += e[i];
+  }
+  const std::int32_t recip = static_cast<std::int32_t>(
+      (std::int64_t{1} << 30) / std::max(sum, 1));
+  Block out;
+  for (unsigned i = 0; i < kN; ++i) {
+    const std::int64_t p =
+        (static_cast<std::int64_t>(e[i]) * recip + (std::int64_t{1} << 22)) >>
+        23;
+    out.x[i] = static_cast<std::int8_t>(std::clamp<std::int64_t>(p, -128, 127));
+  }
+  return out;
+}
+
+/// Float reference softmax over the widened Q4 logits (semantic oracle for
+/// the fixed-point path; compared with tolerance in the tests).
+[[nodiscard]] inline std::array<float, kN> reference_softmax_float(
+    const Block& b) {
+  float mx = b.x[0];
+  for (unsigned i = 1; i < kN; ++i) mx = std::max(mx, static_cast<float>(b.x[i]));
+  std::array<float, kN> e{};
+  float sum = 0.0f;
+  for (unsigned i = 0; i < kN; ++i) {
+    e[i] = std::exp((static_cast<float>(b.x[i]) - mx) /
+                    static_cast<float>(1 << kInQ));
+    sum += e[i];
+  }
+  for (unsigned i = 0; i < kN; ++i) e[i] /= sum;
+  return e;
+}
+
+}  // namespace apps::softmax

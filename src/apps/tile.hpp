@@ -1,0 +1,94 @@
+// apps -- shared square-tile abstraction for the GEMM-family workloads.
+//
+// One Tile<T, Dim> is a row-major Dim x Dim matrix block. The float demo
+// GEMM (gemm.hpp) and the int8/bf16 ML GEMM (ml_gemm.hpp) build on the same
+// tile type, micro-kernel and reference helpers, so there is exactly one
+// tile implementation in the tree.
+#pragma once
+
+#include <array>
+
+#include "aie/aie.hpp"
+
+namespace apps::tile {
+
+/// Row-major Dim x Dim matrix block of element type T.
+template <class T, unsigned Dim>
+struct Tile {
+  using value_type = T;
+  static constexpr unsigned dim = Dim;
+
+  std::array<T, Dim * Dim> m{};
+
+  [[nodiscard]] T at(unsigned r, unsigned c) const { return m[r * Dim + c]; }
+  void set(unsigned r, unsigned c, T v) { m[r * Dim + c] = v; }
+  bool operator==(const Tile&) const = default;
+};
+
+/// A paired (A, B) tile operand for one partial product.
+template <class T, unsigned Dim>
+struct TilePair {
+  Tile<T, Dim> a, b;
+  bool operator==(const TilePair&) const = default;
+};
+
+/// Float tile product with Lanes-wide vector MACs: for each row of A, the
+/// scalar A(r,k) broadcasts against B's row k, accumulating C's row r in
+/// Dim/Lanes accumulator registers -- the standard AIE GEMM micro-kernel
+/// shape. Accumulation order is fixed, so results are bit-identical across
+/// execution backends.
+template <unsigned Lanes = 8, class B = aie::simd::backend, unsigned Dim>
+[[nodiscard]] inline Tile<float, Dim> multiply_tile(const Tile<float, Dim>& a,
+                                                    const Tile<float, Dim>& b) {
+  static_assert(Dim % Lanes == 0);
+  Tile<float, Dim> c;
+  for (unsigned r = 0; r < Dim; ++r) {
+    std::array<aie::accfloat<Lanes>, Dim / Lanes> acc{};
+    for (unsigned k = 0; k < Dim; ++k) {
+      const float s = a.at(r, k);
+      for (unsigned blk = 0; blk < Dim / Lanes; ++blk) {
+        acc[blk] = aie::mac<B>(
+            acc[blk], aie::load_v<Lanes>(&b.m[k * Dim + blk * Lanes]), s);
+      }
+    }
+    for (unsigned blk = 0; blk < Dim / Lanes; ++blk) {
+      aie::store_v(&c.m[r * Dim + blk * Lanes], aie::to_vector<B>(acc[blk]));
+    }
+  }
+  return c;
+}
+
+/// Lane-wise tile sum over Lanes-wide vector adds.
+template <class B = aie::simd::backend, unsigned Lanes = 8, class T,
+          unsigned Dim>
+[[nodiscard]] inline Tile<T, Dim> add_tiles(const Tile<T, Dim>& x,
+                                            const Tile<T, Dim>& y) {
+  static_assert((Dim * Dim) % Lanes == 0);
+  Tile<T, Dim> c;
+  for (unsigned i = 0; i < Dim * Dim; i += Lanes) {
+    const auto vx = aie::load_v<Lanes>(&x.m[i]);
+    const auto vy = aie::load_v<Lanes>(&y.m[i]);
+    aie::store_v(&c.m[i], aie::add<B>(vx, vy));
+  }
+  return c;
+}
+
+/// Scalar reference tile product accumulating in Acc (float demo GEMM:
+/// Acc = float; int8 ML GEMM: Acc = int32 for exact 32-bit accumulation).
+template <class Acc, class T, unsigned Dim>
+[[nodiscard]] inline Tile<Acc, Dim> reference_multiply(const Tile<T, Dim>& a,
+                                                       const Tile<T, Dim>& b) {
+  Tile<Acc, Dim> c;
+  for (unsigned r = 0; r < Dim; ++r) {
+    for (unsigned col = 0; col < Dim; ++col) {
+      Acc s{};
+      for (unsigned k = 0; k < Dim; ++k) {
+        s = s + static_cast<Acc>(a.at(r, k)) * static_cast<Acc>(b.at(k, col));
+      }
+      c.set(r, col, s);
+    }
+  }
+  return c;
+}
+
+}  // namespace apps::tile

@@ -1,0 +1,354 @@
+// Tests for the ML kernel workload family (ml_gemm / conv2d / softmax):
+// micro-kernels must match hand-written scalar references exactly on the
+// integer paths (and bit-identically across SIMD backends), the multi-tile
+// graphs must reproduce the references end to end through the coop runtime
+// and the thread-per-kernel x86sim backend, and the bf16 variants must
+// track their float oracles within the bf16 rounding budget.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "apps/conv2d.hpp"
+#include "apps/ml_gemm.hpp"
+#include "apps/softmax.hpp"
+#include "x86sim/x86sim.hpp"
+
+namespace {
+
+using Scalar = aie::simd::scalar_backend;
+using Native = aie::simd::native_backend;
+
+std::int8_t rand_i8(std::mt19937& rng) { return static_cast<std::int8_t>(rng()); }
+
+// ---------------------------------------------------------------------------
+// ml_gemm: int8 dot-product micro-kernel, requantize, graph, bf16
+// ---------------------------------------------------------------------------
+
+apps::ml_gemm::Tile8 random_tile8(std::mt19937& rng) {
+  apps::ml_gemm::Tile8 t;
+  for (auto& v : t.m) v = rand_i8(rng);
+  return t;
+}
+
+TEST(MlGemm, MacTileMatchesExactReference) {
+  std::mt19937 rng(11);
+  for (unsigned round = 0; round < 20; ++round) {
+    auto a = random_tile8(rng);
+    auto b = random_tile8(rng);
+    if (round == 0) {
+      // Worst-case accumulation magnitude: all lanes at int8 min.
+      for (auto& v : a.m) v = -128;
+      for (auto& v : b.m) v = -128;
+    }
+    apps::ml_gemm::Tile32 cin{};
+    for (auto& v : cin.m) v = static_cast<std::int32_t>(rng() % 65536) - 32768;
+
+    const auto rs = apps::ml_gemm::mac_tile<Scalar>(cin, a, b);
+    const auto rn = apps::ml_gemm::mac_tile<Native>(cin, a, b);
+    EXPECT_EQ(rs, rn) << "backends diverge, round " << round;
+
+    const auto prod = apps::tile::reference_multiply<std::int32_t>(a, b);
+    for (unsigned i = 0; i < 256; ++i) {
+      EXPECT_EQ(rs.m[i], cin.m[i] + prod.m[i]) << "elem " << i;
+    }
+  }
+}
+
+TEST(MlGemm, RequantizeSaturatesLikeReference) {
+  apps::ml_gemm::Tile32 c{};
+  std::mt19937 rng(13);
+  c.m[0] = std::numeric_limits<std::int32_t>::max();
+  c.m[1] = std::numeric_limits<std::int32_t>::min();
+  c.m[2] = (127 << 6) + 31;  // rounds to 127 at shift 6
+  c.m[3] = (127 << 6) + 32;  // rounds past 127, saturates
+  c.m[4] = -(128 << 6);
+  c.m[5] = -(128 << 6) - 33;
+  for (unsigned i = 6; i < 256; ++i) {
+    c.m[i] = static_cast<std::int32_t>(rng());
+  }
+  for (const int shift : {0, 1, 6, 15}) {
+    const auto rs = apps::ml_gemm::requantize<Scalar>(c, shift);
+    const auto rn = apps::ml_gemm::requantize<Native>(c, shift);
+    EXPECT_EQ(rs, rn) << "shift " << shift;
+    for (unsigned i = 0; i < 256; ++i) {
+      EXPECT_EQ(rs.m[i], apps::ml_gemm::reference_requant(c.m[i], shift))
+          << "shift " << shift << " elem " << i;
+    }
+  }
+}
+
+TEST(MlGemm, GraphIsTwoCascadeStripsOfFiveKernels) {
+  static_assert(apps::ml_gemm::graph.counts.kernels == 10);
+  static_assert(apps::ml_gemm::kCascade == 4);
+  static_assert(apps::ml_gemm::kStrips == 2);
+}
+
+TEST(MlGemm, TiledMultiplyMatchesReference) {
+  std::mt19937 rng(17);
+  constexpr int kShift = 6;
+  for (const auto& [mt, nt] : {std::pair{2u, 3u}, std::pair{1u, 3u}}) {
+    std::vector<std::vector<apps::ml_gemm::Tile8>> a(mt), b(
+        apps::ml_gemm::kCascade);
+    for (auto& row : a) {
+      for (unsigned k = 0; k < apps::ml_gemm::kCascade; ++k) {
+        row.push_back(random_tile8(rng));
+      }
+    }
+    for (auto& row : b) {
+      for (unsigned c = 0; c < nt; ++c) row.push_back(random_tile8(rng));
+    }
+    const auto out = apps::ml_gemm::multiply_tiled(a, b, kShift);
+    const auto ref = apps::ml_gemm::reference_multiply_tiled(a, b, kShift);
+    ASSERT_EQ(out.size(), ref.size());
+    EXPECT_EQ(out, ref) << "mt=" << mt << " nt=" << nt;
+  }
+}
+
+TEST(MlGemm, GraphMatchesThreadedBackend) {
+  std::mt19937 rng(19);
+  constexpr unsigned kPairs = 3;
+  std::array<std::vector<apps::ml_gemm::TilePair8>, 8> feeds;
+  for (auto& f : feeds) {
+    for (unsigned i = 0; i < kPairs; ++i) {
+      f.push_back(apps::ml_gemm::TilePair8{random_tile8(rng),
+                                           random_tile8(rng)});
+    }
+  }
+  std::vector<apps::ml_gemm::Tile8> coop0, coop1, thr0, thr1;
+  apps::ml_gemm::graph(feeds[0], feeds[1], feeds[2], feeds[3], feeds[4],
+                       feeds[5], feeds[6], feeds[7], 6, 6, coop0, coop1);
+  x86sim::simulate(apps::ml_gemm::graph.view(), 1, feeds[0], feeds[1],
+                   feeds[2], feeds[3], feeds[4], feeds[5], feeds[6], feeds[7],
+                   6, 6, thr0, thr1);
+  EXPECT_EQ(coop0, thr0);
+  EXPECT_EQ(coop1, thr1);
+}
+
+apps::ml_gemm::TileBf random_tile_bf(std::mt19937& rng) {
+  std::uniform_real_distribution<float> d(-2.0f, 2.0f);
+  apps::ml_gemm::TileBf t;
+  for (auto& v : t.m) v = aie::float_to_bf16(d(rng));
+  return t;
+}
+
+TEST(MlGemm, Bf16TileBackendsBitIdentical) {
+  std::mt19937 rng(23);
+  for (unsigned round = 0; round < 10; ++round) {
+    const auto a = random_tile_bf(rng);
+    const auto b = random_tile_bf(rng);
+    const auto rs = apps::ml_gemm::multiply_tile_bf16<Scalar>(a, b);
+    const auto rn = apps::ml_gemm::multiply_tile_bf16<Native>(a, b);
+    EXPECT_EQ(rs, rn) << "round " << round;
+  }
+}
+
+TEST(MlGemm, Bf16TileTracksFloatReference) {
+  std::mt19937 rng(29);
+  for (unsigned round = 0; round < 10; ++round) {
+    const auto a = random_tile_bf(rng);
+    const auto b = random_tile_bf(rng);
+    const auto c = apps::ml_gemm::multiply_tile_bf16<Scalar>(a, b);
+    const auto ref = apps::ml_gemm::reference_multiply_bf16(a, b);
+    for (unsigned i = 0; i < 256; ++i) {
+      // fp32 accumulation is exact vs the reference order up to rounding;
+      // the final bf16 narrow costs at most 2^-8 relative.
+      const float got = aie::bf16_to_float(c.m[i]);
+      const float tol = 0.02f + 0.01f * std::fabs(ref.m[i]);
+      EXPECT_NEAR(got, ref.m[i], tol) << "elem " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// conv2d: row micro-kernel, cascade graph vs reference
+// ---------------------------------------------------------------------------
+
+apps::conv2d::Row random_row(std::mt19937& rng) {
+  apps::conv2d::Row r;
+  for (auto& v : r.px) v = rand_i8(rng);
+  return r;
+}
+
+apps::conv2d::Weights random_weights(std::mt19937& rng) {
+  apps::conv2d::Weights w;
+  for (unsigned i = 0; i < 9; ++i) w.w[i] = rand_i8(rng);
+  return w;
+}
+
+TEST(Conv2d, ConvRowMatchesScalarLoop) {
+  std::mt19937 rng(31);
+  for (unsigned round = 0; round < 20; ++round) {
+    const auto p0 = apps::conv2d::pad_row(random_row(rng));
+    const auto p1 = apps::conv2d::pad_row(random_row(rng));
+    const auto p2 = apps::conv2d::pad_row(random_row(rng));
+    const auto w = random_weights(rng);
+    apps::conv2d::PartialRow base{};
+    for (auto& v : base.px) {
+      v = static_cast<std::int32_t>(rng() % 65536) - 32768;
+    }
+    const bool with_base = round % 2 == 0;
+    const auto* bp = with_base ? &base : nullptr;
+    const auto rs = apps::conv2d::conv_row<Scalar>(p0, p1, p2, w, bp);
+    const auto rn = apps::conv2d::conv_row<Native>(p0, p1, p2, w, bp);
+    EXPECT_EQ(rs, rn) << "round " << round;
+    const std::array<const apps::conv2d::Padded*, 3> rows{&p0, &p1, &p2};
+    for (unsigned x = 0; x < apps::conv2d::kW; ++x) {
+      std::int32_t acc = with_base ? base.px[x] : 0;
+      for (unsigned dy = 0; dy < 3; ++dy) {
+        for (unsigned dx = 0; dx < 3; ++dx) {
+          acc += static_cast<std::int32_t>(w.w[dy * 3 + dx]) *
+                 (*rows[dy])[x + dx];
+        }
+      }
+      EXPECT_EQ(rs.px[x], acc) << "x=" << x;
+    }
+  }
+}
+
+TEST(Conv2d, GraphIsFourKernelCascade) {
+  static_assert(apps::conv2d::graph.counts.kernels == apps::conv2d::kChannels);
+}
+
+TEST(Conv2d, GraphMatchesReference) {
+  std::mt19937 rng(37);
+  constexpr std::size_t kH = 9;
+  std::array<std::vector<apps::conv2d::Row>, apps::conv2d::kChannels> img;
+  std::array<apps::conv2d::Weights, apps::conv2d::kChannels> w;
+  for (auto& ch : img) {
+    for (std::size_t y = 0; y < kH; ++y) ch.push_back(random_row(rng));
+  }
+  for (auto& cw : w) cw = random_weights(rng);
+  const auto out = apps::conv2d::run(img, w);
+  const auto ref = apps::conv2d::reference(img, w);
+  ASSERT_EQ(out.size(), kH - 2);
+  EXPECT_EQ(out, ref);
+}
+
+TEST(Conv2d, GraphMatchesThreadedBackend) {
+  std::mt19937 rng(41);
+  constexpr std::size_t kH = 6;
+  std::array<std::vector<apps::conv2d::Row>, apps::conv2d::kChannels> img;
+  std::array<apps::conv2d::Weights, apps::conv2d::kChannels> w;
+  for (auto& ch : img) {
+    for (std::size_t y = 0; y < kH; ++y) ch.push_back(random_row(rng));
+  }
+  for (auto& cw : w) cw = random_weights(rng);
+  std::vector<apps::conv2d::Row> coop, threaded;
+  apps::conv2d::graph(img[0], img[1], img[2], img[3], w[0], w[1], w[2], w[3],
+                      coop);
+  x86sim::simulate(apps::conv2d::graph.view(), 1, img[0], img[1], img[2],
+                   img[3], w[0], w[1], w[2], w[3], threaded);
+  EXPECT_EQ(coop, threaded);
+}
+
+// ---------------------------------------------------------------------------
+// softmax: fixed-point pipeline vs integer reference and float oracle
+// ---------------------------------------------------------------------------
+
+apps::softmax::Block random_block(std::mt19937& rng) {
+  apps::softmax::Block b;
+  for (auto& v : b.x) v = rand_i8(rng);
+  return b;
+}
+
+TEST(Softmax, BlockMatchesIntegerReference) {
+  std::mt19937 rng(43);
+  for (unsigned round = 0; round < 30; ++round) {
+    auto b = random_block(rng);
+    if (round == 0) {
+      for (auto& v : b.x) v = 127;  // all-equal extremes
+    } else if (round == 1) {
+      for (auto& v : b.x) v = -128;
+    }
+    const auto rs = apps::softmax::softmax_block<Scalar>(b);
+    const auto rn = apps::softmax::softmax_block<Native>(b);
+    EXPECT_EQ(rs, rn) << "round " << round;
+    EXPECT_EQ(rs, apps::softmax::reference_softmax(b)) << "round " << round;
+  }
+}
+
+TEST(Softmax, GraphIsThreeKernelPipeline) {
+  static_assert(apps::softmax::graph.counts.kernels == 3);
+}
+
+TEST(Softmax, GraphMatchesReferencePerBlock) {
+  std::mt19937 rng(47);
+  std::vector<apps::softmax::Block> in(12);
+  for (auto& b : in) b = random_block(rng);
+  std::vector<apps::softmax::Block> out, threaded;
+  apps::softmax::graph(in, out);
+  x86sim::simulate(apps::softmax::graph.view(), 1, in, threaded);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out, threaded);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], apps::softmax::reference_softmax(in[i])) << "block " << i;
+  }
+}
+
+TEST(Softmax, ProbabilitiesSumToOneInQ7) {
+  std::mt19937 rng(53);
+  for (unsigned round = 0; round < 20; ++round) {
+    const auto b = random_block(rng);
+    const auto p = apps::softmax::softmax_block<Scalar>(b);
+    std::int32_t sum = 0;
+    for (const auto v : p.x) {
+      EXPECT_GE(v, 0);
+      sum += v;
+    }
+    // Per-element rounding is at most half a Q7 ulp; 64 elements.
+    EXPECT_NEAR(static_cast<double>(sum), 128.0, 40.0) << "round " << round;
+  }
+}
+
+TEST(Softmax, FixedPointTracksFloatOracle) {
+  std::mt19937 rng(59);
+  for (unsigned round = 0; round < 20; ++round) {
+    const auto b = random_block(rng);
+    const auto p = apps::softmax::softmax_block<Scalar>(b);
+    const auto ref = apps::softmax::reference_softmax_float(b);
+    for (unsigned i = 0; i < apps::softmax::kN; ++i) {
+      EXPECT_NEAR(static_cast<double>(p.x[i]) / 128.0,
+                  static_cast<double>(ref[i]), 0.02)
+          << "round " << round << " elem " << i;
+    }
+  }
+}
+
+TEST(Softmax, Bf16VariantTracksFloatReference) {
+  std::mt19937 rng(61);
+  std::uniform_real_distribution<float> d(-8.0f, 8.0f);
+  for (unsigned round = 0; round < 10; ++round) {
+    std::array<aie::bf16, apps::softmax::kN> in{};
+    for (auto& v : in) v = aie::float_to_bf16(d(rng));
+    const auto rs = apps::softmax::softmax_bf16<Scalar>(in);
+    const auto rn = apps::softmax::softmax_bf16<Native>(in);
+    for (unsigned i = 0; i < apps::softmax::kN; ++i) {
+      EXPECT_EQ(rs[i].bits, rn[i].bits) << "elem " << i;
+    }
+    // Float oracle over the exact widened inputs.
+    std::array<float, apps::softmax::kN> f{};
+    float mx = -1e30f;
+    for (unsigned i = 0; i < apps::softmax::kN; ++i) {
+      f[i] = aie::bf16_to_float(in[i]);
+      mx = std::max(mx, f[i]);
+    }
+    float sum = 0.0f;
+    std::array<float, apps::softmax::kN> e{};
+    for (unsigned i = 0; i < apps::softmax::kN; ++i) {
+      e[i] = std::exp(f[i] - mx);
+      sum += e[i];
+    }
+    for (unsigned i = 0; i < apps::softmax::kN; ++i) {
+      EXPECT_NEAR(aie::bf16_to_float(rs[i]), e[i] / sum,
+                  0.005f + 0.01f * e[i] / sum)
+          << "elem " << i;
+    }
+  }
+}
+
+}  // namespace
