@@ -116,6 +116,7 @@ Row run_example(const char* name, int paper_reps, const Graph& graph,
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   const std::string out_dir = benchutil::strip_out_dir(argc, argv);
   if (argc > 1) g_divisor = std::max(1, std::atoi(argv[1]));
   const std::string json_path = benchutil::join_out(
@@ -208,8 +209,9 @@ int main(int argc, char** argv) {
   std::printf("bit-exactness: %s\n", all_identical ? "PASS" : "FAIL");
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"bench\": \"bench_ablation_aiesim\",\n"
                  "  \"hw_threads\": %u,\n"
                  "  \"gate_enforced\": %s,\n"

@@ -260,8 +260,9 @@ int run_ablation(const std::string& json_path, std::size_t total) {
   std::printf("devirt vs virtual: %.2fx\n", devirt_speedup);
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"bench\": \"bench_ablation_channel\",\n"
                  "  \"hw_threads\": %u,\n"
                  "  \"gate_enforced\": true,\n"
@@ -294,6 +295,7 @@ int run_ablation(const std::string& json_path, std::size_t total) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

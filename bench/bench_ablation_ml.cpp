@@ -388,8 +388,9 @@ int run_ablation(const std::string& json_path, std::size_t iters,
               exec_modes_identical ? "PASS" : "FAIL");
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"bench\": \"bench_ablation_ml\",\n"
                  "  \"hw_threads\": %u,\n"
                  "  \"gate_enforced\": %s,\n"
@@ -447,6 +448,7 @@ int run_ablation(const std::string& json_path, std::size_t iters,
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

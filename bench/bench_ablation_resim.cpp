@@ -270,6 +270,7 @@ Row bench_rtp_sweep(int depth, int sweep_points) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   const std::string out_dir = benchutil::strip_out_dir(argc, argv);
   const int iters = argc > 1 ? std::max(1, std::atoi(argv[1])) : 40;
   const std::string json_path = benchutil::join_out(
@@ -316,8 +317,9 @@ int main(int argc, char** argv) {
   std::printf("digest vs reference: %s\n", g_digest_ok ? "PASS" : "FAIL");
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"bench\": \"bench_ablation_resim\",\n"
                  "  \"hw_threads\": %u,\n"
                  "  \"gate_enforced\": %s,\n"

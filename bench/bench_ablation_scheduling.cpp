@@ -270,8 +270,9 @@ int run_ablation(const std::string& json_path, int items) {
   }
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"bench\": \"bench_ablation_scheduling\",\n"
                  "  \"pipelines\": 4,\n"
                  "  \"items_per_pipeline\": %d,\n"
@@ -313,6 +314,7 @@ int run_ablation(const std::string& json_path, int items) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   benchmark::Initialize(&argc, argv);  // consumes --benchmark_* flags
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -324,6 +324,7 @@ bool rows_equal(const SweepReport& a, const SweepReport& b) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   const std::string out_dir = benchutil::strip_out_dir(argc, argv);
   const int n_variants = argc > 1 ? std::max(4, std::atoi(argv[1])) : 40;
   const std::string json_path = benchutil::join_out(
@@ -425,9 +426,10 @@ int main(int argc, char** argv) {
               incremental_ok ? "PASS" : "FAIL");
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(
         f,
-        "{\n"
         "  \"bench\": \"bench_ablation_sweep\",\n"
         "  \"hw_threads\": %u,\n"
         "  \"gate_enforced\": %s,\n"

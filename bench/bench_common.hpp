@@ -10,8 +10,17 @@
 // existing positional invocations (ctest smokes, scripts) working
 // unchanged. Call strip_out_dir() after benchmark::Initialize so
 // --benchmark_* flags are consumed first.
+// Every emitter also records the process's resource footprint via
+// emit_resource_fields(): peak RSS and total wall-clock, so a regression
+// in memory or end-to-end runtime shows up in the canonical JSON even when
+// the benchmark's own metric holds steady. Call wall_anchor() first thing
+// in main() to start the wall clock.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
 #include <string>
 
 namespace benchutil {
@@ -43,6 +52,36 @@ inline std::string join_out(const std::string& dir, const std::string& file) {
   if (!file.empty() && file.front() == '/') return file;
   if (dir == ".") return file;
   return dir + "/" + file;
+}
+
+/// Peak resident set size of this process in bytes (ru_maxrss is KiB on
+/// Linux).
+inline long long peak_rss_bytes() {
+  rusage ru{};
+  ::getrusage(RUSAGE_SELF, &ru);
+  return static_cast<long long>(ru.ru_maxrss) * 1024;
+}
+
+/// Seconds since wall_anchor() was first called. Call wall_anchor() at the
+/// top of main() so the figure covers the whole process, not just the
+/// emission path.
+inline std::chrono::steady_clock::time_point& wall_anchor_point() {
+  static std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+inline void wall_anchor() { (void)wall_anchor_point(); }
+inline double total_wall_s() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       wall_anchor_point())
+      .count();
+}
+
+/// Writes the uniform resource-usage fields every BENCH_*.json carries.
+/// Emit inside the top-level object, after the opening brace.
+inline void emit_resource_fields(std::FILE* f) {
+  std::fprintf(f, "  \"peak_rss_bytes\": %lld,\n  \"total_wall_s\": %.3f,\n",
+               peak_rss_bytes(), total_wall_s());
 }
 
 }  // namespace benchutil

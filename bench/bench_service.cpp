@@ -1,0 +1,322 @@
+// bench_service -- simulation-as-a-service throughput and latency:
+// a cgsimd daemon on a loopback socket, driven by concurrent clients.
+//
+// Two phases:
+//
+//   * latency  -- N distinct sim-mode specs, each opened cold (lane build +
+//                 full aiesim run) and then re-run warm after a one-element
+//                 RTP update (server-side byte diff -> cone-limited
+//                 resimulation on the pooled warm session). Reports p50/p99
+//                 for both populations; the warm path must beat cold by
+//                 `min-warm` (default 3x) on hosts with >= 4 hardware
+//                 threads (gate_enforced records whether the gate applied).
+//
+//   * sustain  -- C connections x S sessions each, ALL opened before any
+//                 run starts (a spin barrier holds the clients until every
+//                 session is live), then every session runs once. With the
+//                 defaults that is 16 x 64 = 1024 concurrent loopback
+//                 sessions multiplexed over one daemon; `min-sessions`
+//                 (default 1000) asserts the concurrency floor. Digest
+//                 identity with the analytic expectation is unconditional.
+//
+//   $ ./bench_service [conns [sessions-per-conn [json [min-warm
+//                     [min-sessions]]]]] [--out dir]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/socket.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/graph_codec.hpp"
+#include "service/kernels.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace cgsim;
+using namespace cgsim::service;
+
+constexpr int kChains = 8;      ///< parallel inc-chains in the sim spec
+constexpr int kDepth = 4;       ///< kernels per chain
+constexpr int kItems = 64;      ///< items per chain input
+constexpr int kColdRuns = 24;   ///< distinct specs in the latency phase
+
+using Clock = std::chrono::steady_clock;
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(
+                                                    v.size() - 1));
+  return v[idx];
+}
+
+/// kChains independent inc-chains, kDepth kernels deep. `variant` only
+/// perturbs edge capacities so each spec serializes to distinct bytes
+/// (distinct warm-lane keys) while the work is identical.
+GraphSpec chains_spec(int variant) {
+  GraphSpec g;
+  for (int c = 0; c < kChains; ++c) {
+    const int base = static_cast<int>(g.edges.size());
+    for (int d = 0; d <= kDepth; ++d) {
+      g.edges.push_back({"i32", 64 + variant, {}});
+    }
+    for (int d = 0; d < kDepth; ++d) {
+      g.kernels.push_back({"svc_inc_i32", {base + d, base + d + 1}});
+    }
+    g.inputs.push_back(base);
+    g.outputs.push_back(base + kDepth);
+  }
+  return g;
+}
+
+/// add(e0,e1) -> e2, split(e2) -> (e3,e4): the sustain-phase coop graph.
+GraphSpec diamond_spec() {
+  GraphSpec g;
+  g.edges = {{"i32", 64, {}}, {"i32", 64, {}}, {"i32", 64, {}},
+             {"i32", 64, {}}, {"i32", 64, {}}};
+  g.kernels = {{"svc_add_i32", {0, 1, 2}}, {"svc_split_i32", {2, 3, 4}}};
+  g.inputs = {0, 1};
+  g.outputs = {3, 4};
+  return g;
+}
+
+std::string bytes_of(const std::vector<int>& v) {
+  return std::string{reinterpret_cast<const char*>(v.data()),
+                     v.size() * sizeof(int)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::wall_anchor();
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
+  const int conns = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int per_conn = argc > 2 ? std::atoi(argv[2]) : 64;
+  const std::string json_path = benchutil::join_out(
+      out_dir, argc > 3 ? argv[3] : "BENCH_service.json");
+  const double min_warm = argc > 4 ? std::atof(argv[4]) : 3.0;
+  const int min_sessions = argc > 5 ? std::atoi(argv[5]) : 1000;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool gate_enforced = hw >= 4 && min_warm > 0.0;
+
+  register_builtin_kernels();
+  std::uint16_t port = 0;
+  Daemon daemon{net::listen_tcp_loopback(0, &port)};
+
+  // --- phase 1: cold vs warm latency over the sim lane --------------------
+  std::vector<double> cold_us, warm_us;
+  cold_us.reserve(kColdRuns);
+  warm_us.reserve(kColdRuns);
+  bool sim_ok = true;
+  std::uint64_t incremental_seen = 0;
+  {
+    ServiceClient cli{net::connect_tcp_loopback(port)};
+    for (int v = 0; v < kColdRuns; ++v) {
+      const GraphSpec spec = chains_spec(v);
+      std::vector<std::vector<int>> ins(kChains);
+      for (int c = 0; c < kChains; ++c) {
+        ins[static_cast<std::size_t>(c)].resize(kItems);
+        for (int i = 0; i < kItems; ++i) {
+          ins[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)] =
+              v * 1000 + c * 100 + i;
+        }
+      }
+      const auto sid = cli.open(RunMode::sim, spec);
+      for (int c = 0; c < kChains; ++c) {
+        cli.send_input(sid, static_cast<std::size_t>(c),
+                       ins[static_cast<std::size_t>(c)].data(),
+                       static_cast<std::size_t>(kItems) * sizeof(int));
+      }
+      const auto t_cold = Clock::now();
+      RunOutcome cold = cli.run(sid);
+      cold_us.push_back(us_since(t_cold));
+      sim_ok &= cold.ok && !cold.result.warm;
+
+      // One element of chain 0 changes: server byte diff -> cone resim.
+      ins[0][0] += 1;
+      cli.send_rtp(sid, 0, ins[0].data(),
+                   static_cast<std::size_t>(kItems) * sizeof(int));
+      const auto t_warm = Clock::now();
+      RunOutcome warm = cli.run(sid);
+      warm_us.push_back(us_since(t_warm));
+      sim_ok &= warm.ok && warm.result.warm;
+      incremental_seen += warm.result.incremental ? 1u : 0u;
+      // inc-chain: out[i] = in[i] + kDepth, so the digests are analytic.
+      std::vector<std::string> expect;
+      expect.reserve(kChains);
+      for (int c = 0; c < kChains; ++c) {
+        std::vector<int> out = ins[static_cast<std::size_t>(c)];
+        for (int& x : out) x += kDepth;
+        expect.push_back(bytes_of(out));
+      }
+      sim_ok &= warm.result.digest == outputs_digest(expect);
+      cli.close_session(sid);
+    }
+  }
+  const double cold_p50 = percentile(cold_us, 0.5);
+  const double cold_p99 = percentile(cold_us, 0.99);
+  const double warm_p50 = percentile(warm_us, 0.5);
+  const double warm_p99 = percentile(warm_us, 0.99);
+  const double warm_speedup = warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0;
+
+  // --- phase 2: sustained concurrent sessions -----------------------------
+  const int total_sessions = conns * per_conn;
+  const GraphSpec coop = diamond_spec();
+  std::vector<int> in0(200), in1(200);
+  for (int i = 0; i < 200; ++i) {
+    in0[static_cast<std::size_t>(i)] = 11 + i;
+    in1[static_cast<std::size_t>(i)] = -40 + i;
+  }
+  // out e3 = a + b, out e4 = (a + b) >> 1.
+  std::vector<int> sum(200), half(200);
+  for (int i = 0; i < 200; ++i) {
+    const auto at = static_cast<std::size_t>(i);
+    sum[at] = in0[at] + in1[at];
+    half[at] = sum[at] >> 1;
+  }
+  const std::uint64_t expect_digest =
+      outputs_digest({bytes_of(sum), bytes_of(half)});
+
+  std::atomic<int> opened{0};
+  std::atomic<int> bad{0};
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(conns));
+  const auto t_sustain = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(conns));
+  for (int t = 0; t < conns; ++t) {
+    clients.emplace_back([&, t] {
+      try {
+        ServiceClient cli{net::connect_tcp_loopback(port)};
+        std::vector<std::uint64_t> sids;
+        sids.reserve(static_cast<std::size_t>(per_conn));
+        for (int s = 0; s < per_conn; ++s) {
+          const auto sid = cli.open(RunMode::coop, coop);
+          cli.send_input(sid, 0, in0.data(), in0.size() * sizeof(int));
+          cli.send_input(sid, 1, in1.data(), in1.size() * sizeof(int));
+          sids.push_back(sid);
+        }
+        // Barrier: every session on every connection is live before any
+        // run starts -- this is the concurrency the bench claims.
+        opened.fetch_add(per_conn);
+        while (opened.load() < conns * per_conn) std::this_thread::yield();
+
+        std::vector<Clock::time_point> started;
+        started.reserve(sids.size());
+        for (const auto sid : sids) {
+          started.push_back(Clock::now());
+          cli.start_run(sid);
+        }
+        auto& mine = lat[static_cast<std::size_t>(t)];
+        mine.reserve(sids.size());
+        for (std::size_t s = 0; s < sids.size(); ++s) {
+          RunOutcome out = cli.wait(sids[s]);
+          mine.push_back(us_since(started[s]));
+          if (!out.ok || out.result.digest != expect_digest) {
+            bad.fetch_add(1);
+          }
+          cli.close_session(sids[s]);
+        }
+      } catch (...) {
+        bad.fetch_add(1000);
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  const double sustain_s =
+      us_since(t_sustain) / 1e6;
+  std::vector<double> all_lat;
+  all_lat.reserve(static_cast<std::size_t>(total_sessions));
+  for (const auto& v : lat) all_lat.insert(all_lat.end(), v.begin(), v.end());
+  const double run_p50 = percentile(all_lat, 0.5);
+  const double run_p99 = percentile(all_lat, 0.99);
+  const double runs_per_sec =
+      sustain_s > 0.0 ? static_cast<double>(total_sessions) / sustain_s : 0.0;
+
+  daemon.stop();
+  const DaemonStats& st = daemon.stats();
+
+  const bool digest_ok = bad.load() == 0 && sim_ok;
+  const bool sessions_ok = total_sessions >= min_sessions;
+  const bool warm_ok = !gate_enforced || warm_speedup >= min_warm;
+
+  std::printf("latency: cold p50 %.0f us / p99 %.0f us, warm p50 %.0f us / "
+              "p99 %.0f us (%.2fx)\n",
+              cold_p50, cold_p99, warm_p50, warm_p99, warm_speedup);
+  std::printf("sustain: %d sessions over %d connections in %.3f s "
+              "(%.0f runs/s, run p50 %.0f us / p99 %.0f us)\n",
+              total_sessions, conns, sustain_s, runs_per_sec, run_p50,
+              run_p99);
+  std::printf("digest identity: %s\n", digest_ok ? "PASS" : "FAIL");
+  std::printf("concurrency floor (>= %d): %s\n", min_sessions,
+              sessions_ok ? "PASS" : "FAIL");
+  if (gate_enforced) {
+    std::printf("warm gate (>= %.2fx): %s\n", min_warm,
+                warm_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("warm gate (>= %.2fx): skipped (hw_threads=%u < 4 or "
+                "relaxed bar)\n",
+                min_warm, hw);
+  }
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
+    std::fprintf(
+        f,
+        "  \"bench\": \"bench_service\",\n"
+        "  \"hw_threads\": %u,\n"
+        "  \"gate_enforced\": %s,\n"
+        "  \"connections\": %d,\n"
+        "  \"sessions_per_connection\": %d,\n"
+        "  \"concurrent_sessions\": %d,\n"
+        "  \"min_sessions\": %d,\n"
+        "  \"min_warm_speedup\": %.2f,\n"
+        "  \"cold_p50_us\": %.1f,\n"
+        "  \"cold_p99_us\": %.1f,\n"
+        "  \"warm_p50_us\": %.1f,\n"
+        "  \"warm_p99_us\": %.1f,\n"
+        "  \"warm_speedup\": %.3f,\n"
+        "  \"incremental_reruns\": %llu,\n"
+        "  \"sustain_wall_s\": %.6f,\n"
+        "  \"runs_per_sec\": %.1f,\n"
+        "  \"run_p50_us\": %.1f,\n"
+        "  \"run_p99_us\": %.1f,\n"
+        "  \"digest_identical\": %s,\n"
+        "  \"daemon_connections\": %llu,\n"
+        "  \"daemon_sessions\": %llu,\n"
+        "  \"daemon_runs\": %llu,\n"
+        "  \"daemon_warm_runs\": %llu,\n"
+        "  \"daemon_session_errors\": %llu\n"
+        "}\n",
+        hw, gate_enforced ? "true" : "false", conns, per_conn,
+        total_sessions, min_sessions, min_warm, cold_p50, cold_p99, warm_p50,
+        warm_p99, warm_speedup,
+        static_cast<unsigned long long>(incremental_seen), sustain_s,
+        runs_per_sec, run_p50, run_p99, digest_ok ? "true" : "false",
+        static_cast<unsigned long long>(st.connections.load()),
+        static_cast<unsigned long long>(st.sessions_opened.load()),
+        static_cast<unsigned long long>(st.runs.load()),
+        static_cast<unsigned long long>(st.warm_runs.load()),
+        static_cast<unsigned long long>(st.session_errors.load()));
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return digest_ok && sessions_ok && warm_ok ? 0 : 1;
+}

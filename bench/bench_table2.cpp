@@ -113,6 +113,7 @@ Row run_example(const char* name, int paper_reps, const Graph& graph,
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchutil::wall_anchor();
   const std::string out_dir = benchutil::strip_out_dir(argc, argv);
   if (argc > 1) g_divisor = std::max(1, std::atoi(argv[1]));
   const std::string json_path = benchutil::join_out(
@@ -236,8 +237,9 @@ int main(int argc, char** argv) {
               shape ? "PASS" : "FAIL");
 
   if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
     std::fprintf(f,
-                 "{\n"
                  "  \"bench\": \"bench_table2\",\n"
                  "  \"simd_backend\": \"%s\",\n"
                  "  \"aiesim_engine\": \"%s\",\n"

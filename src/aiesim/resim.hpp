@@ -93,7 +93,35 @@ class ResimSession {
   SimResult run(Args&&... args) {
     EntryGuard guard{*this};
     check_arity(sizeof...(args));
-    return full_run(std::forward<Args>(args)...);
+    return full_run_impl([&] {
+      std::size_t pos = 0;
+      (attach_io_arg(pos++, std::forward<Args>(args)), ...);
+    });
+  }
+
+  /// Runtime-arity variant of run() for graphs whose shape is only known
+  /// at run time (the service daemon's wire-deserialized graphs): every
+  /// global input and output is a T-typed stream. inputs.size() and
+  /// outputs.size() must match the graph's global counts.
+  template <class T>
+  SimResult run_streams(const std::vector<std::vector<T>>& inputs,
+                        std::vector<std::vector<T>>& outputs) {
+    EntryGuard guard{*this};
+    check_arity(inputs.size() + outputs.size());
+    return full_run_impl(make_stream_attach<T>(inputs, outputs));
+  }
+
+  /// Runtime-arity variant of resimulate(); same baseline/dirty-set
+  /// contract. Unchanged inputs ride the cone-limited incremental path,
+  /// which is what makes a warm daemon session cheap to re-drive.
+  template <class T>
+  SimResult resimulate_streams(const std::vector<std::size_t>& dirty_inputs,
+                               const std::vector<std::vector<T>>& inputs,
+                               std::vector<std::vector<T>>& outputs) {
+    EntryGuard guard{*this};
+    check_arity(inputs.size() + outputs.size());
+    return resimulate_impl(dirty_inputs,
+                           make_stream_attach<T>(inputs, outputs));
   }
 
   /// Re-simulates after the inputs listed in `dirty_inputs` (indices into
@@ -112,67 +140,10 @@ class ResimSession {
                        Args&&... args) {
     EntryGuard guard{*this};
     check_arity(sizeof...(args));
-    for (std::size_t idx : dirty_inputs) {
-      if (idx >= graph_.inputs.size()) {
-        throw std::out_of_range{"dirty input index out of range"};
-      }
-    }
-    if (!base_valid_ || cfg_.detail == DetailLevel::cycle) {
-      return full_run(std::forward<Args>(args)...);
-    }
-    compute_cone(dirty_inputs);
-    const std::size_t n_kernels = graph_.kernels.size();
-    std::size_t cone_size = 0;
-    for (char c : in_cone_) cone_size += static_cast<std::size_t>(c);
-    if (cone_size == 0) {
-      // Nothing is affected: refill the caller's outputs from the
-      // baseline and hand back the baseline result.
-      phase_ = Phase::incremental;
+    return resimulate_impl(dirty_inputs, [&] {
       std::size_t pos = 0;
       (attach_io_arg(pos++, std::forward<Args>(args)), ...);
-      last_was_incremental_ = true;
-      last_cone_size_ = 0;
-      return base_result_;
-    }
-    if (cone_size == n_kernels || !incremental_preconditions_hold()) {
-      return full_run(std::forward<Args>(args)...);
-    }
-
-    phase_ = Phase::incremental;
-    post_run_.clear();
-    replay_blocked_ = 0;
-    engine_.emplace(cfg_);  // same address: channel hook pointers stay valid
-    // Kernels outside the cone never run: the mask keeps their task slots
-    // (started=false) but skips building their coroutine frames.
-    ctx_->reset_for_rerun(&in_cone_);
-    std::size_t pos = 0;
-    (attach_io_arg(pos++, std::forward<Args>(args)), ...);
-    for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
-      if (!is_replay_edge(e)) continue;
-      cgsim::ChannelBase* ch = ctx_->channel(static_cast<int>(e));
-      cgsim::RuntimeContext::TaskRecord rec;
-      rec.name = "replay#" + std::to_string(e);
-      // The replay coroutine stands in for every skipped kernel producer;
-      // listing the channel once per producer balances producer_done so
-      // consumers see end-of-stream exactly when the baseline closed.
-      const std::size_t n_prod = compiled_->edge_producer_kernels[e].size();
-      rec.out_channels.assign(n_prod, ch);
-      rec.task = graph_.edges[e].vtable().make_replay(
-          ch, &taps_[e], &*engine_, &replay_blocked_);
-      ctx_->push_task(std::move(rec));
-    }
-    engine_->bind(*ctx_, compiled_.get());
-    ctx_->start_all();
-    cgsim::RunResult r = ctx_->finish(engine_->run());
-    if (replay_blocked_ != 0 || r.deadlocked) {
-      // The cone diverged enough to push back into the replayed past (or
-      // wedged); the incremental run is not exact -- discard it.
-      return full_run(std::forward<Args>(args)...);
-    }
-    for (auto& f : post_run_) f();
-    last_was_incremental_ = true;
-    last_cone_size_ = cone_size;
-    return splice(std::move(r));
+    });
   }
 
   /// Changes the cost model and re-runs in full (cost constants affect
@@ -187,7 +158,10 @@ class ResimSession {
     compiled_ = CompiledGraphCache::instance().get_or_compile(
         graph_, cfg_.cost, cfg_.generated_io, cfg_.placement,
         cfg_.array_columns);
-    return full_run(std::forward<Args>(args)...);
+    return full_run_impl([&] {
+      std::size_t pos = 0;
+      (attach_io_arg(pos++, std::forward<Args>(args)), ...);
+    });
   }
 
   /// True when the previous resimulate() ran incrementally (cone splice),
@@ -240,8 +214,89 @@ class ResimSession {
     }
   }
 
-  template <class... Args>
-  SimResult full_run(Args&&... args) {
+  /// Binds a uniform stream-typed I/O list (the runtime-arity entry
+  /// points). Captures by reference; the caller's containers must outlive
+  /// the returned closure's use inside the same public call.
+  template <class T>
+  std::function<void()> make_stream_attach(
+      const std::vector<std::vector<T>>& inputs,
+      std::vector<std::vector<T>>& outputs) {
+    return [this, &inputs, &outputs] {
+      std::size_t pos = 0;
+      for (const std::vector<T>& in : inputs) attach_io_arg(pos++, in);
+      for (std::vector<T>& out : outputs) attach_io_arg(pos++, out);
+    };
+  }
+
+  /// Body of resimulate(), shared by the variadic and runtime-arity entry
+  /// points. `attach_io` re-binds every global input/output (it is invoked
+  /// again on every fallback path, matching the original re-bind-per-run
+  /// behaviour).
+  SimResult resimulate_impl(const std::vector<std::size_t>& dirty_inputs,
+                            const std::function<void()>& attach_io) {
+    for (std::size_t idx : dirty_inputs) {
+      if (idx >= graph_.inputs.size()) {
+        throw std::out_of_range{"dirty input index out of range"};
+      }
+    }
+    if (!base_valid_ || cfg_.detail == DetailLevel::cycle) {
+      return full_run_impl(attach_io);
+    }
+    compute_cone(dirty_inputs);
+    const std::size_t n_kernels = graph_.kernels.size();
+    std::size_t cone_size = 0;
+    for (char c : in_cone_) cone_size += static_cast<std::size_t>(c);
+    if (cone_size == 0) {
+      // Nothing is affected: refill the caller's outputs from the
+      // baseline and hand back the baseline result.
+      phase_ = Phase::incremental;
+      attach_io();
+      last_was_incremental_ = true;
+      last_cone_size_ = 0;
+      return base_result_;
+    }
+    if (cone_size == n_kernels || !incremental_preconditions_hold()) {
+      return full_run_impl(attach_io);
+    }
+
+    phase_ = Phase::incremental;
+    post_run_.clear();
+    replay_blocked_ = 0;
+    engine_.emplace(cfg_);  // same address: channel hook pointers stay valid
+    // Kernels outside the cone never run: the mask keeps their task slots
+    // (started=false) but skips building their coroutine frames.
+    ctx_->reset_for_rerun(&in_cone_);
+    attach_io();
+    for (std::size_t e = 0; e < graph_.edges.size(); ++e) {
+      if (!is_replay_edge(e)) continue;
+      cgsim::ChannelBase* ch = ctx_->channel(static_cast<int>(e));
+      cgsim::RuntimeContext::TaskRecord rec;
+      rec.name = "replay#" + std::to_string(e);
+      // The replay coroutine stands in for every skipped kernel producer;
+      // listing the channel once per producer balances producer_done so
+      // consumers see end-of-stream exactly when the baseline closed.
+      const std::size_t n_prod = compiled_->edge_producer_kernels[e].size();
+      rec.out_channels.assign(n_prod, ch);
+      rec.task = graph_.edges[e].vtable().make_replay(
+          ch, &taps_[e], &*engine_, &replay_blocked_);
+      ctx_->push_task(std::move(rec));
+    }
+    engine_->bind(*ctx_, compiled_.get());
+    ctx_->start_all();
+    cgsim::RunResult r = ctx_->finish(engine_->run());
+    if (replay_blocked_ != 0 || r.deadlocked) {
+      // The cone diverged enough to push back into the replayed past (or
+      // wedged); the incremental run is not exact -- discard it.
+      return full_run_impl(attach_io);
+    }
+    for (auto& f : post_run_) f();
+    last_was_incremental_ = true;
+    last_cone_size_ = cone_size;
+    return splice(std::move(r));
+  }
+
+  /// Body of run() / every full-rerun fallback.
+  SimResult full_run_impl(const std::function<void()>& attach_io) {
     phase_ = Phase::baseline;
     post_run_.clear();
     engine_.emplace(cfg_);
@@ -261,8 +316,7 @@ class ResimSession {
                          ? 1
                          : 0;
     }
-    std::size_t pos = 0;
-    (attach_io_arg(pos++, std::forward<Args>(args)), ...);
+    attach_io();
     engine_->bind(*ctx_, compiled_.get());
     ctx_->start_all();
     SimResult res{};

@@ -11,7 +11,10 @@
 // It is also the escape hatch for genuinely data-dependent topologies.
 #pragma once
 
+#include <deque>
+#include <map>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -48,8 +51,18 @@ class DynamicGraphBuilder {
   /// types are checked immediately; mismatches throw -- the dynamic
   /// counterpart of the compile errors the constexpr builder produces.
   template <class Def, class... Ts>
-  void add_kernel(KernelHandle<Def> /*handle*/,
+  void add_kernel(KernelHandle<Def> handle,
                   std::initializer_list<int> edge_ids) {
+    add_kernel(handle, std::span<const int>{edge_ids.begin(),
+                                            edge_ids.size()});
+  }
+
+  /// Runtime-arity overload: edge ids arriving from outside the process
+  /// (the service codec deserializing a wire graph) live in containers,
+  /// not braced lists.
+  template <class Def>
+  void add_kernel(KernelHandle<Def> /*handle*/,
+                  std::span<const int> edge_ids) {
     using traits = fn_traits<decltype(&Def::body)>;
     if (edge_ids.size() != traits::arity) {
       throw std::invalid_argument{
@@ -57,7 +70,7 @@ class DynamicGraphBuilder {
           ": wrong number of edges for kernel signature"};
     }
     FlatKernel k;
-    k.name = Def::kernel_name;
+    k.name = instance_name(Def::kernel_name);
     k.realm = Def::realm;
     k.thunk = &detail::kernel_thunk<Def>;
     k.first_port = static_cast<int>(ports_.size());
@@ -165,11 +178,27 @@ class DynamicGraphBuilder {
     }
   }
 
+  /// Instance names must be unique within a graph: incremental
+  /// re-simulation splices trace records by kernel name and falls back to
+  /// a full rerun when a cone kernel shares its name with a skipped one,
+  /// which would otherwise happen for every graph instantiating a handle
+  /// twice. The first use keeps the handle's own (static) name; repeats
+  /// get a "#<n>" suffix, owned here (deque nodes are pointer-stable, so
+  /// the string_views survive builder moves and vector growth).
+  std::string_view instance_name(std::string_view base) {
+    const int n = name_uses_[std::string{base}]++;
+    if (n == 0) return base;
+    names_.push_back(std::string{base} + "#" + std::to_string(n));
+    return names_.back();
+  }
+
   std::vector<FlatKernel> kernels_;
   std::vector<FlatPort> ports_;
   std::vector<FlatEdge> edges_;
   std::vector<FlatGlobal> inputs_;
   std::vector<FlatGlobal> outputs_;
+  std::map<std::string, int, std::less<>> name_uses_;
+  std::deque<std::string> names_;
   bool finalized_ = false;
 };
 

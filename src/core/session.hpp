@@ -59,6 +59,52 @@ class InteractiveSession {
     return st == ChanStatus::ok;
   }
 
+  /// Feeds up to `n` elements into global input `input_idx`, advancing the
+  /// graph whenever the channel fills. Returns the number accepted, which
+  /// is less than `n` only under sustained downstream back-pressure (an
+  /// un-polled output is full) -- drain outputs and push the rest. One
+  /// bulk channel op per ring-full, not one per element.
+  template <class T>
+  std::size_t push_n(std::size_t input_idx, const T* src, std::size_t n) {
+    auto* ch = input_channel<T>(input_idx);
+    std::size_t done = 0;
+    while (done < n) {
+      ChanStatus st{};
+      const std::size_t k = ch->try_push_n(src + done, n - done, st);
+      done += k;
+      if (st == ChanStatus::closed) {
+        throw std::logic_error{"push into a finished session"};
+      }
+      const std::uint64_t before = resumes_;
+      pump();
+      if (k == 0 && resumes_ == before) break;  // graph is truly stuck
+    }
+    pump();
+    return done;
+  }
+
+  /// Drains up to `n` finished elements from global output `output_idx`.
+  template <class T>
+  std::size_t poll_n(std::size_t output_idx, T* dst, std::size_t n) {
+    const FlatGlobal& out = graph_.outputs[check_out(output_idx)];
+    auto* ch = static_cast<TypedChannel<T>*>(ctx_.channel(out.edge));
+    if (graph_.edges[static_cast<std::size_t>(out.edge)].type !=
+        type_id<T>()) {
+      throw TypeMismatchError{"session poll element type mismatch"};
+    }
+    std::size_t done = 0;
+    while (done < n) {
+      ChanStatus st{};
+      const std::size_t k =
+          ch->try_pop_n(out.endpoint, dst + done, n - done, st);
+      done += k;
+      const std::uint64_t before = resumes_;
+      pump();  // popping may unblock producers, which may produce more
+      if (k == 0 && resumes_ == before) break;
+    }
+    return done;
+  }
+
   /// Retrieves the next available element from global output `output_idx`,
   /// or nullopt when the graph has not produced one yet.
   template <class T>

@@ -38,7 +38,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -193,6 +195,11 @@ class MpscQueue {
 /// checkout() hands out an exclusive lease -- the session leaves the pool
 /// entirely while leased, so two workers can never share one. The lease
 /// returns the session on destruction.
+///
+/// Retention is bounded: set_capacity(n) caps the number of *idle* warm
+/// sessions, evicting least-recently-returned first, so a long-running
+/// daemon serving many distinct graph keys does not grow its memory with
+/// the key population. Leased sessions never count against the cap.
 template <class Key, class Session>
 class SessionPool {
  public:
@@ -249,10 +256,11 @@ class SessionPool {
   [[nodiscard]] Lease checkout(const Key& key, Make&& make) {
     {
       std::lock_guard lk{m_};
-      auto it = idle_.find(key);
-      if (it != idle_.end()) {
-        std::unique_ptr<Session> s = std::move(it->second);
-        idle_.erase(it);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        std::unique_ptr<Session> s = std::move(it->second->session);
+        lru_.erase(it->second);
+        index_.erase(it);
         Lease l{this, key, std::move(s)};
         l.mark_warm();
         ++reused_;
@@ -263,23 +271,79 @@ class SessionPool {
     return Lease{this, key, make()};
   }
 
+  /// Caps the number of idle warm sessions retained; 0 retains nothing
+  /// (every put_back destroys). Applies immediately to current contents.
+  void set_capacity(std::size_t cap) {
+    std::vector<std::unique_ptr<Session>> doomed;  // destroyed unlocked
+    {
+      std::lock_guard lk{m_};
+      capacity_ = cap;
+      while (lru_.size() > capacity_) doomed.push_back(evict_oldest());
+    }
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    std::lock_guard lk{m_};
+    return capacity_;
+  }
   [[nodiscard]] std::size_t idle_count() const {
     std::lock_guard lk{m_};
-    return idle_.size();
+    return lru_.size();
   }
   [[nodiscard]] std::uint64_t created() const { return created_.load(); }
   [[nodiscard]] std::uint64_t reused() const { return reused_.load(); }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_.load(); }
 
  private:
+  struct Entry {
+    Key key;
+    std::unique_ptr<Session> session;
+  };
+  using LruList = std::list<Entry>;
+
   void put_back(const Key& key, std::unique_ptr<Session> s) {
-    std::lock_guard lk{m_};
-    idle_.emplace(key, std::move(s));
+    std::unique_ptr<Session> doomed;  // session dtor may simulate; unlocked
+    {
+      std::lock_guard lk{m_};
+      if (capacity_ == 0) {
+        doomed = std::move(s);
+        ++evicted_;
+        return;  // destroys after unlock via `doomed` going out of scope
+      }
+      lru_.push_back(Entry{key, std::move(s)});
+      index_.emplace(key, std::prev(lru_.end()));
+      if (lru_.size() > capacity_) doomed = evict_oldest();
+    }
+  }
+
+  /// Pops the least-recently-returned idle session. Caller holds m_ and
+  /// destroys the session outside the lock.
+  std::unique_ptr<Session> evict_oldest() {
+    assert(!lru_.empty());
+    typename LruList::iterator victim = lru_.begin();
+    auto [lo, hi] = index_.equal_range(victim->key);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == victim) {
+        index_.erase(it);
+        break;
+      }
+    }
+    std::unique_ptr<Session> s = std::move(victim->session);
+    lru_.erase(victim);
+    ++evicted_;
+    return s;
   }
 
   mutable std::mutex m_;
-  std::multimap<Key, std::unique_ptr<Session>> idle_;
+  LruList lru_;  ///< idle sessions, least-recently-returned first
+  std::multimap<Key, typename LruList::iterator> index_;
+  std::size_t capacity_ = kDefaultCapacity;
   std::atomic<std::uint64_t> created_{0};
   std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> evicted_{0};
+
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
 };
 
 // ---------------------------------------------------------------------------
@@ -381,17 +445,53 @@ class SweepRunner {
     }
   }
 
+  /// Enqueues one fire-and-forget job for any worker: the service daemon's
+  /// dispatch path (each request is one posted job; completion is reported
+  /// through whatever channel the closure captured). Posted jobs interleave
+  /// with -- and take priority over -- run_batch() jobs, so a daemon can
+  /// share the pool with background sweeps without head-of-line blocking
+  /// behind an entire batch.
+  void post(std::function<void(WorkerSlot&)> job) {
+    {
+      std::lock_guard lk{m_};
+      posted_.push_back(std::move(job));
+    }
+    work_cv_.notify_one();
+  }
+
+  /// Posted jobs accepted but not yet started (diagnostic; racy by nature).
+  [[nodiscard]] std::size_t posted_pending() const {
+    std::lock_guard lk{m_};
+    return posted_.size();
+  }
+
  private:
   void worker_main(WorkerSlot& slot) {
     for (;;) {
-      std::size_t i;
+      std::size_t i = 0;
+      std::function<void(WorkerSlot&)> posted;
       {
         std::unique_lock lk{m_};
-        work_cv_.wait(lk, [&] { return stop_ || next_ < total_; });
+        work_cv_.wait(
+            lk, [&] { return stop_ || !posted_.empty() || next_ < total_; });
         if (stop_) return;
-        i = next_++;
+        if (!posted_.empty()) {
+          posted = std::move(posted_.front());
+          posted_.pop_front();
+        } else {
+          i = next_++;
+        }
       }
       slot.arena.reset();
+      if (posted) {
+        const auto t0 = std::chrono::steady_clock::now();
+        posted(slot);
+        slot.busy_s += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+        ++slot.jobs;
+        continue;  // posted jobs are not part of any batch accounting
+      }
       job_(i, slot);  // updates slot stats, then pushes the result
       done_cv_.notify_one();
     }
@@ -399,9 +499,10 @@ class SweepRunner {
 
   std::vector<std::unique_ptr<WorkerSlot>> slots_;
   std::function<void(std::size_t, WorkerSlot&)> job_;
+  std::deque<std::function<void(WorkerSlot&)>> posted_;  // guarded by m_
   std::size_t total_ = 0;  // guarded by m_
   std::size_t next_ = 0;   // guarded by m_; next_ == total_ means drained
-  std::mutex m_;
+  mutable std::mutex m_;
   std::condition_variable work_cv_;
   bool stop_ = false;  // guarded by m_
   std::mutex done_m_;

@@ -1,0 +1,505 @@
+// cgsim::net -- length-framed binary wire protocol (the channel/service
+// transport).
+//
+// A connection is a stream of frames:
+//
+//   +------+-------+-------------+---------------+------------+---------+
+//   | type | flags | stream id   | payload len   | header crc | payload |
+//   | u8   | u8    | varint u64  | varint u64    | u32 LE     | bytes   |
+//   +------+-------+-------------+---------------+------------+---------+
+//
+// The header CRC (CRC-32, reflected 0xEDB88320) covers every header byte
+// before it, so a desynchronized or corrupted stream is detected at the
+// frame boundary instead of producing a garbage length that runs away
+// with the parser. Payload integrity is delegated to the transport (TCP /
+// AF_UNIX are reliable); kFlagPayloadCrc appends a payload CRC for
+// transports that want it end-to-end.
+//
+// Throughput comes from batching, not from per-frame cleverness:
+//   * FrameWriter queues any number of frames and flushes them with one
+//     writev() -- headers live in an append-only arena, bulk payloads are
+//     referenced in place (zero copy), so a put_n of 64k elements crosses
+//     the socket as one syscall with two iovecs;
+//   * FrameReader refills with one readv() into its parse buffer plus a
+//     spill buffer, then yields complete frames without copying payloads
+//     (FrameView borrows into the buffer until the next fill()).
+//
+// The handshake is versioned: both sides open with a `hello` frame
+// carrying magic, protocol version and a feature bitmap; a version
+// mismatch is an explicit `reject` frame, not a silent desync.
+#pragma once
+
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "socket.hpp"
+
+namespace cgsim::net {
+
+// ---------------------------------------------------------------------------
+// varint (LEB128) + CRC-32.
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as a base-128 varint (1..10 bytes).
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Reads a varint from `p..end`; advances `p`. Returns false on truncation
+/// or a varint wider than 64 bits.
+inline bool get_varint(const std::byte*& p, const std::byte* end,
+                       std::uint64_t& v) {
+  v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (p == end) return false;
+    const auto b = static_cast<std::uint8_t>(*p++);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return true;
+  }
+  return false;
+}
+
+namespace detail {
+struct Crc32Table {
+  std::array<std::uint32_t, 256> t{};
+  constexpr Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+  }
+};
+inline constexpr Crc32Table crc32_table{};
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t n,
+                                         std::uint32_t seed = 0) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::crc32_table.t[(c ^ p[i]) & 0xff] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+// ---------------------------------------------------------------------------
+// Frame types + handshake.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kWireMagic = 0x4347534eu;  // "CGSN"
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kMaxFrameLen = 64u << 20;  ///< parser sanity cap
+
+enum class FrameType : std::uint8_t {
+  hello = 1,        ///< handshake open: magic, version, features
+  hello_ack = 2,    ///< handshake accept: version, features
+  reject = 3,       ///< handshake refuse: string reason (then close)
+  data = 4,         ///< channel payload: raw elements
+  end_of_stream = 5,///< producer side is done (channel close)
+  credit = 6,       ///< flow control: varint bytes granted
+  open_session = 7, ///< service: mode + serialized graph
+  open_ack = 8,     ///< service: accepted, varint input credit
+  input_chunk = 9,  ///< service: varint input idx + element bytes
+  rtp_update = 10,  ///< service: varint input idx + one element
+  finish_inputs = 11,  ///< service: end-of-stream on every input; run
+  output_chunk = 12,   ///< service: varint output idx + element bytes
+  session_result = 13, ///< service: digest / cycles / warm flags
+  session_error = 14,  ///< service: string message (session survives conn)
+  close_session = 15,  ///< service: free server-side session state
+  goodbye = 16,        ///< orderly connection shutdown
+};
+
+inline constexpr std::uint8_t kFlagPayloadCrc = 0x1;
+
+/// Decoded frame header + borrowed payload (valid until the reader's next
+/// fill()).
+struct FrameView {
+  FrameType type{};
+  std::uint8_t flags = 0;
+  std::uint64_t stream = 0;
+  std::span<const std::byte> payload{};
+};
+
+/// Serialized hello/hello_ack payload.
+struct Hello {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  std::uint32_t features = 0;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    put_varint(s, magic);
+    put_varint(s, version);
+    put_varint(s, features);
+    return s;
+  }
+  [[nodiscard]] static bool decode(std::span<const std::byte> p, Hello& h) {
+    const std::byte* it = p.data();
+    const std::byte* end = it + p.size();
+    std::uint64_t magic = 0, version = 0, features = 0;
+    if (!get_varint(it, end, magic) || !get_varint(it, end, version) ||
+        !get_varint(it, end, features)) {
+      return false;
+    }
+    h.magic = static_cast<std::uint32_t>(magic);
+    h.version = static_cast<std::uint16_t>(version);
+    h.features = static_cast<std::uint32_t>(features);
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// FrameWriter: queue frames, flush with one writev().
+// ---------------------------------------------------------------------------
+
+/// Queues frames for a single file descriptor and flushes them in batches.
+/// Small payloads are copied into the header arena (one contiguous iovec
+/// per run of small frames); payloads at or above the zero-copy threshold
+/// are referenced in place -- the caller must keep them alive until
+/// flush() returns (bulk channel ops flush before returning for exactly
+/// that reason).
+class FrameWriter {
+ public:
+  explicit FrameWriter(std::size_t zero_copy_threshold = 1024)
+      : zc_threshold_(zero_copy_threshold) {}
+
+  /// Queues one frame. `copy == false` only borrows `payload`.
+  void frame(FrameType type, std::uint64_t stream, const void* payload,
+             std::size_t n, std::uint8_t flags = 0) {
+    std::string hdr;
+    hdr.reserve(24);
+    hdr.push_back(static_cast<char>(type));
+    hdr.push_back(static_cast<char>(flags));
+    put_varint(hdr, stream);
+    put_varint(hdr, n);
+    const std::uint32_t crc = crc32(hdr.data(), hdr.size());
+    append_u32(hdr, crc);
+    append_arena(hdr.data(), hdr.size());
+    if (n > 0) {
+      if (n < zc_threshold_) {
+        append_arena(payload, n);
+      } else {
+        segs_.push_back(Seg{0, n, payload});
+      }
+    }
+    if ((flags & kFlagPayloadCrc) != 0) {
+      std::string tail;
+      append_u32(tail, crc32(payload, n));
+      append_arena(tail.data(), tail.size());
+    }
+    ++queued_frames_;
+    queued_bytes_ += hdr.size() + n;
+  }
+
+  void frame_str(FrameType type, std::uint64_t stream,
+                 const std::string& payload, std::uint8_t flags = 0) {
+    frame(type, stream, payload.data(), payload.size(), flags);
+  }
+
+  [[nodiscard]] bool empty() const { return segs_.empty(); }
+  [[nodiscard]] std::size_t pending_bytes() const { return queued_bytes_; }
+  [[nodiscard]] std::size_t pending_frames() const { return queued_frames_; }
+  [[nodiscard]] std::uint64_t flushed_bytes() const { return flushed_bytes_; }
+  [[nodiscard]] std::uint64_t writev_calls() const { return writev_calls_; }
+
+  enum class IoResult : std::uint8_t { ok, would_block, error };
+
+  /// Writes every queued frame with as few writev() calls as possible.
+  /// On would_block (nonblocking fd, kernel buffer full) the consumed
+  /// prefix is dropped and the remainder stays queued; call again when the
+  /// fd turns writable. Zero-copy payload segments survive a would_block
+  /// in place, so their backing storage must outlive the retry.
+  IoResult flush(int fd) {
+    while (cursor_seg_ < segs_.size()) {
+      iovec iov[kMaxIov];
+      int n_iov = 0;
+      std::size_t bytes = 0;
+      for (std::size_t s = cursor_seg_;
+           s < segs_.size() && n_iov < kMaxIov; ++s) {
+        const Seg& seg = segs_[s];
+        const std::size_t skip = s == cursor_seg_ ? cursor_off_ : 0;
+        const auto* base =
+            seg.ext != nullptr
+                ? static_cast<const std::byte*>(seg.ext)
+                : reinterpret_cast<const std::byte*>(arena_.data()) + seg.off;
+        iov[n_iov].iov_base =
+            const_cast<std::byte*>(base + skip);  // NOLINT: writev API
+        iov[n_iov].iov_len = seg.len - skip;
+        bytes += iov[n_iov].iov_len;
+        ++n_iov;
+      }
+      const ssize_t w = ::writev(fd, iov, n_iov);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return IoResult::would_block;
+        }
+        return IoResult::error;
+      }
+      ++writev_calls_;
+      flushed_bytes_ += static_cast<std::uint64_t>(w);
+      advance(static_cast<std::size_t>(w));
+    }
+    clear();
+    return IoResult::ok;
+  }
+
+  /// Drops all queued frames (connection teardown).
+  void clear() {
+    arena_.clear();
+    segs_.clear();
+    cursor_seg_ = 0;
+    cursor_off_ = 0;
+    queued_bytes_ = 0;
+    queued_frames_ = 0;
+  }
+
+ private:
+  static constexpr int kMaxIov = 64;
+
+  struct Seg {
+    std::size_t off;   ///< offset into arena_ (internal segments)
+    std::size_t len;
+    const void* ext;   ///< non-null: external zero-copy payload
+  };
+
+  static void append_u32(std::string& s, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      s.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  /// Appends bytes to the header arena, extending the previous arena
+  /// segment when contiguous so consecutive small frames collapse into
+  /// one iovec.
+  void append_arena(const void* data, std::size_t n) {
+    const std::size_t off = arena_.size();
+    arena_.append(static_cast<const char*>(data), n);
+    if (!segs_.empty() && segs_.back().ext == nullptr &&
+        segs_.back().off + segs_.back().len == off &&
+        cursor_seg_ < segs_.size()) {
+      segs_.back().len += n;
+    } else {
+      segs_.push_back(Seg{off, n, nullptr});
+    }
+  }
+
+  void advance(std::size_t n) {
+    while (n > 0 && cursor_seg_ < segs_.size()) {
+      const std::size_t left = segs_[cursor_seg_].len - cursor_off_;
+      if (n < left) {
+        cursor_off_ += n;
+        return;
+      }
+      n -= left;
+      ++cursor_seg_;
+      cursor_off_ = 0;
+    }
+  }
+
+  std::string arena_;       ///< headers + copied small payloads
+  std::vector<Seg> segs_;
+  std::size_t cursor_seg_ = 0;  ///< flush progress: segment index
+  std::size_t cursor_off_ = 0;  ///< flush progress: offset into segment
+  std::size_t zc_threshold_;
+  std::size_t queued_bytes_ = 0;
+  std::size_t queued_frames_ = 0;
+  std::uint64_t flushed_bytes_ = 0;
+  std::uint64_t writev_calls_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// FrameReader: readv refills, incremental parse.
+// ---------------------------------------------------------------------------
+
+/// Buffered frame parser over a file descriptor. fill() performs one
+/// readv() into the main buffer plus a fixed spill buffer (scatter-gather:
+/// a burst larger than the primary capacity still lands in one syscall);
+/// next() yields complete frames, whose payload views stay valid until the
+/// following fill().
+class FrameReader {
+ public:
+  explicit FrameReader(std::size_t initial_capacity = 64 << 10)
+      : buf_(initial_capacity) {}
+
+  enum class IoResult : std::uint8_t { ok, would_block, eof, error };
+
+  /// One readv() worth of bytes. `ok` means at least one byte arrived.
+  IoResult fill(int fd) {
+    compact();
+    if (buf_.size() - wr_ < kMinHeadroom) buf_.resize(buf_.size() * 2);
+    std::array<std::byte, kSpillBytes> spill;
+    iovec iov[2];
+    iov[0].iov_base = buf_.data() + wr_;
+    iov[0].iov_len = buf_.size() - wr_;
+    iov[1].iov_base = spill.data();
+    iov[1].iov_len = spill.size();
+    ssize_t r;
+    do {
+      r = ::readv(fd, iov, 2);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0) {
+      return errno == EAGAIN || errno == EWOULDBLOCK ? IoResult::would_block
+                                                     : IoResult::error;
+    }
+    if (r == 0) return IoResult::eof;
+    ++readv_calls_;
+    received_bytes_ += static_cast<std::uint64_t>(r);
+    const auto got = static_cast<std::size_t>(r);
+    const std::size_t main_part = std::min(got, buf_.size() - wr_);
+    wr_ += main_part;
+    if (got > main_part) {
+      const std::size_t extra = got - main_part;
+      buf_.resize(std::max(buf_.size() * 2, wr_ + extra));
+      std::memcpy(buf_.data() + wr_, spill.data(), extra);
+      wr_ += extra;
+    }
+    return IoResult::ok;
+  }
+
+  enum class ParseResult : std::uint8_t { frame, need_more, corrupt };
+
+  /// Parses the next complete frame out of the buffer. `frame` hands out
+  /// views into the buffer (stable until the next fill()).
+  ParseResult next(FrameView& out, std::string* error = nullptr) {
+    const std::byte* base = buf_.data() + rd_;
+    const std::byte* end = buf_.data() + wr_;
+    if (end - base < 2) return ParseResult::need_more;
+    const std::byte* p = base + 2;
+    std::uint64_t stream = 0, len = 0;
+    if (!get_varint(p, end, stream) || !get_varint(p, end, len)) {
+      return ParseResult::need_more;
+    }
+    if (len > kMaxFrameLen) {
+      if (error != nullptr) *error = "frame length exceeds cap";
+      return ParseResult::corrupt;
+    }
+    if (end - p < 4) return ParseResult::need_more;
+    std::uint32_t want_crc = 0;
+    std::memcpy(&want_crc, p, 4);  // LE on every supported target
+    const std::uint32_t got_crc =
+        crc32(base, static_cast<std::size_t>(p - base));
+    if (want_crc != got_crc) {
+      if (error != nullptr) *error = "frame header CRC mismatch";
+      return ParseResult::corrupt;
+    }
+    p += 4;
+    const auto flags = static_cast<std::uint8_t>(base[1]);
+    const std::size_t tail = (flags & kFlagPayloadCrc) != 0 ? 4 : 0;
+    if (static_cast<std::size_t>(end - p) < len + tail) {
+      return ParseResult::need_more;
+    }
+    if (tail != 0) {
+      std::uint32_t want_pcrc = 0;
+      std::memcpy(&want_pcrc, p + len, 4);
+      if (want_pcrc != crc32(p, len)) {
+        if (error != nullptr) *error = "frame payload CRC mismatch";
+        return ParseResult::corrupt;
+      }
+    }
+    out.type = static_cast<FrameType>(base[0]);
+    out.flags = flags;
+    out.stream = stream;
+    out.payload = std::span<const std::byte>{p, static_cast<std::size_t>(len)};
+    rd_ = static_cast<std::size_t>(p - buf_.data()) + len + tail;
+    ++parsed_frames_;
+    return ParseResult::frame;
+  }
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return wr_ - rd_; }
+  [[nodiscard]] std::uint64_t received_bytes() const {
+    return received_bytes_;
+  }
+  [[nodiscard]] std::uint64_t readv_calls() const { return readv_calls_; }
+  [[nodiscard]] std::uint64_t parsed_frames() const { return parsed_frames_; }
+
+ private:
+  static constexpr std::size_t kMinHeadroom = 4 << 10;
+  static constexpr std::size_t kSpillBytes = 64 << 10;
+
+  /// Reclaims consumed prefix. Only called from fill(), so no outstanding
+  /// FrameView can be invalidated mid-parse.
+  void compact() {
+    if (rd_ == 0) return;
+    if (rd_ == wr_) {
+      rd_ = wr_ = 0;
+      return;
+    }
+    std::memmove(buf_.data(), buf_.data() + rd_, wr_ - rd_);
+    wr_ -= rd_;
+    rd_ = 0;
+  }
+
+  std::vector<std::byte> buf_;
+  std::size_t rd_ = 0;
+  std::size_t wr_ = 0;
+  std::uint64_t received_bytes_ = 0;
+  std::uint64_t readv_calls_ = 0;
+  std::uint64_t parsed_frames_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Blocking handshake helpers (client side / tests; the daemon's epoll loop
+// handles hello inline in its state machine).
+// ---------------------------------------------------------------------------
+
+/// Sends `hello`, waits for `hello_ack`. Throws on reject or version skew.
+inline void client_handshake(int fd, FrameWriter& w, FrameReader& r,
+                             std::uint32_t features = 0) {
+  const std::string h = Hello{kWireMagic, kWireVersion, features}.encode();
+  w.frame_str(FrameType::hello, 0, h);
+  if (w.flush(fd) != FrameWriter::IoResult::ok) {
+    throw std::runtime_error{"handshake: flush failed"};
+  }
+  for (;;) {
+    FrameView f;
+    std::string err;
+    const auto pr = r.next(f, &err);
+    if (pr == FrameReader::ParseResult::corrupt) {
+      throw std::runtime_error{"handshake: " + err};
+    }
+    if (pr == FrameReader::ParseResult::frame) {
+      if (f.type == FrameType::reject) {
+        throw std::runtime_error{
+            "handshake rejected: " +
+            std::string{reinterpret_cast<const char*>(f.payload.data()),
+                        f.payload.size()}};
+      }
+      if (f.type != FrameType::hello_ack) {
+        throw std::runtime_error{"handshake: unexpected frame"};
+      }
+      Hello ack;
+      if (!Hello::decode(f.payload, ack) || ack.magic != kWireMagic ||
+          ack.version != kWireVersion) {
+        throw std::runtime_error{"handshake: bad hello_ack"};
+      }
+      return;
+    }
+    const auto io = r.fill(fd);
+    if (io == FrameReader::IoResult::eof ||
+        io == FrameReader::IoResult::error) {
+      throw std::runtime_error{"handshake: connection lost"};
+    }
+    if (io == FrameReader::IoResult::would_block) {
+      wait_fd(fd, false, -1);
+    }
+  }
+}
+
+}  // namespace cgsim::net

@@ -1,0 +1,196 @@
+// cgsim::net -- minimal POSIX socket plumbing for the channel transport
+// and the simulation service.
+//
+// Everything here is deliberately thin: RAII file descriptors, loopback
+// TCP and Unix-domain listeners/connectors, socketpairs for in-process
+// tests, and the two fcntl toggles the epoll loop needs. No abstraction
+// over address families beyond what the daemon actually binds.
+#pragma once
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace cgsim::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { reset(); }
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Relinquishes ownership.
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+[[noreturn]] inline void throw_errno(const char* what) {
+  throw std::runtime_error{std::string{what} + ": " +
+                           std::strerror(errno)};
+}
+
+inline void set_nonblocking(int fd, bool on = true) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, want) < 0) throw_errno("fcntl(F_SETFL)");
+}
+
+/// Disables Nagle on TCP sockets; a silent no-op for AF_UNIX, where the
+/// option does not exist. Small result frames must not wait on delayed
+/// acks.
+inline void set_nodelay(int fd) {
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Connected in-process pair (AF_UNIX stream). `[0]` and `[1]` are
+/// symmetric peers.
+inline std::pair<Fd, Fd> socket_pair() {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    throw_errno("socketpair");
+  }
+  return {Fd{sv[0]}, Fd{sv[1]}};
+}
+
+/// Listening Unix-domain stream socket at `path` (unlinked first so a
+/// stale socket file from a crashed run cannot block the bind).
+inline Fd listen_unix(const std::string& path, int backlog = 128) {
+  Fd fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument{"unix socket path too long: " + path};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind(AF_UNIX)");
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  return fd;
+}
+
+inline Fd connect_unix(const std::string& path) {
+  Fd fd{::socket(AF_UNIX, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument{"unix socket path too long: " + path};
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect(AF_UNIX)");
+  }
+  return fd;
+}
+
+/// Listening TCP socket on 127.0.0.1:`port` (0 = ephemeral). The bound
+/// port is written back through `bound_port`.
+inline Fd listen_tcp_loopback(std::uint16_t port, std::uint16_t* bound_port,
+                              int backlog = 128) {
+  Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    throw_errno("bind(127.0.0.1)");
+  }
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen");
+  if (bound_port != nullptr) {
+    sockaddr_in got{};
+    socklen_t len = sizeof(got);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&got), &len) !=
+        0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(got.sin_port);
+  }
+  return fd;
+}
+
+inline Fd connect_tcp_loopback(std::uint16_t port) {
+  Fd fd{::socket(AF_INET, SOCK_STREAM, 0)};
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect(127.0.0.1)");
+  }
+  set_nodelay(fd.get());
+  return fd;
+}
+
+/// Blocks until `fd` is readable (`want_write == false`) or writable.
+/// Returns false on timeout. -1 waits forever.
+inline bool wait_fd(int fd, bool want_write, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = want_write ? POLLOUT : POLLIN;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+/// Blocks until `fd` is readable OR writable; a writer parked on a full
+/// kernel buffer must also notice inbound frames (credit, goodbye).
+/// Returns false on timeout. -1 waits forever.
+inline bool wait_fd_rw(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN | POLLOUT;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r > 0) return true;
+    if (r == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
+  }
+}
+
+}  // namespace cgsim::net

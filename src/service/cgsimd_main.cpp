@@ -1,0 +1,99 @@
+// cgsimd -- the cgsim simulation daemon.
+//
+//   cgsimd --port 7463            # TCP loopback
+//   cgsimd --unix /tmp/cgsim.sock # AF_UNIX
+//
+// Serves compute-graph simulation sessions over the cgsim::service wire
+// protocol (docs/SERVICE.md) until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "client.hpp"  // IWYU pragma: keep (protocol sanity at build time)
+#include "daemon.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N | --unix PATH] [--io-threads N] "
+               "[--workers N] [--pool-capacity N]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7463;
+  std::string unix_path;
+  cgsim::service::DaemonConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--unix") {
+      unix_path = next();
+    } else if (arg == "--io-threads") {
+      cfg.io_threads = std::atoi(next());
+    } else if (arg == "--workers") {
+      cfg.workers = std::atoi(next());
+    } else if (arg == "--pool-capacity") {
+      cfg.pool_capacity = static_cast<std::size_t>(std::atol(next()));
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  cgsim::net::Fd listen_fd;
+  std::uint16_t bound = 0;
+  try {
+    if (!unix_path.empty()) {
+      listen_fd = cgsim::net::listen_unix(unix_path);
+    } else {
+      listen_fd = cgsim::net::listen_tcp_loopback(port, &bound);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cgsimd: %s\n", e.what());
+    return 1;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  cgsim::service::Daemon daemon{std::move(listen_fd), cfg};
+  if (!unix_path.empty()) {
+    std::fprintf(stderr, "cgsimd: serving on %s (%d workers)\n",
+                 unix_path.c_str(), daemon.workers());
+  } else {
+    std::fprintf(stderr, "cgsimd: serving on 127.0.0.1:%u (%d workers)\n",
+                 bound, daemon.workers());
+  }
+  while (g_stop == 0) {
+    pause();  // signals break the sleep
+  }
+  daemon.stop();
+  const auto& st = daemon.stats();
+  std::fprintf(stderr,
+               "cgsimd: %llu connections, %llu sessions, %llu runs "
+               "(%llu warm, %llu incremental), %llu errors\n",
+               static_cast<unsigned long long>(st.connections.load()),
+               static_cast<unsigned long long>(st.sessions_opened.load()),
+               static_cast<unsigned long long>(st.runs.load()),
+               static_cast<unsigned long long>(st.warm_runs.load()),
+               static_cast<unsigned long long>(st.incremental_runs.load()),
+               static_cast<unsigned long long>(st.session_errors.load()));
+  return 0;
+}

@@ -1,0 +1,268 @@
+// cgsim::service -- blocking client for the cgsimd daemon.
+//
+// One ServiceClient owns one connection (blocking fd) and multiplexes any
+// number of sessions over it. The API mirrors the wire conversation:
+//
+//   ServiceClient cli{net::connect_tcp_loopback(port)};
+//   auto sid = cli.open(RunMode::coop, spec);
+//   cli.send_input(sid, 0, data.data(), data.size() * sizeof(int));
+//   auto out = cli.run(sid);             // finish_inputs + wait for result
+//   cli.send_rtp(sid, 1, &v, sizeof v);  // warm rerun: only input 1 changed
+//   out = cli.run(sid);
+//
+// Runs pipeline: start_run() on several sessions, then wait() them in any
+// order -- frames for other sessions are routed to their per-session state
+// while waiting. Sends respect the server's credit window (the client
+// parks in read until credit returns), so a bulk upload exerts
+// backpressure instead of ballooning either side's buffers.
+//
+// Not thread-safe: one thread per ServiceClient (use several connections
+// for concurrency -- sessions are cheap, connections are cheap, the
+// daemon's epoll loop multiplexes both).
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "../net/frame.hpp"
+#include "../net/socket.hpp"
+#include "graph_codec.hpp"
+#include "protocol.hpp"
+
+namespace cgsim::service {
+
+/// Outcome of one session run.
+struct RunOutcome {
+  bool ok = false;
+  std::string error;
+  SessionResultMsg result{};
+  std::vector<std::string> outputs;  ///< element bytes per global output
+
+  /// Typed view of one output stream.
+  template <class T>
+  [[nodiscard]] std::vector<T> output_as(std::size_t idx) const {
+    const std::string& raw = outputs.at(idx);
+    std::vector<T> v(raw.size() / sizeof(T));
+    std::memcpy(v.data(), raw.data(), v.size() * sizeof(T));
+    return v;
+  }
+};
+
+class ServiceClient {
+ public:
+  /// Takes ownership of a connected (blocking) socket and performs the
+  /// versioned handshake; throws on reject or version skew.
+  explicit ServiceClient(net::Fd fd) : fd_(std::move(fd)) {
+    net::client_handshake(fd_.get(), writer_, reader_);
+  }
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  ~ServiceClient() {
+    if (fd_.valid()) {
+      writer_.frame(net::FrameType::goodbye, 0, nullptr, 0);
+      (void)writer_.flush(fd_.get());
+    }
+  }
+
+  /// Opens a session for `spec`; returns its id. Throws if the server
+  /// rejects the spec (unknown kernel/type, malformed graph, ...).
+  std::uint64_t open(RunMode mode, const GraphSpec& spec) {
+    const std::uint64_t sid = next_sid_++;
+    OpenSessionMsg msg;
+    msg.mode = mode;
+    msg.graph = serialize_graph(spec);
+    send_frame(net::FrameType::open_session, sid, msg.encode());
+    Sess& s = sessions_[sid];
+    s.n_outputs = spec.outputs.size();
+    while (!s.opened && s.open_error.empty()) read_one();
+    if (!s.open_error.empty()) {
+      const std::string err = s.open_error;
+      sessions_.erase(sid);
+      throw std::runtime_error{"open_session: " + err};
+    }
+    return sid;
+  }
+
+  /// Streams `bytes` of raw elements into global input `idx`. Blocks when
+  /// the credit window is exhausted until the server grants more.
+  void send_input(std::uint64_t sid, std::size_t idx, const void* data,
+                  std::size_t bytes) {
+    send_chunk(net::FrameType::input_chunk, sid, idx, data, bytes);
+  }
+
+  /// Replaces input `idx` wholesale (RTP-style scalar or small update);
+  /// unchanged inputs persist server-side across warm reruns.
+  void send_rtp(std::uint64_t sid, std::size_t idx, const void* data,
+                std::size_t bytes) {
+    send_chunk(net::FrameType::rtp_update, sid, idx, data, bytes);
+  }
+
+  /// Dispatches the run server-side without waiting (pipelining).
+  void start_run(std::uint64_t sid) {
+    send_frame(net::FrameType::finish_inputs, sid, std::string{});
+  }
+
+  /// Blocks until the next result (or error) for `sid` arrives.
+  RunOutcome wait(std::uint64_t sid) {
+    Sess& s = session(sid);
+    while (s.done.empty()) read_one();
+    RunOutcome out = std::move(s.done.front());
+    s.done.pop_front();
+    return out;
+  }
+
+  RunOutcome run(std::uint64_t sid) {
+    start_run(sid);
+    return wait(sid);
+  }
+
+  /// Frees server-side session state (the warm lane returns to the pool).
+  void close_session(std::uint64_t sid) {
+    send_frame(net::FrameType::close_session, sid, std::string{});
+    sessions_.erase(sid);
+  }
+
+ private:
+  struct Sess {
+    bool opened = false;
+    std::string open_error;
+    std::uint64_t credit = 0;
+    std::uint64_t window = 0;  ///< full window size granted at open
+    std::size_t n_outputs = 0;
+    std::vector<std::string> outputs;  ///< accumulating for the next result
+    std::deque<RunOutcome> done;
+  };
+
+  Sess& session(std::uint64_t sid) {
+    const auto it = sessions_.find(sid);
+    if (it == sessions_.end()) {
+      throw std::logic_error{"unknown session id"};
+    }
+    return it->second;
+  }
+
+  void send_frame(net::FrameType type, std::uint64_t sid,
+                  std::string payload) {
+    // Blocking fd: flush completes or fails, never would_block.
+    writer_.frame(type, sid, payload.data(), payload.size());
+    if (writer_.flush(fd_.get()) != net::FrameWriter::IoResult::ok) {
+      throw std::runtime_error{"service client: connection lost on send"};
+    }
+  }
+
+  void send_chunk(net::FrameType type, std::uint64_t sid, std::size_t idx,
+                  const void* data, std::size_t bytes) {
+    Sess& s = session(sid);
+    std::string payload = ChunkMsg::encode_header(idx);
+    payload.append(static_cast<const char*>(data), bytes);
+    if (payload.size() > s.window) {
+      throw std::invalid_argument{
+          "chunk exceeds the credit window; split it across sends"};
+    }
+    while (s.credit < payload.size()) read_one();  // park for credit
+    s.credit -= payload.size();
+    send_frame(type, sid, std::move(payload));
+  }
+
+  /// Reads and routes exactly one frame (blocking).
+  void read_one() {
+    for (;;) {
+      net::FrameView f;
+      std::string err;
+      const auto pr = reader_.next(f, &err);
+      if (pr == net::FrameReader::ParseResult::corrupt) {
+        throw std::runtime_error{"service client: " + err};
+      }
+      if (pr == net::FrameReader::ParseResult::frame) {
+        dispatch(f);
+        return;
+      }
+      const auto io = reader_.fill(fd_.get());
+      if (io == net::FrameReader::IoResult::eof ||
+          io == net::FrameReader::IoResult::error) {
+        throw std::runtime_error{"service client: connection lost"};
+      }
+      if (io == net::FrameReader::IoResult::would_block) {
+        net::wait_fd(fd_.get(), false, -1);
+      }
+    }
+  }
+
+  void dispatch(const net::FrameView& f) {
+    const auto it = sessions_.find(f.stream);
+    if (it == sessions_.end()) return;  // late frame for a closed session
+    Sess& s = it->second;
+    switch (f.type) {
+      case net::FrameType::open_ack: {
+        OpenAckMsg ack;
+        if (!OpenAckMsg::decode(f.payload, ack)) {
+          s.open_error = "malformed open_ack";
+          return;
+        }
+        s.credit = ack.input_credit;
+        s.window = ack.input_credit;
+        s.opened = true;
+        s.outputs.assign(s.n_outputs, {});
+        return;
+      }
+      case net::FrameType::credit: {
+        const std::byte* p = f.payload.data();
+        std::uint64_t grant = 0;
+        if (net::get_varint(p, p + f.payload.size(), grant)) {
+          s.credit += grant;
+        }
+        return;
+      }
+      case net::FrameType::output_chunk: {
+        ChunkMsg m;
+        if (ChunkMsg::decode(f.payload, m) && m.index < s.outputs.size()) {
+          s.outputs[static_cast<std::size_t>(m.index)].append(
+              reinterpret_cast<const char*>(m.bytes.data()), m.bytes.size());
+        }
+        return;
+      }
+      case net::FrameType::session_result: {
+        RunOutcome out;
+        out.ok = SessionResultMsg::decode(f.payload, out.result);
+        if (!out.ok) out.error = "malformed session_result";
+        out.outputs = std::move(s.outputs);
+        s.outputs.assign(s.n_outputs, {});
+        s.done.push_back(std::move(out));
+        return;
+      }
+      case net::FrameType::session_error: {
+        const std::string msg{
+            reinterpret_cast<const char*>(f.payload.data()),
+            f.payload.size()};
+        if (!s.opened) {
+          s.open_error = msg.empty() ? "session rejected" : msg;
+          return;
+        }
+        RunOutcome out;
+        out.ok = false;
+        out.error = msg;
+        out.outputs = std::move(s.outputs);
+        s.outputs.assign(s.n_outputs, {});
+        s.done.push_back(std::move(out));
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  net::Fd fd_;
+  net::FrameWriter writer_;
+  net::FrameReader reader_;
+  std::map<std::uint64_t, Sess> sessions_;
+  std::uint64_t next_sid_ = 1;
+};
+
+}  // namespace cgsim::service

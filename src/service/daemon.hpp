@@ -1,0 +1,927 @@
+// cgsim::service -- the cgsimd daemon: epoll-driven simulation service.
+//
+// Thread architecture (ISSUE: "one acceptor + N I/O threads" + worker pool):
+//
+//   acceptor ---> round-robin ---> I/O thread 0..N-1 (epoll, edge-triggered)
+//                                     |  parse frames, own the sockets
+//                                     v  finish_inputs -> post job
+//                                  SweepRunner workers (simulation)
+//                                     |  results as Mail + eventfd wake
+//                                     +--> back to the owning I/O thread,
+//                                          which frames + flushes replies
+//
+// Ownership discipline that keeps this lock-light:
+//   * a socket is touched by exactly one I/O thread -- readers, writers and
+//     epoll registration never migrate;
+//   * per-session protocol state (buffers, quotas, run queue) is I/O-thread
+//     only; workers see an immutable RunRequest snapshot plus worker-only
+//     lane state (the pool lease), and runs of one session never overlap
+//     (the I/O thread serializes them through ServerSession::queued);
+//   * the only cross-thread seams are SweepRunner::post() and the Mail
+//     queue (one mutex per connection, locked for a splice).
+//
+// Warm multiplexing: lane state (a built graph + a live session) is keyed
+// by the *serialized spec bytes* in a bounded SessionPool -- the same
+// exact-bytes policy CompiledGraphCache uses one layer down. A client
+// re-running its session reuses its leased lane directly; a new client
+// with an identical spec checks a warm lane out of the pool; and even a
+// cold lane construction hits the process-wide compiled-graph cache.
+#pragma once
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../aiesim/resim.hpp"
+#include "../core/session.hpp"
+#include "../core/sweep.hpp"
+#include "../net/frame.hpp"
+#include "../net/socket.hpp"
+#include "graph_codec.hpp"
+#include "kernels.hpp"
+#include "protocol.hpp"
+
+namespace cgsim::service {
+
+// ---------------------------------------------------------------------------
+// Sim-lane type erasure. TypeOps (graph_codec.hpp) covers the coop lane
+// with core-only thunks; the cycle-approximate lane additionally needs
+// ResimSession stream entry points, which only the daemon (linking
+// aiesim) can instantiate -- hence a second, daemon-local registry.
+// ---------------------------------------------------------------------------
+
+struct SimStreamOps {
+  std::size_t size = 0;  ///< element size in bytes
+  aiesim::SimResult (*run)(aiesim::ResimSession&,
+                           const std::vector<std::string>& in_bytes,
+                           std::vector<std::string>& out_bytes) = nullptr;
+  aiesim::SimResult (*resim)(aiesim::ResimSession&,
+                             const std::vector<std::size_t>& dirty,
+                             const std::vector<std::string>& in_bytes,
+                             std::vector<std::string>& out_bytes) = nullptr;
+};
+
+namespace detail {
+template <class T>
+std::vector<std::vector<T>> bytes_to_streams(
+    const std::vector<std::string>& in) {
+  std::vector<std::vector<T>> out(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i].resize(in[i].size() / sizeof(T));
+    std::memcpy(out[i].data(), in[i].data(), out[i].size() * sizeof(T));
+  }
+  return out;
+}
+template <class T>
+void streams_to_bytes(const std::vector<std::vector<T>>& in,
+                      std::vector<std::string>& out) {
+  out.resize(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i].assign(reinterpret_cast<const char*>(in[i].data()),
+                  in[i].size() * sizeof(T));
+  }
+}
+}  // namespace detail
+
+class SimOpsRegistry {
+ public:
+  static SimOpsRegistry& instance() {
+    static SimOpsRegistry r;
+    return r;
+  }
+
+  template <class T>
+  void register_type(std::string name) {
+    SimStreamOps ops;
+    ops.size = sizeof(T);
+    ops.run = [](aiesim::ResimSession& s, const std::vector<std::string>& in,
+                 std::vector<std::string>& out) {
+      const auto tin = detail::bytes_to_streams<T>(in);
+      std::vector<std::vector<T>> tout(out.size());
+      aiesim::SimResult r = s.run_streams<T>(tin, tout);
+      detail::streams_to_bytes(tout, out);
+      return r;
+    };
+    ops.resim = [](aiesim::ResimSession& s,
+                   const std::vector<std::size_t>& dirty,
+                   const std::vector<std::string>& in,
+                   std::vector<std::string>& out) {
+      const auto tin = detail::bytes_to_streams<T>(in);
+      std::vector<std::vector<T>> tout(out.size());
+      aiesim::SimResult r = s.resimulate_streams<T>(dirty, tin, tout);
+      detail::streams_to_bytes(tout, out);
+      return r;
+    };
+    ops_[std::move(name)] = ops;
+  }
+
+  [[nodiscard]] const SimStreamOps* find(std::string_view name) const {
+    const auto it = ops_.find(std::string{name});
+    return it == ops_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, SimStreamOps, std::less<>> ops_;
+};
+
+/// Sim-lane companion of register_builtin_kernels(); idempotent.
+inline void register_builtin_sim_types() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    SimOpsRegistry& r = SimOpsRegistry::instance();
+    r.register_type<int>("i32");
+    r.register_type<float>("f32");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Daemon configuration + stats.
+// ---------------------------------------------------------------------------
+
+struct DaemonConfig {
+  int io_threads = 2;
+  int workers = 0;  ///< 0: hardware_concurrency
+  Quotas quotas{};
+  std::size_t pool_capacity = 64;  ///< idle warm lanes retained per mode
+  aiesim::SimConfig sim{};         ///< engine config for RunMode::sim lanes
+};
+
+struct DaemonStats {
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> runs{0};
+  std::atomic<std::uint64_t> warm_runs{0};
+  std::atomic<std::uint64_t> incremental_runs{0};
+  std::atomic<std::uint64_t> session_errors{0};
+  std::atomic<std::uint64_t> quota_rejections{0};
+};
+
+// ---------------------------------------------------------------------------
+// Daemon.
+// ---------------------------------------------------------------------------
+
+class Daemon {
+  /// Warm coop-lane state: a built dynamic graph plus a paused interactive
+  /// session over it (the builder must outlive the session).
+  struct CoopLane {
+    rt::DynamicGraphBuilder builder;
+    std::optional<InteractiveSession> session;
+  };
+
+  /// Warm sim-lane state. `last_inputs` is the baseline input snapshot the
+  /// *lane* last ran with -- the dirty set for an incremental rerun is
+  /// computed server-side by byte comparison against it, which stays
+  /// correct even when the lane was warmed by a different client session
+  /// with the same spec.
+  struct SimLane {
+    rt::DynamicGraphBuilder builder;
+    std::optional<aiesim::ResimSession> session;
+    std::vector<std::string> last_inputs;
+    bool has_baseline = false;
+  };
+
+  /// Immutable per-run snapshot handed to a worker.
+  struct RunRequest {
+    std::vector<std::string> inputs;
+  };
+
+  struct ServerSession;
+  struct Connection;
+
+  /// One reply frame queued from a worker back to the I/O thread.
+  struct OutFrame {
+    net::FrameType type{};
+    std::uint64_t stream = 0;
+    std::string payload;
+  };
+
+  /// Worker -> I/O thread completion message.
+  struct Mail {
+    std::uint64_t sid = 0;
+    std::vector<OutFrame> frames;
+    bool run_done = false;
+  };
+
+  struct ServerSession {
+    std::uint64_t id = 0;
+    RunMode mode = RunMode::coop;
+    GraphSpec spec;
+    std::string key;  ///< serialized spec bytes: pool + cache key
+    std::vector<const TypeOps*> in_ops;
+    std::vector<const TypeOps*> out_ops;
+    const SimStreamOps* sim_ops = nullptr;
+
+    // --- I/O-thread-only protocol state ---
+    std::vector<std::string> inputs;  ///< persisted across warm reruns
+    /// Set per input when a run is dispatched. Input buffers persist so an
+    /// untouched input carries over to the next (warm) run, but the first
+    /// chunk that arrives for a sealed input replaces the buffer instead of
+    /// appending -- otherwise a client re-sending its inputs for a rerun
+    /// would silently double them.
+    std::vector<char> sealed;
+    std::size_t live_bytes = 0;
+    std::uint64_t credit_to_grant = 0;
+    bool running = false;
+    std::deque<RunRequest> queued;
+
+    // --- worker-only lane state (runs of one session never overlap) ---
+    SessionPool<std::string, CoopLane>::Lease coop;
+    SessionPool<std::string, SimLane>::Lease sim;
+    std::uint64_t completed_runs = 0;
+  };
+
+  struct Connection {
+    net::Fd fd;
+    int io_index = 0;
+    net::FrameReader reader;
+    net::FrameWriter writer;
+    /// Frames staged into `writer` whose payload bytes must stay alive
+    /// until a flush completes (zero-copy segments reference them).
+    std::deque<OutFrame> inflight;
+    bool greeted = false;
+    bool peer_done = false;  ///< goodbye / EOF seen; close once drained
+    bool closed = false;
+    std::map<std::uint64_t, std::shared_ptr<ServerSession>> sessions;
+    std::mutex mail_m;        ///< guards `mail` only
+    std::vector<Mail> mail;   ///< worker-posted completions
+  };
+
+  struct IoThread {
+    net::Fd epoll;
+    net::Fd event;  ///< eventfd: new connections + worker mail
+    std::mutex in_m;
+    std::vector<net::Fd> incoming;  ///< guarded by in_m
+    std::mutex wake_m;
+    std::vector<std::shared_ptr<Connection>> woken;  ///< guarded by wake_m
+    std::map<int, std::shared_ptr<Connection>> conns;  ///< io-thread only
+    std::jthread thread;
+  };
+
+ public:
+  /// Serves connections accepted from `listen_fd` until stop(). The caller
+  /// chooses the endpoint (net::listen_tcp_loopback / net::listen_unix).
+  explicit Daemon(net::Fd listen_fd, DaemonConfig cfg = {})
+      : cfg_(cfg), listen_(std::move(listen_fd)) {
+    register_builtin_kernels();
+    register_builtin_sim_types();
+    coop_pool_.set_capacity(cfg_.pool_capacity);
+    sim_pool_.set_capacity(cfg_.pool_capacity);
+    net::set_nonblocking(listen_.get());
+    stop_event_ = net::Fd{::eventfd(0, EFD_CLOEXEC)};
+    if (!stop_event_.valid()) net::throw_errno("eventfd");
+    int workers = cfg_.workers;
+    if (workers <= 0) {
+      workers = static_cast<int>(std::thread::hardware_concurrency());
+      if (workers <= 0) workers = 2;
+    }
+    runner_ = std::make_unique<SweepRunner>(workers);
+    const int n_io = cfg_.io_threads < 1 ? 1 : cfg_.io_threads;
+    for (int i = 0; i < n_io; ++i) {
+      auto io = std::make_unique<IoThread>();
+      io->epoll = net::Fd{::epoll_create1(EPOLL_CLOEXEC)};
+      if (!io->epoll.valid()) net::throw_errno("epoll_create1");
+      io->event = net::Fd{::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)};
+      if (!io->event.valid()) net::throw_errno("eventfd");
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = io->event.get();
+      if (::epoll_ctl(io->epoll.get(), EPOLL_CTL_ADD, io->event.get(),
+                      &ev) != 0) {
+        net::throw_errno("epoll_ctl(eventfd)");
+      }
+      io_.push_back(std::move(io));
+    }
+    for (int i = 0; i < n_io; ++i) {
+      IoThread* io = io_[static_cast<std::size_t>(i)].get();
+      io->thread = std::jthread{[this, io, i] { io_main(*io, i); }};
+    }
+    acceptor_ = std::jthread{[this] { accept_main(); }};
+  }
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  ~Daemon() { stop(); }
+
+  /// Orderly shutdown: stop accepting, finish in-flight runs, then tear
+  /// down the I/O threads (best-effort final flush of completed results).
+  void stop() {
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) return;
+    accept_stop_.store(true, std::memory_order_release);
+    signal_event(stop_event_.get());
+    if (acceptor_.joinable()) acceptor_.join();
+    runner_.reset();  // joins workers; queued-but-unstarted jobs are dropped
+    io_stop_.store(true, std::memory_order_release);
+    for (auto& io : io_) signal_event(io->event.get());
+    for (auto& io : io_) {
+      if (io->thread.joinable()) io->thread.join();
+    }
+  }
+
+  [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+  [[nodiscard]] const SessionPool<std::string, CoopLane>& coop_pool() const {
+    return coop_pool_;
+  }
+  [[nodiscard]] const SessionPool<std::string, SimLane>& sim_pool() const {
+    return sim_pool_;
+  }
+  [[nodiscard]] int workers() const { return runner_ ? runner_->workers() : 0; }
+
+ private:
+  // ---- acceptor -----------------------------------------------------------
+
+  static void signal_event(int fd) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] const ssize_t w = ::write(fd, &one, sizeof(one));
+  }
+
+  void accept_main() {
+    pollfd pfds[2];
+    pfds[0] = pollfd{listen_.get(), POLLIN, 0};
+    pfds[1] = pollfd{stop_event_.get(), POLLIN, 0};
+    std::size_t next_io = 0;
+    while (!accept_stop_.load(std::memory_order_acquire)) {
+      const int n = ::poll(pfds, 2, -1);
+      if (n < 0 && errno == EINTR) continue;
+      if (accept_stop_.load(std::memory_order_acquire)) break;
+      for (;;) {
+        const int cfd = ::accept4(listen_.get(), nullptr, nullptr,
+                                  SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (cfd < 0) {
+          if (errno == EINTR) continue;
+          break;  // EAGAIN or transient accept failure: back to poll
+        }
+        const int one = 1;  // no-op (harmless error) on AF_UNIX
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        stats_.connections.fetch_add(1, std::memory_order_relaxed);
+        IoThread& io = *io_[next_io];
+        next_io = (next_io + 1) % io_.size();
+        {
+          std::lock_guard lk{io.in_m};
+          io.incoming.emplace_back(cfd);
+        }
+        signal_event(io.event.get());
+      }
+    }
+  }
+
+  // ---- I/O event loop -----------------------------------------------------
+
+  void io_main(IoThread& io, int index) {
+    epoll_event evs[64];
+    for (;;) {
+      const int n = ::epoll_wait(io.epoll.get(), evs, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = evs[i].data.fd;
+        if (fd == io.event.get()) {
+          std::uint64_t drain = 0;
+          while (::read(io.event.get(), &drain, sizeof(drain)) > 0) {
+          }
+          adopt_incoming(io, index);
+          handle_wakeups(io);
+          continue;
+        }
+        const auto it = io.conns.find(fd);
+        if (it == io.conns.end()) continue;
+        std::shared_ptr<Connection> conn = it->second;
+        if ((evs[i].events & (EPOLLERR | EPOLLHUP)) != 0) {
+          close_conn(io, conn);
+          continue;
+        }
+        if ((evs[i].events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+          on_readable(io, conn);
+        }
+        if (!conn->closed && (evs[i].events & EPOLLOUT) != 0) {
+          pump_writer(io, conn);
+        }
+        maybe_finish(io, conn);
+      }
+      if (io_stop_.load(std::memory_order_acquire)) {
+        handle_wakeups(io);  // flush completions that raced the stop signal
+        for (auto it = io.conns.begin(); it != io.conns.end();) {
+          std::shared_ptr<Connection> c = it->second;
+          ++it;
+          close_conn(io, c);
+        }
+        return;
+      }
+    }
+  }
+
+  void adopt_incoming(IoThread& io, int index) {
+    std::vector<net::Fd> fresh;
+    {
+      std::lock_guard lk{io.in_m};
+      fresh.swap(io.incoming);
+    }
+    for (net::Fd& fd : fresh) {
+      auto conn = std::make_shared<Connection>();
+      conn->io_index = index;
+      const int raw = fd.get();
+      conn->fd = std::move(fd);
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+      ev.data.fd = raw;
+      if (::epoll_ctl(io.epoll.get(), EPOLL_CTL_ADD, raw, &ev) != 0) {
+        continue;  // fd closes with conn going out of scope
+      }
+      io.conns.emplace(raw, std::move(conn));
+    }
+  }
+
+  void handle_wakeups(IoThread& io) {
+    std::vector<std::shared_ptr<Connection>> woken;
+    {
+      std::lock_guard lk{io.wake_m};
+      woken.swap(io.woken);
+    }
+    for (const std::shared_ptr<Connection>& conn : woken) {
+      if (conn->closed) continue;
+      std::vector<Mail> mail;
+      {
+        std::lock_guard lk{conn->mail_m};
+        mail.swap(conn->mail);
+      }
+      for (Mail& m : mail) {
+        for (OutFrame& f : m.frames) {
+          queue_frame(*conn, f.type, f.stream, std::move(f.payload));
+        }
+        if (m.run_done) {
+          const auto it = conn->sessions.find(m.sid);
+          if (it != conn->sessions.end()) {
+            ServerSession& s = *it->second;
+            s.running = false;
+            if (!s.queued.empty()) {
+              RunRequest req = std::move(s.queued.front());
+              s.queued.pop_front();
+              s.running = true;
+              post_run(conn, it->second, std::move(req));
+            }
+          }
+        }
+      }
+      pump_writer(io, conn);
+      maybe_finish(io, conn);
+    }
+  }
+
+  void on_readable(IoThread& io, const std::shared_ptr<Connection>& conn) {
+    for (;;) {
+      if (conn->closed) return;
+      net::FrameView f;
+      std::string err;
+      const auto pr = conn->reader.next(f, &err);
+      if (pr == net::FrameReader::ParseResult::frame) {
+        handle_frame(conn, f);
+        continue;
+      }
+      if (pr == net::FrameReader::ParseResult::corrupt) {
+        close_conn(io, conn);
+        return;
+      }
+      const auto r = conn->reader.fill(conn->fd.get());
+      if (r == net::FrameReader::IoResult::would_block) break;
+      if (r == net::FrameReader::IoResult::eof ||
+          r == net::FrameReader::IoResult::error) {
+        conn->peer_done = true;
+        break;
+      }
+    }
+    pump_writer(io, conn);
+  }
+
+  /// Connection teardown once the peer is done and nothing is pending:
+  /// every session idle (no in-flight worker run) and the writer drained.
+  void maybe_finish(IoThread& io, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed || !conn->peer_done) return;
+    for (const auto& [sid, s] : conn->sessions) {
+      if (s->running || !s->queued.empty()) return;
+    }
+    if (!conn->writer.empty()) return;
+    close_conn(io, conn);
+  }
+
+  void close_conn(IoThread& io, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed) return;
+    conn->closed = true;
+    ::epoll_ctl(io.epoll.get(), EPOLL_CTL_DEL, conn->fd.get(), nullptr);
+    io.conns.erase(conn->fd.get());
+    conn->writer.clear();
+    conn->inflight.clear();
+    conn->sessions.clear();  // leases return warm lanes to the pools
+  }
+
+  // ---- frame dispatch (I/O thread) ----------------------------------------
+
+  void queue_frame(Connection& conn, net::FrameType type,
+                   std::uint64_t stream, std::string payload) {
+    conn.inflight.push_back(OutFrame{type, stream, std::move(payload)});
+    const OutFrame& f = conn.inflight.back();
+    conn.writer.frame(type, stream, f.payload.data(), f.payload.size());
+  }
+
+  void send_error(Connection& conn, std::uint64_t sid, std::string msg) {
+    stats_.session_errors.fetch_add(1, std::memory_order_relaxed);
+    queue_frame(conn, net::FrameType::session_error, sid, std::move(msg));
+  }
+
+  void pump_writer(IoThread& io, const std::shared_ptr<Connection>& conn) {
+    if (conn->closed || conn->writer.empty()) return;
+    const auto r = conn->writer.flush(conn->fd.get());
+    if (r == net::FrameWriter::IoResult::ok) {
+      conn->inflight.clear();
+    } else if (r == net::FrameWriter::IoResult::error) {
+      close_conn(io, conn);
+    }
+    // would_block: edge-triggered EPOLLOUT retries once writable again
+  }
+
+  void handle_frame(const std::shared_ptr<Connection>& conn,
+                    const net::FrameView& f) {
+    Connection& c = *conn;
+    if (!c.greeted) {
+      net::Hello h;
+      if (f.type != net::FrameType::hello || !net::Hello::decode(f.payload, h) ||
+          h.magic != net::kWireMagic) {
+        queue_frame(c, net::FrameType::reject, 0, "expected hello");
+        c.peer_done = true;
+        return;
+      }
+      if (h.version != net::kWireVersion) {
+        queue_frame(c, net::FrameType::reject, 0,
+                    "unsupported protocol version");
+        c.peer_done = true;
+        return;
+      }
+      queue_frame(c, net::FrameType::hello_ack, 0, net::Hello{}.encode());
+      c.greeted = true;
+      return;
+    }
+    switch (f.type) {
+      case net::FrameType::open_session:
+        on_open_session(c, f);
+        break;
+      case net::FrameType::input_chunk:
+        on_input(c, f, /*replace=*/false);
+        break;
+      case net::FrameType::rtp_update:
+        on_input(c, f, /*replace=*/true);
+        break;
+      case net::FrameType::finish_inputs:
+        on_finish_inputs(conn, f.stream);
+        break;
+      case net::FrameType::close_session:
+        c.sessions.erase(f.stream);
+        break;
+      case net::FrameType::goodbye:
+        c.peer_done = true;
+        break;
+      default:
+        break;  // unknown/unexpected frame types are ignored (forward compat)
+    }
+  }
+
+  void on_open_session(Connection& c, const net::FrameView& f) {
+    const std::uint64_t sid = f.stream;
+    if (sid == 0) {
+      send_error(c, sid, "session id must be nonzero");
+      return;
+    }
+    if (c.sessions.count(sid) != 0) {
+      send_error(c, sid, "session id already open");
+      return;
+    }
+    OpenSessionMsg msg;
+    auto s = std::make_shared<ServerSession>();
+    if (!OpenSessionMsg::decode(f.payload, msg) ||
+        !parse_graph(std::as_bytes(std::span{msg.graph.data(),
+                                             msg.graph.size()}),
+                     s->spec)) {
+      send_error(c, sid, "malformed open_session");
+      return;
+    }
+    s->id = sid;
+    s->mode = msg.mode;
+    s->key = std::move(msg.graph);
+    const ServiceRegistry& reg = ServiceRegistry::instance();
+    try {
+      // Full validation: resolves every name and type-checks every port
+      // against the kernel signatures, so bad specs fail at open time.
+      rt::DynamicGraphBuilder probe;
+      build_graph(s->spec, probe);
+    } catch (const std::exception& e) {
+      send_error(c, sid, e.what());
+      return;
+    }
+    for (int e : s->spec.inputs) {
+      s->in_ops.push_back(
+          reg.find_type(s->spec.edges[static_cast<std::size_t>(e)].type));
+    }
+    for (int e : s->spec.outputs) {
+      s->out_ops.push_back(
+          reg.find_type(s->spec.edges[static_cast<std::size_t>(e)].type));
+    }
+    if (s->mode == RunMode::sim) {
+      const TypeOps* uni = uniform_type(s->spec);
+      s->sim_ops = uni ? SimOpsRegistry::instance().find(uni->name) : nullptr;
+      if (s->sim_ops == nullptr) {
+        send_error(c, sid,
+                   "sim mode requires a uniform, sim-registered element type");
+        return;
+      }
+    }
+    s->inputs.resize(s->in_ops.size());
+    s->sealed.assign(s->in_ops.size(), 0);
+    stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+    c.sessions.emplace(sid, std::move(s));
+    OpenAckMsg ack;
+    ack.input_credit = cfg_.quotas.input_credit;
+    ack.max_live_bytes = cfg_.quotas.max_live_bytes;
+    queue_frame(c, net::FrameType::open_ack, sid, ack.encode());
+  }
+
+  void on_input(Connection& c, const net::FrameView& f, bool replace) {
+    const auto it = c.sessions.find(f.stream);
+    if (it == c.sessions.end()) {
+      send_error(c, f.stream, "no such session");
+      return;
+    }
+    ServerSession& s = *it->second;
+    ChunkMsg m;
+    if (!ChunkMsg::decode(f.payload, m) || m.index >= s.inputs.size()) {
+      send_error(c, s.id, "malformed input chunk");
+      return;
+    }
+    const std::size_t elem = s.in_ops[m.index]->size;
+    if (m.bytes.size() % elem != 0) {
+      send_error(c, s.id, "input chunk not a whole number of elements");
+      return;
+    }
+    std::string& buf = s.inputs[static_cast<std::size_t>(m.index)];
+    const bool replace_now =
+        replace || s.sealed[static_cast<std::size_t>(m.index)] != 0;
+    const std::size_t after =
+        s.live_bytes - (replace_now ? buf.size() : 0) + m.bytes.size();
+    if (after > cfg_.quotas.max_live_bytes) {
+      stats_.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      send_error(c, s.id, "live-byte quota exceeded; chunk dropped");
+      return;
+    }
+    if (replace_now) buf.clear();
+    s.sealed[static_cast<std::size_t>(m.index)] = 0;
+    buf.append(reinterpret_cast<const char*>(m.bytes.data()), m.bytes.size());
+    s.live_bytes = after;
+    // Credit is granted back as chunks are absorbed (batched to a quarter
+    // window), bounding un-absorbed wire bytes rather than session state;
+    // session state is bounded by max_live_bytes above.
+    s.credit_to_grant += f.payload.size();
+    if (s.credit_to_grant >= cfg_.quotas.input_credit / 4) {
+      grant_credit(c, s);
+    }
+  }
+
+  void grant_credit(Connection& c, ServerSession& s) {
+    if (s.credit_to_grant == 0) return;
+    std::string grant;
+    net::put_varint(grant, s.credit_to_grant);
+    s.credit_to_grant = 0;
+    queue_frame(c, net::FrameType::credit, s.id, std::move(grant));
+  }
+
+  void on_finish_inputs(const std::shared_ptr<Connection>& conn,
+                        std::uint64_t sid) {
+    Connection& c = *conn;
+    const auto it = c.sessions.find(sid);
+    if (it == c.sessions.end()) {
+      send_error(c, sid, "no such session");
+      return;
+    }
+    ServerSession& s = *it->second;
+    grant_credit(c, s);  // flush any residual credit before the run
+    if (s.queued.size() >= cfg_.quotas.max_queued_frames) {
+      stats_.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+      send_error(c, sid, "run queue quota exceeded");
+      return;
+    }
+    RunRequest req;
+    req.inputs = s.inputs;  // copy: buffers persist for warm reruns
+    std::fill(s.sealed.begin(), s.sealed.end(), char{1});
+    if (s.running) {
+      s.queued.push_back(std::move(req));
+    } else {
+      s.running = true;
+      post_run(conn, it->second, std::move(req));
+    }
+  }
+
+  // ---- simulation dispatch (worker threads) -------------------------------
+
+  void post_run(const std::shared_ptr<Connection>& conn,
+                const std::shared_ptr<ServerSession>& sess, RunRequest req) {
+    runner_->post([this, conn, sess, req = std::move(req)](
+                      SweepRunner::WorkerSlot& /*slot*/) mutable {
+      run_one(conn, sess, req);
+    });
+  }
+
+  void run_one(const std::shared_ptr<Connection>& conn,
+               const std::shared_ptr<ServerSession>& sess,
+               const RunRequest& req) {
+    Mail mail;
+    mail.sid = sess->id;
+    mail.run_done = true;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      std::vector<std::string> outputs(sess->out_ops.size());
+      SessionResultMsg res;
+      if (sess->mode == RunMode::coop) {
+        run_coop(*sess, req, outputs, res);
+      } else {
+        run_sim(*sess, req, outputs, res);
+      }
+      res.server_us = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      if (res.server_us > cfg_.quotas.wall_budget_ms * 1000) {
+        stats_.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+        stats_.session_errors.fetch_add(1, std::memory_order_relaxed);
+        mail.frames.push_back(OutFrame{net::FrameType::session_error,
+                                       sess->id,
+                                       "wall-clock budget exceeded"});
+      } else {
+        res.digest = outputs_digest(outputs);
+        for (std::size_t o = 0; o < outputs.size(); ++o) {
+          std::string payload = ChunkMsg::encode_header(o);
+          res.output_bytes += outputs[o].size();
+          payload.append(outputs[o]);
+          mail.frames.push_back(OutFrame{net::FrameType::output_chunk,
+                                         sess->id, std::move(payload)});
+        }
+        mail.frames.push_back(OutFrame{net::FrameType::session_result,
+                                       sess->id, res.encode()});
+        stats_.runs.fetch_add(1, std::memory_order_relaxed);
+        if (res.warm) stats_.warm_runs.fetch_add(1, std::memory_order_relaxed);
+        if (res.incremental) {
+          stats_.incremental_runs.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      ++sess->completed_runs;
+    } catch (const std::exception& e) {
+      stats_.session_errors.fetch_add(1, std::memory_order_relaxed);
+      mail.frames.push_back(
+          OutFrame{net::FrameType::session_error, sess->id, e.what()});
+    }
+    deliver(conn, std::move(mail));
+  }
+
+  void deliver(const std::shared_ptr<Connection>& conn, Mail mail) {
+    {
+      std::lock_guard lk{conn->mail_m};
+      conn->mail.push_back(std::move(mail));
+    }
+    IoThread& io = *io_[static_cast<std::size_t>(conn->io_index)];
+    {
+      std::lock_guard lk{io.wake_m};
+      io.woken.push_back(conn);
+    }
+    signal_event(io.event.get());
+  }
+
+  /// Coop lane: drive a warm InteractiveSession with interleaved bulk
+  /// pushes and output drains (the interleave is what prevents a deadlock
+  /// against channel backpressure on large inputs).
+  void run_coop(ServerSession& sess, const RunRequest& req,
+                std::vector<std::string>& outputs, SessionResultMsg& res) {
+    if (sess.coop.get() == nullptr) {
+      sess.coop = coop_pool_.checkout(sess.key, [&] {
+        auto lane = std::make_unique<CoopLane>();
+        build_graph(sess.spec, lane->builder);
+        return lane;
+      });
+    }
+    CoopLane& lane = *sess.coop;
+    if (!lane.session.has_value()) {
+      lane.session.emplace(lane.builder.view());
+      res.warm = false;
+    } else {
+      lane.session->resimulate();
+      res.warm = true;
+    }
+    InteractiveSession& run = *lane.session;
+
+    const std::size_t n_in = sess.in_ops.size();
+    const std::size_t n_out = sess.out_ops.size();
+    std::vector<std::size_t> fed(n_in, 0);  // elements already pushed
+    alignas(16) std::byte scratch[16 << 10];
+    auto drain = [&] {
+      bool any = false;
+      for (std::size_t o = 0; o < n_out; ++o) {
+        const TypeOps& ops = *sess.out_ops[o];
+        const std::size_t cap = sizeof(scratch) / ops.size;
+        for (;;) {
+          const std::size_t k = ops.session_poll_n(run, o, scratch, cap);
+          if (k == 0) break;
+          outputs[o].append(reinterpret_cast<const char*>(scratch),
+                            k * ops.size);
+          any = true;
+          if (k < cap) break;
+        }
+      }
+      return any;
+    };
+    for (;;) {
+      bool progress = false;
+      bool all_fed = true;
+      for (std::size_t i = 0; i < n_in; ++i) {
+        const TypeOps& ops = *sess.in_ops[i];
+        const std::size_t total = req.inputs[i].size() / ops.size;
+        if (fed[i] >= total) continue;
+        const std::size_t k = ops.session_push_n(
+            run, i, req.inputs[i].data() + fed[i] * ops.size,
+            total - fed[i]);
+        fed[i] += k;
+        progress |= k > 0;
+        all_fed &= fed[i] >= total;
+      }
+      progress |= drain();
+      if (all_fed) break;
+      if (!progress) {
+        throw std::runtime_error{
+            "graph stalled under backpressure (undersized channels?)"};
+      }
+    }
+    run.finish();
+    while (drain()) {
+    }
+  }
+
+  /// Sim lane: warm ResimSession, dirty set computed by byte comparison
+  /// against the lane's own baseline (correct across client sessions
+  /// sharing a pooled lane).
+  void run_sim(ServerSession& sess, const RunRequest& req,
+               std::vector<std::string>& outputs, SessionResultMsg& res) {
+    if (sess.sim.get() == nullptr) {
+      sess.sim = sim_pool_.checkout(sess.key, [&] {
+        auto lane = std::make_unique<SimLane>();
+        build_graph(sess.spec, lane->builder);
+        lane->session.emplace(lane->builder.view(), cfg_.sim);
+        return lane;
+      });
+    }
+    SimLane& lane = *sess.sim;
+    const SimStreamOps& ops = *sess.sim_ops;
+    aiesim::SimResult r;
+    if (!lane.has_baseline) {
+      r = ops.run(*lane.session, req.inputs, outputs);
+      res.warm = false;
+    } else {
+      std::vector<std::size_t> dirty;
+      for (std::size_t i = 0; i < req.inputs.size(); ++i) {
+        if (req.inputs[i] != lane.last_inputs[i]) dirty.push_back(i);
+      }
+      r = ops.resim(*lane.session, dirty, req.inputs, outputs);
+      res.warm = true;
+      res.incremental = lane.session->last_was_incremental();
+    }
+    lane.last_inputs = req.inputs;
+    lane.has_baseline = true;
+    res.virtual_cycles = r.virtual_cycles;
+  }
+
+  DaemonConfig cfg_;
+  net::Fd listen_;
+  net::Fd stop_event_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> accept_stop_{false};
+  std::atomic<bool> io_stop_{false};
+  DaemonStats stats_;
+  SessionPool<std::string, CoopLane> coop_pool_;
+  SessionPool<std::string, SimLane> sim_pool_;
+  std::unique_ptr<SweepRunner> runner_;
+  std::vector<std::unique_ptr<IoThread>> io_;
+  std::jthread acceptor_;
+};
+
+}  // namespace cgsim::service

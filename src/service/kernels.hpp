@@ -1,0 +1,83 @@
+// cgsim::service -- the builtin wire-visible kernel set.
+//
+// Clients compose graphs out of kernels the server registered by name;
+// this header defines a small generic set (increment, add, scale, split,
+// saturating accumulate) over i32 and f32 streams and registers them,
+// together with the two element types, into the process ServiceRegistry.
+// Applications embedding the daemon can register additional kernels the
+// same way before serving.
+#pragma once
+
+#include <mutex>
+
+#include "../core/cgsim.hpp"
+#include "graph_codec.hpp"
+
+namespace cgsim::service {
+
+COMPUTE_KERNEL(aie, svc_inc_i32, cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() + 1);
+}
+
+COMPUTE_KERNEL(aie, svc_double_i32, cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await in.get() * 2);
+}
+
+COMPUTE_KERNEL(aie, svc_add_i32, cgsim::KernelReadPort<int> a,
+               cgsim::KernelReadPort<int> b,
+               cgsim::KernelWritePort<int> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+
+COMPUTE_KERNEL(aie, svc_split_i32, cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> lo,
+               cgsim::KernelWritePort<int> hi) {
+  while (true) {
+    const int v = co_await in.get();
+    co_await lo.put(v);
+    co_await hi.put(v >> 1);
+  }
+}
+
+COMPUTE_KERNEL(aie, svc_mac_i32, cgsim::KernelReadPort<int> in,
+               cgsim::KernelWritePort<int> out) {
+  int acc = 0;
+  while (true) {
+    acc += co_await in.get();
+    co_await out.put(acc);
+  }
+}
+
+COMPUTE_KERNEL(aie, svc_scale_f32, cgsim::KernelReadPort<float> in,
+               cgsim::KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await in.get() * 0.5f);
+}
+
+COMPUTE_KERNEL(aie, svc_add_f32, cgsim::KernelReadPort<float> a,
+               cgsim::KernelReadPort<float> b,
+               cgsim::KernelWritePort<float> out) {
+  while (true) co_await out.put(co_await a.get() + co_await b.get());
+}
+
+/// Registers the builtin types and kernels; idempotent and safe to call
+/// from every entry point that may run first (daemon start, client-side
+/// spec building in tests).
+inline void register_builtin_kernels() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ServiceRegistry& r = ServiceRegistry::instance();
+    r.register_type<int>("i32");
+    r.register_type<float>("f32");
+    r.register_kernel(svc_inc_i32);
+    r.register_kernel(svc_double_i32);
+    r.register_kernel(svc_add_i32);
+    r.register_kernel(svc_split_i32);
+    r.register_kernel(svc_mac_i32);
+    r.register_kernel(svc_scale_f32);
+    r.register_kernel(svc_add_f32);
+  });
+}
+
+}  // namespace cgsim::service

@@ -1,0 +1,190 @@
+// cgsim::service -- request/response payload codecs and session policy.
+//
+// Frame *payloads* for the service conversation (the frame envelope lives
+// in net/frame.hpp). Every message is varint-composed and versionless --
+// the connection handshake already pinned the protocol version.
+//
+// Conversation, per session (stream id = client-chosen session id > 0):
+//
+//   client                          server
+//   open_session(mode, spec) ---->
+//                            <----  open_ack(input_credit)   | session_error
+//   input_chunk(idx, bytes)* ---->                           (repeatable)
+//   rtp_update(idx, bytes)*  ---->
+//   finish_inputs            ---->  ... simulation dispatched ...
+//                            <----  credit(consumed input bytes)
+//                            <----  output_chunk(idx, bytes)*
+//                            <----  session_result(digest, stats)
+//   [loop back to input_chunk* for a warm re-run of the same session]
+//   close_session            ---->
+//
+// Quotas are per session and enforced with backpressure semantics: the
+// input credit window caps in-flight bytes (a well-behaved client stops
+// sending, a misbehaving one gets session_error -- never a disconnect);
+// the wall budget bounds simulation time server-side.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "../net/frame.hpp"
+
+namespace cgsim::service {
+
+// ---------------------------------------------------------------------------
+// Digest: FNV-1a 64 over output byte streams.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvSeed = 1469598103934665603ull;
+
+[[nodiscard]] inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                                         std::uint64_t h = kFnvSeed) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Digest of a whole output set: per-output byte digests chained in output
+/// order, so client- and server-side computations agree bit for bit.
+[[nodiscard]] inline std::uint64_t outputs_digest(
+    const std::vector<std::string>& outputs) {
+  std::uint64_t h = kFnvSeed;
+  for (const std::string& out : outputs) {
+    h = fnv1a(out.data(), out.size(), h);
+    h ^= out.size();  // length delimiter: {"ab",""} != {"a","b"}
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Session policy.
+// ---------------------------------------------------------------------------
+
+/// Execution lane for a session's runs.
+enum class RunMode : std::uint8_t {
+  coop = 0,  ///< functional: warm InteractiveSession, no timing model
+  sim = 1,   ///< cycle-approximate: warm ResimSession + CompiledGraphCache
+};
+
+/// Per-session resource quotas (server policy, advertised via open_ack
+/// where the client needs them).
+struct Quotas {
+  std::size_t input_credit = 1 << 20;    ///< in-flight input byte window
+  std::size_t max_live_bytes = 8 << 20;  ///< buffered in+out bytes cap
+  std::size_t max_queued_frames = 4096;  ///< undelivered frames per session
+  std::uint64_t wall_budget_ms = 10'000; ///< per-run simulation budget
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs.
+// ---------------------------------------------------------------------------
+
+struct OpenSessionMsg {
+  RunMode mode = RunMode::coop;
+  std::string graph;  ///< serialize_graph() bytes
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    s.push_back(static_cast<char>(mode));
+    net::put_varint(s, graph.size());
+    s.append(graph);
+    return s;
+  }
+  [[nodiscard]] static bool decode(std::span<const std::byte> p,
+                                   OpenSessionMsg& m) {
+    if (p.empty()) return false;
+    const std::byte* it = p.data() + 1;
+    const std::byte* end = p.data() + p.size();
+    std::uint64_t n = 0;
+    if (!net::get_varint(it, end, n) ||
+        static_cast<std::uint64_t>(end - it) != n) {
+      return false;
+    }
+    m.mode = static_cast<RunMode>(p[0]);
+    m.graph.assign(reinterpret_cast<const char*>(it),
+                   static_cast<std::size_t>(n));
+    return true;
+  }
+};
+
+struct OpenAckMsg {
+  std::uint64_t input_credit = 0;
+  std::uint64_t max_live_bytes = 0;
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    net::put_varint(s, input_credit);
+    net::put_varint(s, max_live_bytes);
+    return s;
+  }
+  [[nodiscard]] static bool decode(std::span<const std::byte> p,
+                                   OpenAckMsg& m) {
+    const std::byte* it = p.data();
+    const std::byte* end = it + p.size();
+    return net::get_varint(it, end, m.input_credit) &&
+           net::get_varint(it, end, m.max_live_bytes);
+  }
+};
+
+/// input_chunk / rtp_update / output_chunk share one shape: varint stream
+/// index + raw element bytes (element size implied by the edge type).
+struct ChunkMsg {
+  std::uint64_t index = 0;
+  std::span<const std::byte> bytes{};  ///< borrowed from the frame payload
+
+  [[nodiscard]] static std::string encode_header(std::uint64_t index) {
+    std::string s;
+    net::put_varint(s, index);
+    return s;
+  }
+  [[nodiscard]] static bool decode(std::span<const std::byte> p,
+                                   ChunkMsg& m) {
+    const std::byte* it = p.data();
+    const std::byte* end = it + p.size();
+    if (!net::get_varint(it, end, m.index)) return false;
+    m.bytes = std::span<const std::byte>{
+        it, static_cast<std::size_t>(end - it)};
+    return true;
+  }
+};
+
+struct SessionResultMsg {
+  std::uint64_t digest = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t virtual_cycles = 0;  ///< 0 in coop mode
+  std::uint64_t server_us = 0;       ///< wall time of the run on the server
+  bool warm = false;                 ///< served by a pooled warm session
+  bool incremental = false;          ///< cone-limited resimulation hit
+
+  [[nodiscard]] std::string encode() const {
+    std::string s;
+    net::put_varint(s, digest);
+    net::put_varint(s, output_bytes);
+    net::put_varint(s, virtual_cycles);
+    net::put_varint(s, server_us);
+    s.push_back(static_cast<char>((warm ? 1 : 0) | (incremental ? 2 : 0)));
+    return s;
+  }
+  [[nodiscard]] static bool decode(std::span<const std::byte> p,
+                                   SessionResultMsg& m) {
+    const std::byte* it = p.data();
+    const std::byte* end = it + p.size();
+    if (!net::get_varint(it, end, m.digest) ||
+        !net::get_varint(it, end, m.output_bytes) ||
+        !net::get_varint(it, end, m.virtual_cycles) ||
+        !net::get_varint(it, end, m.server_us) || it == end) {
+      return false;
+    }
+    const auto flags = static_cast<std::uint8_t>(*it);
+    m.warm = (flags & 1) != 0;
+    m.incremental = (flags & 2) != 0;
+    return true;
+  }
+};
+
+}  // namespace cgsim::service

@@ -199,6 +199,79 @@ TEST(SessionPool, LeasesAreExclusiveAndWarmAfterReturn) {
   EXPECT_EQ(pool.created(), 3u);
 }
 
+TEST(SessionPool, CapacityBoundsIdleRetention) {
+  SessionPool<int, FakeSession> pool;
+  pool.set_capacity(2);
+  int next_id = 0;
+  const auto make = [&] {
+    return std::make_unique<FakeSession>(FakeSession{next_id++});
+  };
+  for (int key = 0; key < 3; ++key) {
+    auto l = pool.checkout(key, make);  // returned at scope end
+  }
+  EXPECT_EQ(pool.idle_count(), 2u);
+  EXPECT_EQ(pool.evicted(), 1u);
+  // Key 0 was the least-recently-returned lane and is gone; 1 and 2 warm.
+  // Hold all three leases at once so the put_backs can't evict mid-check.
+  auto l0 = pool.checkout(0, make);
+  auto l1 = pool.checkout(1, make);
+  auto l2 = pool.checkout(2, make);
+  EXPECT_TRUE(l0.fresh());
+  EXPECT_FALSE(l1.fresh());
+  EXPECT_FALSE(l2.fresh());
+}
+
+TEST(SessionPool, EvictionOrderFollowsRecency) {
+  SessionPool<int, FakeSession> pool;
+  pool.set_capacity(2);
+  int next_id = 0;
+  const auto make = [&] {
+    return std::make_unique<FakeSession>(FakeSession{next_id++});
+  };
+  { auto l = pool.checkout(0, make); }
+  { auto l = pool.checkout(1, make); }
+  // Touch key 0: checkout + return moves it to most-recently-returned.
+  { auto l = pool.checkout(0, make); }
+  // A third lane overflows the pool; key 1 is now the oldest and evicts.
+  { auto l = pool.checkout(2, make); }
+  EXPECT_EQ(pool.evicted(), 1u);
+  auto l0 = pool.checkout(0, make);
+  auto l1 = pool.checkout(1, make);
+  EXPECT_FALSE(l0.fresh());
+  EXPECT_TRUE(l1.fresh());
+}
+
+TEST(SessionPool, SetCapacityShrinkEvictsImmediately) {
+  SessionPool<int, FakeSession> pool;
+  int next_id = 0;
+  const auto make = [&] {
+    return std::make_unique<FakeSession>(FakeSession{next_id++});
+  };
+  for (int key = 0; key < 4; ++key) {
+    auto l = pool.checkout(key, make);
+  }
+  EXPECT_EQ(pool.idle_count(), 4u);
+  pool.set_capacity(1);
+  EXPECT_EQ(pool.idle_count(), 1u);
+  EXPECT_EQ(pool.evicted(), 3u);
+  EXPECT_FALSE(pool.checkout(3, make).fresh());  // newest lane survives
+}
+
+TEST(SessionPool, ZeroCapacityRetainsNothing) {
+  SessionPool<int, FakeSession> pool;
+  pool.set_capacity(0);
+  int next_id = 0;
+  const auto make = [&] {
+    return std::make_unique<FakeSession>(FakeSession{next_id++});
+  };
+  { auto l = pool.checkout(0, make); }
+  { auto l = pool.checkout(0, make); }
+  EXPECT_EQ(pool.idle_count(), 0u);
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.reused(), 0u);
+  EXPECT_EQ(pool.evicted(), 2u);
+}
+
 // --- ResimSession thread-affinity guard ------------------------------------
 
 std::atomic<bool> sg_gate{false};
