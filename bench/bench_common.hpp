@@ -21,12 +21,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 namespace benchutil {
 
 /// Removes "--out <dir>" / "--out=<dir>" from argv (compacting it in
-/// place) and returns the directory, "." when absent.
+/// place) and returns the directory, "." when absent. The directory is
+/// created (recursively) when missing, so "--out results/run3" works
+/// without a prior mkdir -p; creation failure is left for the fopen of
+/// the JSON itself to report.
 inline std::string strip_out_dir(int& argc, char** argv) {
   std::string dir = ".";
   int w = 1;
@@ -43,7 +47,12 @@ inline std::string strip_out_dir(int& argc, char** argv) {
     argv[w++] = argv[r];
   }
   argc = w;
-  return dir.empty() ? std::string{"."} : dir;
+  if (dir.empty()) dir = ".";
+  if (dir != ".") {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+  }
+  return dir;
 }
 
 /// Joins the output directory with a JSON filename; absolute filenames

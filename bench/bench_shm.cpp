@@ -1,0 +1,381 @@
+// bench_shm -- zero-copy data-plane and persistent compiled-store ablation.
+//
+// Three phases:
+//
+//   * transfer -- one SocketChannel<int> pair over a socketpair moves N MiB
+//                 twice: once plain, once with a shared-memory plane
+//                 attached (payloads ride the SPSC ring, only the
+//                 announcements cross the socket). Gate: the shm path must
+//                 move >= `min-shm` (default 2x) more bytes per second for
+//                 the >= 1 MiB batches this phase uses.
+//
+//   * bind     -- restart-to-first-bind latency for CompiledGraph
+//                 artifacts on 128/512/1024-kernel chains with every
+//                 kernel pinned by an explicit placement directive. Both
+//                 sides model a daemon restarted with --cache-dir and the
+//                 in-memory cache empty: "compile" binds against an empty
+//                 store (compile + persist the artifact), "load" binds
+//                 against the warm store (mmap + checksum + in-place
+//                 fixup). Gate: the warm path must be >= `min-bind`
+//                 (default 3x) faster at the largest size.
+//
+//   * service  -- digest identity end to end: the same sim-mode session run
+//                 through a shm-negotiated client and a socket-only client
+//                 must produce bit-identical output digests; a second
+//                 daemon over the same --cache-dir (in-memory cache
+//                 cleared = a restart) must serve the first request from
+//                 the persisted artifact. Unconditional.
+//
+// Both gates apply only on hosts with >= 4 hardware threads and a
+// positive bar (gate_enforced records whether they did).
+//
+//   $ ./bench_shm [mib [json [min-shm [min-bind]]]] [--out dir]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "aiesim/compiled.hpp"
+#include "aiesim/compiled_store.hpp"
+#include "bench_common.hpp"
+#include "net/shm_ring.hpp"
+#include "net/socket.hpp"
+#include "net/socket_channel.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/graph_codec.hpp"
+#include "service/kernels.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace cgsim;
+using namespace cgsim::service;
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// --- phase 1: raw channel transfer ----------------------------------------
+
+struct TransferResult {
+  double seconds = 0.0;
+  std::uint64_t shm_bytes = 0;  ///< bytes that actually took the ring
+  bool ok = false;
+};
+
+/// Moves `total` ints producer -> consumer in 256 KiB batches and checks
+/// the received stream byte-for-byte.
+TransferResult run_transfer(bool use_shm, std::size_t total) {
+  auto [a, b] = net::socket_pair();
+  net::SocketChannelOptions opts;
+  net::SocketChannel<int> tx{0, std::move(a), nullptr, opts};
+  net::SocketChannel<int> rx{1, std::move(b), nullptr, opts};
+  tx.set_producers(1);
+  rx.set_producers(1);
+
+  net::ShmPlane plane;
+  net::ShmPlane peer;
+  if (use_shm) {
+    // Ring capacity above the credit window: announced bytes always fit.
+    plane = net::ShmPlane::create_anon(8 << 20);
+    peer = plane.peer_view();
+    tx.attach_shm(plane.tx(), plane.rx());
+    rx.attach_shm(peer.tx(), peer.rx());
+  }
+
+  std::vector<int> src(total);
+  std::iota(src.begin(), src.end(), 1);
+
+  const auto t0 = Clock::now();
+  std::thread producer{[&] {
+    constexpr std::size_t kBatch = 256 << 10;  // ints per try_push_n
+    std::size_t done = 0;
+    while (done < total) {
+      ChanStatus st{};
+      done += tx.try_push_n(src.data() + done,
+                            std::min(kBatch, total - done), st);
+      tx.flush();
+      if (done < total) tx.pump();
+    }
+    tx.producer_done();
+  }};
+
+  std::vector<int> buf(64 << 10);
+  std::size_t got = 0;
+  std::uint64_t sum = 0;
+  bool order_ok = true;
+  for (;;) {
+    ChanStatus st{};
+    const std::size_t k = rx.try_pop_n(0, buf.data(), buf.size(), st);
+    for (std::size_t i = 0; i < k; ++i) {
+      order_ok &= buf[i] == static_cast<int>(got + i + 1);
+      sum += static_cast<std::uint64_t>(buf[i]);
+    }
+    got += k;
+    if (k == 0) {
+      if (st == ChanStatus::closed) break;
+      rx.pump();
+    }
+  }
+  producer.join();
+  const double dt = secs_since(t0);
+
+  TransferResult r;
+  r.seconds = dt;
+  r.shm_bytes = rx.shm_rx_bytes();
+  const std::uint64_t n64 = total;
+  r.ok = got == total && order_ok && sum == n64 * (n64 + 1) / 2;
+  return r;
+}
+
+// --- phase 2: compile vs persisted-store bind -----------------------------
+
+/// K-kernel inc-chain spec (distinct serialized bytes per K).
+GraphSpec chain_spec(int kernels) {
+  GraphSpec g;
+  for (int e = 0; e <= kernels; ++e) g.edges.push_back({"i32", 64, {}});
+  for (int k = 0; k < kernels; ++k) {
+    g.kernels.push_back({"svc_inc_i32", {k, k + 1}});
+  }
+  g.inputs = {0};
+  g.outputs = {kernels};
+  return g;
+}
+
+struct BindResult {
+  double compile_us = 0.0;
+  double load_us = 0.0;
+  bool loaded_from_store = false;
+};
+
+/// Median restart-to-first-bind latency for one chain size, cold disk
+/// cache vs warm. Every kernel instance gets an explicit placement
+/// directive (the name-resolution work the artifact exists to cache);
+/// the in-memory cache is cleared before every measurement, so both
+/// sides are exactly the restarted-daemon first-request path -- the
+/// cold one compiles and persists, the warm one binds the mmap'd file.
+BindResult measure_bind(int kernels, const std::string& store_dir,
+                        int reps) {
+  rt::DynamicGraphBuilder builder;
+  build_graph(chain_spec(kernels), builder);
+  const GraphView g = builder.view();
+  const aiesim::CostModel cost{};
+  std::map<std::string, aiesim::TileCoord> place;
+  for (std::size_t k = 0; k < g.kernels.size(); ++k) {
+    place.emplace(std::string{g.kernels[k].name},
+                  aiesim::TileCoord{static_cast<int>(k) % 8,
+                                    static_cast<int>(k) / 8});
+  }
+  auto& cache = aiesim::CompiledGraphCache::instance();
+  auto store =
+      std::make_shared<aiesim::CompiledStore>(store_dir, 256u << 20, 256);
+
+  std::vector<double> compile_us, load_us;
+  bool loaded = true;
+  cache.set_store(store);
+  for (int r = 0; r < reps; ++r) {
+    cache.clear();   // simulated restart: empty memory...
+    store->clear();  // ...and a cold disk cache: compile, then persist
+    const auto t0 = Clock::now();
+    auto cold = cache.get_or_compile(g, cost, false, place, 8);
+    compile_us.push_back(secs_since(t0) * 1e6);
+    loaded &= !cold->from_store;
+  }
+  (void)cache.get_or_compile(g, cost, false, place, 8);  // ensure persisted
+  for (int r = 0; r < reps; ++r) {
+    cache.clear();  // simulated restart: empty memory, warm disk
+    const auto t0 = Clock::now();
+    auto warm = cache.get_or_compile(g, cost, false, place, 8);
+    load_us.push_back(secs_since(t0) * 1e6);
+    loaded &= warm->from_store;
+  }
+  cache.set_store(nullptr);
+  cache.clear();
+
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  return BindResult{median(compile_us), median(load_us), loaded};
+}
+
+// --- phase 3: service digest identity -------------------------------------
+
+std::uint64_t run_service_once(std::uint16_t port, bool use_shm,
+                               const GraphSpec& spec,
+                               const std::vector<int>& input, bool& ok,
+                               bool& shm_used, bool& persisted) {
+  ServiceClientOptions copts;
+  copts.use_shm = use_shm;
+  ServiceClient cli{net::connect_tcp_loopback(port), copts};
+  shm_used = cli.shm_active();
+  const auto sid = cli.open(RunMode::sim, spec);
+  cli.send_input(sid, 0, input.data(), input.size() * sizeof(int));
+  RunOutcome out = cli.run(sid);
+  ok = out.ok;
+  persisted = out.result.persisted;
+  cli.close_session(sid);
+  return out.result.digest;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::wall_anchor();
+  const std::string out_dir = benchutil::strip_out_dir(argc, argv);
+  const std::size_t mib =
+      argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 64;
+  const std::string json_path =
+      benchutil::join_out(out_dir, argc > 2 ? argv[2] : "BENCH_shm.json");
+  const double min_shm = argc > 3 ? std::atof(argv[3]) : 2.0;
+  const double min_bind = argc > 4 ? std::atof(argv[4]) : 3.0;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool gate_enforced = hw >= 4 && min_shm > 0.0 && min_bind > 0.0;
+
+  register_builtin_kernels();
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("cgsim-bench-shm-" + std::to_string(::getpid())))
+          .string();
+
+  // --- phase 1 ------------------------------------------------------------
+  const std::size_t total_ints = mib * (1 << 20) / sizeof(int);
+  (void)run_transfer(false, std::min<std::size_t>(total_ints, 1 << 18));
+  const TransferResult sock = run_transfer(false, total_ints);
+  const TransferResult shm = run_transfer(true, total_ints);
+  const double mibf = static_cast<double>(mib);
+  const double sock_mib_s = sock.seconds > 0 ? mibf / sock.seconds : 0.0;
+  const double shm_mib_s = shm.seconds > 0 ? mibf / shm.seconds : 0.0;
+  const double shm_speedup = sock_mib_s > 0 ? shm_mib_s / sock_mib_s : 0.0;
+  const bool transfer_ok =
+      sock.ok && shm.ok && shm.shm_bytes >= (mib << 20) / 2;
+
+  // --- phase 2 ------------------------------------------------------------
+  const int kSizes[] = {128, 512, 1024};
+  BindResult binds[3];
+  bool bind_ok = true;
+  for (int i = 0; i < 3; ++i) {
+    binds[i] = measure_bind(kSizes[i], scratch + "/store", 5);
+    bind_ok &= binds[i].loaded_from_store;
+  }
+  const double bind_speedup =
+      binds[2].load_us > 0 ? binds[2].compile_us / binds[2].load_us : 0.0;
+
+  // --- phase 3 ------------------------------------------------------------
+  GraphSpec spec = chain_spec(16);
+  std::vector<int> input(256 << 10 >> 2);  // 256 KiB
+  std::iota(input.begin(), input.end(), 7);
+  bool svc_ok = true, shm_used = false, sock_shm_used = true;
+  bool persisted1 = false, persisted2 = false;
+  std::uint64_t d_shm = 0, d_sock = 0, d_restart = 0;
+  aiesim::CompiledGraphCache::instance().clear();
+  {
+    DaemonConfig dc;
+    dc.cache_dir = scratch + "/daemon-cache";
+    std::uint16_t port = 0;
+    Daemon daemon{net::listen_tcp_loopback(0, &port), dc};
+    bool ok1 = false, ok2 = false;
+    d_shm = run_service_once(port, true, spec, input, ok1, shm_used,
+                             persisted1);
+    d_sock = run_service_once(port, false, spec, input, ok2, sock_shm_used,
+                              persisted1);
+    svc_ok = ok1 && ok2 && shm_used && !sock_shm_used && d_shm == d_sock;
+    daemon.stop();
+  }
+  aiesim::CompiledGraphCache::instance().clear();  // "restart"
+  {
+    DaemonConfig dc;
+    dc.cache_dir = scratch + "/daemon-cache";
+    std::uint16_t port = 0;
+    Daemon daemon{net::listen_tcp_loopback(0, &port), dc};
+    bool ok3 = false;
+    bool unused = false;
+    d_restart =
+        run_service_once(port, false, spec, input, ok3, unused, persisted2);
+    svc_ok &= ok3 && d_restart == d_shm && persisted2;
+    daemon.stop();
+  }
+  aiesim::CompiledGraphCache::instance().set_store(nullptr);
+  aiesim::CompiledGraphCache::instance().clear();
+  std::error_code ec;
+  std::filesystem::remove_all(scratch, ec);
+
+  const bool shm_gate_ok = !gate_enforced || shm_speedup >= min_shm;
+  const bool bind_gate_ok = !gate_enforced || bind_speedup >= min_bind;
+
+  std::printf("transfer: socket %.0f MiB/s, shm %.0f MiB/s (%.2fx, "
+              "%llu ring bytes)\n",
+              sock_mib_s, shm_mib_s, shm_speedup,
+              static_cast<unsigned long long>(shm.shm_bytes));
+  for (int i = 0; i < 3; ++i) {
+    std::printf("bind %d kernels: cold compile+persist %.0f us, warm store "
+                "load %.0f us (%.2fx)\n",
+                kSizes[i], binds[i].compile_us, binds[i].load_us,
+                binds[i].load_us > 0
+                    ? binds[i].compile_us / binds[i].load_us
+                    : 0.0);
+  }
+  std::printf("correctness: transfer %s, store %s, service digests %s\n",
+              transfer_ok ? "PASS" : "FAIL", bind_ok ? "PASS" : "FAIL",
+              svc_ok ? "PASS" : "FAIL");
+  if (gate_enforced) {
+    std::printf("shm gate (>= %.2fx): %s\nbind gate (>= %.2fx): %s\n",
+                min_shm, shm_gate_ok ? "PASS" : "FAIL", min_bind,
+                bind_gate_ok ? "PASS" : "FAIL");
+  } else {
+    std::printf("gates skipped (hw_threads=%u < 4 or relaxed bars)\n", hw);
+  }
+
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n");
+    benchutil::emit_resource_fields(f);
+    std::fprintf(
+        f,
+        "  \"bench\": \"bench_shm\",\n"
+        "  \"hw_threads\": %u,\n"
+        "  \"gate_enforced\": %s,\n"
+        "  \"payload_mib\": %zu,\n"
+        "  \"socket_mib_s\": %.1f,\n"
+        "  \"shm_mib_s\": %.1f,\n"
+        "  \"shm_speedup\": %.3f,\n"
+        "  \"min_shm_speedup\": %.2f,\n"
+        "  \"shm_ring_bytes_moved\": %llu,\n"
+        "  \"bind_kernels\": [%d, %d, %d],\n"
+        "  \"cold_bind_us\": [%.1f, %.1f, %.1f],\n"
+        "  \"warm_bind_us\": [%.1f, %.1f, %.1f],\n"
+        "  \"bind_speedup\": %.3f,\n"
+        "  \"min_bind_speedup\": %.2f,\n"
+        "  \"transfer_ok\": %s,\n"
+        "  \"store_ok\": %s,\n"
+        "  \"digest_identical\": %s\n"
+        "}\n",
+        hw, gate_enforced ? "true" : "false", mib, sock_mib_s, shm_mib_s,
+        shm_speedup, min_shm,
+        static_cast<unsigned long long>(shm.shm_bytes), kSizes[0], kSizes[1],
+        kSizes[2], binds[0].compile_us, binds[1].compile_us,
+        binds[2].compile_us, binds[0].load_us, binds[1].load_us,
+        binds[2].load_us, bind_speedup, min_bind,
+        transfer_ok ? "true" : "false", bind_ok ? "true" : "false",
+        svc_ok ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return transfer_ok && bind_ok && svc_ok && shm_gate_ok && bind_gate_ok
+             ? 0
+             : 1;
+}

@@ -138,10 +138,18 @@ class SimEngine final : public cgsim::Executor, public cgsim::SimHooks {
     const cgsim::GraphView& g = ctx.graph();
     if (fast_) {
       if (compiled != nullptr) {
-        placement_ = compiled->placement;
-        edge_flags_ = compiled->edge_flags;
-        edge_hop_ = compiled->edge_hop;
-        edge_cost_ = compiled->edge_cost;
+        // The artifact's tables are read-only spans into its arena; the
+        // engine keeps private copies because edge_cost_ entries are
+        // overwritten at run time on settings mismatches.
+        placement_ = Placement::from_coords(
+            {compiled->placement_coords.begin(),
+             compiled->placement_coords.end()});
+        edge_flags_.assign(compiled->edge_flags.begin(),
+                           compiled->edge_flags.end());
+        edge_hop_.assign(compiled->edge_hop.begin(),
+                         compiled->edge_hop.end());
+        edge_cost_.assign(compiled->edge_cost.begin(),
+                          compiled->edge_cost.end());
       } else {
         // Kernel-to-tile placement: intra-array streams pay per-hop switch
         // latency proportional to the Manhattan distance between tiles.

@@ -62,6 +62,18 @@ class Placement {
     return p;
   }
 
+  /// Reconstructs a placement from serialized coordinates (compiled-
+  /// artifact store); round-trips exactly with coords().
+  static Placement from_coords(std::vector<TileCoord> coords) {
+    Placement p;
+    p.coords_ = std::move(coords);
+    return p;
+  }
+
+  [[nodiscard]] const std::vector<TileCoord>& coords() const {
+    return coords_;
+  }
+
   [[nodiscard]] TileCoord of(std::size_t kernel_index) const {
     return kernel_index < coords_.size() ? coords_[kernel_index]
                                          : TileCoord{};

@@ -123,9 +123,23 @@ enum class FrameType : std::uint8_t {
   session_error = 14,  ///< service: string message (session survives conn)
   close_session = 15,  ///< service: free server-side session state
   goodbye = 16,        ///< orderly connection shutdown
+  // Shared-memory data plane (negotiated via kFeatureShm). Control frames
+  // stay on the socket; the payload bytes they announce travel through
+  // the shm ring (written BEFORE the frame is sent, so the receiver never
+  // waits on the ring).
+  shm_setup = 17,   ///< client: varint ring bytes + segment name
+  shm_ack = 18,     ///< server: u8 accepted (0: fall back to the wire)
+  shm_chunk = 19,   ///< input_chunk via ring: varint idx + varint nbytes
+  shm_rtp = 20,     ///< rtp_update via ring: varint idx + varint nbytes
+  shm_output = 21,  ///< output_chunk via ring: varint idx + varint nbytes
+  data_shm = 22,    ///< channel elements via ring: varint element count
 };
 
 inline constexpr std::uint8_t kFlagPayloadCrc = 0x1;
+
+/// Handshake feature bits (Hello::features). The server acks the subset it
+/// accepts; a feature is active only when both sides agreed.
+inline constexpr std::uint32_t kFeatureShm = 0x1;
 
 /// Decoded frame header + borrowed payload (valid until the reader's next
 /// fill()).
@@ -460,8 +474,10 @@ class FrameReader {
 // ---------------------------------------------------------------------------
 
 /// Sends `hello`, waits for `hello_ack`. Throws on reject or version skew.
-inline void client_handshake(int fd, FrameWriter& w, FrameReader& r,
-                             std::uint32_t features = 0) {
+/// Returns the feature subset the server acknowledged (old servers echo 0,
+/// so requested features degrade to off rather than failing).
+inline std::uint32_t client_handshake(int fd, FrameWriter& w, FrameReader& r,
+                                      std::uint32_t features = 0) {
   const std::string h = Hello{kWireMagic, kWireVersion, features}.encode();
   w.frame_str(FrameType::hello, 0, h);
   if (w.flush(fd) != FrameWriter::IoResult::ok) {
@@ -489,7 +505,7 @@ inline void client_handshake(int fd, FrameWriter& w, FrameReader& r,
           ack.version != kWireVersion) {
         throw std::runtime_error{"handshake: bad hello_ack"};
       }
-      return;
+      return ack.features & features;
     }
     const auto io = r.fill(fd);
     if (io == FrameReader::IoResult::eof ||

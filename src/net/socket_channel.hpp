@@ -36,6 +36,7 @@
 #include "../core/channel.hpp"
 #include "../core/task.hpp"
 #include "frame.hpp"
+#include "shm_ring.hpp"
 #include "socket.hpp"
 
 namespace cgsim::net {
@@ -45,6 +46,10 @@ struct SocketChannelOptions {
   std::size_t credit_window = 4 << 20;     ///< send budget before parking
   std::size_t credit_refresh = 1 << 20;    ///< popped bytes per credit grant
   std::uint64_t stream = 1;                ///< stream id on the wire
+  /// Batches of at least this many bytes take the shm ring (when one is
+  /// attached); smaller ones stay on the socket, whose syscall is already
+  /// amortized by frame staging.
+  std::size_t shm_threshold = 4 << 10;
 };
 
 /// One endpoint of a socket-backed channel edge. `consumers` counts LOCAL
@@ -81,6 +86,26 @@ class SocketChannel final : public TypedChannel<T> {
 
   [[nodiscard]] int fd() const { return fd_.get(); }
 
+  /// Attaches a negotiated shared-memory plane: `tx` is the ring this
+  /// endpoint produces into, `rx` the one it consumes from (views borrowed
+  /// from a ShmPlane the caller keeps alive). Bulk pushes of at least
+  /// `opts.shm_threshold` bytes then travel the ring; a `data_shm` control
+  /// frame on the socket announces each segment, so cross-path ordering
+  /// follows socket order. The ring payload is written BEFORE the control
+  /// frame is sent, so announced bytes are always already present and the
+  /// receiver never waits on the ring.
+  void attach_shm(ShmRing tx, ShmRing rx) {
+    shm_tx_ = tx;
+    shm_rx_ = rx;
+    shm_attached_ = true;
+  }
+
+  [[nodiscard]] bool shm_attached() const { return shm_attached_; }
+  /// Payload bytes that traveled the ring (tx / rx side), for tests and
+  /// benchmarks asserting the fast path actually engaged.
+  [[nodiscard]] std::uint64_t shm_tx_bytes() const { return shm_tx_bytes_; }
+  [[nodiscard]] std::uint64_t shm_rx_bytes() const { return shm_rx_bytes_; }
+
   // --- cooperative fast path -------------------------------------------
 
   ChanStatus try_push(const T& v) override {
@@ -103,7 +128,7 @@ class SocketChannel final : public TypedChannel<T> {
     }
     const std::size_t budget = send_credit_ / sizeof(T);
     const std::size_t k = std::min(n, budget);
-    if (k > 0) {
+    if (k > 0 && !push_via_shm(src, k)) {
       tx_.insert(tx_.end(), src, src + k);
       send_credit_ -= k * sizeof(T);
       this->pushed_ += k;
@@ -115,7 +140,7 @@ class SocketChannel final : public TypedChannel<T> {
 
   std::size_t try_pop_n(int consumer, T* dst, std::size_t n,
                         ChanStatus& st) override {
-    const std::size_t k = std::min(n, rx_.size());
+    const std::size_t k = std::min(n, rx_total_);
     take(consumer, dst, k);
     if (k == n) {
       st = ChanStatus::ok;
@@ -292,11 +317,41 @@ class SocketChannel final : public TypedChannel<T> {
 
   [[nodiscard]] bool eos_received() const { return eos_received_; }
   [[nodiscard]] bool failed() const { return io_error_; }
-  [[nodiscard]] std::size_t rx_buffered() const { return rx_.size(); }
+  [[nodiscard]] std::size_t rx_buffered() const { return rx_total_; }
 
  private:
+  /// One in-order slice of received data: socket-delivered elements live
+  /// in rx_, ring-delivered ones stay IN the ring until popped (zero-copy
+  /// until the final memcpy into the consumer's buffer).
+  struct RxSeg {
+    bool ring = false;
+    std::size_t count = 0;  ///< elements
+  };
+
   [[nodiscard]] bool pop_closed() const {
-    return rx_.empty() && (eos_received_ || io_error_);
+    return rx_total_ == 0 && (eos_received_ || io_error_);
+  }
+
+  /// Ships `k` elements through the shm ring: payload first, then the
+  /// announcing data_shm frame on the socket. All-or-nothing -- a full
+  /// ring returns false and the batch takes the socket instead (pure
+  /// throughput fallback, never a stall).
+  bool push_via_shm(const T* src, std::size_t k) {
+    const std::size_t nbytes = k * sizeof(T);
+    if (!shm_attached_ || nbytes < opts_.shm_threshold) return false;
+    if (!shm_tx_.try_write(src, nbytes)) return false;
+    // Staged socket data must be framed before the announcement so the
+    // receiver sees the two paths in push order. (After the ring write:
+    // the fallback path must leave no zero-copy frame referencing tx_.)
+    stage_tx_frame();
+    shm_tx_bytes_ += nbytes;
+    send_credit_ -= nbytes;
+    this->pushed_ += k;
+    std::string ann;
+    put_varint(ann, nbytes);
+    writer_.frame_str(FrameType::data_shm, opts_.stream, ann);
+    flush();
+    return true;
   }
 
   void ready(std::coroutine_handle<> h) {
@@ -306,10 +361,29 @@ class SocketChannel final : public TypedChannel<T> {
   }
 
   void take(int consumer, T* dst, std::size_t k) {
-    for (std::size_t i = 0; i < k; ++i) {
-      dst[i] = rx_.front();
-      rx_.pop_front();
+    std::size_t left = k;
+    while (left > 0) {
+      RxSeg& seg = rx_segs_.front();
+      const std::size_t m = std::min(left, seg.count);
+      if (seg.ring) {
+        // Announced ring bytes were written before the announcing frame
+        // was sent, so they are guaranteed present.
+        const bool ok = shm_rx_.try_read_exact(dst, m * sizeof(T));
+        assert(ok && "shm protocol violation: announced bytes missing");
+        (void)ok;
+        shm_rx_bytes_ += m * sizeof(T);
+        dst += m;
+      } else {
+        for (std::size_t i = 0; i < m; ++i) {
+          *dst++ = rx_.front();
+          rx_.pop_front();
+        }
+      }
+      seg.count -= m;
+      left -= m;
+      if (seg.count == 0) rx_segs_.pop_front();
     }
+    rx_total_ -= k;
     if (k == 0) return;
     this->popped_[static_cast<std::size_t>(consumer)] += k;
     popped_since_grant_ += k * sizeof(T);
@@ -375,6 +449,19 @@ class SocketChannel final : public TypedChannel<T> {
           T v;
           std::memcpy(&v, f.payload.data() + i * sizeof(T), sizeof(T));
           rx_.push_back(v);
+        }
+        append_seg(false, count);
+        break;
+      }
+      case FrameType::data_shm: {
+        const std::byte* p = f.payload.data();
+        std::uint64_t nbytes = 0;
+        if (shm_attached_ &&
+            get_varint(p, p + f.payload.size(), nbytes) &&
+            nbytes % sizeof(T) == 0) {
+          append_seg(true, static_cast<std::size_t>(nbytes) / sizeof(T));
+        } else {
+          mark_error();  // announcement without a ring (or torn): fatal
         }
         break;
       }
@@ -458,6 +545,16 @@ class SocketChannel final : public TypedChannel<T> {
     }
   }
 
+  void append_seg(bool ring, std::size_t count) {
+    if (count == 0) return;
+    if (!rx_segs_.empty() && rx_segs_.back().ring == ring) {
+      rx_segs_.back().count += count;  // merge: adjacent same-path slices
+    } else {
+      rx_segs_.push_back(RxSeg{ring, count});
+    }
+    rx_total_ += count;
+  }
+
   void mark_error() {
     io_error_ = true;
     service_waiters();  // release everyone with closed
@@ -471,7 +568,14 @@ class SocketChannel final : public TypedChannel<T> {
   std::vector<T> tx_;           ///< staged outgoing elements
   bool tx_staged_ = false;      ///< tx_ already queued as a data frame
   bool in_flush_ = false;       ///< reentry guard (pump_fill -> waiters)
-  std::deque<T> rx_;            ///< received, not yet popped
+  std::deque<T> rx_;            ///< socket-received, not yet popped
+  std::deque<RxSeg> rx_segs_;   ///< in-order map of rx_ + ring residency
+  std::size_t rx_total_ = 0;    ///< total poppable elements (both paths)
+  ShmRing shm_tx_;              ///< produce side of the attached plane
+  ShmRing shm_rx_;              ///< consume side of the attached plane
+  bool shm_attached_ = false;
+  std::uint64_t shm_tx_bytes_ = 0;
+  std::uint64_t shm_rx_bytes_ = 0;
   std::size_t send_credit_;     ///< bytes we may still stage
   std::size_t popped_since_grant_ = 0;
   bool eos_received_ = false;

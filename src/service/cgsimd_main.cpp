@@ -22,7 +22,9 @@ void on_signal(int) { g_stop = 1; }
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port N | --unix PATH] [--io-threads N] "
-               "[--workers N] [--pool-capacity N]\n",
+               "[--workers N] [--pool-capacity N]\n"
+               "          [--cache-dir PATH] [--cache-bytes N] "
+               "[--cache-files N] [--no-shm]\n",
                argv0);
 }
 
@@ -51,6 +53,14 @@ int main(int argc, char** argv) {
       cfg.workers = std::atoi(next());
     } else if (arg == "--pool-capacity") {
       cfg.pool_capacity = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--cache-dir") {
+      cfg.cache_dir = next();
+    } else if (arg == "--cache-bytes") {
+      cfg.cache_max_bytes = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--cache-files") {
+      cfg.cache_max_files = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--no-shm") {
+      cfg.enable_shm = false;
     } else {
       usage(argv[0]);
       return 2;
@@ -87,13 +97,16 @@ int main(int argc, char** argv) {
   daemon.stop();
   const auto& st = daemon.stats();
   std::fprintf(stderr,
-               "cgsimd: %llu connections, %llu sessions, %llu runs "
-               "(%llu warm, %llu incremental), %llu errors\n",
+               "cgsimd: %llu connections (%llu shm), %llu sessions, "
+               "%llu runs (%llu warm, %llu incremental, %llu persisted), "
+               "%llu errors\n",
                static_cast<unsigned long long>(st.connections.load()),
+               static_cast<unsigned long long>(st.shm_conns.load()),
                static_cast<unsigned long long>(st.sessions_opened.load()),
                static_cast<unsigned long long>(st.runs.load()),
                static_cast<unsigned long long>(st.warm_runs.load()),
                static_cast<unsigned long long>(st.incremental_runs.load()),
+               static_cast<unsigned long long>(st.persisted_binds.load()),
                static_cast<unsigned long long>(st.session_errors.load()));
   return 0;
 }

@@ -30,11 +30,24 @@
 #include <vector>
 
 #include "../net/frame.hpp"
+#include "../net/shm_ring.hpp"
 #include "../net/socket.hpp"
 #include "graph_codec.hpp"
 #include "protocol.hpp"
 
 namespace cgsim::service {
+
+struct ServiceClientOptions {
+  /// Offer kFeatureShm and, when the daemon acks it, negotiate a
+  /// shared-memory plane. Degrades transparently: a daemon that does not
+  /// ack the feature, cannot map the segment (remote peer), or predates
+  /// it leaves the client on the plain socket path.
+  bool use_shm = true;
+  std::size_t shm_ring_bytes = 4 << 20;  ///< per-direction ring capacity
+  /// Chunks of at least this many bytes take the ring; smaller ones stay
+  /// on the socket.
+  std::size_t shm_threshold = 4 << 10;
+};
 
 /// Outcome of one session run.
 struct RunOutcome {
@@ -57,8 +70,12 @@ class ServiceClient {
  public:
   /// Takes ownership of a connected (blocking) socket and performs the
   /// versioned handshake; throws on reject or version skew.
-  explicit ServiceClient(net::Fd fd) : fd_(std::move(fd)) {
-    net::client_handshake(fd_.get(), writer_, reader_);
+  explicit ServiceClient(net::Fd fd, ServiceClientOptions opts = {})
+      : fd_(std::move(fd)), opts_(opts) {
+    const std::uint32_t granted = net::client_handshake(
+        fd_.get(), writer_, reader_,
+        opts_.use_shm ? net::kFeatureShm : 0u);
+    if ((granted & net::kFeatureShm) != 0) setup_shm();
   }
 
   ServiceClient(const ServiceClient&) = delete;
@@ -129,7 +146,31 @@ class ServiceClient {
     sessions_.erase(sid);
   }
 
+  /// True when a shared-memory plane was negotiated: bulk transfers in
+  /// both directions bypass the socket.
+  [[nodiscard]] bool shm_active() const { return shm_active_; }
+
  private:
+  /// Negotiates the shm plane after the feature handshake: create a named
+  /// segment, announce it, wait for the daemon's verdict. Any failure --
+  /// creation, mapping on the daemon's side, a daemon on another host --
+  /// leaves the client on the socket path.
+  void setup_shm() {
+    try {
+      plane_ = net::ShmPlane::create_initiator(opts_.shm_ring_bytes);
+    } catch (const std::exception&) {
+      return;  // /dev/shm unavailable: stay on the socket
+    }
+    net::ShmSetupMsg m;
+    m.ring_bytes = plane_.ring_bytes();
+    m.name = plane_.name();
+    send_frame(net::FrameType::shm_setup, 0, m.encode());
+    while (!shm_ack_seen_) read_one();
+    // The daemon unlinks the name when it attaches; unlink here too so a
+    // refusal (or a crash between) cannot leak a /dev/shm entry.
+    plane_.unlink_name();
+    if (!shm_active_) plane_ = net::ShmPlane{};
+  }
   struct Sess {
     bool opened = false;
     std::string open_error;
@@ -160,6 +201,10 @@ class ServiceClient {
   void send_chunk(net::FrameType type, std::uint64_t sid, std::size_t idx,
                   const void* data, std::size_t bytes) {
     Sess& s = session(sid);
+    if (shm_active_ && bytes >= opts_.shm_threshold &&
+        send_chunk_shm(type, s, sid, idx, data, bytes)) {
+      return;
+    }
     std::string payload = ChunkMsg::encode_header(idx);
     payload.append(static_cast<const char*>(data), bytes);
     if (payload.size() > s.window) {
@@ -169,6 +214,31 @@ class ServiceClient {
     while (s.credit < payload.size()) read_one();  // park for credit
     s.credit -= payload.size();
     send_frame(type, sid, std::move(payload));
+  }
+
+  /// Ships a chunk through the ring: payload first, announcement second
+  /// (the ring-first contract -- announced bytes are always already
+  /// present on the daemon's side). Credit covers announcement + payload
+  /// bytes, and the window never exceeds the ring capacity in a sane
+  /// config, so the all-or-nothing try_write cannot fail; if it ever does
+  /// (window misconfigured past the ring size), nothing was written and
+  /// the caller falls back to the socket.
+  bool send_chunk_shm(net::FrameType type, Sess& s, std::uint64_t sid,
+                      std::size_t idx, const void* data, std::size_t bytes) {
+    std::string control = ShmChunkMsg::encode(idx, bytes);
+    const std::size_t need = control.size() + bytes;
+    if (need > s.window) {
+      throw std::invalid_argument{
+          "chunk exceeds the credit window; split it across sends"};
+    }
+    while (s.credit < need) read_one();  // park for credit
+    if (!plane_.tx().try_write(data, bytes)) return false;
+    s.credit -= need;
+    send_frame(type == net::FrameType::rtp_update
+                   ? net::FrameType::shm_rtp
+                   : net::FrameType::shm_chunk,
+               sid, std::move(control));
+    return true;
   }
 
   /// Reads and routes exactly one frame (blocking).
@@ -196,6 +266,15 @@ class ServiceClient {
   }
 
   void dispatch(const net::FrameView& f) {
+    if (f.type == net::FrameType::shm_ack) {
+      shm_ack_seen_ = true;
+      shm_active_ = !f.payload.empty() && f.payload[0] == std::byte{1};
+      return;
+    }
+    if (f.type == net::FrameType::shm_output) {
+      on_shm_output(f);  // consumes ring bytes even for closed sessions
+      return;
+    }
     const auto it = sessions_.find(f.stream);
     if (it == sessions_.end()) return;  // late frame for a closed session
     Sess& s = it->second;
@@ -258,9 +337,43 @@ class ServiceClient {
     }
   }
 
+  /// Output via the ring: the daemon wrote the bytes before sending this
+  /// announcement, so they are guaranteed readable. Exactly nbytes leave
+  /// the ring on every path (into the output buffer, or discarded when
+  /// the session is gone) -- the ring would desynchronize otherwise.
+  void on_shm_output(const net::FrameView& f) {
+    ShmChunkMsg m;
+    if (!shm_active_ || !ShmChunkMsg::decode(f.payload, m)) {
+      throw std::runtime_error{"service client: malformed shm_output"};
+    }
+    const auto nbytes = static_cast<std::size_t>(m.nbytes);
+    const auto it = sessions_.find(f.stream);
+    if (it != sessions_.end() && m.index < it->second.outputs.size()) {
+      std::string& out = it->second.outputs[static_cast<std::size_t>(m.index)];
+      const std::size_t old = out.size();
+      out.resize(old + nbytes);
+      if (plane_.rx().try_read_exact(out.data() + old, nbytes)) return;
+      out.resize(old);
+      throw std::runtime_error{"service client: shm ring underrun"};
+    }
+    std::byte scratch[4096];  // closed session: drain and drop
+    std::size_t left = nbytes;
+    while (left > 0) {
+      const std::size_t k = std::min(left, sizeof(scratch));
+      if (!plane_.rx().try_read_exact(scratch, k)) {
+        throw std::runtime_error{"service client: shm ring underrun"};
+      }
+      left -= k;
+    }
+  }
+
   net::Fd fd_;
+  ServiceClientOptions opts_;
   net::FrameWriter writer_;
   net::FrameReader reader_;
+  net::ShmPlane plane_;
+  bool shm_active_ = false;
+  bool shm_ack_seen_ = false;
   std::map<std::uint64_t, Sess> sessions_;
   std::uint64_t next_sid_ = 1;
 };

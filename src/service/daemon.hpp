@@ -48,16 +48,25 @@
 #include <thread>
 #include <vector>
 
+#include "../aiesim/compiled_store.hpp"
 #include "../aiesim/resim.hpp"
 #include "../core/session.hpp"
 #include "../core/sweep.hpp"
 #include "../net/frame.hpp"
+#include "../net/shm_ring.hpp"
 #include "../net/socket.hpp"
 #include "graph_codec.hpp"
 #include "kernels.hpp"
 #include "protocol.hpp"
 
 namespace cgsim::service {
+
+/// Copy-on-write input snapshot: a run borrows the session's input buffers
+/// by reference instead of copying megabytes per dispatch. The I/O thread
+/// clones a buffer only when the client mutates it while a snapshot is
+/// live, so the common warm-rerun flow (touch one input, rerun) copies
+/// exactly the touched buffer.
+using InputSnapshot = std::vector<std::shared_ptr<const std::string>>;
 
 // ---------------------------------------------------------------------------
 // Sim-lane type erasure. TypeOps (graph_codec.hpp) covers the coop lane
@@ -69,22 +78,21 @@ namespace cgsim::service {
 struct SimStreamOps {
   std::size_t size = 0;  ///< element size in bytes
   aiesim::SimResult (*run)(aiesim::ResimSession&,
-                           const std::vector<std::string>& in_bytes,
+                           const InputSnapshot& in_bytes,
                            std::vector<std::string>& out_bytes) = nullptr;
   aiesim::SimResult (*resim)(aiesim::ResimSession&,
                              const std::vector<std::size_t>& dirty,
-                             const std::vector<std::string>& in_bytes,
+                             const InputSnapshot& in_bytes,
                              std::vector<std::string>& out_bytes) = nullptr;
 };
 
 namespace detail {
 template <class T>
-std::vector<std::vector<T>> bytes_to_streams(
-    const std::vector<std::string>& in) {
+std::vector<std::vector<T>> bytes_to_streams(const InputSnapshot& in) {
   std::vector<std::vector<T>> out(in.size());
   for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i].resize(in[i].size() / sizeof(T));
-    std::memcpy(out[i].data(), in[i].data(), out[i].size() * sizeof(T));
+    out[i].resize(in[i]->size() / sizeof(T));
+    std::memcpy(out[i].data(), in[i]->data(), out[i].size() * sizeof(T));
   }
   return out;
 }
@@ -110,7 +118,7 @@ class SimOpsRegistry {
   void register_type(std::string name) {
     SimStreamOps ops;
     ops.size = sizeof(T);
-    ops.run = [](aiesim::ResimSession& s, const std::vector<std::string>& in,
+    ops.run = [](aiesim::ResimSession& s, const InputSnapshot& in,
                  std::vector<std::string>& out) {
       const auto tin = detail::bytes_to_streams<T>(in);
       std::vector<std::vector<T>> tout(out.size());
@@ -120,7 +128,7 @@ class SimOpsRegistry {
     };
     ops.resim = [](aiesim::ResimSession& s,
                    const std::vector<std::size_t>& dirty,
-                   const std::vector<std::string>& in,
+                   const InputSnapshot& in,
                    std::vector<std::string>& out) {
       const auto tin = detail::bytes_to_streams<T>(in);
       std::vector<std::vector<T>> tout(out.size());
@@ -160,6 +168,16 @@ struct DaemonConfig {
   Quotas quotas{};
   std::size_t pool_capacity = 64;  ///< idle warm lanes retained per mode
   aiesim::SimConfig sim{};         ///< engine config for RunMode::sim lanes
+  /// Acknowledge kFeatureShm in the handshake and accept shm planes.
+  /// Negotiation is per connection: a client that never sends shm_setup
+  /// (or whose segment the daemon cannot map -- e.g. a remote peer) stays
+  /// on the socket path with no behavioral difference.
+  bool enable_shm = true;
+  /// When nonempty, compiled graph artifacts persist here (CompiledStore)
+  /// and a restarted daemon binds warm from its first request.
+  std::string cache_dir;
+  std::size_t cache_max_bytes = 256u << 20;
+  std::size_t cache_max_files = 256;
 };
 
 struct DaemonStats {
@@ -170,6 +188,9 @@ struct DaemonStats {
   std::atomic<std::uint64_t> incremental_runs{0};
   std::atomic<std::uint64_t> session_errors{0};
   std::atomic<std::uint64_t> quota_rejections{0};
+  std::atomic<std::uint64_t> shm_conns{0};       ///< planes attached
+  std::atomic<std::uint64_t> persisted_binds{0}; ///< sim runs on store-loaded
+                                                 ///  artifacts
 };
 
 // ---------------------------------------------------------------------------
@@ -192,23 +213,30 @@ class Daemon {
   struct SimLane {
     rt::DynamicGraphBuilder builder;
     std::optional<aiesim::ResimSession> session;
-    std::vector<std::string> last_inputs;
+    InputSnapshot last_inputs;
     bool has_baseline = false;
   };
 
-  /// Immutable per-run snapshot handed to a worker.
+  /// Immutable per-run snapshot handed to a worker: borrowed (CoW) input
+  /// buffers, not copies.
   struct RunRequest {
-    std::vector<std::string> inputs;
+    InputSnapshot inputs;
   };
 
   struct ServerSession;
   struct Connection;
 
   /// One reply frame queued from a worker back to the I/O thread.
+  /// output_chunk frames carry the raw output bytes in `body` (header-free)
+  /// so the delivering I/O thread can route them through the connection's
+  /// shm ring -- or fall back to prepending the chunk header and taking the
+  /// socket -- at queue time.
   struct OutFrame {
     net::FrameType type{};
     std::uint64_t stream = 0;
     std::string payload;
+    std::string body;
+    std::uint64_t out_idx = 0;
   };
 
   /// Worker -> I/O thread completion message.
@@ -228,7 +256,12 @@ class Daemon {
     const SimStreamOps* sim_ops = nullptr;
 
     // --- I/O-thread-only protocol state ---
-    std::vector<std::string> inputs;  ///< persisted across warm reruns
+    /// Input buffers, persisted across warm reruns. Shared with dispatched
+    /// RunRequest snapshots copy-on-write: `shared[i]` is set when a
+    /// snapshot borrowed buffer i, and the next mutation of that input
+    /// clones it first (deterministic -- no use_count races).
+    std::vector<std::shared_ptr<std::string>> inputs;
+    std::vector<char> shared;
     /// Set per input when a run is dispatched. Input buffers persist so an
     /// untouched input carries over to the next (warm) run, but the first
     /// chunk that arrives for a sealed input replaces the buffer instead of
@@ -257,6 +290,11 @@ class Daemon {
     bool greeted = false;
     bool peer_done = false;  ///< goodbye / EOF seen; close once drained
     bool closed = false;
+    std::uint32_t features = 0;  ///< negotiated handshake feature bits
+    /// Attached via shm_setup; this I/O thread is the sole consumer of
+    /// rx() (client inputs) and sole producer of tx() (outputs), so the
+    /// rings stay SPSC.
+    std::optional<net::ShmPlane> plane;
     std::map<std::uint64_t, std::shared_ptr<ServerSession>> sessions;
     std::mutex mail_m;        ///< guards `mail` only
     std::vector<Mail> mail;   ///< worker-posted completions
@@ -280,6 +318,11 @@ class Daemon {
       : cfg_(cfg), listen_(std::move(listen_fd)) {
     register_builtin_kernels();
     register_builtin_sim_types();
+    if (!cfg_.cache_dir.empty()) {
+      aiesim::CompiledGraphCache::instance().set_store(
+          std::make_shared<aiesim::CompiledStore>(
+              cfg_.cache_dir, cfg_.cache_max_bytes, cfg_.cache_max_files));
+    }
     coop_pool_.set_capacity(cfg_.pool_capacity);
     sim_pool_.set_capacity(cfg_.pool_capacity);
     net::set_nonblocking(listen_.get());
@@ -465,7 +508,11 @@ class Daemon {
       }
       for (Mail& m : mail) {
         for (OutFrame& f : m.frames) {
-          queue_frame(*conn, f.type, f.stream, std::move(f.payload));
+          if (f.type == net::FrameType::output_chunk) {
+            queue_output(*conn, f);
+          } else {
+            queue_frame(*conn, f.type, f.stream, std::move(f.payload));
+          }
         }
         if (m.run_done) {
           const auto it = conn->sessions.find(m.sid);
@@ -493,7 +540,7 @@ class Daemon {
       std::string err;
       const auto pr = conn->reader.next(f, &err);
       if (pr == net::FrameReader::ParseResult::frame) {
-        handle_frame(conn, f);
+        handle_frame(io, conn, f);
         continue;
       }
       if (pr == net::FrameReader::ParseResult::corrupt) {
@@ -530,6 +577,7 @@ class Daemon {
     conn->writer.clear();
     conn->inflight.clear();
     conn->sessions.clear();  // leases return warm lanes to the pools
+    conn->plane.reset();     // unmaps the shm segment
   }
 
   // ---- frame dispatch (I/O thread) ----------------------------------------
@@ -539,6 +587,23 @@ class Daemon {
     conn.inflight.push_back(OutFrame{type, stream, std::move(payload)});
     const OutFrame& f = conn.inflight.back();
     conn.writer.frame(type, stream, f.payload.data(), f.payload.size());
+  }
+
+  /// Routes one worker-produced output chunk: ring when the connection has
+  /// a plane AND the body fits right now (try_write is all-or-nothing; the
+  /// I/O thread must never park on ring space), socket otherwise. Ring
+  /// payload is written before the announcing shm_output frame is queued.
+  void queue_output(Connection& conn, OutFrame& f) {
+    if (conn.plane.has_value() &&
+        conn.plane->tx().try_write(f.body.data(), f.body.size())) {
+      queue_frame(conn, net::FrameType::shm_output, f.stream,
+                  ShmChunkMsg::encode(f.out_idx, f.body.size()));
+      return;
+    }
+    std::string payload = ChunkMsg::encode_header(f.out_idx);
+    payload.append(f.body);
+    queue_frame(conn, net::FrameType::output_chunk, f.stream,
+                std::move(payload));
   }
 
   void send_error(Connection& conn, std::uint64_t sid, std::string msg) {
@@ -557,7 +622,7 @@ class Daemon {
     // would_block: edge-triggered EPOLLOUT retries once writable again
   }
 
-  void handle_frame(const std::shared_ptr<Connection>& conn,
+  void handle_frame(IoThread& io, const std::shared_ptr<Connection>& conn,
                     const net::FrameView& f) {
     Connection& c = *conn;
     if (!c.greeted) {
@@ -574,7 +639,13 @@ class Daemon {
         c.peer_done = true;
         return;
       }
-      queue_frame(c, net::FrameType::hello_ack, 0, net::Hello{}.encode());
+      // Echo the feature subset this daemon accepts; a feature is live
+      // only when both sides agreed (old clients send 0 and see 0).
+      c.features =
+          h.features & (cfg_.enable_shm ? net::kFeatureShm : 0u);
+      net::Hello ack;
+      ack.features = c.features;
+      queue_frame(c, net::FrameType::hello_ack, 0, ack.encode());
       c.greeted = true;
       return;
     }
@@ -587,6 +658,15 @@ class Daemon {
         break;
       case net::FrameType::rtp_update:
         on_input(c, f, /*replace=*/true);
+        break;
+      case net::FrameType::shm_setup:
+        on_shm_setup(c, f);
+        break;
+      case net::FrameType::shm_chunk:
+        on_input_shm(io, conn, f, /*replace=*/false);
+        break;
+      case net::FrameType::shm_rtp:
+        on_input_shm(io, conn, f, /*replace=*/true);
         break;
       case net::FrameType::finish_inputs:
         on_finish_inputs(conn, f.stream);
@@ -652,6 +732,8 @@ class Daemon {
       }
     }
     s->inputs.resize(s->in_ops.size());
+    for (auto& in : s->inputs) in = std::make_shared<std::string>();
+    s->shared.assign(s->in_ops.size(), 0);
     s->sealed.assign(s->in_ops.size(), 0);
     stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
     c.sessions.emplace(sid, std::move(s));
@@ -678,18 +760,19 @@ class Daemon {
       send_error(c, s.id, "input chunk not a whole number of elements");
       return;
     }
-    std::string& buf = s.inputs[static_cast<std::size_t>(m.index)];
-    const bool replace_now =
-        replace || s.sealed[static_cast<std::size_t>(m.index)] != 0;
+    const auto idx = static_cast<std::size_t>(m.index);
+    const bool replace_now = replace || s.sealed[idx] != 0;
     const std::size_t after =
-        s.live_bytes - (replace_now ? buf.size() : 0) + m.bytes.size();
+        s.live_bytes - (replace_now ? s.inputs[idx]->size() : 0) +
+        m.bytes.size();
     if (after > cfg_.quotas.max_live_bytes) {
       stats_.quota_rejections.fetch_add(1, std::memory_order_relaxed);
       send_error(c, s.id, "live-byte quota exceeded; chunk dropped");
       return;
     }
+    std::string& buf = mutable_input(s, idx, replace_now);
     if (replace_now) buf.clear();
-    s.sealed[static_cast<std::size_t>(m.index)] = 0;
+    s.sealed[idx] = 0;
     buf.append(reinterpret_cast<const char*>(m.bytes.data()), m.bytes.size());
     s.live_bytes = after;
     // Credit is granted back as chunks are absorbed (batched to a quarter
@@ -698,6 +781,117 @@ class Daemon {
     s.credit_to_grant += f.payload.size();
     if (s.credit_to_grant >= cfg_.quotas.input_credit / 4) {
       grant_credit(c, s);
+    }
+  }
+
+  /// Copy-on-write access to input buffer `idx`: a buffer borrowed by a
+  /// dispatched snapshot is cloned before the mutation (content copy
+  /// skipped when the caller will clear it anyway).
+  static std::string& mutable_input(ServerSession& s, std::size_t idx,
+                                    bool will_clear) {
+    auto& slot = s.inputs[idx];
+    if (s.shared[idx] != 0) {
+      slot = will_clear ? std::make_shared<std::string>()
+                        : std::make_shared<std::string>(*slot);
+      s.shared[idx] = 0;
+    }
+    return *slot;
+  }
+
+  void on_shm_setup(Connection& c, const net::FrameView& f) {
+    net::ShmSetupMsg m;
+    std::string ack(1, '\0');
+    if (cfg_.enable_shm && (c.features & net::kFeatureShm) != 0 &&
+        !c.plane.has_value() && net::ShmSetupMsg::decode(f.payload, m)) {
+      try {
+        // Maps + validates the client's named segment; fails for remote
+        // peers (the name does not resolve on this host) or foreign
+        // layouts, in which case the client stays on the socket path.
+        c.plane.emplace(net::ShmPlane::attach_peer(m.name));
+        ack[0] = '\x01';
+        stats_.shm_conns.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception&) {
+        c.plane.reset();
+      }
+    }
+    queue_frame(c, net::FrameType::shm_ack, 0, std::move(ack));
+  }
+
+  /// Input via the shm ring. The announced bytes were written to the ring
+  /// BEFORE the announcing frame was sent, so they are guaranteed readable
+  /// here; every exit path consumes exactly `nbytes` from the ring (into
+  /// the session buffer, or discarded on validation failure) -- anything
+  /// else would desynchronize every later announcement.
+  void on_input_shm(IoThread& io, const std::shared_ptr<Connection>& conn,
+                    const net::FrameView& f, bool replace) {
+    Connection& c = *conn;
+    ShmChunkMsg m;
+    if (!c.plane.has_value() || !ShmChunkMsg::decode(f.payload, m)) {
+      // Announcement without a plane, or a torn header: the ring position
+      // is unknowable, so the connection cannot be trusted further.
+      send_error(c, f.stream, "malformed shm chunk");
+      close_conn(io, conn);
+      return;
+    }
+    const auto nbytes = static_cast<std::size_t>(m.nbytes);
+    const auto it = c.sessions.find(f.stream);
+    ServerSession* sp = it == c.sessions.end() ? nullptr : it->second.get();
+    std::string err;
+    std::size_t after = 0;
+    bool replace_now = replace;
+    if (sp == nullptr) {
+      err = "no such session";
+    } else if (m.index >= sp->inputs.size()) {
+      err = "malformed input chunk";
+    } else if (nbytes % sp->in_ops[m.index]->size != 0) {
+      err = "input chunk not a whole number of elements";
+    } else {
+      const auto idx = static_cast<std::size_t>(m.index);
+      replace_now = replace || sp->sealed[idx] != 0;
+      after = sp->live_bytes -
+              (replace_now ? sp->inputs[idx]->size() : 0) + nbytes;
+      if (after > cfg_.quotas.max_live_bytes) {
+        stats_.quota_rejections.fetch_add(1, std::memory_order_relaxed);
+        err = "live-byte quota exceeded; chunk dropped";
+      }
+    }
+    if (!err.empty()) {
+      discard_ring(c, nbytes);
+      send_error(c, f.stream, std::move(err));
+      return;
+    }
+    ServerSession& s = *sp;
+    const auto idx = static_cast<std::size_t>(m.index);
+    std::string& buf = mutable_input(s, idx, replace_now);
+    if (replace_now) buf.clear();
+    s.sealed[idx] = 0;
+    const std::size_t old = buf.size();
+    buf.resize(old + nbytes);
+    const bool ok = c.plane->rx().try_read_exact(buf.data() + old, nbytes);
+    if (!ok) {  // ring-first contract violated by the peer
+      buf.resize(old);
+      send_error(c, s.id, "shm ring underrun");
+      close_conn(io, conn);
+      return;
+    }
+    s.live_bytes = after;
+    // Ring bytes consume window credit exactly like socket payload bytes:
+    // that bound (credit window < ring capacity) is what guarantees the
+    // ring can always absorb announced data.
+    s.credit_to_grant += f.payload.size() + nbytes;
+    if (s.credit_to_grant >= cfg_.quotas.input_credit / 4) {
+      grant_credit(c, s);
+    }
+  }
+
+  /// Consumes and discards `nbytes` of announced ring payload (validation
+  /// failed; the data has no destination but MUST leave the ring).
+  static void discard_ring(Connection& c, std::size_t nbytes) {
+    std::byte scratch[4096];
+    while (nbytes > 0) {
+      const std::size_t k = std::min(nbytes, sizeof(scratch));
+      if (!c.plane->rx().try_read_exact(scratch, k)) break;
+      nbytes -= k;
     }
   }
 
@@ -725,7 +919,10 @@ class Daemon {
       return;
     }
     RunRequest req;
-    req.inputs = s.inputs;  // copy: buffers persist for warm reruns
+    // Zero-copy snapshot: the run borrows the buffers; `shared` marks them
+    // so the next client mutation clones instead of racing the worker.
+    req.inputs.assign(s.inputs.begin(), s.inputs.end());
+    std::fill(s.shared.begin(), s.shared.end(), char{1});
     std::fill(s.sealed.begin(), s.sealed.end(), char{1});
     if (s.running) {
       s.queued.push_back(std::move(req));
@@ -773,11 +970,12 @@ class Daemon {
       } else {
         res.digest = outputs_digest(outputs);
         for (std::size_t o = 0; o < outputs.size(); ++o) {
-          std::string payload = ChunkMsg::encode_header(o);
           res.output_bytes += outputs[o].size();
-          payload.append(outputs[o]);
+          // Raw body, no header: the I/O thread picks ring vs socket when
+          // it delivers (queue_output).
           mail.frames.push_back(OutFrame{net::FrameType::output_chunk,
-                                         sess->id, std::move(payload)});
+                                         sess->id, {},
+                                         std::move(outputs[o]), o});
         }
         mail.frames.push_back(OutFrame{net::FrameType::session_result,
                                        sess->id, res.encode()});
@@ -856,10 +1054,10 @@ class Daemon {
       bool all_fed = true;
       for (std::size_t i = 0; i < n_in; ++i) {
         const TypeOps& ops = *sess.in_ops[i];
-        const std::size_t total = req.inputs[i].size() / ops.size;
+        const std::size_t total = req.inputs[i]->size() / ops.size;
         if (fed[i] >= total) continue;
         const std::size_t k = ops.session_push_n(
-            run, i, req.inputs[i].data() + fed[i] * ops.size,
+            run, i, req.inputs[i]->data() + fed[i] * ops.size,
             total - fed[i]);
         fed[i] += k;
         progress |= k > 0;
@@ -899,15 +1097,24 @@ class Daemon {
     } else {
       std::vector<std::size_t> dirty;
       for (std::size_t i = 0; i < req.inputs.size(); ++i) {
-        if (req.inputs[i] != lane.last_inputs[i]) dirty.push_back(i);
+        // Pointer equality is the CoW fast path: an untouched input still
+        // shares the baseline's buffer, so the byte comparison is skipped.
+        if (req.inputs[i] != lane.last_inputs[i] &&
+            *req.inputs[i] != *lane.last_inputs[i]) {
+          dirty.push_back(i);
+        }
       }
       r = ops.resim(*lane.session, dirty, req.inputs, outputs);
       res.warm = true;
       res.incremental = lane.session->last_was_incremental();
     }
-    lane.last_inputs = req.inputs;
+    lane.last_inputs = req.inputs;  // pointer copies, not byte copies
     lane.has_baseline = true;
     res.virtual_cycles = r.virtual_cycles;
+    res.persisted = lane.session->compiled().from_store;
+    if (res.persisted) {
+      stats_.persisted_binds.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   DaemonConfig cfg_;

@@ -153,6 +153,28 @@ struct ChunkMsg {
   }
 };
 
+/// shm_chunk / shm_rtp / shm_output control header: the announced bytes
+/// live in the connection's shm ring, not in the frame payload.
+struct ShmChunkMsg {
+  std::uint64_t index = 0;
+  std::uint64_t nbytes = 0;
+
+  [[nodiscard]] static std::string encode(std::uint64_t index,
+                                          std::uint64_t nbytes) {
+    std::string s;
+    net::put_varint(s, index);
+    net::put_varint(s, nbytes);
+    return s;
+  }
+  [[nodiscard]] static bool decode(std::span<const std::byte> p,
+                                   ShmChunkMsg& m) {
+    const std::byte* it = p.data();
+    const std::byte* end = it + p.size();
+    return net::get_varint(it, end, m.index) &&
+           net::get_varint(it, end, m.nbytes);
+  }
+};
+
 struct SessionResultMsg {
   std::uint64_t digest = 0;
   std::uint64_t output_bytes = 0;
@@ -160,6 +182,7 @@ struct SessionResultMsg {
   std::uint64_t server_us = 0;       ///< wall time of the run on the server
   bool warm = false;                 ///< served by a pooled warm session
   bool incremental = false;          ///< cone-limited resimulation hit
+  bool persisted = false;  ///< compiled artifact loaded from the on-disk store
 
   [[nodiscard]] std::string encode() const {
     std::string s;
@@ -167,7 +190,8 @@ struct SessionResultMsg {
     net::put_varint(s, output_bytes);
     net::put_varint(s, virtual_cycles);
     net::put_varint(s, server_us);
-    s.push_back(static_cast<char>((warm ? 1 : 0) | (incremental ? 2 : 0)));
+    s.push_back(static_cast<char>((warm ? 1 : 0) | (incremental ? 2 : 0) |
+                                  (persisted ? 4 : 0)));
     return s;
   }
   [[nodiscard]] static bool decode(std::span<const std::byte> p,
@@ -183,6 +207,7 @@ struct SessionResultMsg {
     const auto flags = static_cast<std::uint8_t>(*it);
     m.warm = (flags & 1) != 0;
     m.incremental = (flags & 2) != 0;
+    m.persisted = (flags & 4) != 0;
     return true;
   }
 };

@@ -272,6 +272,65 @@ TEST(SessionPool, ZeroCapacityRetainsNothing) {
   EXPECT_EQ(pool.evicted(), 2u);
 }
 
+TEST(SessionPool, ConcurrentCheckoutStressUnderTinyCapacity) {
+  // N threads hammer a capacity-2 pool across a handful of keys: every
+  // lease must stay exclusive (no two threads inside one session at
+  // once), no thread may ever observe a destroyed session (use after
+  // evict), and the created/reused/evicted counters must balance.
+  struct StressSession {
+    std::atomic<int> occupants{0};
+    std::atomic<bool> destroyed{false};
+    std::uint64_t scribble = 0;
+
+    ~StressSession() { destroyed.store(true, std::memory_order_release); }
+  };
+  SessionPool<int, StressSession> pool;
+  pool.set_capacity(2);
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 400;
+  std::atomic<std::uint64_t> made{0};
+  std::atomic<int> exclusivity_violations{0};
+  std::atomic<int> dead_sessions_seen{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      unsigned x = static_cast<unsigned>(t) * 2654435761u + 1;
+      for (int i = 0; i < kItersPerThread; ++i) {
+        x = x * 1664525u + 1013904223u;
+        const int key = static_cast<int>(x % 5);
+        auto lease = pool.checkout(key, [&] {
+          made.fetch_add(1, std::memory_order_relaxed);
+          return std::make_unique<StressSession>();
+        });
+        if (lease->destroyed.load(std::memory_order_acquire)) {
+          dead_sessions_seen.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (lease->occupants.fetch_add(1, std::memory_order_acq_rel) !=
+            0) {
+          exclusivity_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Unsynchronized write: TSan flags any lease-sharing the
+        // occupants counter somehow missed.
+        lease->scribble += static_cast<std::uint64_t>(key) + 1;
+        lease->occupants.fetch_sub(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(exclusivity_violations.load(), 0);
+  EXPECT_EQ(dead_sessions_seen.load(), 0);
+  EXPECT_EQ(pool.created(), made.load());
+  EXPECT_EQ(pool.created(),
+            static_cast<std::uint64_t>(kThreads) * kItersPerThread -
+                pool.reused());
+  EXPECT_LE(pool.idle_count(), 2u) << "capacity cap violated";
+  // Everything built either idles in the pool now or was evicted.
+  EXPECT_EQ(pool.created(), pool.evicted() + pool.idle_count());
+}
+
 // --- ResimSession thread-affinity guard ------------------------------------
 
 std::atomic<bool> sg_gate{false};

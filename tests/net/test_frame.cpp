@@ -2,7 +2,11 @@
 // and the versioned handshake.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
+#include <random>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -157,6 +161,102 @@ TEST(Frame, PayloadCrcFlag) {
   EXPECT_EQ(std::string(reinterpret_cast<const char*>(f.payload.data()),
                         f.payload.size()),
             payload);
+}
+
+/// One parsed frame, owned (FrameViews die at the next fill()).
+struct OwnedFrame {
+  FrameType type{};
+  std::uint64_t stream = 0;
+  std::string payload;
+
+  bool operator==(const OwnedFrame&) const = default;
+};
+
+/// Feeds `raw` to a FrameReader in chunks chosen by `next_chunk`,
+/// appending every frame parsed to `out`. Each chunk goes through a real
+/// socketpair so fill()'s readv path is exercised, not bypassed.
+void parse_in_chunks(
+    const std::vector<char>& raw,
+    const std::function<std::size_t(std::size_t remaining)>& next_chunk,
+    std::vector<OwnedFrame>& out) {
+  auto [a, b] = socket_pair();
+  FrameReader r;
+  std::size_t sent = 0;
+  auto drain = [&] {
+    for (;;) {
+      FrameView f;
+      std::string err;
+      const auto pr = r.next(f, &err);
+      if (pr == FrameReader::ParseResult::need_more) return;
+      ASSERT_EQ(pr, FrameReader::ParseResult::frame) << err;
+      out.push_back(OwnedFrame{
+          f.type, f.stream,
+          std::string{reinterpret_cast<const char*>(f.payload.data()),
+                      f.payload.size()}});
+    }
+  };
+  while (sent < raw.size()) {
+    const std::size_t n =
+        std::min(next_chunk(raw.size() - sent), raw.size() - sent);
+    ASSERT_GT(n, 0u);
+    ASSERT_EQ(::write(a.get(), raw.data() + sent, n),
+              static_cast<ssize_t>(n));
+    sent += n;
+    ASSERT_EQ(r.fill(b.get()), FrameReader::IoResult::ok);
+    drain();
+  }
+  EXPECT_EQ(r.buffered_bytes(), 0u) << "undigested trailing bytes";
+}
+
+TEST(Frame, ByteBoundaryFuzzMatchesWholeBufferParse) {
+  // A stream of frames whose sizes straddle every header boundary: empty
+  // payloads, 1-byte, varint-length edges (127/128), multi-byte stream
+  // ids, and payload-CRC-guarded frames.
+  FrameWriter w;
+  std::vector<OwnedFrame> expect;
+  std::mt19937 rng{0xC65157u};
+  const std::size_t sizes[] = {0, 1, 2, 126, 127, 128, 129, 1000, 4000};
+  std::uint64_t stream = 0;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const std::size_t sz : sizes) {
+      std::string payload(sz, '\0');
+      for (auto& c : payload) {
+        c = static_cast<char>(rng() & 0xff);
+      }
+      stream = stream * 131 + 7;  // exercises multi-byte stream varints
+      const bool guard = (rng() & 1) != 0;
+      w.frame(FrameType::data, stream, payload.data(), payload.size(),
+              guard ? kFlagPayloadCrc : 0);
+      expect.push_back(OwnedFrame{FrameType::data, stream,
+                                  std::move(payload)});
+    }
+  }
+  auto [a, b] = socket_pair();
+  ASSERT_EQ(w.flush(a.get()), FrameWriter::IoResult::ok);
+  std::vector<char> raw(128 << 10);
+  const ssize_t n = ::read(b.get(), raw.data(), raw.size());
+  ASSERT_GT(n, 0);
+  ASSERT_LT(static_cast<std::size_t>(n), raw.size()) << "grow the buffer";
+  raw.resize(static_cast<std::size_t>(n));
+
+  // Whole buffer in one write...
+  std::vector<OwnedFrame> whole;
+  parse_in_chunks(raw, [](std::size_t rem) { return rem; }, whole);
+  ASSERT_EQ(whole, expect);
+  // ...must parse identically to one byte at a time...
+  std::vector<OwnedFrame> bytewise;
+  parse_in_chunks(raw, [](std::size_t) { return std::size_t{1}; },
+                  bytewise);
+  EXPECT_EQ(bytewise, expect);
+  // ...and to randomized split points.
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    std::mt19937 split_rng{seed};
+    std::vector<OwnedFrame> split;
+    parse_in_chunks(raw, [&](std::size_t) {
+      return static_cast<std::size_t>(split_rng() % 97 + 1);
+    }, split);
+    EXPECT_EQ(split, expect) << "seed=" << seed;
+  }
 }
 
 TEST(Frame, HandshakeVersionSkewRejected) {

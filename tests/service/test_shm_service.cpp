@@ -1,0 +1,264 @@
+// Shared-memory data plane through the full service stack, plus the
+// persistent compiled-artifact cache across daemon restarts.
+//
+// The differential contract: a shm-negotiated client and a socket-only
+// client running the same session must produce bit-identical outputs and
+// digests -- the ring is a transport, never a semantic. And a daemon
+// restarted over the same --cache-dir must serve its first sim bind from
+// the persisted artifact (result.persisted) with the same digest.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "aiesim/compiled.hpp"
+#include "net/socket.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/graph_codec.hpp"
+#include "service/kernels.hpp"
+#include "service/protocol.hpp"
+
+namespace {
+
+using namespace cgsim;
+using namespace cgsim::service;
+namespace fs = std::filesystem;
+
+/// Daemon on an ephemeral loopback port plus shm-configurable connectors.
+struct ShmDaemon {
+  std::uint16_t port = 0;
+  Daemon daemon;
+
+  explicit ShmDaemon(DaemonConfig cfg = {})
+      : daemon{net::listen_tcp_loopback(0, &port), cfg} {}
+
+  [[nodiscard]] ServiceClient connect(bool use_shm = true) const {
+    ServiceClientOptions o;
+    o.use_shm = use_shm;
+    return ServiceClient{net::connect_tcp_loopback(port), o};
+  }
+};
+
+GraphSpec chain_spec(int kernels) {
+  GraphSpec g;
+  for (int e = 0; e <= kernels; ++e) g.edges.push_back({"i32", 64, {}});
+  for (int k = 0; k < kernels; ++k) {
+    g.kernels.push_back({"svc_inc_i32", {k, k + 1}});
+  }
+  g.inputs = {0};
+  g.outputs = {kernels};
+  return g;
+}
+
+/// 256 KiB of input: far above the 4 KiB shm threshold, so the chunk and
+/// the output both ride the ring when a plane is negotiated.
+std::vector<int> big_input() {
+  std::vector<int> v((256 << 10) / sizeof(int));
+  std::iota(v.begin(), v.end(), -1000);
+  return v;
+}
+
+RunOutcome run_once(ServiceClient& cli, const GraphSpec& spec,
+                    const std::vector<int>& in) {
+  const auto sid = cli.open(RunMode::coop, spec);
+  cli.send_input(sid, 0, in.data(), in.size() * sizeof(int));
+  RunOutcome out = cli.run(sid);
+  cli.close_session(sid);
+  return out;
+}
+
+TEST(ShmService, NegotiatedClientMatchesSocketClientBitForBit) {
+  ShmDaemon d;
+  auto shm_cli = d.connect(/*use_shm=*/true);
+  auto sock_cli = d.connect(/*use_shm=*/false);
+  ASSERT_TRUE(shm_cli.shm_active());
+  ASSERT_FALSE(sock_cli.shm_active());
+
+  const GraphSpec spec = chain_spec(4);
+  const std::vector<int> in = big_input();
+  RunOutcome via_shm = run_once(shm_cli, spec, in);
+  RunOutcome via_sock = run_once(sock_cli, spec, in);
+  ASSERT_TRUE(via_shm.ok) << via_shm.error;
+  ASSERT_TRUE(via_sock.ok) << via_sock.error;
+  EXPECT_EQ(via_shm.outputs, via_sock.outputs);
+  EXPECT_EQ(via_shm.result.digest, via_sock.result.digest);
+  EXPECT_EQ(outputs_digest(via_shm.outputs), via_shm.result.digest);
+  EXPECT_GE(d.daemon.stats().shm_conns.load(), 1u);
+}
+
+TEST(ShmService, DaemonWithShmDisabledFallsBackTransparently) {
+  DaemonConfig cfg;
+  cfg.enable_shm = false;
+  ShmDaemon d{cfg};
+  // The client asks for shm; the daemon refuses the feature bit and
+  // everything stays on the socket -- bit-identically.
+  auto cli = d.connect(/*use_shm=*/true);
+  EXPECT_FALSE(cli.shm_active());
+  RunOutcome out = run_once(cli, chain_spec(3), big_input());
+  ASSERT_TRUE(out.ok) << out.error;
+  EXPECT_EQ(outputs_digest(out.outputs), out.result.digest);
+  EXPECT_EQ(d.daemon.stats().shm_conns.load(), 0u);
+}
+
+TEST(ShmService, SmallChunksStayOnSocketOverAShmConnection) {
+  ShmDaemon d;
+  auto cli = d.connect(/*use_shm=*/true);
+  ASSERT_TRUE(cli.shm_active());
+  // 64 ints = 256 bytes, below the threshold: correctness must not depend
+  // on which transport a chunk picks.
+  std::vector<int> in(64);
+  std::iota(in.begin(), in.end(), 3);
+  RunOutcome out = run_once(cli, chain_spec(2), in);
+  ASSERT_TRUE(out.ok) << out.error;
+  std::vector<int> got = out.output_as<int>(0);
+  ASSERT_EQ(got.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(got[i], in[i] + 2);
+  }
+}
+
+TEST(ShmService, SimLaneAndRtpUpdatesOverShm) {
+  ShmDaemon d;
+  auto shm_cli = d.connect(/*use_shm=*/true);
+  auto sock_cli = d.connect(/*use_shm=*/false);
+  ASSERT_TRUE(shm_cli.shm_active());
+
+  // Both clients drive the same sim-mode session shape: cold run, then an
+  // input rewrite + rerun (the incremental path). Digests must pair up.
+  auto drive = [](ServiceClient& cli) {
+    const GraphSpec spec = chain_spec(4);
+    const auto sid = cli.open(RunMode::sim, spec);
+    const std::vector<int> in = big_input();
+    cli.send_input(sid, 0, in.data(), in.size() * sizeof(int));
+    RunOutcome cold = cli.run(sid);
+    std::vector<int> in2 = in;
+    in2[0] += 100;
+    cli.send_input(sid, 0, in2.data(), in2.size() * sizeof(int));
+    RunOutcome rerun = cli.run(sid);
+    cli.close_session(sid);
+    return std::pair{cold, rerun};
+  };
+  auto [shm_cold, shm_rerun] = drive(shm_cli);
+  auto [sock_cold, sock_rerun] = drive(sock_cli);
+  ASSERT_TRUE(shm_cold.ok) << shm_cold.error;
+  ASSERT_TRUE(shm_rerun.ok) << shm_rerun.error;
+  ASSERT_TRUE(sock_cold.ok && sock_rerun.ok);
+  EXPECT_EQ(shm_cold.result.digest, sock_cold.result.digest);
+  EXPECT_EQ(shm_rerun.result.digest, sock_rerun.result.digest);
+  EXPECT_EQ(shm_cold.outputs, sock_cold.outputs);
+  EXPECT_EQ(shm_rerun.outputs, sock_rerun.outputs);
+}
+
+TEST(ShmService, ManySessionsInterleaveOverOnePlane) {
+  ShmDaemon d;
+  auto cli = d.connect(/*use_shm=*/true);
+  ASSERT_TRUE(cli.shm_active());
+  // Several live sessions share the connection's one ring pair; outputs
+  // must land on the right session in the right order.
+  const GraphSpec spec = chain_spec(3);
+  const std::vector<int> base = big_input();
+  std::vector<std::uint64_t> sids;
+  for (int s = 0; s < 4; ++s) {
+    const auto sid = cli.open(RunMode::coop, spec);
+    std::vector<int> in = base;
+    for (auto& v : in) v += s;
+    cli.send_input(sid, 0, in.data(), in.size() * sizeof(int));
+    cli.start_run(sid);
+    sids.push_back(sid);
+  }
+  for (int s = 0; s < 4; ++s) {
+    RunOutcome out = cli.wait(sids[static_cast<std::size_t>(s)]);
+    ASSERT_TRUE(out.ok) << out.error;
+    std::vector<int> got = out.output_as<int>(0);
+    ASSERT_EQ(got.size(), base.size());
+    EXPECT_EQ(got[0], base[0] + s + 3);
+    EXPECT_EQ(got.back(), base.back() + s + 3);
+  }
+  for (const auto sid : sids) cli.close_session(sid);
+}
+
+TEST(ShmService, RestartServesPersistedArtifactWithSameDigest) {
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("cgsim-shm-restart-" + std::to_string(static_cast<long>(::getpid()))))
+          .string();
+  fs::remove_all(dir);
+  aiesim::CompiledGraphCache::instance().set_store(nullptr);
+  aiesim::CompiledGraphCache::instance().clear();
+
+  DaemonConfig cfg;
+  cfg.cache_dir = dir;
+  const GraphSpec spec = chain_spec(6);
+  const std::vector<int> in = big_input();
+
+  std::uint64_t first_digest = 0;
+  {
+    ShmDaemon d{cfg};
+    auto cli = d.connect();
+    const auto sid = cli.open(RunMode::sim, spec);
+    cli.send_input(sid, 0, in.data(), in.size() * sizeof(int));
+    RunOutcome out = cli.run(sid);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_FALSE(out.result.persisted) << "first-ever bind is a compile";
+    first_digest = out.result.digest;
+    cli.close_session(sid);
+    d.daemon.stop();
+  }
+  // "Restart": the process-global in-memory cache is wiped; only the
+  // on-disk artifact survives, exactly like a new cgsimd process.
+  aiesim::CompiledGraphCache::instance().clear();
+  {
+    ShmDaemon d{cfg};
+    auto cli = d.connect();
+    const auto sid = cli.open(RunMode::sim, spec);
+    cli.send_input(sid, 0, in.data(), in.size() * sizeof(int));
+    RunOutcome out = cli.run(sid);
+    ASSERT_TRUE(out.ok) << out.error;
+    EXPECT_TRUE(out.result.persisted)
+        << "restarted daemon must bind from the persisted artifact";
+    EXPECT_EQ(out.result.digest, first_digest);
+    EXPECT_GE(d.daemon.stats().persisted_binds.load(), 1u);
+    cli.close_session(sid);
+    d.daemon.stop();
+  }
+  aiesim::CompiledGraphCache::instance().set_store(nullptr);
+  aiesim::CompiledGraphCache::instance().clear();
+  fs::remove_all(dir);
+}
+
+TEST(ShmService, ConcurrentShmClientsKeepDigestIdentity) {
+  ShmDaemon d;
+  const GraphSpec spec = chain_spec(4);
+  const std::vector<int> in = big_input();
+  RunOutcome ref = [&] {
+    auto cli = d.connect(/*use_shm=*/false);
+    return run_once(cli, spec, in);
+  }();
+  ASSERT_TRUE(ref.ok) << ref.error;
+
+  std::vector<std::thread> clients;
+  std::vector<std::uint64_t> digests(6, 0);
+  std::vector<char> oks(6, 0);
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      auto cli = d.connect(/*use_shm=*/true);
+      RunOutcome out = run_once(cli, spec, in);
+      digests[static_cast<std::size_t>(c)] = out.result.digest;
+      oks[static_cast<std::size_t>(c)] = out.ok ? 1 : 0;
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < 6; ++c) {
+    EXPECT_EQ(oks[static_cast<std::size_t>(c)], 1);
+    EXPECT_EQ(digests[static_cast<std::size_t>(c)], ref.result.digest);
+  }
+}
+
+}  // namespace
